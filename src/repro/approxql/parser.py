@@ -1,0 +1,123 @@
+"""Recursive-descent parser for approXQL (Section 3).
+
+Grammar (``or`` binds weaker than ``and``; the paper's example queries
+always parenthesize, so precedence only matters for convenience)::
+
+    query    := path END
+    path     := NAME ('[' expr ']')? | STRING
+    expr     := and_expr ('or' and_expr)*
+    and_expr := primary ('and' primary)*
+    primary  := '(' expr ')' | path
+
+A quoted string containing several words desugars into a conjunction of
+one text selector per word, mirroring how document text is word-split
+(Section 4): ``title["piano concerto"]`` means
+``title["piano" and "concerto"]``.
+"""
+
+from __future__ import annotations
+
+from ..errors import QuerySyntaxError
+from ..xmltree.model import tokenize as tokenize_words
+from .ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+from .lexer import Token, TokenKind, tokenize_query
+
+
+def parse_query(text: str) -> NameSelector:
+    """Parse approXQL text; the root must be a name selector, which
+    defines the scope of the search (Section 2's reading of query roots).
+    """
+    parser = _Parser(tokenize_query(text))
+    root = parser.parse_path()
+    parser.expect(TokenKind.END)
+    if not isinstance(root, NameSelector):
+        raise QuerySyntaxError("the query root must be a name selector")
+    return root
+
+
+def parse_expression(text: str) -> QueryExpr:
+    """Parse a bare Boolean expression (useful for tests and tools)."""
+    parser = _Parser(tokenize_query(text))
+    expr = parser.parse_expr()
+    parser.expect(TokenKind.END)
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind.value!r} but found {token.value or 'end of query'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # grammar rules
+    # ------------------------------------------------------------------
+
+    def parse_path(self) -> QueryExpr:
+        token = self.peek()
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            return _text_selectors(token)
+        if token.kind == TokenKind.NAME:
+            self.advance()
+            if self.peek().kind == TokenKind.LBRACKET:
+                self.advance()
+                content = self.parse_expr()
+                self.expect(TokenKind.RBRACKET)
+                return NameSelector(token.value, content)
+            return NameSelector(token.value)
+        raise QuerySyntaxError(
+            f"expected a selector but found {token.value or 'end of query'!r}",
+            token.position,
+        )
+
+    def parse_expr(self) -> QueryExpr:
+        items = [self.parse_and_expr()]
+        while self.peek().kind == TokenKind.OR:
+            self.advance()
+            items.append(self.parse_and_expr())
+        return items[0] if len(items) == 1 else OrExpr(tuple(items))
+
+    def parse_and_expr(self) -> QueryExpr:
+        items = [self.parse_primary()]
+        while self.peek().kind == TokenKind.AND:
+            self.advance()
+            items.append(self.parse_primary())
+        return items[0] if len(items) == 1 else AndExpr(tuple(items))
+
+    def parse_primary(self) -> QueryExpr:
+        if self.peek().kind == TokenKind.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        return self.parse_path()
+
+
+def _text_selectors(token: Token) -> QueryExpr:
+    words = tokenize_words(token.value)
+    if not words:
+        raise QuerySyntaxError("text selector contains no words", token.position)
+    if len(words) == 1:
+        return TextSelector(words[0])
+    return AndExpr(tuple(TextSelector(word) for word in words))

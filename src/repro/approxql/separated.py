@@ -1,0 +1,108 @@
+"""The separated query representation (Section 3).
+
+A query containing ``or`` operators is broken into a set of conjunctive
+queries — one per combination of ``or`` branches.  Conjunctive queries
+are the labeled, typed trees (Definition 1 operates on them) that the
+transformation formalism of Section 5 and the naive reference evaluator
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from ..errors import QuerySyntaxError
+from ..xmltree.model import NodeType
+from .ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+
+DEFAULT_SEPARATION_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class ConjNode:
+    """One node of a conjunctive query tree.
+
+    Leaves of type :attr:`NodeType.TEXT` are text selectors; struct nodes
+    without children are *struct leaves* (bare name selectors).
+    """
+
+    label: str
+    node_type: NodeType
+    children: tuple["ConjNode", ...] = field(default=())
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def size(self) -> int:
+        """Number of nodes in the conjunctive query tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def leaves(self) -> list["ConjNode"]:
+        """All leaves (text selectors and struct leaves) in preorder."""
+        if self.is_leaf:
+            return [self]
+        found = []
+        for child in self.children:
+            found.extend(child.leaves())
+        return found
+
+    def unparse(self) -> str:
+        """Render back to approXQL text (children and-connected)."""
+        if self.node_type == NodeType.TEXT:
+            return f'"{self.label}"'
+        if not self.children:
+            return self.label
+        inner = " and ".join(child.unparse() for child in self.children)
+        return f"{self.label}[{inner}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConjNode({self.unparse()!r})"
+
+
+def separate(query: NameSelector, limit: int = DEFAULT_SEPARATION_LIMIT) -> list[ConjNode]:
+    """Expand a parsed query into its separated representation.
+
+    Each ``or`` with *m* branches multiplies the number of conjunctive
+    queries by *m*; ``limit`` guards against combinatorial explosions.
+    """
+    variants = _separate_selector(query)
+    if len(variants) > limit:
+        raise QuerySyntaxError(
+            f"query separates into {len(variants)} conjunctive queries "
+            f"(limit {limit}); simplify the query or raise the limit"
+        )
+    return variants
+
+
+def _separate_selector(selector: "NameSelector | TextSelector") -> list[ConjNode]:
+    if isinstance(selector, TextSelector):
+        return [ConjNode(selector.word, NodeType.TEXT)]
+    if selector.content is None:
+        return [ConjNode(selector.label, NodeType.STRUCT)]
+    variants = []
+    for child_combination in _separate_expr(selector.content):
+        variants.append(ConjNode(selector.label, NodeType.STRUCT, tuple(child_combination)))
+    return variants
+
+
+def _separate_expr(expr: QueryExpr) -> list[list[ConjNode]]:
+    """All variants of the child list contributed by ``expr``."""
+    if isinstance(expr, (NameSelector, TextSelector)):
+        return [[variant] for variant in _separate_selector(expr)]
+    if isinstance(expr, AndExpr):
+        per_item = [_separate_expr(item) for item in expr.items]
+        combined = []
+        for combination in product(*per_item):
+            children: list[ConjNode] = []
+            for part in combination:
+                children.extend(part)
+            combined.append(children)
+        return combined
+    if isinstance(expr, OrExpr):
+        variants = []
+        for item in expr.items:
+            variants.extend(_separate_expr(item))
+        return variants
+    raise QuerySyntaxError(f"unexpected expression node {type(expr).__name__}")

@@ -1,0 +1,271 @@
+"""Heuristic cost-model suggestion (the paper's declared future work).
+
+The conclusion of the paper: "the development of domain-specific rules
+for choosing basic transformation costs is a topic of future research."
+This module implements a first set of such rules, derived purely from the
+collection itself, so a user gets a sensible approximate-matching setup
+without hand-writing a cost table:
+
+* **Renamings** are suggested between labels that are likely spelling or
+  morphological variants — small edit distance relative to length (so
+  ``concerto``/``concertos`` qualifies but ``cd``/``mc`` does not) — and,
+  for element names, between labels that occur in the same structural
+  context (siblings under a shared parent name in the schema), which
+  captures semantic alternatives such as ``composer``/``performer``.
+  The rename cost grows with the edit distance and shrinks with context
+  overlap.
+* **Delete costs** for element names grow with the depth at which the
+  label typically occurs (deep elements are specific, per Section 5.2 —
+  deleting them is a mild widening; shallow elements define scope and are
+  expensive to drop) and with how much structure sits beneath them.
+* **Insert costs** fall with label frequency: ubiquitous wrapper
+  elements (``tracks``) are cheap to skip over, rare ones are not.
+
+The result is an ordinary :class:`~repro.approxql.costs.CostModel`; all
+suggested values are integers, so the model serializes to cost files.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..schema.dataguide import TEXT_CLASS_LABEL, Schema
+from ..xmltree.indexes import NodeIndexes
+from ..xmltree.model import ROOT_LABEL, NodeType
+from .costs import CostModel
+
+#: internal labels that must never appear in a suggested cost model
+_INTERNAL_LABELS = frozenset({ROOT_LABEL, TEXT_CLASS_LABEL})
+
+
+def levenshtein(left: str, right: str, cap: int = 6) -> int:
+    """Edit distance with an early-exit ``cap`` (distances above the cap
+    are reported as ``cap``)."""
+    if left == right:
+        return 0
+    if abs(len(left) - len(right)) >= cap:
+        return cap
+    previous = list(range(len(right) + 1))
+    for row, left_char in enumerate(left, start=1):
+        current = [row]
+        best = row
+        for column, right_char in enumerate(right, start=1):
+            cost = min(
+                previous[column] + 1,
+                current[column - 1] + 1,
+                previous[column - 1] + (left_char != right_char),
+            )
+            current.append(cost)
+            if cost < best:
+                best = cost
+        if best >= cap:
+            return cap
+        previous = current
+    return min(previous[-1], cap)
+
+
+@dataclass(frozen=True)
+class SuggestOptions:
+    """Tuning knobs of the heuristics."""
+
+    #: maximal edit distance for spelling-variant renamings
+    max_edit_distance: int = 2
+    #: strings shorter than this never get edit-distance renamings
+    #: (cd/mc/tv would all collide)
+    min_label_length: int = 4
+    #: cost per edit step
+    edit_cost: int = 2
+    #: cost of a context-based (sibling) renaming
+    context_rename_cost: int = 5
+    #: base delete cost; scaled by shallowness
+    delete_base: int = 3
+    #: beyond this many suggestions per label, stop (keeps r bounded)
+    max_renamings_per_label: int = 5
+
+
+def suggest_cost_model(
+    indexes: NodeIndexes,
+    schema: "Schema | None" = None,
+    options: "SuggestOptions | None" = None,
+) -> CostModel:
+    """Derive a complete cost model from a collection's indexes (and its
+    schema, when given, for context-based renamings and depth-aware
+    delete costs)."""
+    options = options or SuggestOptions()
+    model = CostModel(default_insert_cost=1.0)
+    struct_labels = sorted(set(indexes.labels(NodeType.STRUCT)) - _INTERNAL_LABELS)
+    text_labels = sorted(set(indexes.labels(NodeType.TEXT)) - _INTERNAL_LABELS)
+
+    _suggest_spelling_renamings(model, struct_labels, NodeType.STRUCT, options)
+    _suggest_spelling_renamings(model, text_labels, NodeType.TEXT, options)
+    if schema is not None:
+        _suggest_context_renamings(model, schema, options)
+        _suggest_delete_costs(model, schema, options)
+    _suggest_insert_costs(model, indexes, struct_labels)
+    return model
+
+
+# ----------------------------------------------------------------------
+# individual heuristics
+# ----------------------------------------------------------------------
+
+
+def augment_for_query(
+    model: CostModel,
+    query,
+    indexes: NodeIndexes,
+    options: "SuggestOptions | None" = None,
+) -> CostModel:
+    """Return a copy of ``model`` with renamings for the query's *unknown*
+    labels — selectors naming elements or terms that do not occur in the
+    collection at all.
+
+    A collection-derived model (see :func:`suggest_cost_model`) can only
+    price labels it has seen; a user who writes ``titles`` against a
+    collection that only knows ``title`` would otherwise get an
+    unmatchable branch.  For each unknown query label, the closest
+    existing labels by edit distance (with a laxer bound than the
+    collection-side heuristic — unknown labels *must* be mapped somewhere
+    or the branch is dead) are added as renamings.
+    """
+    from .ast import AndExpr, NameSelector, OrExpr, TextSelector
+
+    options = options or SuggestOptions()
+    augmented = model.copy()
+    vocabularies = {
+        NodeType.STRUCT: sorted(set(indexes.labels(NodeType.STRUCT)) - _INTERNAL_LABELS),
+        NodeType.TEXT: sorted(set(indexes.labels(NodeType.TEXT)) - _INTERNAL_LABELS),
+    }
+
+    def visit(expr) -> None:
+        if isinstance(expr, TextSelector):
+            handle(expr.word, NodeType.TEXT)
+        elif isinstance(expr, NameSelector):
+            handle(expr.label, NodeType.STRUCT)
+            if expr.content is not None:
+                visit(expr.content)
+        elif isinstance(expr, (AndExpr, OrExpr)):
+            for item in expr.items:
+                visit(item)
+
+    def handle(label: str, node_type: NodeType) -> None:
+        if indexes.posting_size(label, node_type) > 0:
+            return  # the label exists; the base model governs it
+        # laxer bound: up to half the label length, at least 2
+        max_distance = max(2, len(label) // 2)
+        scored = []
+        for candidate in vocabularies[node_type]:
+            distance = levenshtein(label, candidate, cap=max_distance + 1)
+            if distance <= max_distance:
+                scored.append((distance, candidate))
+        scored.sort()
+        for distance, candidate in scored[: options.max_renamings_per_label]:
+            if augmented.rename_cost(label, candidate, node_type) == math.inf:
+                augmented.add_renaming(
+                    label, candidate, node_type, distance * options.edit_cost
+                )
+
+    visit(query)
+    return augmented
+
+
+def _suggest_spelling_renamings(
+    model: CostModel, labels: list[str], node_type: NodeType, options: SuggestOptions
+) -> None:
+    suggested: dict[str, int] = {label: 0 for label in labels}
+    # bucket by length so only plausible pairs are compared
+    by_length: dict[int, list[str]] = {}
+    for label in labels:
+        if len(label) >= options.min_label_length:
+            by_length.setdefault(len(label), []).append(label)
+    for label in labels:
+        if len(label) < options.min_label_length:
+            continue
+        for length in range(
+            len(label) - options.max_edit_distance,
+            len(label) + options.max_edit_distance + 1,
+        ):
+            for candidate in by_length.get(length, ()):
+                if candidate == label:
+                    continue
+                if suggested[label] >= options.max_renamings_per_label:
+                    break
+                distance = levenshtein(label, candidate, cap=options.max_edit_distance + 1)
+                if distance <= options.max_edit_distance:
+                    model.add_renaming(
+                        label, candidate, node_type, distance * options.edit_cost
+                    )
+                    suggested[label] += 1
+
+
+def _suggest_context_renamings(
+    model: CostModel, schema: Schema, options: SuggestOptions
+) -> None:
+    """Element names that appear as siblings under the same parent name
+    are plausible alternatives (composer/performer under cd)."""
+    siblings_by_parent: dict[str, set[str]] = {}
+    for node in range(len(schema)):
+        if schema.is_text_class(node):
+            continue
+        parent = schema.parents[node]
+        if parent == -1 or schema.labels[node] in _INTERNAL_LABELS:
+            continue
+        siblings_by_parent.setdefault(schema.labels[parent], set()).add(schema.labels[node])
+    counts: dict[str, int] = {}
+    for group in siblings_by_parent.values():
+        ordered = sorted(group)
+        for label in ordered:
+            for candidate in ordered:
+                if candidate == label:
+                    continue
+                if counts.get(label, 0) >= options.max_renamings_per_label:
+                    break
+                if model.rename_cost(label, candidate, NodeType.STRUCT) != math.inf:
+                    continue  # spelling heuristic already priced it lower
+                model.add_renaming(
+                    label, candidate, NodeType.STRUCT, options.context_rename_cost
+                )
+                counts[label] = counts.get(label, 0) + 1
+
+
+def _suggest_delete_costs(model: CostModel, schema: Schema, options: SuggestOptions) -> None:
+    """Deep, structure-light element names are cheap to delete; shallow
+    scope-defining ones are expensive."""
+    depth_sum: dict[str, int] = {}
+    occurrences: dict[str, int] = {}
+    max_depth = 1
+    for node in range(len(schema)):
+        if schema.is_text_class(node):
+            continue
+        label = schema.labels[node]
+        if label in _INTERNAL_LABELS:
+            continue
+        depth = len(schema.label_type_path(node))
+        depth_sum[label] = depth_sum.get(label, 0) + depth
+        occurrences[label] = occurrences.get(label, 0) + 1
+        max_depth = max(max_depth, depth)
+    for label, total in depth_sum.items():
+        mean_depth = total / occurrences[label]
+        # depth 1 (document roots) -> expensive; max depth -> delete_base
+        shallowness = (max_depth - mean_depth) / max(1, max_depth - 1)
+        cost = options.delete_base + round(shallowness * 3 * options.delete_base)
+        model.set_delete_cost(label, NodeType.STRUCT, cost)
+
+
+def _suggest_insert_costs(
+    model: CostModel, indexes: NodeIndexes, struct_labels: list[str]
+) -> None:
+    """Frequent wrapper elements are cheap to insert implicitly."""
+    counts = {
+        label: indexes.posting_size(label, NodeType.STRUCT) for label in struct_labels
+    }
+    if not counts:
+        return
+    most_common = max(counts.values())
+    for label, count in counts.items():
+        if count == 0:
+            continue
+        # 1 for the most common label, +1 per order of magnitude rarer
+        cost = 1 + round(math.log10(most_common / count)) if count else 1
+        model.set_insert_cost(label, max(1, cost))

@@ -1,0 +1,31 @@
+"""Benchmark harness: workloads, the Figure 7 series, and ablations.
+
+Run ``python -m repro.bench figure7 --pattern 1`` to regenerate a panel
+of the paper's Figure 7 as a printed series; the pytest-benchmark drivers
+in ``benchmarks/`` use the same machinery per measured point.
+"""
+
+from .chart import render_chart
+from .figure7 import (
+    DEFAULT_N_VALUES,
+    DEFAULT_RENAMINGS,
+    Figure7Point,
+    format_markdown,
+    format_series,
+    run_figure7,
+)
+from .workloads import SCALES, Workload, clear_workload_cache, get_workload
+
+__all__ = [
+    "DEFAULT_N_VALUES",
+    "DEFAULT_RENAMINGS",
+    "Figure7Point",
+    "SCALES",
+    "Workload",
+    "clear_workload_cache",
+    "format_markdown",
+    "format_series",
+    "get_workload",
+    "render_chart",
+    "run_figure7",
+]

@@ -1,0 +1,87 @@
+"""ASCII rendering of Figure 7 panels: log-scale curves in the terminal.
+
+The paper's figure plots mean evaluation time (log-scale y) against n,
+one curve per (algorithm, renamings).  ``render_chart`` draws the same
+picture with characters: one column group per n value, one glyph per
+curve.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .figure7 import Figure7Point
+
+#: glyph per (algorithm, renamings); direct = upper case, schema = lower
+_GLYPHS = {
+    ("direct", 0): "D",
+    ("direct", 5): "E",
+    ("direct", 10): "F",
+    ("schema", 0): "d",
+    ("schema", 5): "e",
+    ("schema", 10): "f",
+}
+_FALLBACK_GLYPHS = "XYZxyz*#@+"
+
+
+def render_chart(points: list[Figure7Point], scale: str, height: int = 16) -> str:
+    """Render the measured panel as an ASCII log-scale chart."""
+    if not points:
+        return "(no points)"
+    pattern = points[0].pattern
+    times = [point.mean_seconds for point in points if point.mean_seconds > 0]
+    if not times:
+        return "(all timings zero)"
+    low = math.log10(min(times))
+    high = math.log10(max(times))
+    if high - low < 1e-9:
+        high = low + 1.0
+
+    n_labels = list(dict.fromkeys(point.n_label for point in points))
+    curves = sorted({(point.algorithm, point.renamings) for point in points})
+    glyph_of = {}
+    fallback = iter(_FALLBACK_GLYPHS)
+    for curve in curves:
+        glyph_of[curve] = _GLYPHS.get(curve) or next(fallback)
+
+    column_width = 6
+    grid = [
+        [" "] * (len(n_labels) * column_width) for _ in range(height)
+    ]
+    for point in points:
+        if point.mean_seconds <= 0:
+            continue
+        row = int(
+            round(
+                (math.log10(point.mean_seconds) - low) / (high - low) * (height - 1)
+            )
+        )
+        row = height - 1 - row  # y grows downward in the grid
+        column = n_labels.index(point.n_label) * column_width + column_width // 2
+        glyph = glyph_of[(point.algorithm, point.renamings)]
+        if grid[row][column] == " ":
+            grid[row][column] = glyph
+        else:
+            # collision: place next to it
+            offset = 1
+            while column + offset < len(grid[row]) and grid[row][column + offset] != " ":
+                offset += 1
+            if column + offset < len(grid[row]):
+                grid[row][column + offset] = glyph
+
+    lines = [
+        f"Figure 7({chr(ord('a') + pattern - 1)}) — pattern {pattern}, scale {scale}, "
+        f"log10(seconds) from {low:.1f} to {high:.1f}"
+    ]
+    for index, row in enumerate(grid):
+        log_value = high - (high - low) * index / (height - 1)
+        lines.append(f"{log_value:6.1f} |" + "".join(row))
+    axis = "       +" + "-" * (len(n_labels) * column_width)
+    labels_line = "        " + "".join(label.center(column_width) for label in n_labels)
+    lines.append(axis)
+    lines.append(labels_line)
+    legend = "  ".join(
+        f"{glyph_of[curve]}={curve[0]}/r{curve[1]}" for curve in curves
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

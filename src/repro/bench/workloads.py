@@ -1,0 +1,126 @@
+"""Benchmark workloads: collections, indexes, and query sets.
+
+The experiment setup of Section 8.1, scaled for a Python substrate.  The
+paper's collection has 1,000,000 elements, 100 element names, 100,000
+terms, and 10,000,000 term occurrences with Zipfian word frequencies; the
+``paper`` scale below reproduces those ratios at 1/16 size (the
+comparison between the two algorithms runs on identical data, so the
+crossover shape is preserved — see EXPERIMENTS.md).
+
+Workloads are cached per configuration so that a benchmark session builds
+each collection once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datagen.generator import GeneratorConfig, generate_collection
+from ..engine.evaluator import DirectEvaluator
+from ..errors import GenerationError
+from ..querygen.generator import GeneratedQuery, QueryGenOptions, QueryGenerator
+from ..querygen.patterns import PAPER_PATTERNS
+from ..schema.dataguide import Schema, build_schema
+from ..schema.evaluator import SchemaEvaluator
+from ..xmltree.indexes import MemoryNodeIndexes
+from ..xmltree.model import DataTree
+
+#: named scales: fractions of the paper's collection.  All scales use the
+#: template ("dtd") generator mode: the schema-driven algorithm's premise
+#: is that data regularities keep the schema small relative to the data
+#: (Section 7.1); the markov mode's irregular output is exercised by the
+#: schema-size ablation instead.
+SCALES = {
+    "tiny": GeneratorConfig(
+        num_elements=4_000,
+        num_element_names=100,
+        num_terms=2_000,
+        num_term_occurrences=40_000,
+        mode="dtd",
+        dtd_size=120,
+        seed=42,
+    ),
+    "small": GeneratorConfig(
+        num_elements=15_000,
+        num_element_names=100,
+        num_terms=4_000,
+        num_term_occurrences=150_000,
+        mode="dtd",
+        dtd_size=120,
+        seed=42,
+    ),
+    "paper": GeneratorConfig(
+        num_elements=62_500,
+        num_element_names=100,
+        num_terms=6_250,
+        num_term_occurrences=625_000,
+        mode="dtd",
+        dtd_size=120,
+        seed=42,
+    ),
+}
+
+
+@dataclass
+class Workload:
+    """Everything one benchmark needs: data, indexes, evaluators, queries."""
+
+    scale: str
+    config: GeneratorConfig
+    tree: DataTree
+    schema: Schema
+    direct: DirectEvaluator
+    schema_eval: SchemaEvaluator
+    indexes: MemoryNodeIndexes
+    query_sets: dict[tuple[int, int], list[GeneratedQuery]] = field(default_factory=dict)
+
+    def queries(
+        self, pattern: int, renamings: int, count: int = 10, seed: int = 7
+    ) -> list[GeneratedQuery]:
+        """The query set for (pattern, renamings) — 10 queries per set as
+        in the paper, cached per workload."""
+        key = (pattern, renamings)
+        cached = self.query_sets.get(key)
+        if cached is not None and len(cached) >= count:
+            return cached[:count]
+        generator = QueryGenerator(
+            self.indexes,
+            QueryGenOptions(renamings_per_label=renamings),
+            seed=seed + 1000 * pattern + renamings,
+        )
+        queries = generator.generate_set(PAPER_PATTERNS[pattern], count)
+        self.query_sets[key] = queries
+        return queries
+
+
+_CACHE: dict[str, Workload] = {}
+
+
+def get_workload(scale: str = "small") -> Workload:
+    """Build (or fetch the cached) workload for a named scale."""
+    cached = _CACHE.get(scale)
+    if cached is not None:
+        return cached
+    config = SCALES.get(scale)
+    if config is None:
+        raise GenerationError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    collection = generate_collection(config)
+    tree = collection.tree
+    schema = build_schema(tree)
+    indexes = MemoryNodeIndexes(tree)
+    workload = Workload(
+        scale=scale,
+        config=config,
+        tree=tree,
+        schema=schema,
+        direct=DirectEvaluator(tree, indexes),
+        schema_eval=SchemaEvaluator(tree, schema),
+        indexes=indexes,
+    )
+    _CACHE[scale] = workload
+    return workload
+
+
+def clear_workload_cache() -> None:
+    """Drop cached workloads (tests use this to bound memory)."""
+    _CACHE.clear()

@@ -1,0 +1,16 @@
+"""Public façade: the :class:`Database` a downstream user adopts."""
+
+from .database import Database
+from .explain import Explanation, explain_skeleton
+from .persist import FORMAT_VERSION, load_tree, save_tree
+from .results import QueryResult
+
+__all__ = [
+    "Database",
+    "Explanation",
+    "FORMAT_VERSION",
+    "QueryResult",
+    "explain_skeleton",
+    "load_tree",
+    "save_tree",
+]

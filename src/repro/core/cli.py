@@ -1,0 +1,149 @@
+"""Command-line interface: build, inspect, and query collections.
+
+Examples::
+
+    python -m repro build catalog.apxq docs/*.xml
+    python -m repro query catalog.apxq 'cd[title["piano"]]' -n 5
+    python -m repro query docs/catalog.xml 'cd[title["piano"]]' --costs costs.txt
+    python -m repro query catalog.apxq 'cd[title["piano"]]' --explain
+    python -m repro info catalog.apxq
+    python -m repro schema catalog.apxq
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..approxql.costs import CostModel
+from ..errors import ReproError
+from .database import Database
+
+_DB_SUFFIX = ".apxq"
+
+
+def _open_database(sources: list[str]) -> Database:
+    """A single ``.apxq`` path opens a saved database; anything else is
+    read as XML documents."""
+    if len(sources) == 1 and sources[0].endswith(_DB_SUFFIX):
+        return Database.load(sources[0])
+    documents = []
+    for path in sources:
+        with open(path, encoding="utf-8") as handle:
+            documents.append(handle.read())
+    return Database.from_xml(*documents)
+
+
+def _load_costs(path: "str | None") -> "CostModel | None":
+    if path is None:
+        return None
+    return CostModel.load(path)
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    database = _open_database(args.sources)
+    start = time.perf_counter()
+    database.save(args.output)
+    elapsed = time.perf_counter() - start
+    print(f"built {args.output}: {database.describe()} ({elapsed:.1f}s)")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    database = _open_database(args.sources)
+    costs = _load_costs(args.costs)
+    n = None if args.n == 0 else args.n
+    start = time.perf_counter()
+    if args.explain:
+        explanations = database.explain(args.query, n=n, costs=costs)
+        elapsed = time.perf_counter() - start
+        for explanation in explanations:
+            print(explanation.format())
+        print(f"-- {len(explanations)} result(s) in {elapsed * 1000:.1f} ms")
+        return 0
+    results = database.query(args.query, n=n, costs=costs, method=args.method)
+    elapsed = time.perf_counter() - start
+    for result in results:
+        if args.xml:
+            print(f"{result.cost}\t{result.xml()}")
+        else:
+            words = " ".join(result.words()[:10])
+            print(f"{result.cost}\t{result.path}\t{words}")
+    print(f"-- {len(results)} result(s) in {elapsed * 1000:.1f} ms ({args.method})")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    database = _open_database(args.sources)
+    print(database.describe())
+    tree = database.tree
+    from ..xmltree.model import NodeType
+
+    struct_count = sum(1 for t in tree.types if t == NodeType.STRUCT)
+    text_count = len(tree) - struct_count
+    print(f"  struct nodes: {struct_count}")
+    print(f"  text nodes:   {text_count}")
+    print(f"  documents:    {len(tree.document_roots())}")
+    print(f"  schema size:  {len(database.schema)} classes")
+    return 0
+
+
+def _command_schema(args: argparse.Namespace) -> int:
+    database = _open_database(args.sources)
+    print(database.schema.format(max_depth=args.depth))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="approXQL: approximate tree-pattern queries over XML "
+        "(reproduction of Schlieder, EDBT 2002)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build and save a database file")
+    build.add_argument("output", help=f"output path (conventionally {_DB_SUFFIX})")
+    build.add_argument("sources", nargs="+", help="XML document files")
+    build.set_defaults(func=_command_build)
+
+    query = commands.add_parser("query", help="run an approXQL query")
+    query.add_argument("sources", nargs=1, help=f"a saved {_DB_SUFFIX} file or an XML file")
+    query.add_argument("query", help="approXQL query text")
+    query.add_argument("-n", type=int, default=10, help="result count (0 = all)")
+    query.add_argument(
+        "--method", choices=("auto", "direct", "schema"), default="auto"
+    )
+    query.add_argument("--costs", help="cost file (see CostModel.to_lines)")
+    query.add_argument("--xml", action="store_true", help="print result subtrees as XML")
+    query.add_argument(
+        "--explain", action="store_true", help="show the transformations behind each result"
+    )
+    query.set_defaults(func=_command_query)
+
+    info = commands.add_parser("info", help="collection statistics")
+    info.add_argument("sources", nargs="+")
+    info.set_defaults(func=_command_info)
+
+    schema = commands.add_parser("schema", help="print the DataGuide")
+    schema.add_argument("sources", nargs="+")
+    schema.add_argument("--depth", type=int, default=12)
+    schema.set_defaults(func=_command_schema)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point of ``python -m repro``; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

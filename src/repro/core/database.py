@@ -1,0 +1,305 @@
+"""The database façade: build a collection once, query it many ways.
+
+This is the public entry point a downstream user adopts::
+
+    db = Database.from_xml(xml_one, xml_two)
+    results = db.query('cd[title["piano"]]', n=10, costs=my_costs)
+
+Both of the paper's algorithms are available per query (``method="direct"``
+or ``"schema"``); the default ``"auto"`` follows the paper's conclusion —
+schema-driven evaluation for best-n retrieval, direct evaluation when all
+results are wanted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..approxql.ast import NameSelector
+from ..approxql.costs import CostModel
+from ..approxql.parser import parse_query
+from ..engine.evaluator import DirectEvaluator
+from ..errors import EvaluationError
+from ..schema.dataguide import Schema, build_schema
+from ..schema.evaluator import EvaluationStats, SchemaEvaluator
+from ..schema.indexes import StoredSecondaryIndex
+from ..storage.kv import MemoryStore
+from ..xmltree.builder import BuildOptions, CollectionBuilder
+from ..xmltree.indexes import MemoryNodeIndexes, StoredNodeIndexes
+from ..xmltree.model import DataTree
+from .explain import Explanation, explain_skeleton
+from .persist import load_tree, open_file_store, save_tree
+from .results import QueryResult
+
+_METHODS = ("auto", "direct", "schema")
+
+
+class Database:
+    """A queryable collection of XML documents.
+
+    Create instances through :meth:`from_xml`, :meth:`from_tree`, or
+    :meth:`load`; the constructor wires an already-built tree.
+    """
+
+    def __init__(
+        self,
+        tree: DataTree,
+        default_costs: "CostModel | None" = None,
+        _stored: bool = False,
+        _direct: "DirectEvaluator | None" = None,
+        _schema_evaluator: "SchemaEvaluator | None" = None,
+        _frozen_fingerprint: "str | None" = None,
+    ) -> None:
+        self._tree = tree
+        self._default_costs = default_costs if default_costs is not None else CostModel()
+        self._stored = _stored
+        self._frozen_fingerprint = _frozen_fingerprint
+        self._direct = _direct
+        self._schema_evaluator = _schema_evaluator
+        self._schema: "Schema | None" = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_xml(
+        cls,
+        *documents: str,
+        options: "BuildOptions | None" = None,
+        default_costs: "CostModel | None" = None,
+    ) -> "Database":
+        """Build a database from XML document strings."""
+        builder = CollectionBuilder(options)
+        for document in documents:
+            builder.add_xml_fragment(document)
+        return cls(builder.finish(), default_costs)
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[str],
+        options: "BuildOptions | None" = None,
+        default_costs: "CostModel | None" = None,
+    ) -> "Database":
+        """Build a database from an iterable of XML document strings."""
+        builder = CollectionBuilder(options)
+        for document in documents:
+            builder.add_xml(document)
+        return cls(builder.finish(), default_costs)
+
+    @classmethod
+    def from_tree(cls, tree: DataTree, default_costs: "CostModel | None" = None) -> "Database":
+        """Wrap an already-built data tree (e.g. from the generator)."""
+        return cls(tree, default_costs)
+
+    @classmethod
+    def from_directory(
+        cls,
+        directory: str,
+        pattern: str = "*.xml",
+        options: "BuildOptions | None" = None,
+        default_costs: "CostModel | None" = None,
+    ) -> "Database":
+        """Build a database from every matching file in ``directory``
+        (sorted by name for deterministic preorder numbers)."""
+        import pathlib
+
+        builder = CollectionBuilder(options)
+        paths = sorted(pathlib.Path(directory).glob(pattern))
+        if not paths:
+            raise EvaluationError(f"no files matching {pattern!r} in {directory!r}")
+        for path in paths:
+            builder.add_xml_fragment(path.read_text(encoding="utf-8"))
+        return cls(builder.finish(), default_costs)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the tree and every index into a single-file store.
+
+        Everything is staged in memory first and bulk-loaded into the
+        B+tree in one sorted pass — the fast path for building read-mostly
+        index files.
+        """
+        costs = self._default_costs
+        self._tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+        staging = MemoryStore()
+        save_tree(self._tree, staging, costs)
+        StoredNodeIndexes.build(self._tree, staging)
+        StoredSecondaryIndex.build(self.schema, staging)
+        with open_file_store(path) as store:
+            store.bulk_load(list(staging.scan()))
+            store.sync()
+
+    @classmethod
+    def load(cls, path: str) -> "Database":
+        """Open a saved database; posting fetches go to the file store."""
+        store = open_file_store(path)
+        tree, insert_costs, fingerprint = load_tree(store)
+        node_indexes = StoredNodeIndexes(store)
+        secondary = StoredSecondaryIndex(store)
+        schema = build_schema(tree)
+        schema.encode_costs(insert_costs.insert_cost, fingerprint=insert_costs.insert_fingerprint)
+        database = cls(
+            tree,
+            default_costs=insert_costs,
+            _stored=True,
+            _direct=DirectEvaluator(tree, node_indexes),
+            _schema_evaluator=SchemaEvaluator(tree, schema, secondary_index=secondary),
+            _frozen_fingerprint=fingerprint,
+        )
+        database._schema = schema
+        return database
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> DataTree:
+        return self._tree
+
+    @property
+    def schema(self) -> Schema:
+        """The compacted DataGuide of the collection (built lazily)."""
+        if self._schema is None:
+            evaluator = self._schema_evaluator
+            if evaluator is not None and evaluator.schema is not None:
+                self._schema = evaluator.schema
+            else:
+                self._schema = build_schema(self._tree)
+        return self._schema
+
+    @property
+    def node_count(self) -> int:
+        return len(self._tree)
+
+    def describe(self) -> str:
+        """One-paragraph summary of the collection."""
+        schema = self.schema
+        return (
+            f"Database: {len(self._tree)} data nodes, {len(schema)} schema nodes, "
+            f"{len(self._tree.document_roots())} documents"
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 10,
+        costs: "CostModel | None" = None,
+        method: str = "auto",
+        max_cost: "float | None" = None,
+        stats: "EvaluationStats | None" = None,
+    ) -> list[QueryResult]:
+        """Evaluate an approXQL query and return the best ``n`` results.
+
+        ``n=None`` retrieves every approximate result; ``max_cost`` drops
+        results costlier than the bound.  ``method`` picks the algorithm:
+        ``"direct"`` (Section 6), ``"schema"`` (Section 7), or ``"auto"``
+        (schema for best-n, direct for all).
+        """
+        if method not in _METHODS:
+            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
+        resolved_costs = costs if costs is not None else self._default_costs
+        self._check_insert_costs(resolved_costs)
+        if method == "auto":
+            method = "schema" if n is not None else "direct"
+        if method == "direct":
+            results = self._direct_evaluator().evaluate(
+                text, resolved_costs, n=n, max_cost=max_cost
+            )
+        else:
+            results = self._schema_eval().evaluate(
+                text, resolved_costs, n=n, max_cost=max_cost, stats=stats
+            )
+        return [QueryResult(result.root, result.cost, self._tree) for result in results]
+
+    def stream(
+        self,
+        text: "str | NameSelector",
+        costs: "CostModel | None" = None,
+        initial_k: "int | None" = None,
+        delta: "int | None" = None,
+    ) -> Iterator[QueryResult]:
+        """Incrementally stream results in increasing cost order — the
+        Section 7.4 advantage of the schema-driven evaluation."""
+        resolved_costs = costs if costs is not None else self._default_costs
+        self._check_insert_costs(resolved_costs)
+        for result in self._schema_eval().iter_results(
+            text, resolved_costs, initial_k=initial_k, delta=delta
+        ):
+            yield QueryResult(result.root, result.cost, self._tree)
+
+    def count_results(self, text: "str | NameSelector", costs: "CostModel | None" = None) -> int:
+        """Total number of approximate results for the query."""
+        return len(self.query(text, n=None, costs=costs, method="direct"))
+
+    def suggest_costs(self, options=None) -> CostModel:
+        """Derive a cost model from the collection itself (the paper's
+        declared future work): spelling-variant and sibling renamings,
+        depth-aware delete costs, frequency-based insert costs.  See
+        :func:`repro.approxql.suggest_cost_model`."""
+        from ..approxql.suggest import suggest_cost_model
+        from ..xmltree.indexes import MemoryNodeIndexes
+
+        return suggest_cost_model(MemoryNodeIndexes(self._tree), self.schema, options)
+
+    def explain(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 5,
+        costs: "CostModel | None" = None,
+    ) -> list[Explanation]:
+        """Best-``n`` results with the transformation sequence that
+        produced each (renamings, deletions, and the implicitly inserted
+        element labels read off the schema)."""
+        query = parse_query(text) if isinstance(text, str) else text
+        resolved_costs = costs if costs is not None else self._default_costs
+        self._check_insert_costs(resolved_costs)
+        explanations: list[Explanation] = []
+        for result in self._schema_eval().iter_results(query, resolved_costs):
+            assert result.skeleton is not None
+            derived_cost, operations = explain_skeleton(
+                query, result.skeleton, resolved_costs, self.schema
+            )
+            explanations.append(
+                Explanation(
+                    root=result.root,
+                    cost=result.cost,
+                    skeleton=result.skeleton.format_skeleton(),
+                    operations=operations,
+                    consistent=derived_cost == result.cost,
+                )
+            )
+            if n is not None and len(explanations) >= n:
+                break
+        return explanations
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _direct_evaluator(self) -> DirectEvaluator:
+        if self._direct is None:
+            self._direct = DirectEvaluator(self._tree, MemoryNodeIndexes(self._tree))
+        return self._direct
+
+    def _schema_eval(self) -> SchemaEvaluator:
+        if self._schema_evaluator is None:
+            self._schema_evaluator = SchemaEvaluator(self._tree, self.schema)
+        return self._schema_evaluator
+
+    def _check_insert_costs(self, costs: CostModel) -> None:
+        if self._stored and repr(costs.insert_fingerprint) != self._frozen_fingerprint:
+            raise EvaluationError(
+                "this database was loaded from disk with baked-in insert costs; "
+                "queries must use the same insert-cost table (build an in-memory "
+                "Database for per-query insert costs)"
+            )

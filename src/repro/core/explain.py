@@ -1,0 +1,260 @@
+"""Explaining ranked results: which transformations produced each match.
+
+The schema-driven evaluator returns, for every result, the *skeleton* of
+the embedding image (a second-level query).  Comparing the skeleton to
+the original query recovers the cheapest transformation sequence behind
+the result: renamings (skeleton label differs from the selector label),
+leaf and inner-node deletions (selectors with no skeleton counterpart),
+and insertions (the schema nodes on the path between two skeleton
+nodes — the labels are read off the schema, so the explanation can say
+*which* elements were implicitly inserted).
+
+This is the user-facing "why did this match?" feature the cost-based
+semantics makes possible; the derivation re-runs the transformation
+search on the single skeleton (queries and skeletons are tiny), and the
+derived cost is checked against the evaluator's cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..approxql.ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+from ..approxql.costs import CostModel
+from ..schema.dataguide import Schema
+from ..schema.entries import SchemaEntry
+from ..xmltree.model import NodeType
+
+INFINITE = math.inf
+
+
+@dataclass
+class Explanation:
+    """Human-readable derivation of one result."""
+
+    root: int
+    cost: float
+    skeleton: str
+    operations: list[str] = field(default_factory=list)
+    #: True when the recovered operation sequence reproduces the
+    #: evaluator's cost exactly (it should; ties may differ in wording)
+    consistent: bool = True
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering of the derivation."""
+        lines = [f"result @{self.root} (cost {self.cost}):"]
+        if not self.operations:
+            lines.append("  exact match — no transformations needed")
+        for operation in self.operations:
+            lines.append(f"  - {operation}")
+        return "\n".join(lines)
+
+
+def explain_skeleton(
+    query: NameSelector, entry: SchemaEntry, costs: CostModel, schema: Schema
+) -> "tuple[float, list[str]]":
+    """Cheapest derivation of ``entry``'s skeleton from ``query``.
+
+    Returns ``(cost, operations)``; cost is infinite when the skeleton
+    cannot be derived (which indicates an internal inconsistency).
+    """
+    deriver = _Deriver(costs, schema)
+    cost, operations = deriver.derive_root(query, entry)
+    return cost, operations
+
+
+#: per derivation state: pointer-coverage bitmask -> (cost, operations)
+_Candidates = dict
+
+
+class _Deriver:
+    """Recovers the cheapest transformation sequence turning the query
+    into the skeleton.
+
+    Every skeleton pointer must be *used* by at least one selector match
+    (the skeleton IS the image of the embedding — an unused pointer would
+    mean the explanation describes a different, cheaper skeleton), so
+    derivations carry a coverage bitmask over the pointer set and only
+    full-coverage derivations are accepted.
+    """
+
+    def __init__(self, costs: CostModel, schema: Schema) -> None:
+        self._costs = costs
+        self._schema = schema
+
+    def derive_root(
+        self, query: NameSelector, entry: SchemaEntry
+    ) -> tuple[float, list[str]]:
+        rename = self._label_cost(query.label, entry.label, NodeType.STRUCT)
+        if rename is None:
+            return INFINITE, []
+        rename_cost, rename_ops = rename
+        if query.content is None:
+            if entry.pointers:
+                return INFINITE, []
+            return rename_cost, rename_ops
+        content_cost, content_ops = self._best_covering(
+            self._derive_expr(query.content, entry.pointers, entry.pre), entry.pointers
+        )
+        return rename_cost + content_cost, rename_ops + content_ops
+
+    @staticmethod
+    def _best_covering(
+        candidates: _Candidates, pointers: tuple[SchemaEntry, ...]
+    ) -> tuple[float, list[str]]:
+        full_mask = (1 << len(pointers)) - 1
+        best = candidates.get(full_mask)
+        if best is None:
+            return INFINITE, []
+        return best
+
+    # ------------------------------------------------------------------
+    # candidate computation (mask -> cheapest (cost, ops))
+    # ------------------------------------------------------------------
+
+    def _derive_expr(
+        self, expr: QueryExpr, pointers: tuple[SchemaEntry, ...], parent_class: int
+    ) -> _Candidates:
+        if isinstance(expr, (NameSelector, TextSelector)):
+            return self._derive_selector(expr, pointers, parent_class)
+        if isinstance(expr, AndExpr):
+            combined: _Candidates = {0: (0.0, [])}
+            for item in expr.items:
+                item_candidates = self._derive_expr(item, pointers, parent_class)
+                merged: _Candidates = {}
+                for mask, (cost, ops) in combined.items():
+                    for item_mask, (item_cost, item_ops) in item_candidates.items():
+                        new_mask = mask | item_mask
+                        new_cost = cost + item_cost
+                        existing = merged.get(new_mask)
+                        if existing is None or new_cost < existing[0]:
+                            merged[new_mask] = (new_cost, ops + item_ops)
+                combined = merged
+                if not combined:
+                    return {}
+            return combined
+        if isinstance(expr, OrExpr):
+            union: _Candidates = {}
+            for item in expr.items:
+                for mask, (cost, ops) in self._derive_expr(
+                    item, pointers, parent_class
+                ).items():
+                    existing = union.get(mask)
+                    if existing is None or cost < existing[0]:
+                        union[mask] = (cost, ops)
+            return union
+        return {}
+
+    def _derive_selector(
+        self,
+        selector: "NameSelector | TextSelector",
+        pointers: tuple[SchemaEntry, ...],
+        parent_class: int,
+    ) -> _Candidates:
+        label, node_type, content = self._selector_parts(selector)
+        candidates: _Candidates = {}
+
+        def offer(mask: int, cost: float, ops: list[str]) -> None:
+            existing = candidates.get(mask)
+            if existing is None or cost < existing[0]:
+                candidates[mask] = (cost, ops)
+
+        # (a) match against one of the skeleton children
+        for index, pointer in enumerate(pointers):
+            match = self._derive_match(selector, pointer, parent_class)
+            if match is not None:
+                offer(1 << index, match[0], match[1])
+
+        delete_cost = self._costs.delete_cost(label, node_type)
+        if content is None:
+            # (b) delete a leaf selector (covers no pointer)
+            if delete_cost != INFINITE:
+                kind = "term" if node_type == NodeType.TEXT else "selector"
+                offer(0, delete_cost, [f"delete {kind} {label!r} (cost {_fmt(delete_cost)})"])
+        elif delete_cost != INFINITE:
+            # (c) delete an inner selector: its content hangs off the parent
+            deletion_op = f"delete inner node {label!r} (cost {_fmt(delete_cost)})"
+            for mask, (cost, ops) in self._derive_expr(
+                content, pointers, parent_class
+            ).items():
+                offer(mask, delete_cost + cost, [deletion_op] + ops)
+        return candidates
+
+    def _derive_match(
+        self,
+        selector: "NameSelector | TextSelector",
+        pointer: SchemaEntry,
+        parent_class: int,
+    ) -> "tuple[float, list[str]] | None":
+        label, node_type, content = self._selector_parts(selector)
+        rename = self._label_cost(label, pointer.label, node_type)
+        if rename is None:
+            return None
+        rename_cost, ops = rename
+        insertion_cost, insertion_ops = self._insertions(parent_class, pointer.pre)
+        if insertion_cost is None:
+            return None
+        ops = insertion_ops + ops
+        total = rename_cost + insertion_cost
+        if content is not None:
+            content_cost, content_ops = self._best_covering(
+                self._derive_expr(content, pointer.pointers, pointer.pre),
+                pointer.pointers,
+            )
+            if content_cost == INFINITE:
+                return None
+            total += content_cost
+            ops = ops + content_ops
+        elif pointer.pointers:
+            # a leaf selector cannot explain a skeleton with children
+            return None
+        return total, ops
+
+    # ------------------------------------------------------------------
+    # pieces
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _selector_parts(
+        selector: "NameSelector | TextSelector",
+    ) -> tuple[str, NodeType, "QueryExpr | None"]:
+        if isinstance(selector, TextSelector):
+            return selector.word, NodeType.TEXT, None
+        return selector.label, NodeType.STRUCT, selector.content
+
+    def _label_cost(
+        self, from_label: str, to_label: str, node_type: NodeType
+    ) -> "tuple[float, list[str]] | None":
+        if from_label == to_label:
+            return 0.0, []
+        cost = self._costs.rename_cost(from_label, to_label, node_type)
+        if cost == INFINITE:
+            return None
+        return cost, [f"rename {from_label!r} to {to_label!r} (cost {_fmt(cost)})"]
+
+    def _insertions(
+        self, ancestor_class: int, descendant_class: int
+    ) -> "tuple[float | None, list[str]]":
+        """Labels and total cost of the schema nodes strictly between two
+        classes — the implicitly inserted query nodes."""
+        schema = self._schema
+        if ancestor_class == descendant_class:
+            return None, []
+        labels: list[str] = []
+        node = schema.parents[descendant_class]
+        while node != -1 and node != ancestor_class:
+            labels.append(schema.labels[node])
+            node = schema.parents[node]
+        if node != ancestor_class:
+            return None, []
+        if not labels:
+            return 0.0, []
+        labels.reverse()
+        cost = sum(self._costs.insert_cost(label) for label in labels)
+        rendered = ", ".join(repr(label) for label in labels)
+        return cost, [f"insert {rendered} (cost {_fmt(cost)})"]
+
+
+def _fmt(cost: float) -> str:
+    return str(int(cost)) if cost == int(cost) else f"{cost:.2f}"

@@ -1,0 +1,117 @@
+"""Persistence of a built database (tree + indexes) in the storage engine.
+
+``save`` writes the normalized data tree and all posting structures into
+one file store: the tree's columns, ``I_struct``/``I_text`` node
+postings, and the path-dependent ``I_sec`` postings.  ``load`` restores
+the tree into memory (results need it for rendering), deterministically
+re-derives the schema object — ``build_schema`` is a pure function of the
+tree, so the schema preorder numbers match the stored ``I_sec`` keys —
+and wires the evaluators to the *stored* posting indexes, so query
+evaluation fetches postings from disk exactly like the paper's
+Berkeley-DB-backed implementation.
+
+Stored postings bake in the insert-cost table in force at save time;
+loading records its fingerprint and queries with a different insert-cost
+table are rejected (use an in-memory database for per-query insert
+costs).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..approxql.costs import CostModel
+from ..errors import StorageError
+from ..storage.kv import FileStore, Namespace, Store
+from ..storage.varint import decode_delta_list, encode_delta_list
+from ..xmltree.indexes import StoredNodeIndexes
+from ..xmltree.model import DataTree, NodeType
+from ..xmltree.validate import validate_tree
+
+META_NAMESPACE = b"meta"
+TREE_NAMESPACE = b"tree"
+FORMAT_VERSION = 1
+_LABEL_SEPARATOR = "\x00"
+
+
+def save_tree(tree: DataTree, store: Store, insert_costs: CostModel) -> None:
+    """Write the tree's columns and metadata into ``store``."""
+    meta = Namespace(store, META_NAMESPACE)
+    columns = Namespace(store, TREE_NAMESPACE)
+    for label in tree.labels:
+        if _LABEL_SEPARATOR in label:
+            raise StorageError(f"label {label!r} contains the column separator")
+    meta.put(b"version", struct.pack("<I", FORMAT_VERSION))
+    meta.put(b"nodes", struct.pack("<Q", len(tree)))
+    meta.put(b"insertfp", repr(insert_costs.insert_fingerprint).encode("utf-8"))
+    insert_lines = [
+        line
+        for line in insert_costs.to_lines()
+        if line.startswith("insert ") or line.startswith("default-insert ")
+    ]
+    meta.put(b"insertcosts", "\n".join(insert_lines).encode("utf-8"))
+    columns.put(b"labels", _LABEL_SEPARATOR.join(tree.labels).encode("utf-8"))
+    columns.put(b"types", bytes(int(node_type) for node_type in tree.types))
+    # parents are >= -1; shift by one so the delta codec sees non-negatives
+    columns.put(b"parents", encode_delta_list([parent + 1 for parent in tree.parents]))
+    columns.put(b"bounds", encode_delta_list(tree.bounds))
+
+
+def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
+    """Restore the tree, its build-time insert-cost table, and the
+    fingerprint string recorded at save time."""
+    meta = Namespace(store, META_NAMESPACE)
+    columns = Namespace(store, TREE_NAMESPACE)
+    (version,) = struct.unpack("<I", meta.get(b"version"))
+    if version != FORMAT_VERSION:
+        raise StorageError(f"unsupported database format version {version}")
+    (node_count,) = struct.unpack("<Q", meta.get(b"nodes"))
+    labels = columns.get(b"labels").decode("utf-8").split(_LABEL_SEPARATOR)
+    types = [NodeType(value) for value in columns.get(b"types")]
+    parents_shifted, _ = decode_delta_list(columns.get(b"parents"))
+    bounds, _ = decode_delta_list(columns.get(b"bounds"))
+    if not (len(labels) == len(types) == len(parents_shifted) == len(bounds) == node_count):
+        raise StorageError("inconsistent column lengths in stored database")
+
+    tree = DataTree()
+    tree.labels = labels
+    tree.types = types
+    tree.parents = [parent - 1 for parent in parents_shifted]
+    tree.bounds = bounds
+    tree.inscosts = [0.0] * node_count
+    tree.pathcosts = [0.0] * node_count
+    tree._first_child = [-1] * node_count
+    tree._next_sibling = [-1] * node_count
+    last_child: dict[int, int] = {}
+    for pre in range(node_count):
+        parent = tree.parents[pre]
+        if parent == -1:
+            continue
+        previous = last_child.get(parent, -1)
+        if previous == -1:
+            tree._first_child[parent] = pre
+        else:
+            tree._next_sibling[previous] = pre
+        last_child[parent] = pre
+
+    insert_costs = CostModel.from_lines(
+        meta.get(b"insertcosts").decode("utf-8").splitlines()
+    )
+    tree.encode_costs(insert_costs.insert_cost, fingerprint=insert_costs.insert_fingerprint)
+    validate_tree(tree)
+    fingerprint = meta.get(b"insertfp").decode("utf-8")
+    return tree, insert_costs, fingerprint
+
+
+def open_file_store(path: str) -> FileStore:
+    """Open (or create) the single-file store of a database."""
+    return FileStore(path)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "load_tree",
+    "open_file_store",
+    "save_tree",
+    "StoredNodeIndexes",
+]

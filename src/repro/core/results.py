@@ -1,0 +1,78 @@
+"""Query results as a downstream user sees them.
+
+The evaluation algorithms return root-cost pairs; :class:`QueryResult`
+wraps a pair together with the data tree so callers can inspect, render,
+or re-serialize the matched subtree (the paper's final step: "the results
+... belonging to the embedding roots are selected and retrieved to the
+user").
+"""
+
+from __future__ import annotations
+
+from ..xmltree.model import DataTree, NodeType
+from ..xmltree.serialize import subtree_to_xml
+
+
+class QueryResult:
+    """One ranked result: the embedding root and its embedding cost."""
+
+    __slots__ = ("root", "cost", "_tree")
+
+    def __init__(self, root: int, cost: float, tree: DataTree) -> None:
+        self.root = root
+        self.cost = cost
+        self._tree = tree
+
+    @property
+    def label(self) -> str:
+        """Element name of the result root."""
+        return self._tree.label(self.root)
+
+    @property
+    def similarity(self) -> float:
+        """Cost mapped to a similarity score in (0, 1]: ``1 / (1 + cost)``.
+
+        The paper ranks by cost directly; this standard transform is a
+        convenience for interfaces that expect higher-is-better scores.
+        The ordering is exactly the cost ordering, reversed.
+        """
+        return 1.0 / (1.0 + self.cost)
+
+    @property
+    def path(self) -> str:
+        """Slash-separated label path from the collection root."""
+        parts = [label for label, _ in self._tree.label_type_path(self.root)]
+        return "/" + "/".join(parts)
+
+    def words(self) -> list[str]:
+        """All words in the result subtree, in document order."""
+        tree = self._tree
+        return [
+            tree.label(pre)
+            for pre in tree.subtree(self.root)
+            if tree.node_type(pre) == NodeType.TEXT
+        ]
+
+    def outline(self, max_depth: int = 6) -> str:
+        """Indented rendering of the result subtree."""
+        return self._tree.format_subtree(self.root, max_depth=max_depth)
+
+    def xml(self, indent: "int | None" = None) -> str:
+        """Serialize the result subtree back to XML.
+
+        The data-tree normalization is lossy (attributes became child
+        elements, text was word-split), so this is a canonical rendering
+        of the *normalized* subtree, not the original document bytes.
+        """
+        return subtree_to_xml(self._tree, self.root, indent=indent)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.root == other.root and self.cost == other.cost
+
+    def __hash__(self) -> int:
+        return hash((self.root, self.cost))
+
+    def __repr__(self) -> str:
+        return f"QueryResult(root={self.root}, cost={self.cost}, label={self.label!r})"

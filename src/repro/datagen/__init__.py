@@ -1,0 +1,15 @@
+"""Synthetic XML data generation (the WebDB'01 generator substitute)."""
+
+from .generator import (
+    CollectionStats,
+    GeneratorConfig,
+    SyntheticCollection,
+    generate_collection,
+)
+
+__all__ = [
+    "CollectionStats",
+    "GeneratorConfig",
+    "SyntheticCollection",
+    "generate_collection",
+]

@@ -1,0 +1,37 @@
+"""Direct query evaluation (Section 6): list algebra, algorithm
+``primary``, and the pruning best-n evaluator."""
+
+from .entries import INFINITE, ListEntry, entry_from_posting
+from .evaluator import DirectEvaluator, DirectResult, DirectStats
+from .ops import (
+    EvalList,
+    add_edge_cost,
+    fetch,
+    intersect,
+    join,
+    merge,
+    outerjoin,
+    sort_best,
+    union,
+)
+from .primary import PrimaryEvaluator, root_cost_pairs
+
+__all__ = [
+    "DirectEvaluator",
+    "DirectResult",
+    "DirectStats",
+    "EvalList",
+    "INFINITE",
+    "ListEntry",
+    "PrimaryEvaluator",
+    "add_edge_cost",
+    "entry_from_posting",
+    "fetch",
+    "intersect",
+    "join",
+    "merge",
+    "outerjoin",
+    "root_cost_pairs",
+    "sort_best",
+    "union",
+]

@@ -1,0 +1,87 @@
+"""List entries of the direct evaluation algorithm (Section 6.3).
+
+A list stores information about all data nodes of a given label.  The
+paper's entry is the tuple ``(pre, bound, pathcost, inscost, embcost)``.
+Our entries carry one extra number, ``leafcost``: the best embedding cost
+among embeddings in which **at least one query leaf really matched** a
+data node (as opposed to being deleted).  The paper's full algorithm
+"rejects data subtrees that do not contain matches of any query leaf";
+tracking the valid-embedding cost alongside the unconditional one
+implements that rule exactly without a second pass.
+
+For entries produced below a query leaf match, ``embcost == leafcost``.
+Where every leaf was deleted, ``leafcost`` is infinite.
+"""
+
+from __future__ import annotations
+
+import math
+
+INFINITE = math.inf
+
+
+class ListEntry:
+    """One entry of an evaluation list.
+
+    ``pre``, ``bound``, ``pathcost``, ``inscost`` are copied from the data
+    node (text nodes get ``bound = inscost = 0``, Section 6.3);
+    ``embcost`` is the best unconditional embedding cost of the current
+    query subtree into the data subtree at ``pre``; ``leafcost`` is the
+    best cost among embeddings that matched at least one query leaf.
+    """
+
+    __slots__ = ("pre", "bound", "pathcost", "inscost", "embcost", "leafcost")
+
+    def __init__(
+        self,
+        pre: int,
+        bound: int,
+        pathcost: float,
+        inscost: float,
+        embcost: float = 0.0,
+        leafcost: float = INFINITE,
+    ) -> None:
+        self.pre = pre
+        self.bound = bound
+        self.pathcost = pathcost
+        self.inscost = inscost
+        self.embcost = embcost
+        self.leafcost = leafcost
+
+    def is_ancestor_of(self, other: "ListEntry") -> bool:
+        """The interval containment test of Section 6.2."""
+        return self.pre < other.pre and self.bound >= other.pre
+
+    def distance(self, descendant: "ListEntry") -> float:
+        """Sum of insert costs of the data nodes strictly between."""
+        return descendant.pathcost - self.pathcost - self.inscost
+
+    def copy(self) -> "ListEntry":
+        """An independent copy (operations never mutate shared entries)."""
+        return ListEntry(
+            self.pre, self.bound, self.pathcost, self.inscost, self.embcost, self.leafcost
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ListEntry(pre={self.pre}, bound={self.bound}, emb={self.embcost}, "
+            f"leaf={self.leafcost})"
+        )
+
+
+def entry_from_posting(
+    posting: tuple[int, int, float, float], is_text: bool, as_leaf_match: bool
+) -> ListEntry:
+    """Initialize an entry from an index posting (function ``fetch``).
+
+    ``as_leaf_match`` marks entries fetched for a query **leaf**: their
+    embedding trivially contains one real leaf match, so ``leafcost``
+    starts at 0 like ``embcost``.
+    """
+    pre, bound, pathcost, inscost = posting
+    if is_text:
+        bound = 0
+        inscost = 0.0
+    return ListEntry(
+        pre, bound, pathcost, inscost, 0.0, 0.0 if as_leaf_match else INFINITE
+    )

@@ -1,0 +1,92 @@
+"""The direct best-n evaluator (the paper's first algorithm).
+
+"The first algorithm finds all approximate results, sorts them by
+increasing cost, and prunes the result list after the nth entry."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..approxql.ast import NameSelector
+from ..approxql.costs import CostModel
+from ..approxql.expanded import build_expanded
+from ..approxql.parser import parse_query
+from ..xmltree.indexes import MemoryNodeIndexes, NodeIndexes
+from ..xmltree.model import DataTree
+from .primary import PrimaryEvaluator, root_cost_pairs
+
+
+@dataclass(frozen=True)
+class DirectResult:
+    """One root-cost pair produced by the direct algorithm."""
+
+    root: int
+    cost: float
+
+
+@dataclass
+class DirectStats:
+    """Observability for experiments: what one direct evaluation did."""
+
+    fetch_count: int = 0
+    postings_fetched: int = 0
+    memo_hits: int = 0
+    list_ops: int = 0
+    results_total: int = 0
+
+
+class DirectEvaluator:
+    """Evaluates approXQL queries with algorithm ``primary`` and prunes
+    the sorted result list to the requested ``n`` (Definition 12).
+
+    Parameters
+    ----------
+    tree:
+        The data tree (needed to re-encode insert costs per cost model).
+    indexes:
+        Optional prebuilt indexes; in-memory indexes are built on demand.
+    """
+
+    def __init__(self, tree: DataTree, indexes: "NodeIndexes | None" = None) -> None:
+        self._tree = tree
+        self._indexes = indexes if indexes is not None else MemoryNodeIndexes(tree)
+
+    def evaluate(
+        self,
+        query: "str | NameSelector",
+        costs: "CostModel | None" = None,
+        n: "int | None" = None,
+        max_cost: "float | None" = None,
+        stats: "DirectStats | None" = None,
+    ) -> list[DirectResult]:
+        """Best-``n`` root-cost pairs, sorted by (cost, root).
+
+        ``n = None`` returns all approximate results; ``max_cost`` drops
+        results costlier than the bound.  Pass a :class:`DirectStats` to
+        observe fetches, memo hits, and list-op counts.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if costs is None:
+            costs = CostModel()
+        self._tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+        expanded = build_expanded(query, costs)
+        evaluator = PrimaryEvaluator(self._indexes)
+        entries = evaluator.evaluate(expanded)
+        pairs = root_cost_pairs(entries)
+        if max_cost is not None:
+            pairs = [(root, cost) for root, cost in pairs if cost <= max_cost]
+        if stats is not None:
+            stats.fetch_count += evaluator.fetch_count
+            stats.postings_fetched += evaluator.postings_fetched
+            stats.memo_hits += evaluator.memo_hits
+            stats.list_ops += evaluator.list_ops
+            stats.results_total += len(pairs)
+        if n is not None:
+            pairs = pairs[:n]
+        return [DirectResult(root, cost) for root, cost in pairs]
+
+    def count_results(self, query: "str | NameSelector", costs: "CostModel | None" = None) -> int:
+        """Total number of approximate results for the query."""
+        return len(self.evaluate(query, costs))

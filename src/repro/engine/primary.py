@@ -1,0 +1,153 @@
+"""Algorithm ``primary`` — direct query evaluation (Section 6.5).
+
+The evaluator walks the expanded query DAG bottom-up, computing for every
+representation node and every candidate ancestor list the evaluation list
+of approximate embedding costs.  Two caches implement the paper's
+optimizations:
+
+* ``fetch`` results are cached per (label, type), so the identical list
+  object flows into every context that needs the same posting;
+* evaluation results are memoized per (DAG node, ancestor-list identity)
+  with the edge cost factored out, which is the paper's "dynamic
+  programming to avoid the duplicate evaluation of query subtrees" —
+  bridged (deletable) inner nodes share their child subtree, and the
+  shared subtree is evaluated once per distinct ancestor list.
+"""
+
+from __future__ import annotations
+
+from ..approxql.expanded import ExpandedNode, ExpandedQuery, RepType
+from ..errors import EvaluationError
+from ..xmltree.indexes import NodeIndexes
+from ..xmltree.model import NodeType
+from .entries import ListEntry
+from .ops import (
+    EvalList,
+    add_edge_cost,
+    fetch,
+    intersect,
+    join,
+    merge,
+    outerjoin,
+    union,
+)
+
+
+class PrimaryEvaluator:
+    """Evaluates expanded queries against the ``I_struct``/``I_text``
+    indexes of a data tree.
+
+    The public counters (``fetch_count``, ``postings_fetched``,
+    ``memo_hits``, ``list_ops``) expose what one evaluation did — the
+    quantities the Section 6.5 complexity bound is phrased in.
+    """
+
+    def __init__(self, indexes: NodeIndexes, memoize: bool = True) -> None:
+        self._indexes = indexes
+        self._memoize = memoize
+        self._fetch_cache: dict[tuple[str, NodeType, bool], EvalList] = {}
+        self._memo: dict[tuple[int, int], EvalList] = {}
+        self.fetch_count = 0
+        self.postings_fetched = 0
+        self.memo_hits = 0
+        self.list_ops = 0
+
+    def evaluate(self, expanded: ExpandedQuery) -> EvalList:
+        """Return the list of root matches of all approximate embeddings;
+        entry costs are the embedding costs of the best embedding per
+        root (``embcost`` unconditional, ``leafcost`` with the global
+        at-least-one-leaf rule enforced)."""
+        self._memo.clear()
+        root = expanded.root
+        if root.reptype == RepType.LEAF:
+            # a bare-selector query: every label match is a result
+            return self._fetch_leaf_merged(root)
+        if root.reptype != RepType.NODE:
+            raise EvaluationError("the root of an expanded query must be a selector")
+        return self._evaluate_node_matches(root)
+
+    # ------------------------------------------------------------------
+    # the four cases of Figure 4
+    # ------------------------------------------------------------------
+
+    def _primary(self, node: ExpandedNode, edge_cost: float, ancestors: EvalList) -> EvalList:
+        """``primary(u, c_edge, L_A)`` with the edge cost factored out of
+        the memoized computation."""
+        if not self._memoize:
+            return add_edge_cost(self._primary_base(node, ancestors), edge_cost)
+        key = (node.uid, id(ancestors))
+        base = self._memo.get(key)
+        if base is None:
+            base = self._primary_base(node, ancestors)
+            self._memo[key] = base
+        else:
+            self.memo_hits += 1
+        return add_edge_cost(base, edge_cost)
+
+    def _primary_base(self, node: ExpandedNode, ancestors: EvalList) -> EvalList:
+        self.list_ops += 1
+        reptype = node.reptype
+        if reptype == RepType.LEAF:
+            descendants = self._fetch_leaf_merged(node)
+            return outerjoin(ancestors, descendants, 0.0, node.delcost)
+        if reptype == RepType.NODE:
+            matches = self._evaluate_node_matches(node)
+            return join(ancestors, matches, 0.0)
+        if reptype == RepType.AND:
+            assert node.left is not None and node.right is not None
+            left = self._primary(node.left, 0.0, ancestors)
+            right = self._primary(node.right, 0.0, ancestors)
+            return intersect(left, right, 0.0)
+        if reptype == RepType.OR:
+            assert node.left is not None and node.right is not None
+            left = self._primary(node.left, 0.0, ancestors)
+            right = self._primary(node.right, node.edgecost, ancestors)
+            return union(left, right, 0.0)
+        raise EvaluationError(f"unknown representation type {reptype!r}")
+
+    def _evaluate_node_matches(self, node: ExpandedNode) -> EvalList:
+        """The ``node`` case of Figure 4 minus the final join: label
+        matches of ``node`` (original label and renamings) annotated with
+        the embedding cost of the child subtree beneath them."""
+        assert node.child is not None
+        candidates = self._fetch(node.label, node.node_type, as_leaf=False)
+        result = self._primary(node.child, 0.0, candidates)
+        for rename_label, rename_cost in node.renamings:
+            renamed = self._fetch(rename_label, node.node_type, as_leaf=False)
+            annotated = self._primary(node.child, 0.0, renamed)
+            result = merge(result, annotated, rename_cost)
+        return result
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+
+    def _fetch(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalList:
+        key = (label, node_type, as_leaf)
+        cached = self._fetch_cache.get(key)
+        if cached is None:
+            cached = fetch(self._indexes, label, node_type, as_leaf)
+            self._fetch_cache[key] = cached
+            self.fetch_count += 1
+            self.postings_fetched += len(cached)
+        return cached
+
+    def _fetch_leaf_merged(self, leaf: ExpandedNode) -> EvalList:
+        """The leaf case's fetch-and-merge over the leaf's renamings."""
+        result = self._fetch(leaf.label, leaf.node_type, as_leaf=True)
+        for rename_label, rename_cost in leaf.renamings:
+            renamed = self._fetch(rename_label, leaf.node_type, as_leaf=True)
+            result = merge(result, renamed, rename_cost)
+        return result
+
+
+def root_cost_pairs(entries: list[ListEntry]) -> list[tuple[int, float]]:
+    """Convert a root evaluation list into (root, cost) result pairs,
+    keeping only roots with a valid embedding and sorting by (cost, pre)."""
+    pairs = [
+        (entry.pre, entry.leafcost)
+        for entry in entries
+        if entry.leafcost != float("inf")
+    ]
+    pairs.sort(key=lambda pair: (pair[1], pair[0]))
+    return pairs

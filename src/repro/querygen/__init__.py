@@ -1,0 +1,13 @@
+"""Pattern-driven approXQL query and cost-file generation (Section 8.1)."""
+
+from .generator import GeneratedQuery, QueryGenOptions, QueryGenerator
+from .patterns import PAPER_PATTERNS, PatternNode, parse_pattern
+
+__all__ = [
+    "GeneratedQuery",
+    "PAPER_PATTERNS",
+    "PatternNode",
+    "QueryGenOptions",
+    "QueryGenerator",
+    "parse_pattern",
+]

@@ -1,0 +1,171 @@
+"""The approXQL query generator of Section 8.1.
+
+"The generator expects a query pattern that determines the structure of
+the query ... produces approXQL queries by filling in the templates with
+names and terms randomly selected from the indexes of the data tree.  For
+each produced query, the generator also creates a file that contains the
+insert costs, the delete costs, and the renamings of the query selectors.
+The labels used for renamings are selected randomly from the indexes."
+
+``QueryGenerator`` reproduces that behaviour: name slots are filled from
+``I_struct``'s vocabulary, term slots from ``I_text``'s; every generated
+query comes with a :class:`~repro.approxql.costs.CostModel` holding the
+per-label delete costs and the requested number of renamings per label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..approxql.ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+from ..approxql.costs import CostModel
+from ..errors import GenerationError
+from ..xmltree.indexes import NodeIndexes
+from ..xmltree.model import NodeType
+from .patterns import PatternNode, parse_pattern
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One generated query with its cost file."""
+
+    query: NameSelector
+    costs: CostModel
+
+    def unparse(self) -> str:
+        """The generated query as approXQL text."""
+        return self.query.unparse()
+
+
+@dataclass(frozen=True)
+class QueryGenOptions:
+    """Knobs of the generator (paper settings as defaults).
+
+    ``renamings_per_label``
+        The r of the experiments (0, 5, or 10 in the paper).
+    ``delete_cost_range`` / ``rename_cost_range``
+        Uniform integer ranges for the generated costs.
+    """
+
+    renamings_per_label: int = 0
+    delete_cost_range: tuple[int, int] = (1, 10)
+    rename_cost_range: tuple[int, int] = (1, 10)
+    insert_cost: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.GenerationError` on bad options."""
+        if self.renamings_per_label < 0:
+            raise GenerationError("renamings_per_label must be non-negative")
+        for low, high in (self.delete_cost_range, self.rename_cost_range):
+            if low < 0 or high < low:
+                raise GenerationError("cost ranges must be 0 <= low <= high")
+
+
+class QueryGenerator:
+    """Generates queries for one data tree's indexes."""
+
+    def __init__(
+        self,
+        indexes: NodeIndexes,
+        options: "QueryGenOptions | None" = None,
+        seed: int = 1,
+    ) -> None:
+        self._options = options or QueryGenOptions()
+        self._options.validate()
+        self._rng = random.Random(seed)
+        self._struct_labels = sorted(indexes.labels(NodeType.STRUCT))
+        self._text_labels = sorted(indexes.labels(NodeType.TEXT))
+        if not self._struct_labels:
+            raise GenerationError("the collection has no element names to sample")
+        if not self._text_labels:
+            raise GenerationError("the collection has no terms to sample")
+
+    def generate(self, pattern: "str | PatternNode") -> GeneratedQuery:
+        """Fill one query from ``pattern`` and build its cost file."""
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        query = self._fill(pattern)
+        assert isinstance(query, NameSelector)
+        costs = self._cost_model_for(query)
+        return GeneratedQuery(query, costs)
+
+    def generate_set(self, pattern: "str | PatternNode", count: int) -> list[GeneratedQuery]:
+        """A query set as in the paper ("each set contains 10 queries")."""
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        return [self.generate(pattern) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # filling
+    # ------------------------------------------------------------------
+
+    def _fill(self, node: PatternNode) -> QueryExpr:
+        if node.kind == "name":
+            label = self._rng.choice(self._struct_labels)
+            if node.content is None:
+                return NameSelector(label)
+            return NameSelector(label, self._fill(node.content))
+        if node.kind == "term":
+            return TextSelector(self._rng.choice(self._text_labels))
+        items = tuple(self._fill(item) for item in node.items)
+        if node.kind == "and":
+            return AndExpr(items)
+        if node.kind == "or":
+            return OrExpr(items)
+        raise GenerationError(f"unknown pattern node kind {node.kind!r}")
+
+    # ------------------------------------------------------------------
+    # cost files
+    # ------------------------------------------------------------------
+
+    def _cost_model_for(self, query: QueryExpr) -> CostModel:
+        options = self._options
+        model = CostModel(default_insert_cost=options.insert_cost)
+        for label, node_type in _selector_labels(query):
+            low, high = options.delete_cost_range
+            model.set_delete_cost(label, node_type, self._rng.randint(low, high))
+            vocabulary = (
+                self._struct_labels if node_type == NodeType.STRUCT else self._text_labels
+            )
+            added = 0
+            attempts = 0
+            while added < options.renamings_per_label and attempts < 20 * (
+                options.renamings_per_label + 1
+            ):
+                attempts += 1
+                target = self._rng.choice(vocabulary)
+                if target == label:
+                    continue
+                rename_low, rename_high = options.rename_cost_range
+                model.add_renaming(
+                    label, target, node_type, self._rng.randint(rename_low, rename_high)
+                )
+                added += 1
+        return model
+
+
+def _selector_labels(expr: QueryExpr) -> list[tuple[str, NodeType]]:
+    """(label, type) of every selector in the query, duplicates removed."""
+    found: list[tuple[str, NodeType]] = []
+    seen: set[tuple[str, NodeType]] = set()
+
+    def walk(node: QueryExpr) -> None:
+        if isinstance(node, TextSelector):
+            key = (node.word, NodeType.TEXT)
+            if key not in seen:
+                seen.add(key)
+                found.append(key)
+        elif isinstance(node, NameSelector):
+            key = (node.label, NodeType.STRUCT)
+            if key not in seen:
+                seen.add(key)
+                found.append(key)
+            if node.content is not None:
+                walk(node.content)
+        else:
+            for item in node.items:  # type: ignore[union-attr]
+                walk(item)
+
+    walk(expr)
+    return found

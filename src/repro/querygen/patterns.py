@@ -1,0 +1,145 @@
+"""Query patterns (Section 8.1).
+
+A pattern determines the *structure* of generated queries: the literal
+tokens ``name`` and ``term`` are template slots, combined with the
+containment and Boolean operators of approXQL::
+
+    name[name[term and (term or term)]]
+
+The three patterns used in the paper's experiments are provided as
+:data:`PAPER_PATTERNS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+#: the patterns of Section 8.1, keyed as in the paper
+PAPER_PATTERNS = {
+    1: "name[name[name[term]]]",
+    2: "name[name[term and (term or term)]]",
+    3: (
+        "name[name[name[term and term and (term or term)] or "
+        "name[name[term and term]]] and name]"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """One node of a parsed pattern.
+
+    ``kind`` is ``"name"``, ``"term"``, ``"and"``, or ``"or"``; selector
+    nodes carry their slot ``index`` (position among slots of the same
+    kind, for reproducible filling) and an optional ``content``.
+    """
+
+    kind: str
+    index: int = -1
+    content: "PatternNode | None" = None
+    items: tuple["PatternNode", ...] = ()
+
+    def count(self, kind: str) -> int:
+        """Number of pattern nodes of the given kind in this subtree."""
+        total = 1 if self.kind == kind else 0
+        if self.content is not None:
+            total += self.content.count(kind)
+        for item in self.items:
+            total += item.count(kind)
+        return total
+
+
+def parse_pattern(text: str) -> PatternNode:
+    """Parse pattern text into a :class:`PatternNode` tree."""
+    parser = _PatternParser(text)
+    root = parser.parse_selector()
+    parser.skip_ws()
+    if parser.pos != len(parser.text):
+        raise QuerySyntaxError("trailing input after pattern", parser.pos)
+    if root.kind != "name":
+        raise QuerySyntaxError("a pattern must be rooted at a name slot")
+    return root
+
+
+class _PatternParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self._name_count = 0
+        self._term_count = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _word(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isalpha():
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != char:
+            raise QuerySyntaxError(f"expected {char!r} in pattern", self.pos)
+        self.pos += 1
+
+    def _peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse_selector(self) -> PatternNode:
+        word = self._word()
+        if word == "term":
+            index = self._term_count
+            self._term_count += 1
+            return PatternNode("term", index)
+        if word == "name":
+            index = self._name_count
+            self._name_count += 1
+            if self._peek() == "[":
+                self._expect("[")
+                content = self.parse_expr()
+                self._expect("]")
+                return PatternNode("name", index, content=content)
+            return PatternNode("name", index)
+        raise QuerySyntaxError(f"expected 'name' or 'term' in pattern, got {word!r}", self.pos)
+
+    def parse_expr(self) -> PatternNode:
+        items = [self.parse_and()]
+        while True:
+            save = self.pos
+            word = self._word()
+            if word == "or":
+                items.append(self.parse_and())
+            else:
+                self.pos = save
+                break
+        if len(items) == 1:
+            return items[0]
+        return PatternNode("or", items=tuple(items))
+
+    def parse_and(self) -> PatternNode:
+        items = [self.parse_primary()]
+        while True:
+            save = self.pos
+            word = self._word()
+            if word == "and":
+                items.append(self.parse_primary())
+            else:
+                self.pos = save
+                break
+        if len(items) == 1:
+            return items[0]
+        return PatternNode("and", items=tuple(items))
+
+    def parse_primary(self) -> PatternNode:
+        if self._peek() == "(":
+            self._expect("(")
+            expr = self.parse_expr()
+            self._expect(")")
+            return expr
+        return self.parse_selector()

@@ -1,0 +1,240 @@
+"""The schema (compacted DataGuide) of Section 7.1.
+
+The schema of a data tree contains every label-type path of the data tree
+exactly once (Definition 14).  We build the *compacted* variant the paper
+uses in practice: all text children of an element class merge into a
+single text-class node, and text labels live only in the indexes.
+
+Every data node belongs to exactly one schema node — its *class*
+(Definition 15).  The schema records, per schema node, the instance
+posting: the ``(pre, bound)`` pairs of its instances in data preorder.
+Because classes preserve ancestor paths, the distance between two schema
+nodes equals the distance between any ancestor-descendant pair of their
+instances — the property the whole second-level query machinery rests on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import SchemaError
+from ..xmltree.model import DataTree, NodeType
+
+#: Pseudo-label of compacted text-class nodes (never a real element name).
+TEXT_CLASS_LABEL = "#text"
+
+
+class Schema:
+    """Columnar schema tree with the Section 6.2 encoding.
+
+    Node ids are schema preorder numbers.  Struct classes carry their
+    element label; text classes carry :data:`TEXT_CLASS_LABEL` and keep
+    the per-term instance split in
+    :attr:`term_instances` (term -> instances of the class whose word is
+    the term), which backs both the schema text index and ``I_sec``.
+    """
+
+    def __init__(self) -> None:
+        self.labels: list[str] = []
+        self.types: list[NodeType] = []
+        self.parents: list[int] = []
+        self.bounds: list[int] = []
+        self.inscosts: list[float] = []
+        self.pathcosts: list[float] = []
+        #: per schema node: instance posting [(pre, bound)] in data preorder
+        self.instances: list[list[tuple[int, int]]] = []
+        #: per text-class schema node: {term: [(pre, bound)]}
+        self.term_instances: dict[int, dict[str, list[tuple[int, int]]]] = {}
+        #: class of every data node (data pre -> schema pre)
+        self.class_of: list[int] = []
+        self._children: list[list[int]] = []
+        self._insert_cost_fingerprint: object = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def children(self, node: int) -> list[int]:
+        """Child schema nodes in first-discovery order."""
+        return self._children[node]
+
+    def is_text_class(self, node: int) -> bool:
+        """Whether ``node`` is a compacted text class."""
+        return self.types[node] == NodeType.TEXT
+
+    def node_class(self, data_pre: int) -> int:
+        """Definition 15: the class of a data node."""
+        return self.class_of[data_pre]
+
+    def instance_count(self, node: int) -> int:
+        """Number of data nodes whose class is ``node``."""
+        return len(self.instances[node])
+
+    def label_type_path(self, node: int) -> tuple[tuple[str, NodeType], ...]:
+        """The label-type path identifying this schema node."""
+        path = []
+        while self.parents[node] != -1:
+            path.append((self.labels[node], self.types[node]))
+            node = self.parents[node]
+        return tuple(reversed(path))
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """The Section 6.2 interval test over schema preorder numbers."""
+        return ancestor < descendant and self.bounds[ancestor] >= descendant
+
+    def distance(self, ancestor: int, descendant: int) -> float:
+        """Sum of insert costs strictly between two schema nodes."""
+        if not self.is_ancestor(ancestor, descendant):
+            raise SchemaError(f"{ancestor} is not an ancestor of {descendant} in the schema")
+        return self.pathcosts[descendant] - self.pathcosts[ancestor] - self.inscosts[ancestor]
+
+    def format(self, max_depth: int = 12) -> str:
+        """Indented outline of the schema with instance counts."""
+        lines: list[str] = []
+
+        def walk(node: int, depth: int) -> None:
+            kind = "text" if self.is_text_class(node) else "struct"
+            terms = ""
+            if node in self.term_instances:
+                terms = f" terms={len(self.term_instances[node])}"
+            lines.append(
+                f"{'  ' * depth}{self.labels[node]} [{kind} pre={node} "
+                f"instances={len(self.instances[node])}{terms}]"
+            )
+            if depth < max_depth:
+                for child in self._children[node]:
+                    walk(child, depth + 1)
+
+        walk(0, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # encoding (mirrors DataTree.encode_costs)
+    # ------------------------------------------------------------------
+
+    def encode_costs(
+        self, insert_cost_of: Callable[[str], float], fingerprint: object = None
+    ) -> None:
+        """(Re)compute inscost/pathcost under an insert-cost table."""
+        if fingerprint is not None and fingerprint == self._insert_cost_fingerprint:
+            return
+        cache: dict[str, float] = {}
+        for node in range(len(self.labels)):
+            if self.types[node] == NodeType.TEXT:
+                cost = 0.0
+            else:
+                label = self.labels[node]
+                cost = cache.get(label)
+                if cost is None:
+                    cost = insert_cost_of(label)
+                    if cost < 0:
+                        raise SchemaError(f"negative insert cost for label {label!r}")
+                    cache[label] = cost
+            self.inscosts[node] = cost
+            parent = self.parents[node]
+            self.pathcosts[node] = (
+                0.0 if parent == -1 else self.pathcosts[parent] + self.inscosts[parent]
+            )
+        self._insert_cost_fingerprint = fingerprint
+
+    @property
+    def insert_cost_fingerprint(self) -> object:
+        return self._insert_cost_fingerprint
+
+
+def build_schema(tree: DataTree) -> Schema:
+    """Construct the compacted schema of ``tree`` (Definition 14).
+
+    One pass discovers the classes (a trie over label-type paths, with all
+    text children collapsing into one class); a second pass renumbers the
+    schema in preorder and collects instance postings.
+    """
+    # --- pass 1: discover classes in data order -----------------------
+    # provisional ids in discovery order
+    provisional_labels: list[str] = []
+    provisional_types: list[NodeType] = []
+    provisional_parents: list[int] = []
+    child_key_map: dict[tuple[int, str, NodeType], int] = {}
+    provisional_of: list[int] = [0] * len(tree)
+
+    def provisional_class(data_pre: int) -> int:
+        parent_data = tree.parents[data_pre]
+        if parent_data == -1:
+            if not provisional_labels:
+                provisional_labels.append(tree.labels[data_pre])
+                provisional_types.append(NodeType.STRUCT)
+                provisional_parents.append(-1)
+            return 0
+        parent_class = provisional_of[parent_data]
+        if tree.types[data_pre] == NodeType.TEXT:
+            key = (parent_class, TEXT_CLASS_LABEL, NodeType.TEXT)
+        else:
+            key = (parent_class, tree.labels[data_pre], NodeType.STRUCT)
+        existing = child_key_map.get(key)
+        if existing is not None:
+            return existing
+        new_id = len(provisional_labels)
+        provisional_labels.append(key[1])
+        provisional_types.append(key[2])
+        provisional_parents.append(parent_class)
+        child_key_map[key] = new_id
+        return new_id
+
+    for data_pre in range(len(tree)):
+        provisional_of[data_pre] = provisional_class(data_pre)
+
+    # --- pass 2: preorder renumbering ----------------------------------
+    children_by_provisional: list[list[int]] = [[] for _ in provisional_labels]
+    for node_id, parent in enumerate(provisional_parents):
+        if parent != -1:
+            children_by_provisional[parent].append(node_id)
+
+    schema = Schema()
+    new_id_of: dict[int, int] = {}
+    order: list[int] = []
+    stack = [(0, -1)]
+    while stack:
+        provisional_id, new_parent = stack.pop()
+        new_id = len(schema.labels)
+        new_id_of[provisional_id] = new_id
+        order.append(provisional_id)
+        schema.labels.append(provisional_labels[provisional_id])
+        schema.types.append(provisional_types[provisional_id])
+        schema.parents.append(new_parent)
+        schema.bounds.append(new_id)
+        schema.inscosts.append(0.0)
+        schema.pathcosts.append(0.0)
+        schema.instances.append([])
+        schema._children.append([])
+        if new_parent != -1:
+            schema._children[new_parent].append(new_id)
+        for child in reversed(children_by_provisional[provisional_id]):
+            stack.append((child, new_id))
+
+    # bounds: max new id in each subtree (walk in reverse preorder)
+    for new_id in range(len(schema.labels) - 1, 0, -1):
+        parent = schema.parents[new_id]
+        if schema.bounds[new_id] > schema.bounds[parent]:
+            schema.bounds[parent] = schema.bounds[new_id]
+
+    # --- instance postings ---------------------------------------------
+    schema.class_of = [new_id_of[provisional] for provisional in provisional_of]
+    for data_pre in range(len(tree)):
+        schema_node = schema.class_of[data_pre]
+        pair = (data_pre, tree.bounds[data_pre])
+        schema.instances[schema_node].append(pair)
+        if tree.types[data_pre] == NodeType.TEXT:
+            by_term = schema.term_instances.setdefault(schema_node, {})
+            by_term.setdefault(tree.labels[data_pre], []).append(pair)
+
+    # default encoding: unit insert costs; the fingerprint matches
+    # CostModel().insert_fingerprint (see TreeBuilder.finish)
+    schema.encode_costs(lambda label: 1.0, fingerprint=(1.0, ()))
+    return schema

@@ -1,0 +1,284 @@
+"""The incremental schema-driven best-n evaluator (Section 7.4, Figure 6).
+
+The driver asks the top-k primary for the best k second-level queries,
+executes the not-yet-executed ones against ``I_sec`` in cost order, and
+collects result roots.  If fewer than n results accumulate, k is
+increased by δ and the loop repeats; executed skeletons are remembered by
+signature, so growing k only executes the newly exposed suffix (the
+paper's prefix-erasure, made robust against tie reordering).
+
+Full retrieval (``n=None``) terminates when a round both truncated
+nothing anywhere (see ``TruncationMonitor``) and returned fewer root
+candidates than k — at that point the executed skeletons are provably the
+whole closure's image in the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..approxql.ast import NameSelector
+from ..approxql.costs import CostModel
+from ..approxql.expanded import build_expanded
+from ..approxql.parser import parse_query
+from ..errors import EvaluationError
+from ..xmltree.model import DataTree
+from .dataguide import Schema, build_schema
+from .entries import SchemaEntry  # noqa: F401 - part of SchemaResult's type
+from .indexes import MemorySecondaryIndex, SchemaNodeIndexes, SecondaryIndex
+from .primary_k import PrimaryKEvaluator
+from .secondary import SecondaryExecutor
+from .topk_ops import sort_roots
+
+#: safety valve: k never grows beyond this
+DEFAULT_MAX_K = 1_000_000
+
+
+@dataclass(frozen=True)
+class SchemaResult:
+    """One root-cost pair produced by the schema-driven algorithm.
+
+    ``skeleton`` is the second-level query that retrieved the root; it is
+    excluded from equality (two runs may retrieve the same root through
+    different equally-cheap skeletons) and feeds the explanation facility.
+    """
+
+    root: int
+    cost: float
+    skeleton: "SchemaEntry | None" = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class EvaluationStats:
+    """Observability for experiments: what the incremental driver did."""
+
+    rounds: int = 0
+    final_k: int = 0
+    second_level_generated: int = 0
+    second_level_executed: int = 0
+    second_level_nonempty: int = 0
+    secondary_fetches: int = 0
+    secondary_semijoins: int = 0
+    results_found: int = 0
+    exhausted: bool = False
+    executed_skeletons: list[str] = field(default_factory=list)
+
+
+class SchemaEvaluator:
+    """Evaluates approXQL queries through the schema (the paper's second
+    algorithm).
+
+    Parameters
+    ----------
+    tree:
+        The data tree.
+    schema:
+        Prebuilt schema; derived from ``tree`` when omitted.
+    schema_indexes / secondary_index:
+        Prebuilt index structures; in-memory ones are derived on demand.
+    """
+
+    def __init__(
+        self,
+        tree: "DataTree | None",
+        schema: "Schema | None" = None,
+        schema_indexes: "SchemaNodeIndexes | None" = None,
+        secondary_index: "SecondaryIndex | None" = None,
+    ) -> None:
+        self._tree = tree
+        if schema is None and (schema_indexes is None or secondary_index is None):
+            if tree is None:
+                raise EvaluationError(
+                    "SchemaEvaluator needs a tree or prebuilt schema indexes"
+                )
+            schema = build_schema(tree)
+        self._schema = schema
+        self._indexes = (
+            schema_indexes if schema_indexes is not None else SchemaNodeIndexes(schema)
+        )
+        self._isec = (
+            secondary_index if secondary_index is not None else MemorySecondaryIndex(schema)
+        )
+
+    @property
+    def schema(self) -> "Schema | None":
+        return self._schema
+
+    def evaluate(
+        self,
+        query: "str | NameSelector",
+        costs: "CostModel | None" = None,
+        n: "int | None" = None,
+        initial_k: "int | None" = None,
+        delta: "int | None" = None,
+        max_k: int = DEFAULT_MAX_K,
+        growth: str = "geometric",
+        max_cost: "float | None" = None,
+        stats: "EvaluationStats | None" = None,
+    ) -> list[SchemaResult]:
+        """Best-``n`` root-cost pairs via the incremental algorithm.
+
+        ``n = None`` retrieves *all* approximate results.  ``initial_k``
+        defaults to ``n`` (or 16); ``delta`` defaults to ``initial_k``.
+        Pass an :class:`EvaluationStats` to observe the driver.
+        """
+        results = list(
+            self.iter_results(
+                query,
+                costs,
+                n=n,
+                initial_k=initial_k,
+                delta=delta,
+                max_k=max_k,
+                growth=growth,
+                max_cost=max_cost,
+                stats=stats,
+            )
+        )
+        if n is not None:
+            results = results[:n]
+        return results
+
+    def iter_results(
+        self,
+        query: "str | NameSelector",
+        costs: "CostModel | None" = None,
+        n: "int | None" = None,
+        initial_k: "int | None" = None,
+        delta: "int | None" = None,
+        max_k: int = DEFAULT_MAX_K,
+        growth: str = "geometric",
+        max_cost: "float | None" = None,
+        stats: "EvaluationStats | None" = None,
+    ):
+        """Generator form of :meth:`evaluate` — the paper's "results can
+        be sent immediately to the user" advantage: second-level queries
+        stream their results in increasing cost order.
+
+        ``growth`` selects how k advances between rounds: ``"linear"`` is
+        the paper's fixed ``k += delta``; the default ``"geometric"``
+        doubles the step after every unproductive round, which bounds the
+        number of (re-)runs of the top-k primary by O(log k_final) and
+        matters when n is far beyond the initial guess (or infinite).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if costs is None:
+            costs = CostModel()
+        if self._schema is not None:
+            fingerprint = costs.insert_fingerprint
+            self._schema.encode_costs(costs.insert_cost, fingerprint=fingerprint)
+        expanded = build_expanded(query, costs)
+
+        if growth not in ("linear", "geometric"):
+            raise EvaluationError(f"unknown growth mode {growth!r}")
+        if initial_k is None:
+            initial_k = n if n is not None else 16
+        k = max(1, initial_k)
+        if delta is None:
+            delta = max(1, k)
+        if delta < 1:
+            raise EvaluationError(f"delta must be positive, got {delta}")
+
+        executor = SecondaryExecutor(self._isec)
+        executed: set = set()
+        found: dict[int, float] = {}
+        emitted = 0
+
+        # Root-class saturation (an exact early-termination rule): every
+        # result is an instance of a candidate root class (the root label
+        # or one of its renamings).  Results stream in increasing cost
+        # order, so once every such instance has been retrieved, all
+        # remaining second-level queries can only re-deliver known roots
+        # at equal or higher cost — the answer is complete.  This bounds
+        # full retrieval on permissive cost models, whose skeleton
+        # closures are combinatorial while their result sets are not.
+        # The same argument applies per class: a skeleton whose root
+        # class is already fully retrieved needs no execution.
+        instances_per_class = self._root_instance_counts(expanded.root)
+        total_possible = (
+            sum(instances_per_class.values()) if instances_per_class is not None else None
+        )
+        found_per_class: dict[int, int] = {}
+
+        while True:
+            evaluator = PrimaryKEvaluator(self._indexes, k)
+            root_entries = evaluator.evaluate(expanded)
+            queries = sort_roots(k, root_entries)
+            if stats is not None:
+                stats.rounds += 1
+                stats.final_k = k
+                stats.second_level_generated = len(queries)
+            fresh = [entry for entry in queries if entry.signature not in executed]
+            for entry in fresh:
+                if max_cost is not None and entry.embcost > max_cost:
+                    # queries come in cost order: everything from here on
+                    # exceeds the bound, in this round and in all larger-k
+                    # rounds that merely extend the prefix
+                    if stats is not None:
+                        stats.exhausted = True
+                    return
+                executed.add(entry.signature)
+                if (
+                    instances_per_class is not None
+                    and found_per_class.get(entry.pre, 0)
+                    >= instances_per_class.get(entry.pre, 0)
+                ):
+                    # this root class is saturated: the skeleton can only
+                    # re-deliver known roots at equal or higher cost
+                    continue
+                if stats is not None:
+                    stats.second_level_executed += 1
+                    stats.executed_skeletons.append(entry.format_skeleton())
+                instances = executor.execute(entry)
+                if stats is not None:
+                    stats.secondary_fetches = executor.fetch_count
+                    stats.secondary_semijoins = executor.semijoin_count
+                if instances and stats is not None:
+                    stats.second_level_nonempty += 1
+                for pre, _ in instances:
+                    if pre not in found:
+                        found[pre] = entry.embcost
+                        found_per_class[entry.pre] = found_per_class.get(entry.pre, 0) + 1
+                        emitted += 1
+                        if stats is not None:
+                            stats.results_found = emitted
+                        yield SchemaResult(pre, entry.embcost, entry)
+                        if n is not None and emitted >= n:
+                            return
+                        if total_possible is not None and emitted >= total_possible:
+                            if stats is not None:
+                                stats.exhausted = True
+                            return
+            exhausted = len(queries) < k and not evaluator.monitor.truncated
+            if exhausted:
+                if stats is not None:
+                    stats.exhausted = True
+                return
+            if k >= max_k:
+                return
+            k = min(max_k, k + delta)
+            if growth == "geometric":
+                delta *= 2
+
+    def _root_instance_counts(self, root) -> "dict[int, int] | None":
+        """Instance counts of every candidate root class (the data nodes
+        that could possibly be results).  ``None`` when no schema object
+        is available (stored-index mode)."""
+        if self._schema is None:
+            return None
+        labels = [root.label]
+        labels.extend(label for label, _ in root.renamings)
+        candidate_classes: set[int] = set()
+        for label in labels:
+            for posting in self._indexes.fetch(label, root.node_type):
+                candidate_classes.add(posting[0])
+        return {
+            node: self._schema.instance_count(node) for node in candidate_classes
+        }
+
+    def count_results(
+        self, query: "str | NameSelector", costs: "CostModel | None" = None
+    ) -> int:
+        """Total number of approximate results (full retrieval)."""
+        return len(self.evaluate(query, costs))

@@ -1,0 +1,131 @@
+"""Schema-side indexes: label indexes over the schema, and the secondary
+index ``I_sec`` with its path-dependent postings (Section 7.3).
+
+``SchemaNodeIndexes`` plays the role of ``I_struct``/``I_text`` for the
+top-k run of algorithm ``primary`` over the schema: it maps a label to
+the posting of *schema* nodes (struct classes with that label; text
+classes containing that term).
+
+``I_sec`` maps a key built from a second-level query node — the schema
+node's preorder number concatenated with the query node's label,
+``pre(u)#label(u)`` — to the sorted posting of the node's instances as
+``(pre, bound)`` pairs.  For struct classes the label is redundant (one
+class, one label) but for compacted text classes it selects the instances
+whose word equals the label.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import KeyNotFoundError
+from ..storage.kv import Namespace, Store
+from ..storage.postings import (
+    InstancePosting,
+    NodePosting,
+    decode_instance_postings,
+    encode_instance_postings,
+)
+from ..xmltree.model import NodeType
+from .dataguide import Schema
+
+SEC_NAMESPACE = b"Isec"
+
+
+class SchemaNodeIndexes:
+    """In-memory ``I_struct``/``I_text`` over the schema tree.
+
+    Postings are assembled from the schema's (re-encodable) arrays on
+    fetch, so per-query insert-cost tables are picked up automatically.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._struct: dict[str, list[int]] = {}
+        self._text: dict[str, list[int]] = {}
+        for node in range(len(schema)):
+            if schema.is_text_class(node):
+                for term in schema.term_instances.get(node, {}):
+                    self._text.setdefault(term, []).append(node)
+            else:
+                self._struct.setdefault(schema.labels[node], []).append(node)
+
+    def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
+        """Posting of schema nodes carrying ``label`` (struct classes
+        with that name; text classes containing that term)."""
+        table = self._struct if node_type == NodeType.STRUCT else self._text
+        nodes = table.get(label)
+        if not nodes:
+            return []
+        schema = self._schema
+        return [
+            (node, schema.bounds[node], schema.pathcosts[node], schema.inscosts[node])
+            for node in nodes
+        ]
+
+    def labels(self, node_type: NodeType) -> Iterator[str]:
+        """Every label present in the schema index for ``node_type``."""
+        table = self._struct if node_type == NodeType.STRUCT else self._text
+        return iter(table)
+
+    def posting_size(self, label: str, node_type: NodeType) -> int:
+        """Number of schema nodes in the posting of ``label``."""
+        table = self._struct if node_type == NodeType.STRUCT else self._text
+        return len(table.get(label, ()))
+
+
+class SecondaryIndex:
+    """Interface of ``I_sec``: path-dependent instance postings."""
+
+    def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
+        """Instances of the schema node under the ``pre#label`` key."""
+        raise NotImplementedError
+
+
+class MemorySecondaryIndex(SecondaryIndex):
+    """``I_sec`` reading straight from the schema's instance tables."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
+        schema = self._schema
+        if schema_pre >= len(schema):
+            return []
+        if schema.is_text_class(schema_pre):
+            return schema.term_instances.get(schema_pre, {}).get(label, [])
+        if schema.labels[schema_pre] != label:
+            return []
+        return schema.instances[schema_pre]
+
+
+class StoredSecondaryIndex(SecondaryIndex):
+    """``I_sec`` persisted in a key-value store under ``pre#label`` keys."""
+
+    def __init__(self, store: Store) -> None:
+        self._namespace = Namespace(store, SEC_NAMESPACE)
+
+    @classmethod
+    def build(cls, schema: Schema, store: Store) -> "StoredSecondaryIndex":
+        index = cls(store)
+        for node in range(len(schema)):
+            if schema.is_text_class(node):
+                for term, posting in schema.term_instances.get(node, {}).items():
+                    index._namespace.put(_sec_key(node, term), encode_instance_postings(posting))
+            else:
+                index._namespace.put(
+                    _sec_key(node, schema.labels[node]),
+                    encode_instance_postings(schema.instances[node]),
+                )
+        return index
+
+    def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
+        try:
+            data = self._namespace.get(_sec_key(schema_pre, label))
+        except KeyNotFoundError:
+            return []
+        return decode_instance_postings(data)
+
+
+def _sec_key(schema_pre: int, label: str) -> bytes:
+    return f"{schema_pre}#{label}".encode("utf-8")

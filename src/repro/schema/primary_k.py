@@ -1,0 +1,120 @@
+"""Algorithm ``primary`` adapted to the schema — finding the best k
+second-level queries (Section 7.2).
+
+The recursion is the one of Figure 4; the list operations are the
+segmented top-k variants, and the result entries are second-level query
+skeletons (schema node + label + pointer set).  Tree classes and the
+transitivity of embeddings (Section 7.1) guarantee that running the same
+algorithm over the schema's indexes enumerates exactly the images of all
+approximate embeddings of the query in the schema.
+"""
+
+from __future__ import annotations
+
+from ..approxql.expanded import ExpandedNode, ExpandedQuery, RepType
+from ..errors import EvaluationError
+from ..xmltree.model import NodeType
+from .indexes import SchemaNodeIndexes
+from .topk_ops import (
+    TopKList,
+    TruncationMonitor,
+    add_edge_k,
+    fetch_k,
+    intersect_k,
+    join_k,
+    merge_k,
+    outerjoin_k,
+    union_k,
+)
+
+
+class PrimaryKEvaluator:
+    """Top-k run of ``primary`` over the schema indexes.
+
+    One instance evaluates with one fixed ``k``; the incremental driver
+    re-instantiates with growing k.  ``monitor.truncated`` reports whether
+    any candidate was discarded anywhere — if not, the returned root list
+    contains *all* second-level queries of the query's closure.
+    """
+
+    def __init__(self, indexes: SchemaNodeIndexes, k: int) -> None:
+        if k < 1:
+            raise EvaluationError(f"k must be positive, got {k}")
+        self._indexes = indexes
+        self._k = k
+        self.monitor = TruncationMonitor()
+        self._fetch_cache: dict[tuple[str, NodeType, bool], TopKList] = {}
+        self._memo: dict[tuple[int, int], TopKList] = {}
+
+    def evaluate(self, expanded: ExpandedQuery) -> TopKList:
+        """All candidate second-level queries (root matches with their
+        skeletons), as a segmented list over root schema classes."""
+        self._memo.clear()
+        root = expanded.root
+        if root.reptype == RepType.LEAF:
+            return self._fetch_leaf_merged(root)
+        if root.reptype != RepType.NODE:
+            raise EvaluationError("the root of an expanded query must be a selector")
+        return self._evaluate_node_matches(root)
+
+    # ------------------------------------------------------------------
+    # Figure 4 over the schema
+    # ------------------------------------------------------------------
+
+    def _primary(self, node: ExpandedNode, edge_cost: float, ancestors: TopKList) -> TopKList:
+        key = (node.uid, id(ancestors))
+        base = self._memo.get(key)
+        if base is None:
+            base = self._primary_base(node, ancestors)
+            self._memo[key] = base
+        return add_edge_k(base, edge_cost)
+
+    def _primary_base(self, node: ExpandedNode, ancestors: TopKList) -> TopKList:
+        k, monitor = self._k, self.monitor
+        reptype = node.reptype
+        if reptype == RepType.LEAF:
+            descendants = self._fetch_leaf_merged(node)
+            return outerjoin_k(ancestors, descendants, 0.0, node.delcost, k, monitor)
+        if reptype == RepType.NODE:
+            matches = self._evaluate_node_matches(node)
+            return join_k(ancestors, matches, 0.0, k, monitor)
+        if reptype == RepType.AND:
+            assert node.left is not None and node.right is not None
+            left = self._primary(node.left, 0.0, ancestors)
+            right = self._primary(node.right, 0.0, ancestors)
+            return intersect_k(left, right, 0.0, k, monitor)
+        if reptype == RepType.OR:
+            assert node.left is not None and node.right is not None
+            left = self._primary(node.left, 0.0, ancestors)
+            right = self._primary(node.right, node.edgecost, ancestors)
+            return union_k(left, right, 0.0, k, monitor)
+        raise EvaluationError(f"unknown representation type {reptype!r}")
+
+    def _evaluate_node_matches(self, node: ExpandedNode) -> TopKList:
+        assert node.child is not None
+        candidates = self._fetch(node.label, node.node_type, as_leaf=False)
+        result = self._primary(node.child, 0.0, candidates)
+        for rename_label, rename_cost in node.renamings:
+            renamed = self._fetch(rename_label, node.node_type, as_leaf=False)
+            annotated = self._primary(node.child, 0.0, renamed)
+            result = merge_k(result, annotated, rename_cost, self._k, self.monitor)
+        return result
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+
+    def _fetch(self, label: str, node_type: NodeType, as_leaf: bool) -> TopKList:
+        key = (label, node_type, as_leaf)
+        cached = self._fetch_cache.get(key)
+        if cached is None:
+            cached = fetch_k(self._indexes, label, node_type, as_leaf)
+            self._fetch_cache[key] = cached
+        return cached
+
+    def _fetch_leaf_merged(self, leaf: ExpandedNode) -> TopKList:
+        result = self._fetch(leaf.label, leaf.node_type, as_leaf=True)
+        for rename_label, rename_cost in leaf.renamings:
+            renamed = self._fetch(rename_label, leaf.node_type, as_leaf=True)
+            result = merge_k(result, renamed, rename_cost, self._k, self.monitor)
+        return result

@@ -1,0 +1,71 @@
+"""Algorithm ``secondary`` — executing a second-level query (Section 7.3,
+Figure 5).
+
+A second-level query is a skeleton of (schema node, label) pairs linked
+through pointer sets.  For each skeleton node the path-dependent posting
+``I_sec[pre#label]`` delivers the node's instances; a per-child semi-join
+keeps the instances that have a descendant among each child's results.
+Every data node returned for the skeleton root is an approximate result
+of the original query, with exactly the skeleton's embedding cost (all
+instance pairs of two schema nodes are separated by the same distance).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..storage.postings import InstancePosting
+from .entries import SchemaEntry
+from .indexes import SecondaryIndex
+
+
+class SecondaryExecutor:
+    """Executes second-level queries against ``I_sec``.
+
+    Results are memoized per skeleton node, so shared subtrees (pointer
+    sets produced by ``intersect`` unions) are evaluated once; the memo
+    keeps the entries alive, making identity-keying safe.
+    """
+
+    def __init__(self, index: SecondaryIndex) -> None:
+        self._index = index
+        self._memo: dict[SchemaEntry, list[InstancePosting]] = {}
+        #: statistics: number of I_sec fetches and semi-joins performed
+        self.fetch_count = 0
+        self.semijoin_count = 0
+
+    def execute(self, entry: SchemaEntry) -> list[InstancePosting]:
+        """All instances of the skeleton rooted at ``entry`` that contain
+        an instance embedding of the whole skeleton (Figure 5)."""
+        cached = self._memo.get(entry)
+        if cached is not None:
+            return cached
+        instances = self._index.fetch(entry.pre, entry.label)
+        self.fetch_count += 1
+        for child in entry.pointers:
+            if not instances:
+                break
+            child_instances = self.execute(child)
+            instances = semi_join(instances, child_instances)
+            self.semijoin_count += 1
+        self._memo[entry] = instances
+        return instances
+
+
+def semi_join(
+    ancestors: list[InstancePosting], descendants: list[InstancePosting]
+) -> list[InstancePosting]:
+    """Keep the ancestors that contain at least one descendant.
+
+    Both inputs are sorted by ``pre``; an ancestor ``(pre, bound)``
+    qualifies iff some descendant pre lies in ``(pre, bound]``.
+    """
+    if not ancestors or not descendants:
+        return []
+    descendant_pres = [pre for pre, _ in descendants]
+    result = []
+    for pre, bound in ancestors:
+        index = bisect_right(descendant_pres, pre)
+        if index < len(descendant_pres) and descendant_pres[index] <= bound:
+            result.append((pre, bound))
+    return result

@@ -1,0 +1,366 @@
+"""Segmented top-k list operations (Section 7.2).
+
+Lists are sorted by schema preorder; the entries sharing one preorder
+number form a *segment*, ordered by (embedding cost, skeleton signature).
+Each segment keeps at most *k* distinct skeletons **per validity class**:
+skeletons that contain a real query-leaf match ("valid") and skeletons
+whose leaves were all deleted ("invalid") are truncated separately.
+Invalid partial skeletons must be carried — an ``intersect`` with a valid
+sibling turns them into valid ones — but they may never crowd a valid
+skeleton out of its segment, or the best-n guarantee would silently break.
+
+With per-class quotas the standard top-k DP argument goes through: the
+j-th cheapest valid output of any operation only combines inputs ranked
+at most k within their own validity class, so every globally top-k valid
+second-level query survives to the root.
+
+Determinism: every truncation uses the same total order (cost, then
+skeleton signature), so the list computed for *k* is a prefix of the list
+computed for *k' > k* segment by segment — the property the incremental
+algorithm of Section 7.4 relies on.  A :class:`TruncationMonitor` records
+whether anything was discarded, which lets the driver detect exhaustion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from collections.abc import Iterator
+
+from ..xmltree.model import NodeType
+from .entries import SchemaEntry, entry_from_schema_posting
+from .indexes import SchemaNodeIndexes
+
+TopKList = list[SchemaEntry]
+
+
+class TruncationMonitor:
+    """Records whether any top-k operation actually discarded candidates.
+
+    The incremental driver uses this to decide when a run with a given
+    *k* was exhaustive: if nothing was truncated anywhere, the returned
+    second-level queries are *all* second-level queries, and full
+    retrieval (n = "all results") can stop growing k.  Flagging is
+    conservative (an operation may flag without real loss), which only
+    delays exhaustion detection, never breaks it.
+    """
+
+    __slots__ = ("truncated",)
+
+    def __init__(self) -> None:
+        self.truncated = False
+
+    def flag(self) -> None:
+        """Record that at least one candidate was discarded."""
+        self.truncated = True
+
+
+def fetch_k(
+    indexes: SchemaNodeIndexes, label: str, node_type: NodeType, as_leaf_match: bool
+) -> TopKList:
+    """Initialize a list from a schema-index posting; entries carry the
+    fetched label (so renamed matches build the right ``I_sec`` keys)."""
+    is_text = node_type == NodeType.TEXT
+    return [
+        entry_from_schema_posting(posting, label, is_text, as_leaf_match)
+        for posting in indexes.fetch(label, node_type)
+    ]
+
+
+def merge_k(
+    left: TopKList,
+    right: TopKList,
+    rename_cost: float,
+    k: int,
+    monitor: "TruncationMonitor | None" = None,
+) -> TopKList:
+    """Merge two lists (distinct labels); right entries pay the renaming
+    cost.  Text classes can host both labels, so segments may interleave
+    and must be re-truncated."""
+    entries = list(left)
+    for entry in right:
+        entries.append(entry.with_cost(entry.embcost + rename_cost))
+    return _rebuild(entries, k, monitor)
+
+
+def join_k(
+    ancestors: TopKList,
+    descendants: TopKList,
+    edge_cost: float,
+    k: int,
+    monitor: "TruncationMonitor | None" = None,
+) -> TopKList:
+    """For each ancestor, keep the k cheapest descendant skeletons (per
+    validity class); each yields one copy of the ancestor pointing at
+    that descendant."""
+    if not ancestors or not descendants:
+        return []
+    pres = [entry.pre for entry in descendants]
+    result: TopKList = []
+    for ancestor in ancestors:
+        low = bisect_right(pres, ancestor.pre)
+        high = bisect_right(pres, ancestor.bound)
+        if low >= high:
+            continue
+        base = ancestor.pathcost + ancestor.inscost
+        _extend_with_descendants(
+            result, ancestor, descendants[low:high], base, edge_cost, k, monitor
+        )
+    return _rebuild(result, k, monitor)
+
+
+def outerjoin_k(
+    ancestors: TopKList,
+    descendants: TopKList,
+    edge_cost: float,
+    delete_cost: float,
+    k: int,
+    monitor: "TruncationMonitor | None" = None,
+) -> TopKList:
+    """``join_k`` for query leaves: every ancestor additionally gets a
+    deletion candidate (empty pointer set, no leaf match) when the leaf's
+    delete cost is finite."""
+    pres = [entry.pre for entry in descendants]
+    result: TopKList = []
+    infinite = float("inf")
+    for ancestor in ancestors:
+        low = bisect_right(pres, ancestor.pre)
+        high = bisect_right(pres, ancestor.bound)
+        base = ancestor.pathcost + ancestor.inscost
+        if low < high:
+            _extend_with_descendants(
+                result, ancestor, descendants[low:high], base, edge_cost, k, monitor
+            )
+        if delete_cost != infinite:
+            result.append(
+                SchemaEntry(
+                    ancestor.pre,
+                    ancestor.bound,
+                    ancestor.pathcost,
+                    ancestor.inscost,
+                    delete_cost + edge_cost,
+                    ancestor.label,
+                    (),
+                    False,
+                )
+            )
+    return _rebuild(result, k, monitor)
+
+
+def intersect_k(
+    left: TopKList,
+    right: TopKList,
+    edge_cost: float,
+    k: int,
+    monitor: "TruncationMonitor | None" = None,
+) -> TopKList:
+    """Conjunction: for segments representing the same schema node, the
+    cheapest pair combinations (k per output validity class); pointer
+    sets are united."""
+    result: TopKList = []
+    left_segments = dict(_segments(left))
+    for pre, right_segment in _segments(right):
+        left_segment = left_segments.get(pre)
+        if left_segment is None:
+            continue
+        valid_kept = invalid_kept = 0
+        pair_count = 0
+        total_pairs = len(left_segment) * len(right_segment)
+        for left_entry, right_entry, total in _pairs_by_cost(left_segment, right_segment):
+            pair_count += 1
+            is_valid = left_entry.has_leaf or right_entry.has_leaf
+            if is_valid:
+                if valid_kept >= k:
+                    continue
+                valid_kept += 1
+            else:
+                if invalid_kept >= k:
+                    continue
+                invalid_kept += 1
+            result.append(
+                SchemaEntry(
+                    left_entry.pre,
+                    left_entry.bound,
+                    left_entry.pathcost,
+                    left_entry.inscost,
+                    total + edge_cost,
+                    left_entry.label,
+                    _union_pointers(left_entry.pointers, right_entry.pointers),
+                    is_valid,
+                )
+            )
+            if valid_kept >= k and invalid_kept >= k:
+                break
+        if monitor is not None and pair_count < total_pairs:
+            monitor.flag()
+    return _rebuild(result, k, monitor)
+
+
+def union_k(
+    left: TopKList,
+    right: TopKList,
+    edge_cost: float,
+    k: int,
+    monitor: "TruncationMonitor | None" = None,
+) -> TopKList:
+    """Disjunction: merge matching segments, keep the best k skeletons
+    per validity class."""
+    entries = []
+    for entry in left:
+        entries.append(entry.with_cost(entry.embcost + edge_cost))
+    for entry in right:
+        entries.append(entry.with_cost(entry.embcost + edge_cost))
+    return _rebuild(entries, k, monitor)
+
+
+def add_edge_k(entries: TopKList, edge_cost: float) -> TopKList:
+    """Copies with the edge cost added (memoization support)."""
+    if edge_cost == 0:
+        return entries
+    return [entry.with_cost(entry.embcost + edge_cost) for entry in entries]
+
+
+def sort_roots(k: "int | None", entries: TopKList) -> TopKList:
+    """The top-level ``sort``: globally order valid second-level queries
+    by (cost, schema node, skeleton) and keep the best k."""
+    valid = [entry for entry in entries if entry.has_leaf]
+    valid.sort(key=lambda entry: (entry.embcost, entry.pre, entry.signature))
+    if k is None:
+        return valid
+    return valid[:k]
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+
+def _extend_with_descendants(
+    result: TopKList,
+    ancestor: SchemaEntry,
+    descendants: list[SchemaEntry],
+    base: float,
+    edge_cost: float,
+    k: int,
+    monitor: "TruncationMonitor | None",
+) -> None:
+    """Append copies of ``ancestor`` for the k cheapest descendants of
+    each validity class (the shared core of join_k/outerjoin_k)."""
+    valid_candidates = []
+    invalid_candidates = []
+    for descendant in descendants:
+        cost = descendant.pathcost + descendant.embcost - base + edge_cost
+        bucket = valid_candidates if descendant.has_leaf else invalid_candidates
+        bucket.append((cost, descendant.sort_key(), descendant))
+    for candidates in (valid_candidates, invalid_candidates):
+        if monitor is not None and len(candidates) > k:
+            monitor.flag()
+        for cost, _, descendant in heapq.nsmallest(k, candidates, key=lambda c: (c[0], c[1])):
+            result.append(
+                SchemaEntry(
+                    ancestor.pre,
+                    ancestor.bound,
+                    ancestor.pathcost,
+                    ancestor.inscost,
+                    cost,
+                    ancestor.label,
+                    (descendant,),
+                    descendant.has_leaf,
+                )
+            )
+
+
+def _segments(entries: TopKList) -> Iterator[tuple[int, list[SchemaEntry]]]:
+    """Group a pre-sorted list into (pre, segment) groups."""
+    start = 0
+    total = len(entries)
+    while start < total:
+        end = start
+        pre = entries[start].pre
+        while end < total and entries[end].pre == pre:
+            end += 1
+        yield pre, entries[start:end]
+        start = end
+
+
+def _rebuild(
+    entries: TopKList, k: int, monitor: "TruncationMonitor | None" = None
+) -> TopKList:
+    """Sort by (pre, cost, signature, validity), deduplicate identical
+    skeletons per segment *per validity class*, and truncate every
+    segment to k entries per validity class.
+
+    Deduplication must not cross validity classes: a matched leaf and a
+    fully-deleted inner node can produce skeletons with identical
+    signatures, and a valid skeleton must never be shadowed by an
+    equal-shape invalid one (or vice versa — the invalid variant can be
+    cheaper and is still needed as an intersect partner)."""
+    entries.sort(
+        key=lambda entry: (entry.pre, entry.embcost, entry.signature, not entry.has_leaf)
+    )
+    result: TopKList = []
+    current_pre = None
+    seen_valid: set = set()
+    seen_invalid: set = set()
+    valid_kept = invalid_kept = 0
+    for entry in entries:
+        if entry.pre != current_pre:
+            current_pre = entry.pre
+            seen_valid = set()
+            seen_invalid = set()
+            valid_kept = invalid_kept = 0
+        signature = entry.signature
+        if entry.has_leaf:
+            if signature in seen_valid:
+                continue
+            if valid_kept >= k:
+                if monitor is not None:
+                    monitor.flag()
+                continue
+            seen_valid.add(signature)
+            valid_kept += 1
+        else:
+            if signature in seen_invalid:
+                continue
+            if invalid_kept >= k:
+                if monitor is not None:
+                    monitor.flag()
+                continue
+            seen_invalid.add(signature)
+            invalid_kept += 1
+        result.append(entry)
+    return result
+
+
+def _pairs_by_cost(
+    left: list[SchemaEntry], right: list[SchemaEntry]
+) -> Iterator[tuple[SchemaEntry, SchemaEntry, float]]:
+    """All pairs from two cost-sorted segments in ascending order of
+    summed cost — the classic sorted-matrix frontier walk, fully lazy."""
+    if not left or not right:
+        return
+    heap: list[tuple[float, int, int]] = [(left[0].embcost + right[0].embcost, 0, 0)]
+    visited = {(0, 0)}
+    while heap:
+        total, i, j = heapq.heappop(heap)
+        yield left[i], right[j], total
+        if i + 1 < len(left) and (i + 1, j) not in visited:
+            visited.add((i + 1, j))
+            heapq.heappush(heap, (left[i + 1].embcost + right[j].embcost, i + 1, j))
+        if j + 1 < len(right) and (i, j + 1) not in visited:
+            visited.add((i, j + 1))
+            heapq.heappush(heap, (left[i].embcost + right[j + 1].embcost, i, j + 1))
+
+
+def _union_pointers(
+    left: tuple[SchemaEntry, ...], right: tuple[SchemaEntry, ...]
+) -> tuple[SchemaEntry, ...]:
+    """Union of two pointer sets, deduplicated by skeleton signature."""
+    if not left:
+        return right
+    if not right:
+        return left
+    by_signature = {pointer.signature: pointer for pointer in left}
+    for pointer in right:
+        by_signature.setdefault(pointer.signature, pointer)
+    return tuple(by_signature.values())

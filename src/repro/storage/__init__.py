@@ -1,0 +1,49 @@
+"""Embedded storage engine: the Berkeley-DB stand-in of the reproduction.
+
+Public surface:
+
+* :class:`~repro.storage.kv.Store` / :class:`MemoryStore` /
+  :class:`FileStore` / :class:`Namespace` — the ordered KV interface the
+  indexes are built on.
+* :class:`~repro.storage.btree.BTree` and
+  :class:`~repro.storage.pager.Pager` — the on-disk machinery.
+* posting codecs in :mod:`repro.storage.postings`.
+"""
+
+from .btree import BTree
+from .kv import FileStore, MemoryStore, Namespace, Store
+from .pager import DEFAULT_PAGE_SIZE, Pager
+from .postings import (
+    decode_instance_postings,
+    decode_node_postings,
+    encode_instance_postings,
+    encode_node_postings,
+)
+from .varint import (
+    decode_delta_list,
+    decode_svarint,
+    decode_uvarint,
+    encode_delta_list,
+    encode_svarint,
+    encode_uvarint,
+)
+
+__all__ = [
+    "BTree",
+    "DEFAULT_PAGE_SIZE",
+    "FileStore",
+    "MemoryStore",
+    "Namespace",
+    "Pager",
+    "Store",
+    "decode_delta_list",
+    "decode_instance_postings",
+    "decode_node_postings",
+    "decode_svarint",
+    "decode_uvarint",
+    "encode_delta_list",
+    "encode_instance_postings",
+    "encode_node_postings",
+    "encode_svarint",
+    "encode_uvarint",
+]

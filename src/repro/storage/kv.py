@@ -1,0 +1,189 @@
+"""Key-value store façade over the B+tree (the Berkeley-DB stand-in).
+
+The paper's system is "implemented in C++ on top of the Berkeley DB"; the
+algorithms only ever *fetch a posting by key* and *scan keys in order*.
+This module provides exactly that contract behind a small interface with
+two interchangeable backends:
+
+* :class:`MemoryStore` — a sorted-dict store for tests and benchmarks that
+  should not measure disk overheads.
+* :class:`FileStore` — a persistent store backed by the pager and B+tree.
+
+Logical namespaces (one per index: ``I_struct``, ``I_text``, ``I_sec``,
+node table, ...) share one store through :class:`Namespace`, which prefixes
+keys with a table tag.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+
+from ..errors import KeyNotFoundError, StorageError
+from .btree import BTree
+from .pager import DEFAULT_PAGE_SIZE, Pager
+
+
+class Store:
+    """Abstract ordered key-value store."""
+
+    def get(self, key: bytes) -> bytes:
+        """Return the value under ``key``; raises KeyNotFoundError."""
+        raise NotImplementedError
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or replace ``key`` -> ``value``."""
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``; raises KeyNotFoundError when absent."""
+        raise NotImplementedError
+
+    def contains(self, key: bytes) -> bool:
+        """Whether ``key`` is present."""
+        try:
+            self.get(key)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def scan(self, start: bytes = b"", end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        """Yield (key, value) pairs with ``start <= key < end`` in order."""
+        raise NotImplementedError
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Yield all pairs whose key starts with ``prefix``."""
+        for key, value in self.scan(start=prefix):
+            if not key.startswith(prefix):
+                return
+            yield key, value
+
+    def bulk_load(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Load sorted unique pairs into an empty store (fast path for
+        index construction; the default falls back to puts)."""
+        for key, value in pairs:
+            self.put(key, value)
+
+    def sync(self) -> None:
+        """Flush pending writes (no-op for memory stores)."""
+
+    def close(self) -> None:
+        """Release resources (no-op for memory stores)."""
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MemoryStore(Store):
+    """In-memory ordered store (sorted key list + dict)."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._sorted_keys: list[bytes] = []
+
+    def get(self, key: bytes) -> bytes:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise StorageError("store keys and values must be bytes")
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        if key not in self._data:
+            raise KeyNotFoundError(key)
+        del self._data[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[index]
+
+    def contains(self, key: bytes) -> bool:
+        return key in self._data
+
+    def scan(self, start: bytes = b"", end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        index = bisect.bisect_left(self._sorted_keys, start)
+        # Snapshot the tail so mutation during iteration cannot skip keys.
+        for key in self._sorted_keys[index:]:
+            if end is not None and key >= end:
+                return
+            yield key, self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class FileStore(Store):
+    """Persistent store backed by :class:`Pager` + :class:`BTree`."""
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self._pager = Pager(path, page_size=page_size)
+        # A fresh pager has only the header page; the B+tree then allocates
+        # its meta page as page 1.  An existing file reopens from page 1.
+        if self._pager.page_count == 1:
+            self._tree = BTree(self._pager)
+        else:
+            self._tree = BTree(self._pager, meta_page=1)
+
+    def get(self, key: bytes) -> bytes:
+        return self._tree.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._tree.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._tree.delete(key)
+
+    def contains(self, key: bytes) -> bool:
+        return self._tree.contains(key)
+
+    def scan(self, start: bytes = b"", end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        return self._tree.scan(start=start, end=end)
+
+    def bulk_load(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        self._tree.bulk_load(pairs)
+
+    def sync(self) -> None:
+        self._pager.sync()
+
+    def close(self) -> None:
+        self._pager.close()
+
+
+class Namespace(Store):
+    """A logical table inside a shared store, realized by key prefixing."""
+
+    def __init__(self, store: Store, tag: bytes) -> None:
+        if b"\x00" in tag:
+            raise StorageError("namespace tags must not contain NUL bytes")
+        self._store = store
+        self._prefix = tag + b"\x00"
+
+    def get(self, key: bytes) -> bytes:
+        return self._store.get(self._prefix + key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._store.put(self._prefix + key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._store.delete(self._prefix + key)
+
+    def contains(self, key: bytes) -> bool:
+        return self._store.contains(self._prefix + key)
+
+    def scan(self, start: bytes = b"", end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        prefix_len = len(self._prefix)
+        scan_end = None if end is None else self._prefix + end
+        for key, value in self._store.scan(start=self._prefix + start, end=scan_end):
+            if not key.startswith(self._prefix):
+                return
+            yield key[prefix_len:], value
+
+    def sync(self) -> None:
+        self._store.sync()

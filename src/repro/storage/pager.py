@@ -1,0 +1,185 @@
+"""Page-based file manager for the embedded storage engine.
+
+The pager owns a single file divided into fixed-size pages.  Page 0 is a
+header page holding the magic number, the page size, the total page count,
+and the head of the free list.  Freed pages are chained through their first
+eight bytes and reused before the file grows.
+
+Every page is checksummed (CRC32 over the payload) so torn or corrupted
+reads surface as :class:`~repro.errors.CorruptPageError` instead of silent
+garbage — the same contract Berkeley DB gives the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+from ..errors import CorruptPageError, StorageError
+
+DEFAULT_PAGE_SIZE = 4096
+_MAGIC = b"APXQPG01"
+_HEADER_FMT = "<8sIIQ"  # magic, page_size, page_count, free_list_head
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_PAGE_PREFIX_FMT = "<I"  # crc32 of the payload
+_PAGE_PREFIX_SIZE = struct.calcsize(_PAGE_PREFIX_FMT)
+_FREE_LINK_FMT = "<Q"
+_FREE_LINK_SIZE = struct.calcsize(_FREE_LINK_FMT)
+_NO_PAGE = 0  # page 0 is the header, so 0 doubles as "null"
+
+
+class Pager:
+    """Fixed-size page manager over a single file.
+
+    Parameters
+    ----------
+    path:
+        File to open or create.
+    page_size:
+        Size of each page in bytes (only consulted when creating a new
+        file; an existing file dictates its own page size).
+    """
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 128:
+            raise StorageError(f"page size {page_size} too small (min 128)")
+        self.path = path
+        self._closed = False
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        self._file = open(path, "r+b" if exists else "w+b")
+        if exists:
+            self._read_header()
+        else:
+            self.page_size = page_size
+            self.page_count = 1  # the header page
+            self._free_list_head = _NO_PAGE
+            self._write_header()
+
+    # ------------------------------------------------------------------
+    # header management
+    # ------------------------------------------------------------------
+
+    def _read_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER_SIZE)
+        if len(raw) < _HEADER_SIZE:
+            raise CorruptPageError(f"{self.path}: truncated header")
+        magic, page_size, page_count, free_head = struct.unpack(_HEADER_FMT, raw)
+        if magic != _MAGIC:
+            raise CorruptPageError(f"{self.path}: bad magic {magic!r}")
+        self.page_size = page_size
+        self.page_count = page_count
+        self._free_list_head = free_head
+
+    def _write_header(self) -> None:
+        self._file.seek(0)
+        self._file.write(
+            struct.pack(
+                _HEADER_FMT, _MAGIC, self.page_size, self.page_count, self._free_list_head
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # page allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def payload_size(self) -> int:
+        """Number of usable bytes per page (page size minus checksum)."""
+        return self.page_size - _PAGE_PREFIX_SIZE
+
+    def allocate(self) -> int:
+        """Return the number of a fresh (or recycled) page."""
+        self._check_open()
+        if self._free_list_head != _NO_PAGE:
+            page_no = self._free_list_head
+            payload = self.read(page_no)
+            (next_free,) = struct.unpack_from(_FREE_LINK_FMT, payload, 0)
+            self._free_list_head = next_free
+            self._write_header()
+            return page_no
+        page_no = self.page_count
+        self.page_count += 1
+        self.write(page_no, b"")
+        self._write_header()
+        return page_no
+
+    def free(self, page_no: int) -> None:
+        """Return ``page_no`` to the free list for reuse."""
+        self._check_open()
+        self._validate_page_no(page_no)
+        link = struct.pack(_FREE_LINK_FMT, self._free_list_head)
+        self.write(page_no, link)
+        self._free_list_head = page_no
+        self._write_header()
+
+    # ------------------------------------------------------------------
+    # page IO
+    # ------------------------------------------------------------------
+
+    def read(self, page_no: int) -> bytes:
+        """Read and verify the payload of ``page_no``."""
+        self._check_open()
+        self._validate_page_no(page_no)
+        self._file.seek(page_no * self.page_size)
+        raw = self._file.read(self.page_size)
+        if len(raw) < _PAGE_PREFIX_SIZE:
+            raise CorruptPageError(f"{self.path}: short read on page {page_no}")
+        (stored_crc,) = struct.unpack_from(_PAGE_PREFIX_FMT, raw, 0)
+        payload = raw[_PAGE_PREFIX_SIZE : self.page_size]
+        if zlib.crc32(payload) != stored_crc:
+            raise CorruptPageError(f"{self.path}: checksum mismatch on page {page_no}")
+        return payload
+
+    def write(self, page_no: int, payload: bytes) -> None:
+        """Write ``payload`` (padded with zeros) to ``page_no``."""
+        self._check_open()
+        if page_no <= 0 or page_no > self.page_count:
+            raise StorageError(f"page {page_no} out of range (count {self.page_count})")
+        if len(payload) > self.payload_size:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds page capacity {self.payload_size}"
+            )
+        padded = payload.ljust(self.payload_size, b"\x00")
+        crc = zlib.crc32(padded)
+        self._file.seek(page_no * self.page_size)
+        self._file.write(struct.pack(_PAGE_PREFIX_FMT, crc) + padded)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush buffered writes and the header to the OS."""
+        self._check_open()
+        self._write_header()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._closed:
+            return
+        self._write_header()
+        self._file.flush()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self.path}: pager is closed")
+
+    def _validate_page_no(self, page_no: int) -> None:
+        if page_no <= 0 or page_no >= self.page_count:
+            raise StorageError(f"page {page_no} out of range (count {self.page_count})")

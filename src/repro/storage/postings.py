@@ -1,0 +1,91 @@
+"""Serializers for the posting lists stored in the index namespaces.
+
+Two posting shapes occur in the paper:
+
+* **node postings** for ``I_struct`` / ``I_text`` — per node the four
+  numbers of the encoding of Section 6.2: ``(pre, bound, pathcost,
+  inscost)``, sorted by ``pre``.
+* **instance postings** for the secondary index ``I_sec`` (Section 7.3) —
+  ``(pre, bound)`` pairs of the instances of one schema node, sorted by
+  ``pre``.
+
+Both are stored column-wise: the ``pre`` column delta-encoded (it is
+ascending), the other columns as plain varints.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+from .varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
+
+NodePosting = tuple[int, int, int, int]
+InstancePosting = tuple[int, int]
+
+
+def encode_node_postings(entries: list[NodePosting]) -> bytes:
+    """Serialize ``(pre, bound, pathcost, inscost)`` tuples sorted by pre."""
+    _check_sorted(entries)
+    out = bytearray()
+    encode_uvarint(len(entries), out)
+    previous_pre = 0
+    for pre, bound, pathcost, inscost in entries:
+        encode_svarint(pre - previous_pre, out)
+        previous_pre = pre
+        # bound >= pre for struct nodes and 0 for text nodes; store the
+        # (possibly negative) offset so both compress well.
+        encode_svarint(bound - pre, out)
+        encode_uvarint(pathcost, out)
+        encode_uvarint(inscost, out)
+    return bytes(out)
+
+
+def decode_node_postings(data: bytes) -> list[NodePosting]:
+    """Inverse of :func:`encode_node_postings`."""
+    count, pos = decode_uvarint(data, 0)
+    entries: list[NodePosting] = []
+    pre = 0
+    for _ in range(count):
+        delta, pos = decode_svarint(data, pos)
+        pre += delta
+        bound_offset, pos = decode_svarint(data, pos)
+        pathcost, pos = decode_uvarint(data, pos)
+        inscost, pos = decode_uvarint(data, pos)
+        entries.append((pre, pre + bound_offset, pathcost, inscost))
+    return entries
+
+
+def encode_instance_postings(entries: list[InstancePosting]) -> bytes:
+    """Serialize ``(pre, bound)`` pairs sorted by pre."""
+    _check_sorted(entries)
+    out = bytearray()
+    encode_uvarint(len(entries), out)
+    previous_pre = 0
+    for pre, bound in entries:
+        encode_svarint(pre - previous_pre, out)
+        previous_pre = pre
+        encode_svarint(bound - pre, out)
+    return bytes(out)
+
+
+def decode_instance_postings(data: bytes) -> list[InstancePosting]:
+    """Inverse of :func:`encode_instance_postings`."""
+    count, pos = decode_uvarint(data, 0)
+    entries: list[InstancePosting] = []
+    pre = 0
+    for _ in range(count):
+        delta, pos = decode_svarint(data, pos)
+        pre += delta
+        bound_offset, pos = decode_svarint(data, pos)
+        entries.append((pre, pre + bound_offset))
+    return entries
+
+
+def _check_sorted(entries: list) -> None:
+    for left, right in zip(entries, entries[1:]):
+        if left[0] >= right[0]:
+            raise StorageError("posting entries must be strictly ascending in pre")

@@ -1,0 +1,117 @@
+"""Variable-length integer codecs used by the posting-list serializers.
+
+The storage engine keeps posting lists (sequences of small, mostly
+ascending integers) in a compact byte form.  We use the classic LEB128
+unsigned varint together with zig-zag encoding for signed deltas, the same
+building blocks real inverted-file systems use.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+
+_CONTINUATION = 0x80
+_PAYLOAD_MASK = 0x7F
+_MAX_VARINT_BYTES = 10  # enough for any 64-bit value
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append the LEB128 encoding of a non-negative ``value`` to ``out``."""
+    if value < 0:
+        raise StorageError(f"cannot uvarint-encode negative value {value}")
+    while True:
+        byte = value & _PAYLOAD_MASK
+        value >>= 7
+        if value:
+            out.append(byte | _CONTINUATION)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one LEB128 value from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    for _ in range(_MAX_VARINT_BYTES):
+        if pos >= len(data):
+            raise StorageError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & _PAYLOAD_MASK) << shift
+        if not byte & _CONTINUATION:
+            return result, pos
+        shift += 7
+    raise StorageError("uvarint too long (more than 10 bytes)")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to an unsigned one with small absolute values
+    staying small (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def encode_svarint(value: int, out: bytearray) -> None:
+    """Append a zig-zag + LEB128 encoding of a signed ``value``."""
+    encode_uvarint(zigzag_encode(value), out)
+
+
+def decode_svarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one signed varint; returns ``(value, next_offset)``."""
+    raw, pos = decode_uvarint(data, offset)
+    return zigzag_decode(raw), pos
+
+
+def encode_uvarint_list(values: list[int]) -> bytes:
+    """Encode a list of non-negative integers, length-prefixed."""
+    out = bytearray()
+    encode_uvarint(len(values), out)
+    for value in values:
+        encode_uvarint(value, out)
+    return bytes(out)
+
+
+def decode_uvarint_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
+    """Decode a length-prefixed list of non-negative integers."""
+    count, pos = decode_uvarint(data, offset)
+    values = []
+    for _ in range(count):
+        value, pos = decode_uvarint(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def encode_delta_list(values: list[int]) -> bytes:
+    """Delta-encode a (typically ascending) integer sequence.
+
+    The first value is stored as-is (zig-zag), subsequent values as signed
+    deltas.  Ascending postings therefore compress to ~1 byte per entry.
+    """
+    out = bytearray()
+    encode_uvarint(len(values), out)
+    previous = 0
+    for value in values:
+        encode_svarint(value - previous, out)
+        previous = value
+    return bytes(out)
+
+
+def decode_delta_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
+    """Inverse of :func:`encode_delta_list`."""
+    count, pos = decode_uvarint(data, offset)
+    values = []
+    current = 0
+    for _ in range(count):
+        delta, pos = decode_svarint(data, pos)
+        current += delta
+        values.append(current)
+    return values, pos

@@ -1,0 +1,42 @@
+"""The transformation formalism of Section 5, made executable.
+
+Basic transformations applied literally (Definitions 2–5), explicit
+enumeration of the semi-transformed closure, and a naive reference
+evaluator used as ground truth by the engine equivalence tests.
+"""
+
+from .closure import (
+    DEFAULT_CLOSURE_LIMIT,
+    SemiTransformed,
+    apply_definition4,
+    count_semi_transformed,
+    semi_transformed_queries,
+)
+from .editdistance import EditCosts, tree_edit_distance
+from .naive import RootCostPair, evaluate_naive
+from .ops import (
+    AppliedTransformation,
+    delete_inner,
+    delete_leaf,
+    insert_node,
+    preorder_nodes,
+    rename,
+)
+
+__all__ = [
+    "AppliedTransformation",
+    "DEFAULT_CLOSURE_LIMIT",
+    "EditCosts",
+    "RootCostPair",
+    "SemiTransformed",
+    "apply_definition4",
+    "count_semi_transformed",
+    "delete_inner",
+    "delete_leaf",
+    "evaluate_naive",
+    "insert_node",
+    "preorder_nodes",
+    "rename",
+    "semi_transformed_queries",
+    "tree_edit_distance",
+]

@@ -1,0 +1,137 @@
+"""Classic tree-edit distance, for contrast with the paper's semantics.
+
+Section 2 relates approXQL's cost-based transformations to the tree-edit
+distance of Tai [14] and its restricted variants, and argues that none of
+the generic tree-similarity measures "has a semantics tailored to XML
+data": edit distance treats all nodes alike, whereas approXQL
+distinguishes the root (scope), inner nodes (context), and leaves
+(information), forbids deleting the information-bearing leaves wholesale,
+and prices insertions by *data* labels rather than query edits.
+
+This module implements the standard **ordered** tree edit distance
+(Zhang–Shasha) over :class:`~repro.approxql.separated.ConjNode` trees so
+tests and examples can demonstrate the semantic differences concretely.
+(The unordered variant the paper cites is MAX SNP-hard [2]; the ordered
+one is the classic polynomial baseline.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..approxql.separated import ConjNode
+
+
+@dataclass(frozen=True)
+class EditCosts:
+    """Uniform operation costs of the classic edit distance.
+
+    Unlike the paper's model, costs do not depend on which node is
+    touched — that uniformity is precisely the §2 criticism.
+    """
+
+    insert: float = 1.0
+    delete: float = 1.0
+    relabel: float = 1.0
+
+
+def tree_edit_distance(
+    left: ConjNode, right: ConjNode, costs: "EditCosts | None" = None
+) -> float:
+    """Zhang–Shasha ordered tree edit distance between two trees."""
+    costs = costs or EditCosts()
+    left_info = _TreeInfo(left)
+    right_info = _TreeInfo(right)
+    distance = _Distance(left_info, right_info, costs)
+    return distance.compute()
+
+
+class _TreeInfo:
+    """Postorder numbering, leftmost leaves, and keyroots of one tree."""
+
+    def __init__(self, root: ConjNode) -> None:
+        self.labels: list[tuple[str, int]] = []
+        self.leftmost: list[int] = []
+        self._postorder(root)
+        self.keyroots = self._keyroots()
+
+    def _postorder(self, root: ConjNode) -> None:
+        def walk(node: ConjNode) -> tuple[int, int]:
+            """Returns (postorder index, leftmost leaf index) of node."""
+            first_leaf = None
+            for child in node.children:
+                _, child_leftmost = walk(child)
+                if first_leaf is None:
+                    first_leaf = child_leftmost
+            index = len(self.labels)
+            self.labels.append((node.label, int(node.node_type)))
+            self.leftmost.append(first_leaf if first_leaf is not None else index)
+            return index, self.leftmost[index]
+
+        walk(root)
+
+    def _keyroots(self) -> list[int]:
+        seen: dict[int, int] = {}
+        for index in range(len(self.labels)):
+            seen[self.leftmost[index]] = index  # the last (highest) wins
+        return sorted(seen.values())
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class _Distance:
+    def __init__(self, left: _TreeInfo, right: _TreeInfo, costs: EditCosts) -> None:
+        self._left = left
+        self._right = right
+        self._costs = costs
+        self._tree_distance = [
+            [0.0] * len(right) for _ in range(len(left))
+        ]
+
+    def compute(self) -> float:
+        for left_root in self._left.keyroots:
+            for right_root in self._right.keyroots:
+                self._forest_distance(left_root, right_root)
+        return self._tree_distance[len(self._left) - 1][len(self._right) - 1]
+
+    def _forest_distance(self, left_root: int, right_root: int) -> None:
+        costs = self._costs
+        left_first = self._left.leftmost[left_root]
+        right_first = self._right.leftmost[right_root]
+        rows = left_root - left_first + 2
+        cols = right_root - right_first + 2
+        forest = [[0.0] * cols for _ in range(rows)]
+        for i in range(1, rows):
+            forest[i][0] = forest[i - 1][0] + costs.delete
+        for j in range(1, cols):
+            forest[0][j] = forest[0][j - 1] + costs.insert
+        for i in range(1, rows):
+            left_index = left_first + i - 1
+            for j in range(1, cols):
+                right_index = right_first + j - 1
+                both_trees = (
+                    self._left.leftmost[left_index] == left_first
+                    and self._right.leftmost[right_index] == right_first
+                )
+                if both_trees:
+                    relabel = (
+                        0.0
+                        if self._left.labels[left_index] == self._right.labels[right_index]
+                        else costs.relabel
+                    )
+                    forest[i][j] = min(
+                        forest[i - 1][j] + costs.delete,
+                        forest[i][j - 1] + costs.insert,
+                        forest[i - 1][j - 1] + relabel,
+                    )
+                    self._tree_distance[left_index][right_index] = forest[i][j]
+                else:
+                    partial_i = self._left.leftmost[left_index] - left_first
+                    partial_j = self._right.leftmost[right_index] - right_first
+                    forest[i][j] = min(
+                        forest[i - 1][j] + costs.delete,
+                        forest[i][j - 1] + costs.insert,
+                        forest[partial_i][partial_j]
+                        + self._tree_distance[left_index][right_index],
+                    )

@@ -1,0 +1,125 @@
+"""Naive reference evaluator for the approximate query-matching problem.
+
+This evaluator follows the five-step *theoretical* evaluation of
+Section 5.3 literally: it separates the query, enumerates every
+semi-transformed query in the closure, searches all embeddings of each by
+brute force (insertions are priced through the ancestor-descendant
+distance, exactly like the engines), groups embeddings by root, and keeps
+the lowest cost per root.
+
+It is exponential in the query size and quadratic in the data size — the
+whole point of Sections 6 and 7 is to avoid this — but on small inputs it
+is *obviously correct*, which makes it the ground truth for the
+equivalence tests of both production engines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..approxql.ast import NameSelector
+from ..approxql.costs import CostModel
+from ..approxql.parser import parse_query
+from ..approxql.separated import ConjNode, separate
+from ..xmltree.model import DataTree, NodeType
+from .closure import DEFAULT_CLOSURE_LIMIT, semi_transformed_queries
+
+INFINITE = math.inf
+
+
+@dataclass(frozen=True)
+class RootCostPair:
+    """One result of the approximate query-matching problem
+    (Definition 11): the embedding root and the lowest embedding cost."""
+
+    root: int
+    cost: float
+
+
+class _Embedder:
+    """Minimal-cost embedding of one conjunctive query tree into the data
+    tree under ancestor-descendant semantics.
+
+    ``min_cost(qnode, pre)`` is the cheapest embedding of the query
+    subtree at ``qnode`` whose root maps to data node ``pre`` — the sum
+    over query edges of the insertion distances, infinite if no embedding
+    exists.  Memoized per (query node, data node); the key uses the
+    query node's *structural* identity, which both survives garbage
+    collection of variant trees and shares work between variants that
+    contain identical subtrees.
+    """
+
+    def __init__(self, tree: DataTree) -> None:
+        self._tree = tree
+        self._memo: dict[tuple[ConjNode, int], float] = {}
+
+    def min_cost(self, qnode: ConjNode, pre: int) -> float:
+        tree = self._tree
+        if tree.labels[pre] != qnode.label or tree.types[pre] != qnode.node_type:
+            return INFINITE
+        if not qnode.children:
+            return 0.0
+        key = (qnode, pre)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for child in qnode.children:
+            best = INFINITE
+            for descendant in range(pre + 1, tree.bounds[pre] + 1):
+                child_cost = self.min_cost(child, descendant)
+                if child_cost == INFINITE:
+                    continue
+                candidate = tree.distance(pre, descendant) + child_cost
+                if candidate < best:
+                    best = candidate
+            if best == INFINITE:
+                total = INFINITE
+                break
+            total += best
+        self._memo[key] = total
+        return total
+
+
+def evaluate_naive(
+    query: "str | NameSelector",
+    tree: DataTree,
+    costs: CostModel,
+    n: "int | None" = None,
+    closure_limit: int = DEFAULT_CLOSURE_LIMIT,
+) -> list[RootCostPair]:
+    """Solve the approximate query-matching / best-n-pairs problem by
+    explicit closure enumeration.
+
+    Returns root-cost pairs sorted by (cost, root); when ``n`` is given,
+    only the best ``n`` are returned (Definition 12).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+    embedder = _Embedder(tree)
+    candidates_by_label: dict[tuple[str, NodeType], list[int]] = {}
+    for pre in range(len(tree)):
+        candidates_by_label.setdefault((tree.labels[pre], tree.types[pre]), []).append(pre)
+
+    best: dict[int, float] = {}
+    for conjunct in separate(query):
+        for variant in semi_transformed_queries(conjunct, costs, limit=closure_limit):
+            if not variant.is_valid:
+                continue
+            root = variant.query
+            for pre in candidates_by_label.get((root.label, root.node_type), ()):
+                embed_cost = embedder.min_cost(root, pre)
+                if embed_cost == INFINITE:
+                    continue
+                total = variant.cost + embed_cost
+                if total < best.get(pre, INFINITE):
+                    best[pre] = total
+    pairs = sorted(
+        (RootCostPair(pre, cost) for pre, cost in best.items()),
+        key=lambda pair: (pair.cost, pair.root),
+    )
+    if n is not None:
+        pairs = pairs[:n]
+    return pairs

@@ -1,0 +1,200 @@
+"""The basic query transformations of Section 5.2, applied literally.
+
+This module implements Definitions 2–5 as operations on conjunctive query
+trees (:class:`~repro.approxql.separated.ConjNode`):
+
+* :func:`insert_node` — replace an edge by a node (Definition 2);
+* :func:`delete_inner` — remove a non-root inner node, reattaching its
+  children (Definition 3);
+* :func:`delete_leaf` — remove a leaf whose parent has at least two leaf
+  children (Definition 4, the literal local rule);
+* :func:`rename` — change a node's label (Definition 5).
+
+Nodes are addressed by their preorder position in the query tree.  Each
+operation returns a new tree (trees are immutable) together with the
+transformation cost under a :class:`~repro.approxql.costs.CostModel`.
+
+The evaluation engines do not enumerate transformations explicitly — they
+use the expanded representation — but this module makes the formalism
+executable: the naive reference evaluator builds on the same enumeration
+rules, and tests validate the engines against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..approxql.costs import CostModel
+from ..approxql.separated import ConjNode
+from ..errors import EvaluationError
+from ..xmltree.model import NodeType
+
+
+@dataclass(frozen=True)
+class AppliedTransformation:
+    """One applied basic transformation and its cost."""
+
+    kind: str  # "insert" | "delete" | "rename"
+    description: str
+    cost: float
+
+
+def preorder_nodes(query: ConjNode) -> list[ConjNode]:
+    """All nodes of the query tree in preorder (position = index)."""
+    nodes: list[ConjNode] = []
+
+    def walk(node: ConjNode) -> None:
+        nodes.append(node)
+        for child in node.children:
+            walk(child)
+
+    walk(query)
+    return nodes
+
+
+def _rebuild(node: ConjNode, position: int, editor) -> tuple["ConjNode | None", int]:
+    """Rebuild the tree, letting ``editor`` transform the node at
+    ``position``.  ``editor(node)`` returns a replacement node, a tuple of
+    replacement nodes (splice), or ``None`` (remove)."""
+    counter = 0
+
+    def walk(current: ConjNode):
+        nonlocal counter
+        my_position = counter
+        counter += 1
+        new_children: list[ConjNode] = []
+        for child in current.children:
+            result = walk(child)
+            if result is None:
+                continue
+            if isinstance(result, tuple):
+                new_children.extend(result)
+            else:
+                new_children.append(result)
+        rebuilt = ConjNode(current.label, current.node_type, tuple(new_children))
+        if my_position == position:
+            return editor(rebuilt)
+        return rebuilt
+
+    result = walk(node)
+    if isinstance(result, tuple):
+        raise EvaluationError("cannot splice at the query root")
+    return result, counter
+
+
+def _node_at(query: ConjNode, position: int) -> ConjNode:
+    nodes = preorder_nodes(query)
+    if not 0 <= position < len(nodes):
+        raise EvaluationError(f"no query node at preorder position {position}")
+    return nodes[position]
+
+
+def insert_node(
+    query: ConjNode, child_position: int, label: str, costs: CostModel
+) -> tuple[ConjNode, AppliedTransformation]:
+    """Definition 2: replace the edge *into* the node at ``child_position``
+    by a new struct node labeled ``label``.
+
+    The definition forbids adding a new root or appending new leaves, so
+    the target must not be the root (an insertion always has both an
+    incoming and an outgoing edge).
+    """
+    if child_position == 0:
+        raise EvaluationError("cannot insert above the query root (Definition 2)")
+    target = _node_at(query, child_position)
+
+    def editor(rebuilt: ConjNode) -> ConjNode:
+        return ConjNode(label, NodeType.STRUCT, (rebuilt,))
+
+    new_query, _ = _rebuild(query, child_position, editor)
+    assert new_query is not None
+    cost = costs.insert_cost(label)
+    return new_query, AppliedTransformation(
+        "insert", f"insert {label!r} above {target.label!r}", cost
+    )
+
+
+def delete_inner(
+    query: ConjNode, position: int, costs: CostModel
+) -> tuple[ConjNode, AppliedTransformation]:
+    """Definition 3: remove a non-root inner node and connect its
+    children to its parent."""
+    if position == 0:
+        raise EvaluationError("cannot delete the query root (Definition 3)")
+    target = _node_at(query, position)
+    if target.is_leaf:
+        raise EvaluationError(f"{target.label!r} is a leaf; use delete_leaf (Definition 4)")
+
+    def editor(rebuilt: ConjNode) -> tuple[ConjNode, ...]:
+        return rebuilt.children
+
+    new_query, _ = _rebuild(query, position, editor)
+    assert new_query is not None
+    cost = costs.delete_cost(target.label, target.node_type)
+    return new_query, AppliedTransformation(
+        "delete", f"delete inner node {target.label!r}", cost
+    )
+
+
+def delete_leaf(
+    query: ConjNode, position: int, costs: CostModel
+) -> tuple[ConjNode, AppliedTransformation]:
+    """Definition 4: remove a leaf whose parent has two or more children
+    (including it) that are leaves."""
+    if position == 0:
+        raise EvaluationError("cannot delete the query root")
+    target = _node_at(query, position)
+    if not target.is_leaf:
+        raise EvaluationError(f"{target.label!r} is an inner node; use delete_inner")
+    parent = _parent_of(query, position)
+    leaf_siblings = sum(1 for child in parent.children if child.is_leaf)
+    if leaf_siblings < 2:
+        raise EvaluationError(
+            f"leaf {target.label!r} is not deletable: its parent has only "
+            f"{leaf_siblings} leaf child(ren) (Definition 4)"
+        )
+
+    def editor(rebuilt: ConjNode) -> None:
+        return None
+
+    new_query, _ = _rebuild(query, position, editor)
+    assert new_query is not None
+    cost = costs.delete_cost(target.label, target.node_type)
+    return new_query, AppliedTransformation("delete", f"delete leaf {target.label!r}", cost)
+
+
+def rename(
+    query: ConjNode, position: int, new_label: str, costs: CostModel
+) -> tuple[ConjNode, AppliedTransformation]:
+    """Definition 5: change the label of a node."""
+    target = _node_at(query, position)
+
+    def editor(rebuilt: ConjNode) -> ConjNode:
+        return ConjNode(new_label, rebuilt.node_type, rebuilt.children)
+
+    new_query, _ = _rebuild(query, position, editor)
+    assert new_query is not None
+    cost = costs.rename_cost(target.label, new_label, target.node_type)
+    return new_query, AppliedTransformation(
+        "rename", f"rename {target.label!r} to {new_label!r}", cost
+    )
+
+
+def _parent_of(query: ConjNode, position: int) -> ConjNode:
+    counter = 0
+    found: list[ConjNode] = []
+
+    def walk(node: ConjNode, parent: "ConjNode | None") -> None:
+        nonlocal counter
+        if counter == position:
+            if parent is None:
+                raise EvaluationError("the root has no parent")
+            found.append(parent)
+        counter += 1
+        for child in node.children:
+            walk(child, node)
+
+    walk(query, None)
+    if not found:
+        raise EvaluationError(f"no query node at preorder position {position}")
+    return found[0]

@@ -1,0 +1,129 @@
+"""Construction of data trees from XML documents (Section 4).
+
+The mapping rules of the paper:
+
+* an element becomes a ``struct`` node labeled with the element name;
+* element text is split into words, one ``text`` leaf per word;
+* an attribute becomes two nodes in parent-child relationship — a
+  ``struct`` node labeled with the attribute name and ``text`` leaves for
+  its value (values are word-split like element text, so the paper's
+  promise that "text selectors match both text data and attribute values"
+  holds for multi-word values too);
+* a super-root with a unique label joins the roots of all documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+from xml.etree import ElementTree
+
+from ..errors import ReproError
+from .model import DataTree, TreeBuilder, tokenize
+from .parser import XMLElement, parse_document, parse_fragment
+
+
+@dataclass(frozen=True)
+class BuildOptions:
+    """Knobs for the XML-to-data-tree mapping.
+
+    ``include_attributes``
+        Map attributes per the paper (default) or skip them entirely.
+    ``split_attribute_values``
+        Word-split attribute values (default) or keep each value as one
+        text leaf (the strictest reading of the paper's "the attribute
+        value forms the label of the child").
+    """
+
+    include_attributes: bool = True
+    split_attribute_values: bool = True
+
+
+class CollectionBuilder:
+    """Accumulates XML documents into one data tree.
+
+    Documents may be given as raw XML strings, parsed
+    :class:`~repro.xmltree.parser.XMLElement` values, or
+    :class:`xml.etree.ElementTree.Element` values.
+    """
+
+    def __init__(self, options: BuildOptions | None = None) -> None:
+        self._options = options or BuildOptions()
+        self._builder = TreeBuilder()
+        self._document_count = 0
+
+    @property
+    def document_count(self) -> int:
+        return self._document_count
+
+    def add_xml(self, text: str) -> None:
+        """Parse and add one XML document."""
+        self.add_element(parse_document(text))
+
+    def add_xml_fragment(self, text: str) -> None:
+        """Parse text containing several sibling documents and add each."""
+        for element in parse_fragment(text):
+            self.add_element(element)
+
+    def add_element(self, element: "XMLElement | ElementTree.Element") -> None:
+        """Add one parsed document root."""
+        if isinstance(element, XMLElement):
+            self._add_own(element)
+        elif isinstance(element, ElementTree.Element):
+            self._add_etree(element)
+        else:
+            raise ReproError(f"unsupported document type {type(element).__name__}")
+        self._document_count += 1
+
+    def finish(self) -> DataTree:
+        """Return the completed data tree."""
+        return self._builder.finish()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _add_attributes(self, attributes: Iterable[tuple[str, str]]) -> None:
+        builder = self._builder
+        for name, value in attributes:
+            builder.start_struct(name)
+            if self._options.split_attribute_values:
+                builder.add_text(value)
+            else:
+                words = tokenize(value)
+                if words:
+                    builder.add_word(" ".join(words))
+            builder.end_struct()
+
+    def _add_own(self, element: XMLElement) -> None:
+        builder = self._builder
+        builder.start_struct(element.tag)
+        if self._options.include_attributes:
+            self._add_attributes(element.attributes.items())
+        for child in element.children:
+            if isinstance(child, str):
+                builder.add_text(child)
+            else:
+                self._add_own(child)
+        builder.end_struct()
+
+    def _add_etree(self, element: ElementTree.Element) -> None:
+        builder = self._builder
+        builder.start_struct(element.tag)
+        if self._options.include_attributes:
+            self._add_attributes(element.attrib.items())
+        if element.text:
+            builder.add_text(element.text)
+        for child in element:
+            self._add_etree(child)
+            if child.tail:
+                builder.add_text(child.tail)
+        builder.end_struct()
+
+
+def tree_from_xml(*documents: str, options: BuildOptions | None = None) -> DataTree:
+    """Build a data tree from one or more XML document strings."""
+    builder = CollectionBuilder(options)
+    for document in documents:
+        builder.add_xml(document)
+    return builder.finish()

@@ -1,0 +1,138 @@
+"""The inverted indexes ``I_struct`` and ``I_text`` of Section 6.2.
+
+Both indexes map a label to the posting of all data nodes carrying that
+label; a posting entry holds the four numbers of the encoding —
+``(pre, bound, pathcost, inscost)`` — sorted by ``pre``.
+
+Two implementations share one interface:
+
+* :class:`MemoryNodeIndexes` keeps per-label pre lists and assembles
+  posting tuples from the (possibly re-encoded) tree arrays on fetch;
+* :class:`StoredNodeIndexes` serializes complete postings into two
+  namespaces of a key-value store (the Berkeley-DB shape the paper uses)
+  and reads them back without touching the tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import KeyNotFoundError, SchemaError
+from ..storage.kv import Namespace, Store
+from ..storage.postings import (
+    NodePosting,
+    decode_node_postings,
+    encode_node_postings,
+)
+from .model import DataTree, NodeType
+
+STRUCT_NAMESPACE = b"Istruct"
+TEXT_NAMESPACE = b"Itext"
+
+
+class NodeIndexes:
+    """Interface of the ``I_struct`` / ``I_text`` pair."""
+
+    def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
+        """Posting of ``label`` in the index for ``node_type``; empty if
+        the label never occurs."""
+        raise NotImplementedError
+
+    def labels(self, node_type: NodeType) -> Iterator[str]:
+        """All labels present in the index for ``node_type``."""
+        raise NotImplementedError
+
+    def posting_size(self, label: str, node_type: NodeType) -> int:
+        """Number of nodes carrying ``label`` (the selectivity *s* input)."""
+        return len(self.fetch(label, node_type))
+
+
+class MemoryNodeIndexes(NodeIndexes):
+    """In-memory indexes over a live :class:`DataTree`.
+
+    Postings are assembled on fetch from the tree's current arrays, so a
+    re-encoding with different insert costs is picked up automatically.
+    """
+
+    def __init__(self, tree: DataTree) -> None:
+        self._tree = tree
+        self._by_type: tuple[dict[str, list[int]], dict[str, list[int]]] = ({}, {})
+        for pre in range(len(tree)):
+            table = self._by_type[tree.types[pre]]
+            table.setdefault(tree.labels[pre], []).append(pre)
+
+    def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
+        pres = self._by_type[node_type].get(label)
+        if not pres:
+            return []
+        tree = self._tree
+        bounds = tree.bounds
+        pathcosts = tree.pathcosts
+        inscosts = tree.inscosts
+        return [(pre, bounds[pre], pathcosts[pre], inscosts[pre]) for pre in pres]
+
+    def labels(self, node_type: NodeType) -> Iterator[str]:
+        return iter(self._by_type[node_type])
+
+    def posting_size(self, label: str, node_type: NodeType) -> int:
+        return len(self._by_type[node_type].get(label, ()))
+
+
+class StoredNodeIndexes(NodeIndexes):
+    """Indexes persisted in a key-value store.
+
+    The serialized postings bake in the ``pathcost``/``inscost`` values of
+    the insert-cost table in force at build time; evaluating with a
+    different insert-cost table requires rebuilding (callers check the
+    tree's :attr:`~repro.xmltree.model.DataTree.insert_cost_fingerprint`).
+    """
+
+    def __init__(self, store: Store) -> None:
+        self._struct = Namespace(store, STRUCT_NAMESPACE)
+        self._text = Namespace(store, TEXT_NAMESPACE)
+
+    @classmethod
+    def build(cls, tree: DataTree, store: Store) -> "StoredNodeIndexes":
+        """Serialize the indexes of ``tree`` into ``store``."""
+        memory = MemoryNodeIndexes(tree)
+        indexes = cls(store)
+        for node_type, namespace in (
+            (NodeType.STRUCT, indexes._struct),
+            (NodeType.TEXT, indexes._text),
+        ):
+            for label in memory.labels(node_type):
+                posting = memory.fetch(label, node_type)
+                namespace.put(_label_key(label), encode_node_postings(_as_ints(posting)))
+        return indexes
+
+    def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
+        namespace = self._struct if node_type == NodeType.STRUCT else self._text
+        try:
+            data = namespace.get(_label_key(label))
+        except KeyNotFoundError:
+            return []
+        return decode_node_postings(data)
+
+    def labels(self, node_type: NodeType) -> Iterator[str]:
+        namespace = self._struct if node_type == NodeType.STRUCT else self._text
+        for key, _ in namespace.scan():
+            yield key.decode("utf-8")
+
+
+def _label_key(label: str) -> bytes:
+    return label.encode("utf-8")
+
+
+def _as_ints(posting: list[NodePosting]) -> list[tuple[int, int, int, int]]:
+    """The varint codecs need integers; reject fractional costs loudly."""
+    result = []
+    for pre, bound, pathcost, inscost in posting:
+        int_pathcost = int(pathcost)
+        int_inscost = int(inscost)
+        if int_pathcost != pathcost or int_inscost != inscost:
+            raise SchemaError(
+                "stored indexes require integer insert costs; "
+                f"got pathcost={pathcost}, inscost={inscost}"
+            )
+        result.append((pre, bound, int_pathcost, int_inscost))
+    return result

@@ -1,0 +1,321 @@
+"""The data-tree model of Section 4 with the encoding of Section 6.2.
+
+A :class:`DataTree` is the labeled tree built from a collection of XML
+documents: ``struct`` nodes for elements and attribute names, ``text``
+leaf nodes for individual words of element text and attribute values, and
+one artificial super-root (label ``#root``) above all document roots.
+
+The tree is stored in **columnar preorder form**: node *pre* numbers index
+parallel arrays (label, type, parent, bound, inscost, pathcost).  This
+keeps million-node collections affordable in CPython and makes the
+pre/bound interval encoding of the paper the native representation rather
+than an afterthought.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections.abc import Callable, Iterator
+
+from ..errors import EvaluationError, ReproError
+
+ROOT_LABEL = "#root"
+
+# Unicode letters and digits (underscore excluded): matches accented
+# Latin, Cyrillic, CJK, ... — anything \w considers a word character.
+_WORD_PATTERN = re.compile(r"[^\W_]+", re.UNICODE)
+
+
+class NodeType(enum.IntEnum):
+    """The two node types of the model (Section 4)."""
+
+    STRUCT = 0
+    TEXT = 1
+
+
+def tokenize(text: str) -> list[str]:
+    """Split a text sequence into lowercase words (Section 4).
+
+    Words are maximal runs of Unicode letters and digits; everything
+    else (punctuation, underscores, whitespace) separates words.
+    """
+    return [match.group(0).lower() for match in _WORD_PATTERN.finditer(text)]
+
+
+class DataTree:
+    """Columnar labeled tree with the (pre, bound, inscost, pathcost)
+    encoding of Section 6.2.
+
+    Instances are produced by :class:`TreeBuilder` (or the convenience
+    constructors in :mod:`repro.xmltree.builder`); the arrays are read-only
+    by convention once building finishes.
+    """
+
+    __slots__ = (
+        "labels",
+        "types",
+        "parents",
+        "bounds",
+        "inscosts",
+        "pathcosts",
+        "_first_child",
+        "_next_sibling",
+        "_insert_cost_fingerprint",
+    )
+
+    def __init__(self) -> None:
+        self.labels: list[str] = []
+        self.types: list[NodeType] = []
+        self.parents: list[int] = []
+        self.bounds: list[int] = []
+        self.inscosts: list[float] = []
+        self.pathcosts: list[float] = []
+        self._first_child: list[int] = []
+        self._next_sibling: list[int] = []
+        self._insert_cost_fingerprint: object = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def root(self) -> int:
+        """Pre number of the super-root."""
+        return 0
+
+    def label(self, pre: int) -> str:
+        """Label of the node at preorder number ``pre``."""
+        return self.labels[pre]
+
+    def node_type(self, pre: int) -> NodeType:
+        """Node type (struct or text) of ``pre``."""
+        return self.types[pre]
+
+    def parent(self, pre: int) -> int:
+        """Parent pre number (-1 for the super-root)."""
+        return self.parents[pre]
+
+    def bound(self, pre: int) -> int:
+        """Largest pre number inside the subtree rooted at ``pre``."""
+        return self.bounds[pre]
+
+    def children(self, pre: int) -> list[int]:
+        """Pre numbers of the children of ``pre`` in document order."""
+        result = []
+        child = self._first_child[pre]
+        while child != -1:
+            result.append(child)
+            child = self._next_sibling[child]
+        return result
+
+    def subtree(self, pre: int) -> range:
+        """All pre numbers in the subtree rooted at ``pre`` (inclusive)."""
+        return range(pre, self.bounds[pre] + 1)
+
+    def depth(self, pre: int) -> int:
+        """Number of edges from the super-root to ``pre``."""
+        depth = 0
+        while self.parents[pre] != -1:
+            pre = self.parents[pre]
+            depth += 1
+        return depth
+
+    def is_leaf(self, pre: int) -> bool:
+        """Whether ``pre`` has no children."""
+        return self._first_child[pre] == -1
+
+    # ------------------------------------------------------------------
+    # the Section 6.2 encoding
+    # ------------------------------------------------------------------
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """The paper's interval test: ``pre(u) < pre(v) and bound(u) >= pre(v)``."""
+        return ancestor < descendant and self.bounds[ancestor] >= descendant
+
+    def distance(self, ancestor: int, descendant: int) -> float:
+        """Sum of the insert costs of the nodes strictly between the two.
+
+        ``distance(u, v) = pathcost(v) - pathcost(u) - inscost(u)``.
+        """
+        if not self.is_ancestor(ancestor, descendant):
+            raise EvaluationError(
+                f"distance undefined: {ancestor} is not an ancestor of {descendant}"
+            )
+        return self.pathcosts[descendant] - self.pathcosts[ancestor] - self.inscosts[ancestor]
+
+    def encode_costs(
+        self, insert_cost_of: Callable[[str], float], fingerprint: object = None
+    ) -> None:
+        """(Re)compute ``inscost``/``pathcost`` for every node.
+
+        ``insert_cost_of(label)`` supplies the cost of inserting a struct
+        node with that label into a query.  Text nodes are leaves and can
+        never be inserted, so their inscost is 0 by convention.
+
+        ``fingerprint`` lets callers skip redundant re-encodings: when it
+        equals the fingerprint of the previous call, nothing happens.
+        """
+        if fingerprint is not None and fingerprint == self._insert_cost_fingerprint:
+            return
+        labels = self.labels
+        types = self.types
+        parents = self.parents
+        inscosts = self.inscosts
+        pathcosts = self.pathcosts
+        cache: dict[str, float] = {}
+        for pre in range(len(labels)):
+            if types[pre] == NodeType.TEXT:
+                cost = 0.0
+            else:
+                label = labels[pre]
+                cost = cache.get(label)
+                if cost is None:
+                    cost = insert_cost_of(label)
+                    if cost < 0:
+                        raise ReproError(f"negative insert cost for label {label!r}")
+                    cache[label] = cost
+            inscosts[pre] = cost
+            parent = parents[pre]
+            if parent == -1:
+                pathcosts[pre] = 0.0
+            else:
+                pathcosts[pre] = pathcosts[parent] + inscosts[parent]
+        self._insert_cost_fingerprint = fingerprint
+
+    @property
+    def insert_cost_fingerprint(self) -> object:
+        """Fingerprint of the insert-cost table the encoding reflects."""
+        return self._insert_cost_fingerprint
+
+    # ------------------------------------------------------------------
+    # traversal / inspection helpers
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[int]:
+        """All preorder numbers, in order."""
+        return iter(range(len(self.labels)))
+
+    def document_roots(self) -> list[int]:
+        """Pre numbers of the roots of the individual documents."""
+        return self.children(self.root)
+
+    def label_type_path(self, pre: int) -> tuple[tuple[str, NodeType], ...]:
+        """The label-type path from the super-root down to ``pre``
+        (Definition 13), excluding the super-root itself."""
+        path = []
+        while self.parents[pre] != -1:
+            path.append((self.labels[pre], self.types[pre]))
+            pre = self.parents[pre]
+        return tuple(reversed(path))
+
+    def format_subtree(self, pre: int = 0, max_depth: int = 10) -> str:
+        """Render a subtree as an indented outline (for examples/debugging)."""
+        lines: list[str] = []
+        self._format(pre, 0, max_depth, lines)
+        return "\n".join(lines)
+
+    def _format(self, pre: int, depth: int, max_depth: int, lines: list[str]) -> None:
+        kind = "text" if self.types[pre] == NodeType.TEXT else "struct"
+        lines.append(f"{'  ' * depth}{self.labels[pre]} [{kind} pre={pre} bound={self.bounds[pre]}]")
+        if depth >= max_depth:
+            return
+        for child in self.children(pre):
+            self._format(child, depth + 1, max_depth, lines)
+
+
+class TreeBuilder:
+    """Incremental preorder construction of a :class:`DataTree`.
+
+    Usage::
+
+        builder = TreeBuilder()
+        builder.start_struct("cd")
+        builder.start_struct("title")
+        builder.add_word("piano")
+        builder.add_word("concerto")
+        builder.end_struct()
+        builder.end_struct()
+        tree = builder.finish()
+
+    The super-root is created implicitly; every ``start_struct`` at depth
+    zero starts a new document under it.
+    """
+
+    def __init__(self) -> None:
+        self._tree = DataTree()
+        self._stack: list[int] = []
+        self._last_child_of: dict[int, int] = {}
+        self._finished = False
+        self._append(ROOT_LABEL, NodeType.STRUCT, parent=-1)
+        self._stack.append(0)
+
+    def _append(self, label: str, node_type: NodeType, parent: int) -> int:
+        tree = self._tree
+        pre = len(tree.labels)
+        tree.labels.append(label)
+        tree.types.append(node_type)
+        tree.parents.append(parent)
+        tree.bounds.append(pre)
+        tree.inscosts.append(0.0)
+        tree.pathcosts.append(0.0)
+        tree._first_child.append(-1)
+        tree._next_sibling.append(-1)
+        if parent != -1:
+            previous = self._last_child_of.get(parent, -1)
+            if previous == -1:
+                tree._first_child[parent] = pre
+            else:
+                tree._next_sibling[previous] = pre
+            self._last_child_of[parent] = pre
+        return pre
+
+    def start_struct(self, label: str) -> int:
+        """Open a struct node; returns its pre number."""
+        self._check_building()
+        if not label:
+            raise ReproError("struct nodes need a non-empty label")
+        pre = self._append(label, NodeType.STRUCT, parent=self._stack[-1])
+        self._stack.append(pre)
+        return pre
+
+    def add_word(self, word: str) -> int:
+        """Add one text leaf under the current struct node."""
+        self._check_building()
+        if len(self._stack) < 2:
+            raise ReproError("text must appear inside a document element")
+        if not word:
+            raise ReproError("text nodes need a non-empty label")
+        return self._append(word, NodeType.TEXT, parent=self._stack[-1])
+
+    def add_text(self, text: str) -> list[int]:
+        """Tokenize ``text`` and add one leaf per word."""
+        return [self.add_word(word) for word in tokenize(text)]
+
+    def end_struct(self) -> None:
+        """Close the current struct node and fix its bound."""
+        self._check_building()
+        if len(self._stack) < 2:
+            raise ReproError("end_struct without matching start_struct")
+        pre = self._stack.pop()
+        self._tree.bounds[pre] = len(self._tree.labels) - 1
+
+    def finish(self) -> DataTree:
+        """Close the super-root and return the finished tree."""
+        self._check_building()
+        if len(self._stack) != 1:
+            raise ReproError(f"{len(self._stack) - 1} unclosed struct node(s) at finish()")
+        self._tree.bounds[0] = len(self._tree.labels) - 1
+        self._finished = True
+        # default encoding: every insertion costs 1 (the paper's default);
+        # the fingerprint matches CostModel().insert_fingerprint so a
+        # default cost model never triggers a redundant re-encode
+        self._tree.encode_costs(lambda label: 1.0, fingerprint=(1.0, ()))
+        return self._tree
+
+    def _check_building(self) -> None:
+        if self._finished:
+            raise ReproError("builder already finished")

@@ -1,0 +1,315 @@
+"""A small, dependency-free XML parser.
+
+The reproduction builds its data trees from raw XML text, so it ships its
+own recursive-descent parser for the XML subset that data-centric
+documents use: elements, attributes, character data, CDATA sections,
+comments, processing instructions, the XML declaration, and the five
+predefined entities plus numeric character references.
+
+The parser produces :class:`XMLElement` values — a deliberately plain
+structure (tag, attributes, ordered children where text runs appear as
+plain strings) that the data-tree builder consumes.  ``xml.etree`` trees
+are also accepted by the builder, so users can bring their own parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import XMLSyntaxError
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+@dataclass
+class XMLElement:
+    """One parsed element: ``children`` interleaves ``str`` (text runs)
+    and nested :class:`XMLElement` values in document order."""
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["XMLElement | str"] = field(default_factory=list)
+
+    def text_content(self) -> str:
+        """All text beneath this element, concatenated in order."""
+        parts = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text_content())
+        return "".join(parts)
+
+    def find_all(self, tag: str) -> list["XMLElement"]:
+        """All descendant elements (including self) with the given tag."""
+        found = []
+        if self.tag == tag:
+            found.append(self)
+        for child in self.children:
+            if isinstance(child, XMLElement):
+                found.extend(child.find_all(tag))
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLElement({self.tag!r}, attrs={len(self.attributes)}, children={len(self.children)})"
+
+
+def parse_document(text: str) -> XMLElement:
+    """Parse one XML document and return its root element."""
+    parser = _Parser(text)
+    return parser.parse_document()
+
+
+def parse_fragment(text: str) -> list[XMLElement]:
+    """Parse a sequence of sibling elements (no single-root requirement)."""
+    parser = _Parser(text)
+    return parser.parse_fragment()
+
+
+class _Parser:
+    """Recursive-descent parser over a string buffer."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._len = len(text)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def parse_document(self) -> XMLElement:
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self._pos != self._len:
+            raise XMLSyntaxError("content after document element", self._pos)
+        return root
+
+    def parse_fragment(self) -> list[XMLElement]:
+        self._skip_prolog()
+        elements = []
+        while True:
+            self._skip_misc()
+            if self._pos >= self._len:
+                return elements
+            elements.append(self._parse_element())
+
+    # ------------------------------------------------------------------
+    # structural pieces
+    # ------------------------------------------------------------------
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace()
+        if self._text.startswith("<?xml", self._pos):
+            end = self._text.find("?>", self._pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated XML declaration", self._pos)
+            self._pos = end + 2
+        self._skip_misc()
+        if self._text.startswith("<!DOCTYPE", self._pos):
+            self._skip_doctype()
+        self._skip_misc()
+
+    def _skip_doctype(self) -> None:
+        depth = 0
+        while self._pos < self._len:
+            char = self._text[self._pos]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                self._pos += 1
+                return
+            self._pos += 1
+        raise XMLSyntaxError("unterminated DOCTYPE", self._pos)
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments, and processing instructions."""
+        while True:
+            self._skip_whitespace()
+            if self._text.startswith("<!--", self._pos):
+                end = self._text.find("-->", self._pos + 4)
+                if end < 0:
+                    raise XMLSyntaxError("unterminated comment", self._pos)
+                self._pos = end + 3
+            elif self._text.startswith("<?", self._pos):
+                end = self._text.find("?>", self._pos + 2)
+                if end < 0:
+                    raise XMLSyntaxError("unterminated processing instruction", self._pos)
+                self._pos = end + 2
+            else:
+                return
+
+    def _parse_element(self) -> XMLElement:
+        if self._pos >= self._len or self._text[self._pos] != "<":
+            raise XMLSyntaxError("expected '<'", self._pos)
+        self._pos += 1
+        tag = self._parse_name()
+        attributes = self._parse_attributes()
+        self._skip_whitespace()
+        if self._text.startswith("/>", self._pos):
+            self._pos += 2
+            return XMLElement(tag, attributes)
+        if self._pos >= self._len or self._text[self._pos] != ">":
+            raise XMLSyntaxError(f"malformed start tag <{tag}>", self._pos)
+        self._pos += 1
+        element = XMLElement(tag, attributes)
+        self._parse_content(element)
+        return element
+
+    def _parse_content(self, element: XMLElement) -> None:
+        text_parts: list[str] = []
+
+        def flush_text() -> None:
+            if text_parts:
+                element.children.append("".join(text_parts))
+                text_parts.clear()
+
+        while True:
+            if self._pos >= self._len:
+                raise XMLSyntaxError(f"unterminated element <{element.tag}>", self._pos)
+            char = self._text[self._pos]
+            if char == "<":
+                if self._text.startswith("</", self._pos):
+                    flush_text()
+                    self._pos += 2
+                    closing = self._parse_name()
+                    if closing != element.tag:
+                        raise XMLSyntaxError(
+                            f"mismatched closing tag </{closing}> for <{element.tag}>", self._pos
+                        )
+                    self._skip_whitespace()
+                    if self._pos >= self._len or self._text[self._pos] != ">":
+                        raise XMLSyntaxError("malformed closing tag", self._pos)
+                    self._pos += 1
+                    return
+                if self._text.startswith("<!--", self._pos):
+                    end = self._text.find("-->", self._pos + 4)
+                    if end < 0:
+                        raise XMLSyntaxError("unterminated comment", self._pos)
+                    self._pos = end + 3
+                elif self._text.startswith("<![CDATA[", self._pos):
+                    end = self._text.find("]]>", self._pos + 9)
+                    if end < 0:
+                        raise XMLSyntaxError("unterminated CDATA section", self._pos)
+                    text_parts.append(self._text[self._pos + 9 : end])
+                    self._pos = end + 3
+                elif self._text.startswith("<?", self._pos):
+                    end = self._text.find("?>", self._pos + 2)
+                    if end < 0:
+                        raise XMLSyntaxError("unterminated processing instruction", self._pos)
+                    self._pos = end + 2
+                else:
+                    flush_text()
+                    element.children.append(self._parse_element())
+            else:
+                start = self._pos
+                next_marker = self._text.find("<", self._pos)
+                amp = self._text.find("&", self._pos)
+                if amp != -1 and (next_marker == -1 or amp < next_marker):
+                    text_parts.append(self._text[start:amp])
+                    self._pos = amp
+                    text_parts.append(self._parse_entity())
+                else:
+                    if next_marker == -1:
+                        raise XMLSyntaxError(
+                            f"unterminated element <{element.tag}>", self._pos
+                        )
+                    text_parts.append(self._text[start:next_marker])
+                    self._pos = next_marker
+
+    # ------------------------------------------------------------------
+    # lexical pieces
+    # ------------------------------------------------------------------
+
+    def _parse_attributes(self) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            if self._pos >= self._len:
+                raise XMLSyntaxError("unterminated start tag", self._pos)
+            char = self._text[self._pos]
+            if char in (">", "/"):
+                return attributes
+            name = self._parse_name()
+            self._skip_whitespace()
+            if self._pos >= self._len or self._text[self._pos] != "=":
+                raise XMLSyntaxError(f"attribute {name!r} missing '='", self._pos)
+            self._pos += 1
+            self._skip_whitespace()
+            attributes[name] = self._parse_attribute_value()
+
+    def _parse_attribute_value(self) -> str:
+        if self._pos >= self._len or self._text[self._pos] not in "\"'":
+            raise XMLSyntaxError("attribute value must be quoted", self._pos)
+        quote = self._text[self._pos]
+        self._pos += 1
+        parts: list[str] = []
+        while True:
+            if self._pos >= self._len:
+                raise XMLSyntaxError("unterminated attribute value", self._pos)
+            char = self._text[self._pos]
+            if char == quote:
+                self._pos += 1
+                return "".join(parts)
+            if char == "&":
+                parts.append(self._parse_entity())
+            elif char == "<":
+                raise XMLSyntaxError("'<' not allowed in attribute value", self._pos)
+            else:
+                parts.append(char)
+                self._pos += 1
+
+    def _parse_entity(self) -> str:
+        # caller guarantees self._text[self._pos] == "&"
+        end = self._text.find(";", self._pos + 1)
+        if end < 0 or end - self._pos > 12:
+            raise XMLSyntaxError("unterminated entity reference", self._pos)
+        body = self._text[self._pos + 1 : end]
+        self._pos = end + 1
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except ValueError:
+                raise XMLSyntaxError(f"bad character reference &{body};", self._pos) from None
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:]))
+            except ValueError:
+                raise XMLSyntaxError(f"bad character reference &{body};", self._pos) from None
+        try:
+            return _PREDEFINED_ENTITIES[body]
+        except KeyError:
+            raise XMLSyntaxError(f"unknown entity &{body};", self._pos) from None
+
+    def _parse_name(self) -> str:
+        start = self._pos
+        if start >= self._len:
+            raise XMLSyntaxError("expected a name", start)
+        char = self._text[start]
+        if not (char.isalpha() or char in _NAME_START_EXTRA):
+            raise XMLSyntaxError(f"invalid name start character {char!r}", start)
+        pos = start + 1
+        while pos < self._len:
+            char = self._text[pos]
+            if char.isalnum() or char in _NAME_EXTRA:
+                pos += 1
+            else:
+                break
+        self._pos = pos
+        return self._text[start:pos]
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < self._len and self._text[self._pos] in " \t\r\n":
+            self._pos += 1

@@ -1,0 +1,75 @@
+"""Serializing data-tree subtrees back to XML.
+
+The Section 4 normalization is lossy (attributes became child elements,
+text was split into words), so serialization produces a canonical XML
+rendering of the *normalized* tree: struct nodes become elements, runs of
+text children become space-joined text.  Useful for returning results to
+users and for round-trip testing.
+"""
+
+from __future__ import annotations
+
+from .model import DataTree, NodeType
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for XML output."""
+    for char, entity in _ESCAPES:
+        text = text.replace(char, entity)
+    return text
+
+
+def subtree_to_xml(tree: DataTree, pre: int, indent: "int | None" = None) -> str:
+    """Serialize the subtree rooted at ``pre``.
+
+    ``indent`` pretty-prints with that many spaces per level; ``None``
+    produces compact single-line output.
+    """
+    if tree.node_type(pre) == NodeType.TEXT:
+        return escape_text(tree.label(pre))
+    pieces: list[str] = []
+    _render(tree, pre, pieces, indent, 0)
+    return "".join(pieces)
+
+
+def collection_to_xml(tree: DataTree, indent: "int | None" = None) -> str:
+    """Serialize every document of the collection, newline-separated."""
+    return "\n".join(
+        subtree_to_xml(tree, root, indent=indent) for root in tree.document_roots()
+    )
+
+
+def _render(
+    tree: DataTree, pre: int, pieces: list[str], indent: "int | None", depth: int
+) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    label = tree.label(pre)
+    children = tree.children(pre)
+    if not children:
+        pieces.append(f"{pad}<{label}/>{newline}")
+        return
+    child_types = {tree.node_type(child) for child in children}
+    if child_types == {NodeType.TEXT}:
+        words = " ".join(escape_text(tree.label(child)) for child in children)
+        pieces.append(f"{pad}<{label}>{words}</{label}>{newline}")
+        return
+    pieces.append(f"{pad}<{label}>{newline}")
+    run: list[str] = []
+
+    def flush_run() -> None:
+        if run:
+            text_pad = "" if indent is None else " " * (indent * (depth + 1))
+            pieces.append(f"{text_pad}{' '.join(run)}{newline}")
+            run.clear()
+
+    for child in children:
+        if tree.node_type(child) == NodeType.TEXT:
+            run.append(escape_text(tree.label(child)))
+        else:
+            flush_run()
+            _render(tree, child, pieces, indent, depth + 1)
+    flush_run()
+    pieces.append(f"{pad}</{label}>{newline}")

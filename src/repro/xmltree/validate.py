@@ -1,0 +1,73 @@
+"""Structural validation of data trees.
+
+``validate_tree`` checks every invariant the evaluators rely on:
+column lengths, parent/child consistency, preorder numbering, bound
+intervals, and the pathcost telescoping property.  The loader runs it on
+freshly deserialized trees (defense in depth against silent corruption
+the page checksums cannot express), and tests use it as an oracle.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .model import DataTree, NodeType
+
+
+def validate_tree(tree: DataTree) -> None:
+    """Raise :class:`~repro.errors.SchemaError` on any violated invariant."""
+    size = len(tree.labels)
+    for name in ("types", "parents", "bounds", "inscosts", "pathcosts"):
+        column = getattr(tree, name)
+        if len(column) != size:
+            raise SchemaError(
+                f"column {name!r} has {len(column)} entries, expected {size}"
+            )
+    if size == 0:
+        raise SchemaError("a data tree must contain at least the super-root")
+    if tree.parents[0] != -1:
+        raise SchemaError("the super-root must have parent -1")
+
+    for pre in range(size):
+        parent = tree.parents[pre]
+        if pre > 0:
+            if not 0 <= parent < pre:
+                raise SchemaError(
+                    f"node {pre}: parent {parent} is not an earlier node"
+                )
+            if tree.bounds[parent] < pre:
+                raise SchemaError(
+                    f"node {pre}: outside its parent's bound interval"
+                )
+        bound = tree.bounds[pre]
+        if not pre <= bound < size:
+            raise SchemaError(f"node {pre}: bound {bound} out of range")
+        if tree.types[pre] == NodeType.TEXT:
+            if tree._first_child[pre] != -1:
+                raise SchemaError(f"text node {pre} has children")
+        if not tree.labels[pre]:
+            raise SchemaError(f"node {pre} has an empty label")
+
+    # children linkage: reconstruct from the parent column in one pass
+    # and compare against the first-child/next-sibling links
+    children_of: list[list[int]] = [[] for _ in range(size)]
+    for pre in range(1, size):
+        children_of[tree.parents[pre]].append(pre)
+    for pre in range(size):
+        from_links = tree.children(pre)
+        if from_links != children_of[pre]:
+            raise SchemaError(
+                f"node {pre}: child links {from_links} disagree with parent "
+                f"column {children_of[pre]}"
+            )
+
+    # pathcost telescoping
+    for pre in range(1, size):
+        parent = tree.parents[pre]
+        expected = tree.pathcosts[parent] + tree.inscosts[parent]
+        if tree.pathcosts[pre] != expected:
+            raise SchemaError(
+                f"node {pre}: pathcost {tree.pathcosts[pre]} != "
+                f"pathcost(parent) + inscost(parent) = {expected}"
+            )
+        if tree.types[pre] == NodeType.TEXT and tree.inscosts[pre] != 0:
+            raise SchemaError(f"text node {pre} has non-zero inscost")

@@ -1,0 +1,79 @@
+"""Shared hypothesis strategies and random generators for the test suite.
+
+Random data trees, queries, and cost models over a small closed alphabet,
+used by the equivalence tests (naive vs. direct vs. schema-driven).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.approxql.ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+from repro.approxql.costs import CostModel
+from repro.xmltree.model import DataTree, NodeType, TreeBuilder
+
+STRUCT_LABELS = ["a", "b", "c", "d"]
+TEXT_LABELS = ["x", "y", "z"]
+
+
+def random_tree(rng: random.Random, max_nodes: int = 25, max_depth: int = 4) -> DataTree:
+    """A random small data tree over the closed alphabet."""
+    builder = TreeBuilder()
+    count = 0
+
+    def gen(depth: int) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        builder.start_struct(rng.choice(STRUCT_LABELS))
+        count += 1
+        for _ in range(rng.randint(0, 3)):
+            if count >= max_nodes:
+                break
+            if depth < max_depth and rng.random() < 0.55:
+                gen(depth + 1)
+            else:
+                builder.add_word(rng.choice(TEXT_LABELS))
+                count += 1
+        builder.end_struct()
+
+    for _ in range(rng.randint(1, 3)):
+        gen(0)
+    return builder.finish()
+
+
+def random_query_expr(rng: random.Random, depth: int = 0, max_depth: int = 3) -> QueryExpr:
+    roll = rng.random()
+    if depth >= max_depth or roll < 0.35:
+        if rng.random() < 0.6:
+            return TextSelector(rng.choice(TEXT_LABELS))
+        return NameSelector(rng.choice(STRUCT_LABELS))
+    if roll < 0.6:
+        return NameSelector(rng.choice(STRUCT_LABELS), random_query_expr(rng, depth + 1, max_depth))
+    items = tuple(random_query_expr(rng, depth + 1, max_depth) for _ in range(2))
+    return AndExpr(items) if rng.random() < 0.6 else OrExpr(items)
+
+
+def random_query(rng: random.Random, max_depth: int = 3) -> NameSelector:
+    """A random query rooted at a name selector."""
+    return NameSelector(rng.choice(STRUCT_LABELS), random_query_expr(rng, 1, max_depth))
+
+
+def random_cost_model(rng: random.Random) -> CostModel:
+    """A random cost model with a mix of finite and infinite costs."""
+    model = CostModel(default_insert_cost=rng.choice([1, 2]))
+    for label in STRUCT_LABELS:
+        if rng.random() < 0.5:
+            model.set_insert_cost(label, rng.randint(1, 5))
+        if rng.random() < 0.5:
+            model.set_delete_cost(label, NodeType.STRUCT, rng.randint(1, 9))
+        for target in STRUCT_LABELS:
+            if target != label and rng.random() < 0.3:
+                model.add_renaming(label, target, NodeType.STRUCT, rng.randint(1, 8))
+    for label in TEXT_LABELS:
+        if rng.random() < 0.5:
+            model.set_delete_cost(label, NodeType.TEXT, rng.randint(1, 9))
+        for target in TEXT_LABELS:
+            if target != label and rng.random() < 0.3:
+                model.add_renaming(label, target, NodeType.TEXT, rng.randint(1, 8))
+    return model

@@ -1,0 +1,158 @@
+"""Tests for the cost model and cost-file round trips."""
+
+import math
+
+import pytest
+
+from repro.approxql.costs import INFINITE, CostModel, paper_example_cost_model
+from repro.errors import CostModelError
+from repro.xmltree.model import NodeType
+
+
+class TestDefaults:
+    def test_unlisted_insert_cost_is_one(self):
+        model = CostModel()
+        assert model.insert_cost("anything") == 1.0
+
+    def test_unlisted_delete_cost_is_infinite(self):
+        model = CostModel()
+        assert model.delete_cost("anything", NodeType.STRUCT) == INFINITE
+
+    def test_unlisted_rename_cost_is_infinite(self):
+        model = CostModel()
+        assert model.rename_cost("a", "b", NodeType.STRUCT) == INFINITE
+
+    def test_identity_rename_is_free(self):
+        model = CostModel()
+        assert model.rename_cost("a", "a", NodeType.STRUCT) == 0.0
+
+    def test_custom_default_insert(self):
+        model = CostModel(default_insert_cost=2.5)
+        assert model.insert_cost("x") == 2.5
+
+
+class TestRegistration:
+    def test_insert(self):
+        model = CostModel().set_insert_cost("cd", 2)
+        assert model.insert_cost("cd") == 2.0
+
+    def test_delete_per_type(self):
+        model = CostModel().set_delete_cost("title", NodeType.STRUCT, 5)
+        assert model.delete_cost("title", NodeType.STRUCT) == 5.0
+        assert model.delete_cost("title", NodeType.TEXT) == INFINITE
+
+    def test_renamings_listed(self):
+        model = CostModel()
+        model.add_renaming("cd", "dvd", NodeType.STRUCT, 6)
+        model.add_renaming("cd", "mc", NodeType.STRUCT, 4)
+        assert model.renamings("cd", NodeType.STRUCT) == [("dvd", 6.0), ("mc", 4.0)]
+
+    def test_renaming_updated_in_place(self):
+        model = CostModel()
+        model.add_renaming("cd", "dvd", NodeType.STRUCT, 6)
+        model.add_renaming("cd", "dvd", NodeType.STRUCT, 2)
+        assert model.renamings("cd", NodeType.STRUCT) == [("dvd", 2.0)]
+
+    def test_infinite_renaming_suppressed(self):
+        model = CostModel()
+        model.add_renaming("cd", "dvd", NodeType.STRUCT, INFINITE)
+        assert model.renamings("cd", NodeType.STRUCT) == []
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel().set_insert_cost("x", -1)
+        with pytest.raises(CostModelError):
+            CostModel().set_delete_cost("x", NodeType.TEXT, -0.5)
+        with pytest.raises(CostModelError):
+            CostModel().add_renaming("x", "y", NodeType.TEXT, -3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel().set_insert_cost("x", math.nan)
+
+    def test_self_rename_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel().add_renaming("x", "x", NodeType.STRUCT, 1)
+
+
+class TestPaperExample:
+    """The cost table of Section 6 is wired up exactly."""
+
+    def test_insert_costs(self):
+        model = paper_example_cost_model()
+        assert model.insert_cost("category") == 4
+        assert model.insert_cost("cd") == 2
+        assert model.insert_cost("composer") == 5
+        assert model.insert_cost("performer") == 5
+        assert model.insert_cost("title") == 3
+        assert model.insert_cost("track") == 3
+        assert model.insert_cost("tracks") == 1  # "all remaining insert costs are 1"
+
+    def test_delete_costs(self):
+        model = paper_example_cost_model()
+        assert model.delete_cost("composer", NodeType.STRUCT) == 7
+        assert model.delete_cost("concerto", NodeType.TEXT) == 6
+        assert model.delete_cost("piano", NodeType.TEXT) == 8
+        assert model.delete_cost("title", NodeType.STRUCT) == 5
+        assert model.delete_cost("track", NodeType.STRUCT) == 3
+        # "rachmaninov" is not listed -> infinite (cannot be deleted)
+        assert model.delete_cost("rachmaninov", NodeType.TEXT) == INFINITE
+
+    def test_rename_costs(self):
+        model = paper_example_cost_model()
+        assert model.rename_cost("cd", "dvd", NodeType.STRUCT) == 6
+        assert model.rename_cost("cd", "mc", NodeType.STRUCT) == 4
+        assert model.rename_cost("composer", "performer", NodeType.STRUCT) == 4
+        assert model.rename_cost("concerto", "sonata", NodeType.TEXT) == 3
+        assert model.rename_cost("title", "category", NodeType.STRUCT) == 4
+        # renamings are directional
+        assert model.rename_cost("dvd", "cd", NodeType.STRUCT) == INFINITE
+
+
+class TestCostFiles:
+    def test_roundtrip(self):
+        model = paper_example_cost_model()
+        restored = CostModel.from_lines(model.to_lines())
+        assert restored.to_lines() == model.to_lines()
+
+    def test_comments_and_blank_lines(self):
+        lines = [
+            "# a comment",
+            "",
+            "insert cd 2  # trailing comment",
+            "delete text piano 8",
+        ]
+        model = CostModel.from_lines(lines)
+        assert model.insert_cost("cd") == 2
+        assert model.delete_cost("piano", NodeType.TEXT) == 8
+
+    def test_infinite_literal(self):
+        model = CostModel.from_lines(["delete struct x inf"])
+        assert model.delete_cost("x", NodeType.STRUCT) == INFINITE
+
+    def test_bad_directive_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel.from_lines(["frobnicate x 1"])
+
+    def test_bad_cost_rejected_with_line_number(self):
+        with pytest.raises(CostModelError) as excinfo:
+            CostModel.from_lines(["", "insert x abc"])
+        assert "line 2" in str(excinfo.value)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel.from_lines(["delete attribute x 1"])
+
+    def test_file_roundtrip(self, tmp_path):
+        model = paper_example_cost_model()
+        path = str(tmp_path / "costs.txt")
+        model.save(path)
+        assert CostModel.load(path).to_lines() == model.to_lines()
+
+    def test_fingerprint_tracks_insert_changes(self):
+        model = CostModel()
+        before = model.insert_fingerprint
+        model.set_delete_cost("x", NodeType.TEXT, 1)
+        assert model.insert_fingerprint == before
+        model.set_insert_cost("x", 3)
+        assert model.insert_fingerprint != before

@@ -1,0 +1,150 @@
+"""Tests for the approXQL lexer and parser."""
+
+import pytest
+
+from repro.approxql.ast import (
+    AndExpr,
+    NameSelector,
+    OrExpr,
+    TextSelector,
+    count_or_operators,
+    count_selectors,
+)
+from repro.approxql.parser import parse_expression, parse_query
+from repro.errors import QuerySyntaxError
+
+
+class TestBasicQueries:
+    def test_bare_name(self):
+        query = parse_query("cd")
+        assert query == NameSelector("cd")
+
+    def test_name_with_text(self):
+        query = parse_query('cd["piano"]')
+        assert query == NameSelector("cd", TextSelector("piano"))
+
+    def test_nested_names(self):
+        query = parse_query('cd[title["piano"]]')
+        assert query == NameSelector("cd", NameSelector("title", TextSelector("piano")))
+
+    def test_and(self):
+        query = parse_query('cd["a" and "b"]')
+        assert query.content == AndExpr((TextSelector("a"), TextSelector("b")))
+
+    def test_or(self):
+        query = parse_query('cd["a" or "b"]')
+        assert query.content == OrExpr((TextSelector("a"), TextSelector("b")))
+
+    def test_n_ary_and(self):
+        query = parse_query('cd["a" and "b" and "c"]')
+        assert len(query.content.items) == 3
+
+    def test_precedence_and_binds_tighter(self):
+        query = parse_query('cd["a" and "b" or "c"]')
+        assert isinstance(query.content, OrExpr)
+        assert isinstance(query.content.items[0], AndExpr)
+
+    def test_parentheses(self):
+        query = parse_query('cd["a" and ("b" or "c")]')
+        assert isinstance(query.content, AndExpr)
+        assert isinstance(query.content.items[1], OrExpr)
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query('cd["a" AND "b" Or "c"]')
+        assert isinstance(query.content, OrExpr)
+
+
+class TestPaperQueries:
+    def test_running_example(self):
+        text = 'cd[title["piano" and "concerto"] and composer["rachmaninov"]]'
+        query = parse_query(text)
+        assert query.label == "cd"
+        title, composer = query.content.items
+        assert title.label == "title"
+        assert composer.content == TextSelector("rachmaninov")
+
+    def test_or_query_of_section3(self):
+        text = (
+            'cd[title["piano" and ("concerto" or "sonata")] and '
+            '(composer["rachmaninov"] or performer["ashkenazy"])]'
+        )
+        query = parse_query(text)
+        assert count_or_operators(query) == 2
+
+    def test_pattern3_shape(self):
+        text = (
+            'a[b[c["t1" and "t2" and ("t3" or "t4")] or d[e["t5" and "t6"]]] and f]'
+        )
+        query = parse_query(text)
+        assert count_selectors(query) == 12
+        # the trailing bare name selector
+        assert query.content.items[1] == NameSelector("f")
+
+    def test_unparse_roundtrip(self):
+        text = 'cd[title["piano" and ("concerto" or "sonata")] and composer["rachmaninov"]]'
+        query = parse_query(text)
+        assert parse_query(query.unparse()) == query
+
+
+class TestStringHandling:
+    def test_multiword_string_desugars_to_and(self):
+        query = parse_query('cd[title["piano concerto"]]')
+        title = query.content
+        assert title.content == AndExpr((TextSelector("piano"), TextSelector("concerto")))
+
+    def test_string_words_lowercased(self):
+        query = parse_query('cd["Rachmaninov"]')
+        assert query.content == TextSelector("rachmaninov")
+
+    def test_typographic_quotes(self):
+        query = parse_query("cd[“piano”]")
+        assert query.content == TextSelector("piano")
+
+    def test_single_quotes(self):
+        query = parse_query("cd['piano']")
+        assert query.content == TextSelector("piano")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('cd[""]')
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            '"piano"',  # text root
+            "cd[",
+            "cd[]",
+            "cd]",
+            'cd["a" and]',
+            'cd[and "a"]',
+            'cd["a" "b"]',
+            "cd[(]",
+            'cd["a") ]',
+            "cd[title[]]",
+            'cd["unterminated]',
+            "cd!x",
+        ],
+    )
+    def test_malformed_queries_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("cd[!]")
+        assert excinfo.value.position >= 0
+
+
+class TestCounting:
+    def test_count_selectors_simple(self):
+        assert count_selectors(parse_query('a[b["t"]]')) == 3
+
+    def test_count_or_nary(self):
+        expr = parse_expression('"a" or "b" or "c"')
+        assert count_or_operators(expr) == 2
+
+    def test_bare_name_counts_one(self):
+        assert count_selectors(parse_query("a")) == 1

@@ -1,0 +1,188 @@
+"""Tests for the separated and expanded query representations."""
+
+import pytest
+
+from repro.approxql.ast import NameSelector, TextSelector
+from repro.approxql.costs import INFINITE, CostModel, paper_example_cost_model
+from repro.approxql.expanded import RepType, build_expanded
+from repro.approxql.parser import parse_query
+from repro.approxql.separated import ConjNode, separate
+from repro.errors import QuerySyntaxError
+from repro.xmltree.model import NodeType
+
+
+class TestSeparation:
+    def test_conjunctive_query_is_single_variant(self):
+        text = 'cd[title["piano" and "concerto"] and composer["rachmaninov"]]'
+        variants = separate(parse_query(text))
+        assert len(variants) == 1
+        (query,) = variants
+        assert query.label == "cd"
+        assert [child.label for child in query.children] == ["title", "composer"]
+
+    def test_two_ors_give_four_conjuncts(self):
+        """The 2^2 separation example of Section 3."""
+        text = (
+            'cd[title["piano" and ("concerto" or "sonata")] and '
+            '(composer["rachmaninov"] or performer["ashkenazy"])]'
+        )
+        variants = separate(parse_query(text))
+        rendered = sorted(query.unparse() for query in variants)
+        assert rendered == sorted([
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]',
+            'cd[title["piano" and "concerto"] and performer["ashkenazy"]]',
+            'cd[title["piano" and "sonata"] and composer["rachmaninov"]]',
+            'cd[title["piano" and "sonata"] and performer["ashkenazy"]]',
+        ])
+
+    def test_nested_or(self):
+        variants = separate(parse_query('a[b["x" or "y"] or c]'))
+        assert len(variants) == 3
+
+    def test_bare_name_query(self):
+        (query,) = separate(parse_query("cd"))
+        assert query == ConjNode("cd", NodeType.STRUCT)
+
+    def test_leaves_helper(self):
+        (query,) = separate(parse_query('a[b["x" and "y"] and c]'))
+        leaf_labels = sorted(leaf.label for leaf in query.leaves())
+        assert leaf_labels == ["c", "x", "y"]
+
+    def test_separation_limit(self):
+        text = "a[" + " and ".join(f'("x{i}" or "y{i}")' for i in range(5)) + "]"
+        with pytest.raises(QuerySyntaxError):
+            separate(parse_query(text), limit=16)
+
+    def test_size(self):
+        (query,) = separate(parse_query('a[b["x"]]'))
+        assert query.size() == 3
+
+
+class TestExpandedShape:
+    def test_leaf_only_query(self):
+        expanded = build_expanded(parse_query("cd"), CostModel())
+        assert expanded.root.reptype == RepType.LEAF
+        assert expanded.root.node_type == NodeType.STRUCT
+
+    def test_simple_path(self):
+        expanded = build_expanded(parse_query('cd["piano"]'), CostModel())
+        root = expanded.root
+        assert root.reptype == RepType.NODE
+        assert root.label == "cd"
+        assert root.child.reptype == RepType.LEAF
+        assert root.child.node_type == NodeType.TEXT
+
+    def test_root_is_never_wrapped_for_deletion(self):
+        model = CostModel().set_delete_cost("cd", NodeType.STRUCT, 1)
+        expanded = build_expanded(parse_query('cd["x"]'), model)
+        assert expanded.root.reptype == RepType.NODE
+
+    def test_deletable_inner_node_gets_or_parent(self):
+        model = CostModel().set_delete_cost("title", NodeType.STRUCT, 5)
+        expanded = build_expanded(parse_query('cd[title["piano"]]'), model)
+        choice = expanded.root.child
+        assert choice.reptype == RepType.OR
+        assert choice.edgecost == 5
+        assert choice.left.reptype == RepType.NODE
+        assert choice.left.label == "title"
+        # the bridge shares the node's child
+        assert choice.right is choice.left.child
+
+    def test_non_deletable_inner_node_has_no_or(self):
+        expanded = build_expanded(parse_query('cd[title["piano"]]'), CostModel())
+        assert expanded.root.child.reptype == RepType.NODE
+
+    def test_and_fold_is_binary(self):
+        expanded = build_expanded(parse_query('cd["a" and "b" and "c"]'), CostModel())
+        top = expanded.root.child
+        assert top.reptype == RepType.AND
+        assert top.left.reptype == RepType.AND
+
+    def test_or_operator_edgecost_zero(self):
+        expanded = build_expanded(parse_query('cd["a" or "b"]'), CostModel())
+        assert expanded.root.child.reptype == RepType.OR
+        assert expanded.root.child.edgecost == 0.0
+
+    def test_renamings_attached(self):
+        model = paper_example_cost_model()
+        expanded = build_expanded(
+            parse_query('cd[title["concerto"]]'), model
+        )
+        assert expanded.root.renamings == [("dvd", 6.0), ("mc", 4.0)]
+        title = expanded.root.child.left  # title is deletable -> or wrap
+        assert ("category", 4.0) in title.renamings
+        leaf = title.child
+        assert leaf.renamings == [("sonata", 3.0)]
+        assert leaf.delcost == 6.0
+
+    def test_leaf_uids_collected(self):
+        expanded = build_expanded(
+            parse_query('a[b["x" and "y"] and c]'), CostModel()
+        )
+        leaves = [
+            node for node in expanded.iter_unique_nodes() if node.reptype == RepType.LEAF
+        ]
+        assert {leaf.uid for leaf in leaves} == set(expanded.leaf_uids)
+        assert len(leaves) == 3
+
+    def test_undeleteable_leaf_has_infinite_delcost(self):
+        expanded = build_expanded(parse_query('a["x"]'), CostModel())
+        assert expanded.root.child.delcost == INFINITE
+
+
+class TestExpandedPaperExample:
+    """Figure 2(a): the expanded representation of the running query."""
+
+    QUERY = 'cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]'
+
+    def test_structure(self):
+        expanded = build_expanded(parse_query(self.QUERY), paper_example_cost_model())
+        root = expanded.root
+        assert root.label == "cd"
+        assert {label for label, _ in root.renamings} == {"dvd", "mc"}
+        and_node = root.child
+        assert and_node.reptype == RepType.AND
+        # left: the track branch (track deletable, cost 3)
+        track_choice = and_node.left
+        assert track_choice.reptype == RepType.OR
+        assert track_choice.edgecost == 3.0
+        track = track_choice.left
+        assert track.label == "track"
+        title_choice = track.child
+        assert title_choice.reptype == RepType.OR
+        assert title_choice.edgecost == 5.0  # delete cost of title
+        # right: composer (deletable, cost 7)
+        composer_choice = and_node.right
+        assert composer_choice.reptype == RepType.OR
+        assert composer_choice.edgecost == 7.0
+        composer = composer_choice.left
+        assert composer.renamings == [("performer", 4.0)]
+
+    def test_dag_sharing_counts(self):
+        expanded = build_expanded(parse_query(self.QUERY), paper_example_cost_model())
+        # selectors: cd, track, title, piano, concerto, composer, rachmaninov = 7
+        # plus: 2 and-nodes, 3 deletion-or nodes = 12 unique DAG nodes
+        assert expanded.node_count == 12
+
+    def test_max_renamings(self):
+        expanded = build_expanded(parse_query(self.QUERY), paper_example_cost_model())
+        assert expanded.max_renamings() == 2  # cd -> {dvd, mc}
+
+    def test_format_marks_shared_nodes(self):
+        expanded = build_expanded(parse_query(self.QUERY), paper_example_cost_model())
+        rendering = expanded.format()
+        assert "*shared" in rendering
+        assert "bridge:" in rendering
+
+
+class TestCounts:
+    def test_node_count_no_deletions(self):
+        expanded = build_expanded(parse_query('a[b["x"]]'), CostModel())
+        assert expanded.node_count == 3
+
+    def test_iter_unique_nodes_visits_shared_once(self):
+        model = CostModel().set_delete_cost("b", NodeType.STRUCT, 1)
+        expanded = build_expanded(parse_query('a[b["x"]]'), model)
+        uids = [node.uid for node in expanded.iter_unique_nodes()]
+        assert len(uids) == len(set(uids))
+        assert expanded.node_count == 4  # a, or, b, leaf

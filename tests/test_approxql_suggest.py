@@ -1,0 +1,167 @@
+"""Tests for the heuristic cost-model suggestion (future-work feature)."""
+
+import math
+
+import pytest
+
+from repro.approxql.costs import INFINITE
+from repro.approxql.suggest import SuggestOptions, levenshtein, suggest_cost_model
+from repro.schema.dataguide import build_schema
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.indexes import MemoryNodeIndexes
+from repro.xmltree.model import NodeType
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("", "", 0),
+            ("a", "a", 0),
+            ("a", "b", 1),
+            ("concerto", "concertos", 1),
+            ("composer", "performer", 6),
+            ("kitten", "sitting", 3),
+            ("abc", "", 3),
+        ],
+    )
+    def test_known_distances(self, left, right, expected):
+        assert levenshtein(left, right, cap=10) == expected
+
+    def test_cap_applies(self):
+        assert levenshtein("aaaaaaaaaa", "bbbbbbbbbb", cap=3) == 3
+
+    def test_symmetry(self):
+        assert levenshtein("piano", "pianos") == levenshtein("pianos", "piano")
+
+
+@pytest.fixture
+def catalog():
+    tree = tree_from_xml(
+        "<cd><title>piano concerto</title><composer>rachmaninov</composer>"
+        "<tracks><track><title>vivace</title></track></tracks></cd>",
+        "<cd><title>piano concertos</title><performer>ashkenazy</performer></cd>",
+        "<cd><titles>misc</titles></cd>",
+    )
+    return tree, MemoryNodeIndexes(tree), build_schema(tree)
+
+
+class TestSuggestions:
+    def test_spelling_variants_renamed_cheaply(self, catalog):
+        tree, indexes, schema = catalog
+        model = suggest_cost_model(indexes, schema)
+        # concerto <-> concertos: edit distance 1
+        assert model.rename_cost("concerto", "concertos", NodeType.TEXT) == 2
+        # title <-> titles on the element side
+        assert model.rename_cost("title", "titles", NodeType.STRUCT) == 2
+
+    def test_short_labels_not_confused(self):
+        tree = tree_from_xml("<cd>x</cd>", "<mc>y</mc>")
+        model = suggest_cost_model(MemoryNodeIndexes(tree))
+        assert model.rename_cost("cd", "mc", NodeType.STRUCT) == INFINITE
+
+    def test_context_siblings_renamed(self, catalog):
+        tree, indexes, schema = catalog
+        model = suggest_cost_model(indexes, schema)
+        cost = model.rename_cost("composer", "performer", NodeType.STRUCT)
+        assert cost != INFINITE
+        assert cost == SuggestOptions().context_rename_cost
+
+    def test_depth_aware_delete_costs(self, catalog):
+        tree, indexes, schema = catalog
+        model = suggest_cost_model(indexes, schema)
+        # deep 'track' must be cheaper to delete than the shallow 'cd'
+        track_cost = model.delete_cost("track", NodeType.STRUCT)
+        cd_cost = model.delete_cost("cd", NodeType.STRUCT)
+        assert track_cost < cd_cost
+        assert track_cost != INFINITE
+
+    def test_insert_costs_follow_frequency(self):
+        documents = ["<cd><a>x</a></cd>"] * 30 + ["<cd><rare>y</rare></cd>"]
+        tree = tree_from_xml(*documents)
+        model = suggest_cost_model(MemoryNodeIndexes(tree))
+        assert model.insert_cost("a") <= model.insert_cost("rare")
+
+    def test_all_costs_finite_nonnegative_integers(self, catalog):
+        tree, indexes, schema = catalog
+        model = suggest_cost_model(indexes, schema)
+        for line in model.to_lines():
+            fields = line.split()
+            value = fields[-1]
+            assert value != "nan"
+            if value != "inf":
+                assert float(value) >= 0
+                assert float(value) == int(float(value))
+
+    def test_serializes_to_cost_file(self, catalog):
+        from repro.approxql.costs import CostModel
+
+        tree, indexes, schema = catalog
+        model = suggest_cost_model(indexes, schema)
+        assert CostModel.from_lines(model.to_lines()).to_lines() == model.to_lines()
+
+    def test_renaming_count_bounded(self, catalog):
+        tree, indexes, schema = catalog
+        options = SuggestOptions(max_renamings_per_label=2)
+        model = suggest_cost_model(indexes, schema, options)
+        for label in indexes.labels(NodeType.STRUCT):
+            assert len(model.renamings(label, NodeType.STRUCT)) <= 4  # 2 + 2 context
+
+    def test_augment_for_query_prices_unknown_labels(self, catalog):
+        from repro.approxql.parser import parse_query
+        from repro.approxql.suggest import augment_for_query
+
+        tree, indexes, schema = catalog
+        base = suggest_cost_model(indexes, schema)
+        query = parse_query('cd[titel["piano"]]')  # 'titel' not in the data
+        assert base.renamings("titel", NodeType.STRUCT) == []
+        augmented = augment_for_query(base, query, indexes)
+        targets = {label for label, _ in augmented.renamings("titel", NodeType.STRUCT)}
+        assert "title" in targets
+        # the base model is untouched
+        assert base.renamings("titel", NodeType.STRUCT) == []
+
+    def test_augment_leaves_known_labels_alone(self, catalog):
+        from repro.approxql.parser import parse_query
+        from repro.approxql.suggest import augment_for_query
+
+        tree, indexes, schema = catalog
+        base = suggest_cost_model(indexes, schema)
+        query = parse_query('cd[title["piano"]]')
+        augmented = augment_for_query(base, query, indexes)
+        assert augmented.to_lines() == base.to_lines()
+
+    def test_augment_recovers_unmatchable_queries(self, catalog):
+        from repro.approxql.parser import parse_query
+        from repro.approxql.suggest import augment_for_query
+        from repro.engine.evaluator import DirectEvaluator
+
+        tree, indexes, schema = catalog
+        base = suggest_cost_model(indexes, schema)
+        query = parse_query('cd[titel["piano"]]')
+        evaluator = DirectEvaluator(tree)
+        assert evaluator.evaluate(query, base) == []
+        augmented = augment_for_query(base, query, indexes)
+        assert evaluator.evaluate(query, augmented) != []
+
+    def test_copy_is_independent(self, catalog):
+        tree, indexes, schema = catalog
+        base = suggest_cost_model(indexes, schema)
+        duplicate = base.copy()
+        duplicate.set_insert_cost("cd", 99)
+        duplicate.add_renaming("zzz", "title", NodeType.STRUCT, 1)
+        assert base.insert_cost("cd") != 99
+        assert base.renamings("zzz", NodeType.STRUCT) == []
+
+    def test_suggested_model_improves_recall(self, catalog):
+        """The whole point: the suggested model surfaces the morphological
+        variant the exact query misses."""
+        from repro.engine.evaluator import DirectEvaluator
+
+        tree, indexes, schema = catalog
+        evaluator = DirectEvaluator(tree)
+        exact = evaluator.evaluate('cd[title["concerto"]]')
+        assert len(exact) == 1
+        model = suggest_cost_model(indexes, schema)
+        approx = evaluator.evaluate('cd[title["concerto"]]', model)
+        assert len(approx) >= 2  # also the 'concertos' CD via rename

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer and the markdown formatter."""
+
+import pytest
+
+from repro.bench.chart import render_chart
+from repro.bench.figure7 import Figure7Point, format_markdown
+
+
+def make_points():
+    points = []
+    for renamings, base in ((0, 0.001), (5, 0.01)):
+        for n, n_value in ((1, 1), (10, 10), (None, None)):
+            points.append(Figure7Point(2, "direct", renamings, n_value, base * 10, 5))
+            points.append(Figure7Point(2, "schema", renamings, n_value, base, 5))
+    return points
+
+
+class TestChart:
+    def test_renders_all_curves(self):
+        chart = render_chart(make_points(), "small")
+        assert "Figure 7(b)" in chart
+        for glyph in ("D", "d", "E", "e"):
+            assert glyph in chart
+
+    def test_axis_labels(self):
+        chart = render_chart(make_points(), "small")
+        assert "inf" in chart
+        assert "legend:" in chart
+        assert "d=schema/r0" in chart
+
+    def test_empty_points(self):
+        assert render_chart([], "small") == "(no points)"
+
+    def test_zero_timings(self):
+        points = [Figure7Point(1, "direct", 0, 1, 0.0, 0)]
+        assert "zero" in render_chart(points, "small")
+
+    def test_log_scale_ordering(self):
+        """Faster curves appear on lower rows (closer to the x axis)."""
+        chart = render_chart(make_points(), "small").splitlines()
+        row_of = {}
+        for index, line in enumerate(chart):
+            if "|" not in line:
+                continue
+            plot_area = line.split("|", 1)[1]
+            for glyph in ("D", "d"):
+                if glyph in plot_area and glyph not in row_of:
+                    row_of[glyph] = index
+        assert row_of["d"] > row_of["D"]  # schema (faster) lower in chart
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        rendered = format_markdown(make_points(), "small")
+        assert "| n |" in rendered
+        assert "direct r=0" in rendered
+        assert "schema r=5" in rendered
+        assert "| inf |" in rendered
+        assert "0.0010" in rendered
+
+    def test_empty(self):
+        assert format_markdown([], "small") == "(no points)"

@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness (workloads, Figure 7 series, CLI)."""
+
+import pytest
+
+from repro.bench.figure7 import Figure7Point, format_series, run_figure7
+from repro.bench.workloads import SCALES, Workload, clear_workload_cache, get_workload
+from repro.bench.__main__ import main as run_bench_cli
+from repro.datagen.generator import GeneratorConfig, generate_collection
+from repro.engine.evaluator import DirectEvaluator
+from repro.errors import GenerationError
+from repro.schema.dataguide import build_schema
+from repro.schema.evaluator import SchemaEvaluator
+from repro.xmltree.indexes import MemoryNodeIndexes
+
+
+@pytest.fixture(scope="module")
+def micro_workload():
+    """A very small workload so harness tests stay fast."""
+    config = GeneratorConfig(
+        num_elements=800,
+        num_element_names=40,
+        num_terms=300,
+        num_term_occurrences=4_000,
+        mode="dtd",
+        dtd_size=60,
+        seed=5,
+    )
+    collection = generate_collection(config)
+    tree = collection.tree
+    schema = build_schema(tree)
+    indexes = MemoryNodeIndexes(tree)
+    return Workload(
+        scale="micro",
+        config=config,
+        tree=tree,
+        schema=schema,
+        direct=DirectEvaluator(tree, indexes),
+        schema_eval=SchemaEvaluator(tree, schema),
+        indexes=indexes,
+    )
+
+
+class TestWorkloads:
+    def test_scales_defined(self):
+        assert {"tiny", "small", "paper"} <= set(SCALES)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(GenerationError):
+            get_workload("galactic")
+
+    def test_query_sets_cached(self, micro_workload):
+        first = micro_workload.queries(1, 0, count=3)
+        second = micro_workload.queries(1, 0, count=3)
+        assert first is not second or first == second
+        assert [q.unparse() for q in first] == [q.unparse() for q in second]
+
+    def test_query_sets_differ_per_cell(self, micro_workload):
+        from repro.xmltree.model import NodeType
+
+        zero = micro_workload.queries(1, 0, count=3)
+        five = micro_workload.queries(1, 5, count=3)
+        assert zero[0].costs.renamings(zero[0].query.label, NodeType.STRUCT) == []
+        assert len(five[0].costs.renamings(five[0].query.label, NodeType.STRUCT)) == 5
+
+    def test_cache_clearing(self):
+        clear_workload_cache()  # must not raise
+
+
+class TestRunFigure7:
+    def test_produces_all_points(self, micro_workload):
+        points = run_figure7(
+            1,
+            workload=micro_workload,
+            renamings_counts=(0, 2),
+            n_values=(1, None),
+            queries_per_point=2,
+        )
+        assert len(points) == 2 * 2 * 2  # renamings x n x algorithms
+        assert all(isinstance(point, Figure7Point) for point in points)
+        assert all(point.mean_seconds >= 0 for point in points)
+
+    def test_n_labels(self):
+        point = Figure7Point(1, "direct", 0, None, 0.0, 0.0)
+        assert point.n_label == "inf"
+        assert Figure7Point(1, "direct", 0, 10, 0.0, 0.0).n_label == "10"
+
+    def test_format_series_structure(self, micro_workload):
+        points = run_figure7(
+            2,
+            workload=micro_workload,
+            renamings_counts=(0,),
+            n_values=(1, None),
+            queries_per_point=2,
+        )
+        rendered = format_series(points, "micro")
+        assert "Figure 7(b)" in rendered
+        assert "direct/r=0" in rendered
+        assert "schema/r=0" in rendered
+        assert "inf" in rendered
+        assert "shape:" in rendered
+
+    def test_format_empty(self):
+        assert format_series([], "micro") == "(no points)"
+
+
+class TestBenchCLI:
+    def test_schema_info(self, capsys):
+        assert run_bench_cli(["schema-info", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "schema:" in output
+        assert "selectivity s" in output
+
+    def test_figure7_cli_tiny(self, capsys):
+        code = run_bench_cli(
+            [
+                "figure7",
+                "--pattern",
+                "1",
+                "--scale",
+                "tiny",
+                "--renamings",
+                "0",
+                "--n",
+                "1",
+                "--queries",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "Figure 7(a)" in capsys.readouterr().out

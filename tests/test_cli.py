@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.core.cli import main
+
+CATALOG = """
+<catalog>
+  <cd><title>piano concerto</title><composer>rachmaninov</composer></cd>
+  <cd><title>cello suite</title><composer>bach</composer></cd>
+</catalog>
+"""
+
+
+@pytest.fixture
+def catalog_file(tmp_path):
+    path = tmp_path / "catalog.xml"
+    path.write_text(CATALOG, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def cost_file(tmp_path):
+    path = tmp_path / "costs.txt"
+    path.write_text(
+        "delete text concerto 4\nrename text concerto suite 2\n", encoding="utf-8"
+    )
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_query_xml_source(self, catalog_file, capsys):
+        assert main(["query", catalog_file, 'cd[title["piano"]]']) == 0
+        output = capsys.readouterr().out
+        assert "1 result(s)" in output
+        assert "/catalog/cd" in output
+
+    def test_query_with_costs(self, catalog_file, cost_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    catalog_file,
+                    'cd[title["concerto"]]',
+                    "--costs",
+                    cost_file,
+                    "-n",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "2 result(s)" in output
+
+    def test_query_methods(self, catalog_file, capsys):
+        for method in ("direct", "schema", "auto"):
+            assert main(["query", catalog_file, "cd", "--method", method]) == 0
+        assert "2 result(s)" in capsys.readouterr().out
+
+    def test_query_xml_output(self, catalog_file, capsys):
+        assert main(["query", catalog_file, 'cd[title["piano"]]', "--xml"]) == 0
+        assert "<title>piano concerto</title>" in capsys.readouterr().out
+
+    def test_query_explain(self, catalog_file, cost_file, capsys):
+        assert (
+            main(
+                ["query", catalog_file, 'cd[title["concerto"]]', "--costs", cost_file, "--explain"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "exact match" in output or "rename" in output or "delete" in output
+
+    def test_bad_query_reports_error(self, catalog_file, capsys):
+        assert main(["query", catalog_file, "cd[["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["query", "no-such-file.xml", "cd"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildAndLoad:
+    def test_build_then_query(self, catalog_file, tmp_path, capsys):
+        db_path = str(tmp_path / "catalog.apxq")
+        assert main(["build", db_path, catalog_file]) == 0
+        assert "built" in capsys.readouterr().out
+        assert main(["query", db_path, 'cd[title["piano"]]']) == 0
+        assert "1 result(s)" in capsys.readouterr().out
+
+
+class TestInfoAndSchema:
+    def test_info(self, catalog_file, capsys):
+        assert main(["info", catalog_file]) == 0
+        output = capsys.readouterr().out
+        assert "struct nodes" in output
+        assert "schema size" in output
+
+    def test_schema(self, catalog_file, capsys):
+        assert main(["schema", catalog_file]) == 0
+        output = capsys.readouterr().out
+        assert "cd" in output
+        assert "#text" in output

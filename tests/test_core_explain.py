@@ -1,0 +1,114 @@
+"""Tests for the result-explanation facility."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.approxql.costs import CostModel, paper_example_cost_model
+from repro.xmltree.model import NodeType
+
+from .strategies import random_cost_model, random_query, random_tree
+
+CATALOG = """
+<catalog>
+  <cd>
+    <title>the piano concertos</title>
+    <composer>rachmaninov</composer>
+    <tracks><track><title>vivace</title></track></tracks>
+  </cd>
+  <mc>
+    <category>piano concerto</category>
+    <composer>rachmaninov</composer>
+  </mc>
+</catalog>
+"""
+
+
+@pytest.fixture
+def db():
+    return Database.from_xml(CATALOG)
+
+
+class TestExplanations:
+    def test_exact_match_has_no_operations(self, db):
+        (explanation,) = db.explain('cd[title["piano"]]', n=1)
+        assert explanation.cost == 0
+        assert explanation.operations == []
+        assert explanation.consistent
+        assert "exact match" in explanation.format()
+
+    def test_leaf_deletion_explained(self, db):
+        costs = paper_example_cost_model()
+        explanations = db.explain(
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]', costs=costs
+        )
+        first = explanations[0]
+        assert first.cost == 6.0
+        assert any("delete term 'concerto'" in op for op in first.operations)
+        assert first.consistent
+
+    def test_renamings_explained(self, db):
+        costs = paper_example_cost_model()
+        explanations = db.explain(
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]', costs=costs
+        )
+        mc_explanation = explanations[1]
+        assert mc_explanation.cost == 8.0
+        joined = " | ".join(mc_explanation.operations)
+        assert "rename 'cd' to 'mc'" in joined
+        assert "rename 'title' to 'category'" in joined
+        assert mc_explanation.consistent
+
+    def test_insertions_name_the_inserted_labels(self, db):
+        explanations = db.explain('cd[title["vivace"]]', n=1)
+        (first,) = explanations
+        assert first.cost == 2.0
+        joined = " | ".join(first.operations)
+        assert "insert 'tracks', 'track'" in joined
+        assert first.consistent
+
+    def test_inner_deletion_explained(self, db):
+        costs = CostModel().set_delete_cost("track", NodeType.STRUCT, 3)
+        explanations = db.explain('cd[track[title["piano"]]]', costs=costs, n=1)
+        (first,) = explanations
+        assert any("delete inner node 'track'" in op for op in first.operations)
+        assert first.consistent
+
+    def test_or_explains_the_chosen_branch(self, db):
+        explanations = db.explain('cd[title["piano" or "wagner"]]', n=1)
+        (first,) = explanations
+        assert first.cost == 0
+        assert first.operations == []
+
+    def test_skeleton_rendered(self, db):
+        (explanation,) = db.explain('cd[title["piano"]]', n=1)
+        assert "cd@" in explanation.skeleton
+        assert "piano@" in explanation.skeleton
+
+    def test_bare_selector(self, db):
+        (explanation,) = db.explain("mc", n=1)
+        assert explanation.operations == []
+
+    def test_n_limits_output(self, db):
+        costs = paper_example_cost_model()
+        explanations = db.explain('cd[title["piano"]]', n=1, costs=costs)
+        assert len(explanations) == 1
+
+
+class TestConsistencyProperty:
+    """The derived operation cost must reproduce the evaluator's cost on
+    random inputs — the explanation never lies about the ranking."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_explanations_consistent(self, seed):
+        rng = random.Random(8000 + seed)
+        tree = random_tree(rng)
+        query = random_query(rng)
+        costs = random_cost_model(rng)
+        db = Database.from_tree(tree)
+        for explanation in db.explain(query, n=5, costs=costs):
+            assert explanation.consistent, (
+                f"query={query.unparse()!r} skeleton={explanation.skeleton} "
+                f"ops={explanation.operations}"
+            )

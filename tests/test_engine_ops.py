@@ -1,0 +1,275 @@
+"""Unit tests for the list algebra of Section 6.4."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.entries import INFINITE, ListEntry, entry_from_posting
+from repro.engine.ops import (
+    add_edge_cost,
+    intersect,
+    join,
+    merge,
+    outerjoin,
+    sort_best,
+    union,
+)
+
+
+def entry(pre, bound, pathcost=0.0, inscost=1.0, embcost=0.0, leafcost=None):
+    return ListEntry(
+        pre, bound, pathcost, inscost, embcost, embcost if leafcost is None else leafcost
+    )
+
+
+class TestEntries:
+    def test_ancestor_test(self):
+        ancestor = entry(1, 10)
+        descendant = entry(5, 7)
+        assert ancestor.is_ancestor_of(descendant)
+        assert not descendant.is_ancestor_of(ancestor)
+        assert not ancestor.is_ancestor_of(ancestor)
+
+    def test_distance_formula(self):
+        # paper example: pathcost 9 vs pathcost 3, inscost 2 -> distance 4
+        ancestor = entry(10, 16, pathcost=3.0, inscost=2.0)
+        descendant = entry(15, 15, pathcost=9.0)
+        assert ancestor.distance(descendant) == 4.0
+
+    def test_text_posting_zeroes_bound_and_inscost(self):
+        text_entry = entry_from_posting((7, 7, 5.0, 3.0), is_text=True, as_leaf_match=True)
+        assert text_entry.bound == 0
+        assert text_entry.inscost == 0
+        assert text_entry.embcost == 0
+        assert text_entry.leafcost == 0
+
+    def test_non_leaf_fetch_has_infinite_leafcost(self):
+        struct_entry = entry_from_posting((7, 9, 5.0, 3.0), is_text=False, as_leaf_match=False)
+        assert struct_entry.leafcost == INFINITE
+
+
+class TestMerge:
+    def test_interleaves_by_pre(self):
+        left = [entry(1, 1), entry(5, 5)]
+        right = [entry(3, 3), entry(7, 7)]
+        merged = merge(left, right, 2.0)
+        assert [e.pre for e in merged] == [1, 3, 5, 7]
+
+    def test_rename_cost_applied_to_right_only(self):
+        left = [entry(1, 1, embcost=1.0)]
+        right = [entry(3, 3, embcost=1.0)]
+        merged = merge(left, right, 2.0)
+        assert merged[0].embcost == 1.0
+        assert merged[1].embcost == 3.0
+        assert merged[1].leafcost == 3.0
+
+    def test_empty_sides(self):
+        only = [entry(1, 1)]
+        assert [e.pre for e in merge(only, [], 1.0)] == [1]
+        assert [e.pre for e in merge([], only, 1.0)] == [1]
+        assert merge([], [], 1.0) == []
+
+    def test_inputs_not_mutated(self):
+        right = [entry(3, 3, embcost=1.0)]
+        merge([], right, 2.0)
+        assert right[0].embcost == 1.0
+
+
+class TestJoin:
+    def test_keeps_only_ancestors_with_descendants(self):
+        ancestors = [entry(1, 4), entry(10, 12)]
+        descendants = [entry(2, 2, pathcost=1.0)]
+        joined = join(ancestors, descendants, 0.0)
+        assert [e.pre for e in joined] == [1]
+
+    def test_picks_cheapest_descendant(self):
+        ancestors = [entry(1, 10, pathcost=0.0, inscost=1.0)]
+        descendants = [
+            entry(2, 2, pathcost=5.0, embcost=0.0),   # distance 4
+            entry(3, 3, pathcost=1.0, embcost=1.0),   # distance 0, cost 1
+        ]
+        joined = join(ancestors, descendants, 0.0)
+        assert joined[0].embcost == 1.0
+
+    def test_edge_cost_added(self):
+        ancestors = [entry(1, 10, inscost=1.0)]
+        descendants = [entry(2, 2, pathcost=1.0)]
+        joined = join(ancestors, descendants, 7.0)
+        assert joined[0].embcost == 7.0
+
+    def test_nested_ancestors_both_match(self):
+        ancestors = [entry(1, 10, pathcost=0.0, inscost=1.0), entry(2, 8, pathcost=1.0, inscost=1.0)]
+        descendants = [entry(5, 5, pathcost=4.0)]
+        joined = join(ancestors, descendants, 0.0)
+        assert [e.pre for e in joined] == [1, 2]
+        assert joined[0].embcost == 3.0  # two more nodes between
+        assert joined[1].embcost == 2.0
+
+    def test_leafcost_tracked_separately(self):
+        ancestors = [entry(1, 10, inscost=1.0)]
+        descendants = [
+            entry(2, 2, pathcost=1.0, embcost=0.0, leafcost=INFINITE),
+            entry(3, 3, pathcost=1.0, embcost=5.0, leafcost=5.0),
+        ]
+        joined = join(ancestors, descendants, 0.0)
+        assert joined[0].embcost == 0.0
+        assert joined[0].leafcost == 5.0
+
+    def test_empty_inputs(self):
+        assert join([], [entry(1, 1)], 0.0) == []
+        assert join([entry(1, 5)], [], 0.0) == []
+
+    def test_self_is_not_descendant(self):
+        ancestors = [entry(2, 5)]
+        descendants = [entry(2, 5, pathcost=1.0)]
+        assert join(ancestors, descendants, 0.0) == []
+
+
+class TestOuterjoin:
+    def test_without_descendant_pays_delete(self):
+        ancestors = [entry(1, 4)]
+        result = outerjoin(ancestors, [], 0.0, 6.0)
+        assert result[0].embcost == 6.0
+        assert result[0].leafcost == INFINITE
+
+    def test_with_descendant_takes_minimum(self):
+        ancestors = [entry(1, 4, inscost=1.0)]
+        descendants = [entry(2, 0, pathcost=1.0)]
+        result = outerjoin(ancestors, descendants, 0.0, 6.0)
+        assert result[0].embcost == 0.0
+        assert result[0].leafcost == 0.0
+
+    def test_deletion_cheaper_than_bad_match(self):
+        ancestors = [entry(1, 10, inscost=1.0)]
+        descendants = [entry(5, 0, pathcost=9.0)]  # distance 9 - 0 - 1 = 8
+        result = outerjoin(ancestors, descendants, 0.0, 2.0)
+        assert result[0].embcost == 2.0
+        assert result[0].leafcost == 8.0  # the real match is still tracked
+
+    def test_infinite_delete_drops_nonmatching(self):
+        ancestors = [entry(1, 4), entry(10, 12)]
+        descendants = [entry(2, 0, pathcost=1.0)]
+        result = outerjoin(ancestors, descendants, 0.0, INFINITE)
+        assert [e.pre for e in result] == [1]
+
+    def test_edge_cost_on_both_branches(self):
+        ancestors = [entry(1, 4, inscost=1.0), entry(10, 12)]
+        descendants = [entry(2, 0, pathcost=1.0)]
+        result = outerjoin(ancestors, descendants, 3.0, 6.0)
+        assert result[0].embcost == 3.0
+        assert result[1].embcost == 9.0
+
+
+class TestIntersect:
+    def test_keeps_common_pres_summing_costs(self):
+        left = [entry(1, 4, embcost=2.0), entry(5, 9, embcost=1.0)]
+        right = [entry(5, 9, embcost=3.0), entry(7, 7, embcost=0.0)]
+        result = intersect(left, right, 0.0)
+        assert [e.pre for e in result] == [5]
+        assert result[0].embcost == 4.0
+
+    def test_leafcost_needs_one_side_only(self):
+        left = [entry(1, 4, embcost=2.0, leafcost=INFINITE)]
+        right = [entry(1, 4, embcost=3.0, leafcost=4.0)]
+        result = intersect(left, right, 0.0)
+        assert result[0].embcost == 5.0
+        assert result[0].leafcost == 6.0  # 2 + 4
+
+    def test_edge_cost(self):
+        left = [entry(1, 4, embcost=1.0)]
+        right = [entry(1, 4, embcost=1.0)]
+        assert intersect(left, right, 5.0)[0].embcost == 7.0
+
+    def test_disjoint_lists(self):
+        assert intersect([entry(1, 1)], [entry(2, 2)], 0.0) == []
+
+
+class TestUnion:
+    def test_all_pres_kept(self):
+        left = [entry(1, 1, embcost=1.0)]
+        right = [entry(2, 2, embcost=2.0)]
+        result = union(left, right, 0.0)
+        assert [e.pre for e in result] == [1, 2]
+
+    def test_common_pre_takes_minimum(self):
+        left = [entry(1, 4, embcost=5.0, leafcost=7.0)]
+        right = [entry(1, 4, embcost=3.0, leafcost=INFINITE)]
+        result = union(left, right, 0.0)
+        assert result[0].embcost == 3.0
+        assert result[0].leafcost == 7.0
+
+    def test_edge_cost_everywhere(self):
+        left = [entry(1, 1, embcost=1.0)]
+        right = [entry(2, 2, embcost=2.0)]
+        result = union(left, right, 10.0)
+        assert [e.embcost for e in result] == [11.0, 12.0]
+
+    def test_result_sorted(self):
+        left = [entry(2, 2), entry(9, 9)]
+        right = [entry(1, 1), entry(5, 5)]
+        assert [e.pre for e in union(left, right, 0.0)] == [1, 2, 5, 9]
+
+
+class TestSortBest:
+    def test_sorts_by_leafcost(self):
+        entries = [entry(1, 1, embcost=5.0), entry(2, 2, embcost=1.0), entry(3, 3, embcost=3.0)]
+        result = sort_best(None, entries)
+        assert [e.pre for e in result] == [2, 3, 1]
+
+    def test_prunes_to_n(self):
+        entries = [entry(i, i, embcost=float(10 - i)) for i in range(10)]
+        assert len(sort_best(3, entries)) == 3
+
+    def test_discards_invalid(self):
+        entries = [entry(1, 1, embcost=0.0, leafcost=INFINITE), entry(2, 2, embcost=1.0)]
+        assert [e.pre for e in sort_best(None, entries)] == [2]
+
+    def test_ties_broken_by_pre(self):
+        entries = [entry(9, 9, embcost=1.0), entry(2, 2, embcost=1.0)]
+        assert [e.pre for e in sort_best(None, entries)] == [2, 9]
+
+
+class TestAddEdgeCost:
+    def test_zero_is_identity(self):
+        entries = [entry(1, 1)]
+        assert add_edge_cost(entries, 0.0) is entries
+
+    def test_adds_to_both_costs(self):
+        entries = [entry(1, 1, embcost=1.0, leafcost=2.0)]
+        result = add_edge_cost(entries, 3.0)
+        assert result[0].embcost == 4.0
+        assert result[0].leafcost == 5.0
+        assert entries[0].embcost == 1.0  # input untouched
+
+    def test_infinite_leafcost_stays_infinite(self):
+        entries = [entry(1, 1, embcost=1.0, leafcost=INFINITE)]
+        result = add_edge_cost(entries, 3.0)
+        assert result[0].leafcost == INFINITE
+        assert not math.isnan(result[0].leafcost)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pres=st.lists(st.integers(min_value=1, max_value=100), unique=True, max_size=20),
+    other_pres=st.lists(st.integers(min_value=1, max_value=100), unique=True, max_size=20),
+)
+def test_union_is_commutative_on_costs(pres, other_pres):
+    left = [entry(p, p, embcost=float(p % 5)) for p in sorted(pres)]
+    right = [entry(p, p, embcost=float(p % 3)) for p in sorted(other_pres)]
+    forward = {(e.pre, e.embcost) for e in union(left, right, 1.0)}
+    backward = {(e.pre, e.embcost) for e in union(right, left, 1.0)}
+    assert forward == backward
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pres=st.lists(st.integers(min_value=1, max_value=100), unique=True, max_size=20),
+    other_pres=st.lists(st.integers(min_value=1, max_value=100), unique=True, max_size=20),
+)
+def test_intersect_keeps_exactly_common_pres(pres, other_pres):
+    left = [entry(p, p) for p in sorted(pres)]
+    right = [entry(p, p) for p in sorted(other_pres)]
+    result = intersect(left, right, 0.0)
+    assert [e.pre for e in result] == sorted(set(pres) & set(other_pres))

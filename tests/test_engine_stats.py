@@ -1,0 +1,93 @@
+"""Tests for the direct evaluator's observability counters."""
+
+import pytest
+
+from repro.approxql.costs import CostModel, paper_example_cost_model
+from repro.approxql.expanded import build_expanded
+from repro.approxql.parser import parse_query
+from repro.engine.evaluator import DirectEvaluator, DirectStats
+from repro.engine.primary import PrimaryEvaluator
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.indexes import MemoryNodeIndexes
+from repro.xmltree.model import NodeType
+
+
+@pytest.fixture
+def tree():
+    return tree_from_xml(
+        "<cd><title>piano concerto</title><composer>rachmaninov</composer></cd>",
+        "<cd><title>piano sonata</title></cd>",
+    )
+
+
+class TestDirectStats:
+    def test_counters_filled(self, tree):
+        stats = DirectStats()
+        DirectEvaluator(tree).evaluate('cd[title["piano"]]', stats=stats)
+        assert stats.fetch_count == 3  # cd, title, piano
+        assert stats.postings_fetched == 2 + 2 + 2
+        assert stats.list_ops >= 2
+        assert stats.results_total == 2
+
+    def test_stats_accumulate(self, tree):
+        stats = DirectStats()
+        evaluator = DirectEvaluator(tree)
+        evaluator.evaluate('cd[title["piano"]]', stats=stats)
+        evaluator.evaluate('cd[title["piano"]]', stats=stats)
+        assert stats.fetch_count == 6
+
+    def test_renamings_fetch_more(self, tree):
+        model = CostModel().add_renaming("piano", "cello", NodeType.TEXT, 2)
+        stats = DirectStats()
+        DirectEvaluator(tree).evaluate('cd[title["piano"]]', model, stats=stats)
+        assert stats.fetch_count == 4  # cd, title, piano, cello
+
+    def test_no_stats_is_fine(self, tree):
+        assert DirectEvaluator(tree).evaluate('cd[title["piano"]]') != []
+
+
+class TestMemoization:
+    def _expanded(self):
+        # nested deletable chain -> shared subtrees in the expanded DAG
+        model = CostModel()
+        model.set_delete_cost("a", NodeType.STRUCT, 1)
+        model.set_delete_cost("b", NodeType.STRUCT, 1)
+        return model, parse_query('r[a[b["x"]]]')
+
+    def test_memoization_hits_on_shared_subtrees(self):
+        tree = tree_from_xml("<r><a><b>x</b></a><b>x</b></r>")
+        model, query = self._expanded()
+        tree.encode_costs(model.insert_cost, fingerprint=model.insert_fingerprint)
+        evaluator = PrimaryEvaluator(MemoryNodeIndexes(tree))
+        evaluator.evaluate(build_expanded(query, model))
+        assert evaluator.memo_hits >= 1
+
+    def test_disabling_memoization_preserves_results(self):
+        tree = tree_from_xml("<r><a><b>x</b></a><b>x</b><a>x</a></r>")
+        model, query = self._expanded()
+        tree.encode_costs(model.insert_cost, fingerprint=model.insert_fingerprint)
+        expanded = build_expanded(query, model)
+        indexes = MemoryNodeIndexes(tree)
+        with_dp = PrimaryEvaluator(indexes, memoize=True).evaluate(expanded)
+        without_dp = PrimaryEvaluator(indexes, memoize=False).evaluate(expanded)
+        assert [(e.pre, e.embcost, e.leafcost) for e in with_dp] == [
+            (e.pre, e.embcost, e.leafcost) for e in without_dp
+        ]
+
+    def test_paper_query_memoization_counts(self):
+        tree = tree_from_xml(
+            "<catalog><cd><track><title>piano concerto</title></track>"
+            "<composer>rachmaninov</composer></cd></catalog>"
+        )
+        costs = paper_example_cost_model()
+        tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+        query = parse_query(
+            'cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]'
+        )
+        evaluator = PrimaryEvaluator(MemoryNodeIndexes(tree))
+        evaluator.evaluate(build_expanded(query, costs))
+        # the bridged (deletable) track/title/composer subtrees are
+        # shared and re-requested under cached ancestor lists
+        assert evaluator.memo_hits == 12
+        assert evaluator.fetch_count == 12
+        assert evaluator.postings_fetched > 0

@@ -1,0 +1,59 @@
+"""Randomized equivalence: algorithm primary == naive closure evaluation.
+
+The naive evaluator implements the theoretical five-step semantics of
+Section 5.3 by explicit enumeration; the direct engine implements the
+expanded-representation algorithm of Section 6.  On every random (tree,
+query, cost model) triple the two must produce identical root-cost pairs.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.evaluator import DirectEvaluator
+from repro.transform.naive import evaluate_naive
+
+from .strategies import random_cost_model, random_query, random_tree
+
+
+def _pairs_direct(tree, query, costs):
+    return [(r.root, r.cost) for r in DirectEvaluator(tree).evaluate(query, costs)]
+
+
+def _pairs_naive(tree, query, costs):
+    return [(p.root, p.cost) for p in evaluate_naive(query, tree, costs)]
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_direct_equals_naive_random(seed):
+    rng = random.Random(1000 + seed)
+    for _ in range(8):
+        tree = random_tree(rng)
+        query = random_query(rng)
+        costs = random_cost_model(rng)
+        assert _pairs_direct(tree, query, costs) == _pairs_naive(tree, query, costs), (
+            f"query={query.unparse()!r}\ncosts={costs.to_lines()}\n"
+            f"tree=\n{tree.format_subtree()}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_direct_equals_naive_deep_queries(seed):
+    """Deeper queries exercise nested deletion chains and DAG sharing."""
+    rng = random.Random(5000 + seed)
+    tree = random_tree(rng, max_nodes=35, max_depth=6)
+    query = random_query(rng, max_depth=4)
+    costs = random_cost_model(rng)
+    assert _pairs_direct(tree, query, costs) == _pairs_naive(tree, query, costs)
+
+
+def test_best_n_is_prefix_of_full_list():
+    rng = random.Random(77)
+    for _ in range(15):
+        tree = random_tree(rng)
+        query = random_query(rng)
+        costs = random_cost_model(rng)
+        evaluator = DirectEvaluator(tree)
+        full = evaluator.evaluate(query, costs)
+        for n in (0, 1, 2, 5):
+            assert evaluator.evaluate(query, costs, n=n) == full[:n]

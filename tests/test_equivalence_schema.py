@@ -1,0 +1,81 @@
+"""Randomized equivalence: schema-driven evaluation == direct evaluation.
+
+Section 7.1 argues that tree classes and the transitivity of embeddings
+make the schema pipeline exact: for every (tree, query, cost model), full
+retrieval through second-level queries must produce the same root-cost
+mapping as the direct algorithm, and best-n retrieval must return n
+results of exactly the same costs.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.evaluator import DirectEvaluator
+from repro.schema.evaluator import SchemaEvaluator
+
+from .strategies import random_cost_model, random_query, random_tree
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_schema_equals_direct_full_retrieval(seed):
+    rng = random.Random(3000 + seed)
+    for _ in range(6):
+        tree = random_tree(rng)
+        query = random_query(rng)
+        costs = random_cost_model(rng)
+        direct = {r.root: r.cost for r in DirectEvaluator(tree).evaluate(query, costs)}
+        schema = {r.root: r.cost for r in SchemaEvaluator(tree).evaluate(query, costs)}
+        assert direct == schema, (
+            f"query={query.unparse()!r}\ncosts={costs.to_lines()}\n"
+            f"tree=\n{tree.format_subtree()}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_schema_best_n_matches_direct(seed):
+    rng = random.Random(4000 + seed)
+    tree = random_tree(rng)
+    query = random_query(rng)
+    costs = random_cost_model(rng)
+    direct = DirectEvaluator(tree).evaluate(query, costs)
+    direct_map = {r.root: r.cost for r in direct}
+    for n in (1, 2, 5):
+        schema_n = SchemaEvaluator(tree).evaluate(query, costs, n=n, initial_k=1, delta=1)
+        # same multiset of costs as the direct top-n...
+        assert sorted(r.cost for r in schema_n) == sorted(r.cost for r in direct[:n])
+        # ...and every returned root carries its true minimal cost
+        for result in schema_n:
+            assert direct_map[result.root] == result.cost
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_streaming_order_is_nondecreasing(seed):
+    rng = random.Random(6000 + seed)
+    tree = random_tree(rng)
+    query = random_query(rng)
+    costs = random_cost_model(rng)
+    costs_seen = [
+        r.cost
+        for r in SchemaEvaluator(tree).iter_results(query, costs, initial_k=1, delta=1)
+    ]
+    assert costs_seen == sorted(costs_seen)
+
+
+def test_schema_equals_direct_on_regular_data():
+    """Template-shaped data (many instances per class) stresses the
+    instance/class machinery differently from random trees."""
+    rng = random.Random(99)
+    documents = []
+    for index in range(20):
+        title = rng.choice(["x", "y", "z"])
+        extra = '<b><c>%s</c></b>' % rng.choice(["x", "y"]) if rng.random() < 0.5 else ""
+        documents.append(f"<a><b>{title}</b>{extra}</a>")
+    from repro.xmltree.builder import tree_from_xml
+
+    tree = tree_from_xml(*documents)
+    for query_text in ['a[b["x"]]', 'a[b["x" or "y"]]', 'a[b[c["x"]] and b["y"]]']:
+        costs = random_cost_model(rng)
+        direct = {r.root: r.cost for r in DirectEvaluator(tree).evaluate(query_text, costs)}
+        schema = {r.root: r.cost for r in SchemaEvaluator(tree).evaluate(query_text, costs)}
+        assert direct == schema

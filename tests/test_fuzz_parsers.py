@@ -1,0 +1,115 @@
+"""Fuzz-style property tests: the parsers never crash with anything but
+their own syntax errors, and well-formed inputs round-trip."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approxql.ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+from repro.approxql.parser import parse_query
+from repro.errors import QuerySyntaxError, XMLSyntaxError
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.parser import parse_document
+from repro.xmltree.serialize import collection_to_xml
+
+# ----------------------------------------------------------------------
+# approXQL fuzzing
+# ----------------------------------------------------------------------
+
+# 'and'/'or' are reserved words of the query language: they can be
+# element names in *data*, but a query cannot spell them as selectors
+_RESERVED = {"and", "or"}
+name_strategy = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6).filter(
+    lambda name: name not in _RESERVED
+)
+word_strategy = st.text(
+    alphabet=string.ascii_lowercase + "0123456789", min_size=1, max_size=6
+).filter(lambda word: word not in _RESERVED)
+
+
+def query_expr_strategy():
+    return st.recursive(
+        st.one_of(
+            word_strategy.map(TextSelector),
+            name_strategy.map(NameSelector),
+        ),
+        lambda children: st.one_of(
+            st.tuples(name_strategy, children).map(
+                lambda pair: NameSelector(pair[0], pair[1])
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda items: AndExpr(tuple(items))
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda items: OrExpr(tuple(items))
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    label=name_strategy,
+    content=query_expr_strategy(),
+)
+def test_query_unparse_parse_roundtrip(label, content):
+    query = NameSelector(label, content)
+    reparsed = parse_query(query.unparse())
+    assert reparsed == query
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=40))
+def test_query_parser_total(text):
+    """Arbitrary input either parses or raises QuerySyntaxError — never
+    anything else."""
+    try:
+        parse_query(text)
+    except QuerySyntaxError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# XML fuzzing
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=60))
+def test_xml_parser_total(text):
+    try:
+        parse_document(text)
+    except XMLSyntaxError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.recursive(
+        st.text(alphabet=string.ascii_lowercase + " ", max_size=8),
+        lambda children: st.tuples(
+            name_strategy, st.lists(children, max_size=3)
+        ),
+        max_leaves=10,
+    )
+)
+def test_generated_xml_always_parses(shape):
+    """Documents we serialize ourselves always reparse and rebuild to an
+    identical data tree."""
+
+    def render(node):
+        if isinstance(node, str):
+            return node.replace("&", "").replace("<", "")
+        tag, children = node
+        inner = "".join(render(child) for child in children)
+        return f"<{tag}>{inner}</{tag}>"
+
+    if isinstance(shape, str):
+        return  # need an element root
+    text = render(shape)
+    tree = tree_from_xml(text)
+    rebuilt = tree_from_xml(collection_to_xml(tree))
+    assert rebuilt.labels == tree.labels
+    assert rebuilt.parents == tree.parents

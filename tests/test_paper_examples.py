@@ -1,0 +1,227 @@
+"""The paper's worked examples, executable.
+
+Each test pins one concrete artifact from the paper: the Figure 1
+embedding, the Section 3 separation, the Section 6 cost table driving
+Figure 2's expanded representation, Figure 3's encoding arithmetic, and
+the end-to-end behaviour of the motivating queries of Section 1.
+"""
+
+import pytest
+
+from repro import Database
+from repro.approxql import (
+    CostModel,
+    build_expanded,
+    paper_example_cost_model,
+    parse_query,
+    separate,
+)
+from repro.approxql.expanded import RepType
+from repro.engine.evaluator import DirectEvaluator
+from repro.transform.closure import count_semi_transformed, semi_transformed_queries
+from repro.transform.naive import _Embedder
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.model import NodeType
+
+#: the data-tree fragment of Figure 1(b) / Figure 3(a)
+FIGURE1_XML = """
+<catalog>
+  <cd>
+    <title>the piano concertos</title>
+    <composer>rachmaninov</composer>
+    <tracks>
+      <track><title>vivace</title></track>
+    </tracks>
+  </cd>
+</catalog>
+"""
+
+RUNNING_QUERY = 'cd[title["piano" and "concerto"] and composer["rachmaninov"]]'
+FIGURE2_QUERY = 'cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]'
+
+
+class TestSection1Motivation:
+    """The introduction's complaints about exact matching, reproduced."""
+
+    CATALOG = """
+    <catalog>
+      <cd>
+        <title>famous concertos</title>
+        <tracks><track><title>piano concerto</title></track></tracks>
+        <performer>rachmaninov</performer>
+      </cd>
+      <mc><category>piano concerto</category><composer>rachmaninov</composer></mc>
+    </catalog>
+    """
+
+    def test_exact_query_misses_all_similar_entries(self):
+        """The XQL query retrieves neither track titles nor categories
+        nor performers nor other media."""
+        db = Database.from_xml(self.CATALOG)
+        query = 'cd[composer["rachmaninov"] and title["piano" and "concerto"]]'
+        assert db.query(query, n=None) == []
+
+    def test_transformations_recover_them_ranked(self):
+        db = Database.from_xml(self.CATALOG)
+        costs = CostModel()
+        costs.add_renaming("composer", "performer", NodeType.STRUCT, 4)
+        costs.add_renaming("cd", "mc", NodeType.STRUCT, 4)
+        costs.add_renaming("title", "category", NodeType.STRUCT, 4)
+        query = 'cd[composer["rachmaninov"] and title["piano" and "concerto"]]'
+        results = db.query(query, n=None, costs=costs)
+        assert len(results) == 2
+        assert [r.label for r in results] == ["cd", "mc"]
+        # cd: performer rename (4) + two insertions into track titles (2)
+        assert results[0].cost == 6.0
+        # mc: two renames (4 + 4)
+        assert results[1].cost == 8.0
+
+
+class TestSection3Separation:
+    def test_two_or_operators_give_four_conjuncts(self):
+        text = (
+            'cd[title["piano" and ("concerto" or "sonata")] and '
+            '(composer["rachmaninov"] or performer["ashkenazy"])]'
+        )
+        rendered = sorted(q.unparse() for q in separate(parse_query(text)))
+        assert rendered == sorted([
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]',
+            'cd[title["piano" and "concerto"] and performer["ashkenazy"]]',
+            'cd[title["piano" and "sonata"] and composer["rachmaninov"]]',
+            'cd[title["piano" and "sonata"] and performer["ashkenazy"]]',
+        ])
+
+
+class TestFigure1Embedding:
+    def test_exact_embedding_exists_for_relaxed_query(self):
+        """Figure 1 embeds the query into the subtree at the left cd node;
+        with 'concertos' in the title, the leaf 'concertos' matches."""
+        tree = tree_from_xml(FIGURE1_XML)
+        query = 'cd[title["piano" and "concertos"] and composer["rachmaninov"]]'
+        results = DirectEvaluator(tree).evaluate(query)
+        assert len(results) == 1
+        root = results[0].root
+        assert tree.label(root) == "cd"
+        assert results[0].cost == 0.0
+
+    def test_embedding_is_label_type_and_ancestry_preserving(self):
+        tree = tree_from_xml(FIGURE1_XML)
+        (conjunct,) = separate(
+            parse_query('cd[title["piano" and "concertos"] and composer["rachmaninov"]]')
+        )
+        embedder = _Embedder(tree)
+        cd = next(p for p in tree.iter_nodes() if tree.label(p) == "cd")
+        assert embedder.min_cost(conjunct, cd) == 0.0
+        # moving the root match to catalog must fail (label-preserving)
+        catalog = next(p for p in tree.iter_nodes() if tree.label(p) == "catalog")
+        assert embedder.min_cost(conjunct, catalog) == float("inf")
+
+
+class TestSection6CostTable:
+    def test_table_round_trips_through_cost_files(self):
+        model = paper_example_cost_model()
+        assert CostModel.from_lines(model.to_lines()).to_lines() == model.to_lines()
+
+    def test_unlisted_costs_follow_the_footnote(self):
+        """'All delete and rename costs not listed are infinite; all
+        remaining insert costs are 1.'"""
+        model = paper_example_cost_model()
+        assert model.delete_cost("tracks", NodeType.STRUCT) == float("inf")
+        assert model.rename_cost("track", "tracks", NodeType.STRUCT) == float("inf")
+        assert model.insert_cost("tracks") == 1
+
+
+class TestFigure2Expanded:
+    def test_every_inner_node_except_root_has_or_parent(self):
+        """In the example every non-root inner node (track, title,
+        composer) is deletable, so each gets an or-parent."""
+        expanded = build_expanded(parse_query(FIGURE2_QUERY), paper_example_cost_model())
+        or_nodes = [
+            node for node in expanded.iter_unique_nodes() if node.reptype == RepType.OR
+        ]
+        assert sorted(node.edgecost for node in or_nodes) == [3.0, 5.0, 7.0]
+
+    def test_semi_transformed_query_costs(self):
+        """Costs of characteristic semi-transformed queries derivable
+        from Figure 2(a): renamings + deletions add up per the table."""
+        (conjunct,) = separate(parse_query(FIGURE2_QUERY))
+        costs = paper_example_cost_model()
+        by_text = {
+            v.query.unparse(): v.cost for v in semi_transformed_queries(conjunct, costs)
+        }
+        # identity
+        assert by_text[FIGURE2_QUERY] == 0.0
+        # delete track (3)
+        assert by_text[
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]'
+        ] == 3.0
+        # delete track (3) + title (5)
+        assert by_text['cd["piano" and "concerto" and composer["rachmaninov"]]'] == 8.0
+        # rename cd->mc (4) and concerto->sonata (3)
+        assert by_text[
+            'mc[track[title["piano" and "sonata"]] and composer["rachmaninov"]]'
+        ] == 7.0
+        # delete leaf piano (8), rename composer->performer (4)
+        assert by_text[
+            'cd[track[title["concerto"]] and performer["rachmaninov"]]'
+        ] == 12.0
+
+    def test_closure_size_documented(self):
+        """The paper reports 84 semi-transformed queries for Figure 2(a)
+        without defining the exact count; our enumeration (leaf deletions
+        included, Definition-4 blocking via the cost table) gives 324 —
+        the pinned value documents our interpretation."""
+        (conjunct,) = separate(parse_query(FIGURE2_QUERY))
+        assert count_semi_transformed(conjunct, paper_example_cost_model()) == 324
+
+
+class TestFigure3Encoding:
+    def test_ancestor_test_and_distance_formula(self):
+        """'Node 15 (vivace) is a descendant of node 10 (tracks)' and
+        distance(u, v) = pathcost(v) - pathcost(u) - inscost(u)."""
+        tree = tree_from_xml(FIGURE1_XML)
+        costs = paper_example_cost_model()
+        tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+        label_of = {tree.label(p): p for p in tree.iter_nodes()}
+        tracks, vivace = label_of["tracks"], label_of["vivace"]
+        assert tree.is_ancestor(tracks, vivace)
+        assert not tree.is_ancestor(vivace, tracks)
+        # between them lie track and the inner title (two title nodes
+        # exist in the document; take the one under track)
+        track = label_of["track"]
+        inner_title = tree.children(track)[0]
+        expected = tree.inscosts[track] + tree.inscosts[inner_title]
+        assert tree.distance(tracks, vivace) == expected
+        assert (
+            tree.pathcosts[vivace] - tree.pathcosts[tracks] - tree.inscosts[tracks]
+            == expected
+        )
+
+    def test_index_postings_cover_figure3(self):
+        from repro.xmltree.indexes import MemoryNodeIndexes
+
+        tree = tree_from_xml(FIGURE1_XML)
+        indexes = MemoryNodeIndexes(tree)
+        assert indexes.posting_size("title", NodeType.STRUCT) == 2
+        assert indexes.posting_size("piano", NodeType.TEXT) == 1
+        assert indexes.posting_size("vivace", NodeType.TEXT) == 1
+
+
+class TestRunningQueryEndToEnd:
+    def test_both_algorithms_on_figure1_data(self):
+        db = Database.from_xml(FIGURE1_XML)
+        costs = paper_example_cost_model()
+        direct = db.query(RUNNING_QUERY, n=None, costs=costs, method="direct")
+        schema = db.query(RUNNING_QUERY, n=None, costs=costs, method="schema")
+        assert direct == schema
+        # 'concerto' does not occur ('concertos' does): delete it for 6
+        assert [(r.label, r.cost) for r in direct] == [("cd", 6.0)]
+
+    def test_insertion_example_of_section52(self):
+        """Inserting tracks and track between cd and title searches in
+        the more specific context of track titles."""
+        db = Database.from_xml(FIGURE1_XML)
+        costs = paper_example_cost_model()
+        results = db.query('cd[title["vivace"]]', n=None, costs=costs)
+        # tracks (1) + track (3) inserted implicitly
+        assert [(r.label, r.cost) for r in results] == [("cd", 4.0)]

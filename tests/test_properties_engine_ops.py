@@ -1,0 +1,142 @@
+"""Model-based property tests: the list operations against brute-force
+reference implementations."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.entries import INFINITE, ListEntry
+from repro.engine.ops import intersect, join, merge, outerjoin, union
+
+# entries over a small universe; bounds chosen so nesting happens
+entry_strategy = st.builds(
+    lambda pre, span, pathcost, inscost, embcost, has_leaf: ListEntry(
+        pre, pre + span, float(pathcost), float(inscost), float(embcost),
+        float(embcost) if has_leaf else INFINITE,
+    ),
+    pre=st.integers(min_value=0, max_value=40),
+    span=st.integers(min_value=0, max_value=10),
+    pathcost=st.integers(min_value=0, max_value=9),
+    inscost=st.integers(min_value=0, max_value=4),
+    embcost=st.integers(min_value=0, max_value=9),
+    has_leaf=st.booleans(),
+)
+
+
+def eval_list(entries):
+    """Deduplicate by pre (keep first) and sort — a legal evaluation list."""
+    by_pre = {}
+    for entry in entries:
+        by_pre.setdefault(entry.pre, entry)
+    return [by_pre[pre] for pre in sorted(by_pre)]
+
+
+lists = st.lists(entry_strategy, max_size=15).map(eval_list)
+
+
+def brute_join(ancestors, descendants, edge_cost):
+    result = {}
+    for ancestor in ancestors:
+        best = INFINITE
+        best_leaf = INFINITE
+        for descendant in descendants:
+            if ancestor.pre < descendant.pre <= ancestor.bound:
+                distance = descendant.pathcost - ancestor.pathcost - ancestor.inscost
+                best = min(best, distance + descendant.embcost)
+                best_leaf = min(best_leaf, distance + descendant.leafcost)
+        if best != INFINITE:
+            result[ancestor.pre] = (best + edge_cost, best_leaf + edge_cost)
+    return result
+
+
+class TestJoinModel:
+    @settings(max_examples=80, deadline=None)
+    @given(ancestors=lists, descendants=lists, edge=st.integers(min_value=0, max_value=5))
+    def test_join_matches_brute_force(self, ancestors, descendants, edge):
+        expected = brute_join(ancestors, descendants, float(edge))
+        actual = {e.pre: (e.embcost, e.leafcost) for e in join(ancestors, descendants, float(edge))}
+        assert actual == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ancestors=lists,
+        descendants=lists,
+        edge=st.integers(min_value=0, max_value=5),
+        delete=st.integers(min_value=0, max_value=9),
+    )
+    def test_outerjoin_matches_brute_force(self, ancestors, descendants, edge, delete):
+        joined = brute_join(ancestors, descendants, 0.0)
+        expected = {}
+        for ancestor in ancestors:
+            if ancestor.pre in joined:
+                emb, leaf = joined[ancestor.pre]
+                expected[ancestor.pre] = (min(emb, delete) + edge, leaf + edge)
+            else:
+                expected[ancestor.pre] = (delete + edge, INFINITE)
+        actual = {
+            e.pre: (e.embcost, e.leafcost)
+            for e in outerjoin(ancestors, descendants, float(edge), float(delete))
+        }
+        assert actual == expected
+
+
+class TestBooleanModel:
+    @settings(max_examples=80, deadline=None)
+    @given(left=lists, right=lists, edge=st.integers(min_value=0, max_value=5))
+    def test_intersect_matches_brute_force(self, left, right, edge):
+        right_by_pre = {e.pre: e for e in right}
+        expected = {}
+        for entry in left:
+            other = right_by_pre.get(entry.pre)
+            if other is None:
+                continue
+            leaf = min(entry.leafcost + other.embcost, entry.embcost + other.leafcost)
+            expected[entry.pre] = (
+                entry.embcost + other.embcost + edge,
+                leaf + edge if leaf != INFINITE else INFINITE,
+            )
+        actual = {
+            e.pre: (e.embcost, e.leafcost) for e in intersect(left, right, float(edge))
+        }
+        assert actual == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(left=lists, right=lists, edge=st.integers(min_value=0, max_value=5))
+    def test_union_matches_brute_force(self, left, right, edge):
+        expected = {}
+        for entry in left + right:
+            emb, leaf = expected.get(entry.pre, (INFINITE, INFINITE))
+            expected[entry.pre] = (min(emb, entry.embcost), min(leaf, entry.leafcost))
+        expected = {
+            pre: (emb + edge, leaf + edge if leaf != INFINITE else INFINITE)
+            for pre, (emb, leaf) in expected.items()
+        }
+        actual = {e.pre: (e.embcost, e.leafcost) for e in union(left, right, float(edge))}
+        assert actual == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(left=lists, right=lists, rename=st.integers(min_value=0, max_value=5))
+    def test_merge_keeps_all_entries(self, left, right, rename):
+        # merge assumes disjoint pres (distinct labels): filter the overlap
+        left_pres = {e.pre for e in left}
+        right = [e for e in right if e.pre not in left_pres]
+        merged = merge(left, right, float(rename))
+        assert [e.pre for e in merged] == sorted(left_pres | {e.pre for e in right})
+        for entry in merged:
+            assert not math.isnan(entry.embcost)
+
+
+class TestOutputInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(left=lists, right=lists)
+    def test_all_ops_produce_sorted_unique_lists(self, left, right):
+        for produced in (
+            join(left, right, 0.0),
+            outerjoin(left, right, 0.0, 3.0),
+            intersect(left, right, 0.0),
+            union(left, right, 0.0),
+        ):
+            pres = [e.pre for e in produced]
+            assert pres == sorted(set(pres))
+            assert all(e.embcost != INFINITE for e in produced)

@@ -1,0 +1,195 @@
+"""Property-based tests for the segmented top-k operations."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.entries import SchemaEntry
+from repro.schema.topk_ops import (
+    TruncationMonitor,
+    intersect_k,
+    join_k,
+    merge_k,
+    outerjoin_k,
+    sort_roots,
+    union_k,
+)
+
+
+def make_entry(pre, embcost, label, has_leaf=True, bound=None, pathcost=0.0):
+    return SchemaEntry(
+        pre, pre if bound is None else bound, pathcost, 1.0, embcost, label, (), has_leaf
+    )
+
+
+entry_strategy = st.builds(
+    make_entry,
+    pre=st.integers(min_value=1, max_value=20),
+    embcost=st.floats(min_value=0, max_value=50, allow_nan=False),
+    label=st.sampled_from(["a", "b", "c", "d", "e"]),
+    has_leaf=st.booleans(),
+)
+
+
+def as_list(entries):
+    return sorted(entries, key=lambda e: (e.pre, e.embcost, e.signature))
+
+
+def segment_sizes(entries):
+    counts = {}
+    for entry in entries:
+        key = (entry.pre, entry.has_leaf)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class TestSegmentInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(entry_strategy, max_size=25),
+        right=st.lists(entry_strategy, max_size=25),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_merge_respects_quotas_and_order(self, left, right, k):
+        result = merge_k(as_list(left), as_list(right), 2.0, k)
+        assert all(count <= k for count in segment_sizes(result).values())
+        pres = [entry.pre for entry in result]
+        assert pres == sorted(pres)
+        signatures = {(e.pre, e.has_leaf, e.signature) for e in result}
+        assert len(signatures) == len(result)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(entry_strategy, max_size=25),
+        right=st.lists(entry_strategy, max_size=25),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_union_monotone_in_k(self, left, right, k):
+        """Growing k only adds entries (the §7.4 prefix property at the
+        segment level)."""
+        small = union_k(as_list(left), as_list(right), 0.0, k)
+        large = union_k(as_list(left), as_list(right), 0.0, k + 2)
+        small_keys = {(e.pre, e.has_leaf, e.signature) for e in small}
+        large_keys = {(e.pre, e.has_leaf, e.signature) for e in large}
+        assert small_keys <= large_keys
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(entry_strategy, max_size=20),
+        right=st.lists(entry_strategy, max_size=20),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_intersect_only_common_pres(self, left, right, k):
+        result = intersect_k(as_list(left), as_list(right), 0.0, k)
+        left_pres = {entry.pre for entry in left}
+        right_pres = {entry.pre for entry in right}
+        assert all(entry.pre in left_pres & right_pres for entry in result)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(entry_strategy, max_size=15),
+        right=st.lists(entry_strategy, max_size=15),
+    )
+    def test_intersect_costs_are_pair_sums(self, left, right):
+        result = intersect_k(as_list(left), as_list(right), 0.0, k=100)
+        sums = {
+            (le.pre, le.embcost + re.embcost)
+            for le in left
+            for re in right
+            if le.pre == re.pre
+        }
+        for entry in result:
+            assert (entry.pre, entry.embcost) in sums
+
+
+class TestJoinProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        descendants=st.lists(entry_strategy, max_size=25),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_join_output_bounded_by_k_per_class(self, descendants, k):
+        ancestors = [make_entry(0, 0.0, "root", has_leaf=False, bound=100)]
+        result = join_k(ancestors, as_list(descendants), 0.0, k)
+        assert all(count <= k for count in segment_sizes(result).values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(descendants=st.lists(entry_strategy, max_size=25))
+    def test_join_picks_global_minimum(self, descendants):
+        ancestors = [make_entry(0, 0.0, "root", has_leaf=False, bound=100)]
+        result = join_k(ancestors, as_list(descendants), 0.0, k=1)
+        if descendants:
+            expected = min(e.pathcost + e.embcost for e in descendants) - 1.0
+            assert min(e.embcost for e in result) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        descendants=st.lists(entry_strategy, max_size=20),
+        delete_cost=st.floats(min_value=0, max_value=20, allow_nan=False),
+    )
+    def test_outerjoin_always_keeps_ancestors(self, descendants, delete_cost):
+        ancestors = [make_entry(0, 0.0, "root", has_leaf=False, bound=100)]
+        result = outerjoin_k(ancestors, as_list(descendants), 0.0, delete_cost, k=2)
+        assert any(not entry.has_leaf for entry in result)  # the deletion candidate
+
+    @settings(max_examples=40, deadline=None)
+    @given(descendants=st.lists(entry_strategy, min_size=1, max_size=30))
+    def test_monitor_flags_iff_candidates_exceed_k(self, descendants):
+        ancestors = [make_entry(0, 0.0, "root", has_leaf=False, bound=100)]
+        monitor = TruncationMonitor()
+        join_k(ancestors, as_list(descendants), 0.0, k=1, monitor=monitor)
+        valid = sum(1 for e in descendants if e.has_leaf)
+        invalid = len(descendants) - valid
+        if valid > 1 or invalid > 1:
+            assert monitor.truncated
+
+
+class TestSortRoots:
+    @settings(max_examples=60, deadline=None)
+    @given(entries=st.lists(entry_strategy, max_size=30), k=st.integers(min_value=0, max_value=10))
+    def test_prefix_property(self, entries, k):
+        ordered = as_list(entries)
+        small = sort_roots(k, ordered)
+        large = sort_roots(k + 3, ordered)
+        assert [(e.pre, e.signature) for e in large[: len(small)]] == [
+            (e.pre, e.signature) for e in small
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(entries=st.lists(entry_strategy, max_size=30))
+    def test_only_valid_and_sorted(self, entries):
+        result = sort_roots(None, as_list(entries))
+        assert all(entry.has_leaf for entry in result)
+        costs = [entry.embcost for entry in result]
+        assert costs == sorted(costs)
+
+
+class TestIncrementalPrefixEndToEnd:
+    def test_growing_k_extends_second_level_list(self):
+        """The root query list for k is a prefix of the list for k' > k
+        on a real workload (the property Figure 6 relies on)."""
+        from repro.approxql import CostModel, build_expanded, parse_query
+        from repro.schema.dataguide import build_schema
+        from repro.schema.indexes import SchemaNodeIndexes
+        from repro.schema.primary_k import PrimaryKEvaluator
+        from repro.xmltree.builder import tree_from_xml
+        from repro.xmltree.model import NodeType
+
+        from .strategies import random_cost_model, random_query, random_tree
+
+        rng = random.Random(321)
+        for _ in range(10):
+            tree = random_tree(rng)
+            schema = build_schema(tree)
+            costs = random_cost_model(rng)
+            schema.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+            expanded = build_expanded(random_query(rng), costs)
+            indexes = SchemaNodeIndexes(schema)
+            previous = None
+            for k in (1, 2, 4, 8, 16):
+                entries = sort_roots(k, PrimaryKEvaluator(indexes, k).evaluate(expanded))
+                keys = [(e.pre, e.signature) for e in entries]
+                if previous is not None:
+                    assert keys[: len(previous)] == previous
+                previous = keys

@@ -1,0 +1,134 @@
+"""Tests for query patterns and the query generator."""
+
+import pytest
+
+from repro.approxql.ast import count_or_operators, count_selectors
+from repro.approxql.costs import INFINITE
+from repro.errors import GenerationError, QuerySyntaxError
+from repro.querygen.generator import QueryGenOptions, QueryGenerator
+from repro.querygen.patterns import PAPER_PATTERNS, parse_pattern
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.indexes import MemoryNodeIndexes
+from repro.xmltree.model import NodeType
+
+
+@pytest.fixture
+def indexes():
+    tree = tree_from_xml(
+        "<cd><title>piano concerto waltz</title><composer>bach chopin liszt</composer></cd>",
+        "<mc><category>sonata opera</category></mc>",
+        "<dvd><title>symphony</title></dvd>",
+    )
+    return MemoryNodeIndexes(tree)
+
+
+class TestPatternParsing:
+    def test_simple_path(self):
+        pattern = parse_pattern("name[name[term]]")
+        assert pattern.kind == "name"
+        assert pattern.content.kind == "name"
+        assert pattern.content.content.kind == "term"
+
+    def test_slots_counted(self):
+        pattern = parse_pattern(PAPER_PATTERNS[3])
+        assert pattern.count("name") == 6
+        assert pattern.count("term") == 6
+
+    def test_boolean_structure(self):
+        pattern = parse_pattern("name[term and (term or term)]")
+        content = pattern.content
+        assert content.kind == "and"
+        assert content.items[1].kind == "or"
+
+    @pytest.mark.parametrize("key", [1, 2, 3])
+    def test_paper_patterns_parse(self, key):
+        assert parse_pattern(PAPER_PATTERNS[key]).kind == "name"
+
+    @pytest.mark.parametrize(
+        "text", ["term", "name[", "name[term", "xyz", "name[term banana term]", ""]
+    )
+    def test_bad_patterns_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_pattern(text)
+
+
+class TestQueryGenerator:
+    def test_fills_slots_from_vocabulary(self, indexes):
+        generator = QueryGenerator(indexes, seed=1)
+        generated = generator.generate(PAPER_PATTERNS[1])
+        query = generated.query
+        struct_labels = set(indexes.labels(NodeType.STRUCT))
+        text_labels = set(indexes.labels(NodeType.TEXT))
+        assert query.label in struct_labels
+        inner = query.content
+        assert inner.label in struct_labels
+        leaf_holder = inner.content
+        assert leaf_holder.content.word in text_labels
+
+    def test_pattern_shape_preserved(self, indexes):
+        generator = QueryGenerator(indexes, seed=2)
+        generated = generator.generate(PAPER_PATTERNS[2])
+        assert count_selectors(generated.query) == 5
+        assert count_or_operators(generated.query) == 1
+
+    def test_deterministic_in_seed(self, indexes):
+        first = QueryGenerator(indexes, seed=9).generate(PAPER_PATTERNS[2])
+        second = QueryGenerator(indexes, seed=9).generate(PAPER_PATTERNS[2])
+        assert first.unparse() == second.unparse()
+
+    def test_generate_set(self, indexes):
+        generator = QueryGenerator(indexes, seed=3)
+        queries = generator.generate_set(PAPER_PATTERNS[1], 10)
+        assert len(queries) == 10
+        assert len({q.unparse() for q in queries}) > 1
+
+    def test_cost_file_has_delete_costs(self, indexes):
+        generator = QueryGenerator(
+            indexes, QueryGenOptions(delete_cost_range=(2, 2)), seed=4
+        )
+        generated = generator.generate(PAPER_PATTERNS[1])
+        query = generated.query
+        assert generated.costs.delete_cost(query.label, NodeType.STRUCT) == 2
+
+    def test_renamings_per_label(self, indexes):
+        generator = QueryGenerator(
+            indexes, QueryGenOptions(renamings_per_label=3), seed=5
+        )
+        generated = generator.generate(PAPER_PATTERNS[1])
+        renamings = generated.costs.renamings(generated.query.label, NodeType.STRUCT)
+        assert len(renamings) == 3
+        assert all(cost != INFINITE for _, cost in renamings)
+
+    def test_zero_renamings(self, indexes):
+        generator = QueryGenerator(indexes, QueryGenOptions(renamings_per_label=0), seed=6)
+        generated = generator.generate(PAPER_PATTERNS[1])
+        assert generated.costs.renamings(generated.query.label, NodeType.STRUCT) == []
+
+    def test_generated_queries_evaluate(self, indexes):
+        """Every generated query must parse/evaluate without error."""
+        from repro.engine.evaluator import DirectEvaluator
+        from repro.xmltree.builder import tree_from_xml
+
+        tree = tree_from_xml(
+            "<cd><title>piano concerto waltz</title><composer>bach chopin liszt</composer></cd>",
+            "<mc><category>sonata opera</category></mc>",
+            "<dvd><title>symphony</title></dvd>",
+        )
+        generator = QueryGenerator(
+            MemoryNodeIndexes(tree), QueryGenOptions(renamings_per_label=2), seed=7
+        )
+        evaluator = DirectEvaluator(tree)
+        for pattern in PAPER_PATTERNS.values():
+            for generated in generator.generate_set(pattern, 5):
+                evaluator.evaluate(generated.query, generated.costs)
+
+    def test_options_validated(self, indexes):
+        with pytest.raises(GenerationError):
+            QueryGenerator(indexes, QueryGenOptions(renamings_per_label=-1))
+        with pytest.raises(GenerationError):
+            QueryGenerator(indexes, QueryGenOptions(delete_cost_range=(5, 1)))
+
+    def test_empty_vocabulary_rejected(self):
+        tree = tree_from_xml("<a><b/></a>")
+        with pytest.raises(GenerationError):
+            QueryGenerator(MemoryNodeIndexes(tree))

@@ -1,0 +1,117 @@
+"""Regression tests for defects found and fixed during development.
+
+Each test reconstructs the exact scenario that exposed the defect, so a
+reintroduction fails loudly with a pointer to the original analysis.
+"""
+
+import pytest
+
+from repro.approxql.costs import CostModel
+from repro.engine.evaluator import DirectEvaluator
+from repro.schema.evaluator import SchemaEvaluator
+from repro.transform.naive import evaluate_naive
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.model import NodeType
+
+
+class TestNaiveMemoIdReuse:
+    """The naive evaluator once memoized on id(query_node); garbage
+    collection let Python reuse ids across semi-transformed variants,
+    producing stale hits.  Keys are now the structurally-hashable nodes
+    themselves."""
+
+    def test_many_variants_no_stale_memo(self):
+        tree = tree_from_xml(
+            "<c><b><c>z x</c></b><c>x z</c></c>"
+        )
+        costs = CostModel()
+        costs.set_delete_cost("a", NodeType.STRUCT, 6)
+        costs.set_delete_cost("d", NodeType.STRUCT, 3)
+        costs.add_renaming("d", "b", NodeType.STRUCT, 1)
+        costs.add_renaming("x", "y", NodeType.TEXT, 5)
+        costs.add_renaming("y", "x", NodeType.TEXT, 3)
+        query = 'c[(d[c] and ("x" and "z")) or (("x" and "z") or (b and "x"))]'
+        naive = {(p.root, p.cost) for p in evaluate_naive(query, tree, costs)}
+        direct = {(r.root, r.cost) for r in DirectEvaluator(tree).evaluate(query, costs)}
+        assert naive == direct
+
+
+class TestSkeletonSignatureCollision:
+    """A matched struct leaf and a fully-deleted inner selector produce
+    skeletons with identical signatures but different validity; segment
+    deduplication once dropped the valid one.  Dedup is now per validity
+    class."""
+
+    def test_valid_skeleton_survives_equal_shape_invalid(self):
+        tree = tree_from_xml("<d><b><a/></b></d>")
+        costs = CostModel()
+        costs.set_delete_cost("a", NodeType.STRUCT, 1)
+        costs.set_delete_cost("b", NodeType.STRUCT, 1)
+        query = "d[a[b[a]]]"
+        direct = {(r.root, r.cost) for r in DirectEvaluator(tree).evaluate(query, costs)}
+        schema = {(r.root, r.cost) for r in SchemaEvaluator(tree).evaluate(query, costs)}
+        assert direct == schema
+        assert direct  # the deletion-based embedding must be found at all
+
+
+class TestByteBalancedSplit:
+    """B+tree nodes split at the byte-balanced point; a count-median
+    split once left a byte-heavy half oversized (small entries followed
+    by near-inline-limit values)."""
+
+    def test_mixed_size_inserts(self, tmp_path):
+        from repro.storage.btree import BTree
+        from repro.storage.pager import Pager
+
+        with Pager(str(tmp_path / "split.db"), page_size=4096) as pager:
+            tree = BTree(pager)
+            # small keys first, then values near the inline threshold
+            for index in range(20):
+                tree.put(f"s{index:02d}".encode(), b"x")
+            for index in range(20):
+                tree.put(f"t{index:02d}".encode(), b"y" * 1000)
+            for index in range(20):
+                assert tree.get(f"t{index:02d}".encode()) == b"y" * 1000
+
+
+class TestQuoteAndCommentHandling:
+    """Labels containing '#' (the super-root) once collided with the
+    cost-file comment syntax."""
+
+    def test_root_label_roundtrips_through_cost_files(self):
+        model = CostModel()
+        model.set_insert_cost("#root", 3)  # pathological but legal
+        restored = CostModel.from_lines(model.to_lines())
+        assert restored.insert_cost("#root") == 3
+
+    def test_inline_comments_still_work(self):
+        model = CostModel.from_lines(["insert cd 2 # a comment"])
+        assert model.insert_cost("cd") == 2
+
+
+class TestCJKTokenization:
+    """The word pattern once covered only Latin ranges, silently dropping
+    CJK text."""
+
+    def test_cjk_words_indexed(self):
+        tree = tree_from_xml("<t>音楽 と 芸術</t>")
+        words = [
+            tree.label(p) for p in tree.iter_nodes() if tree.node_type(p) == NodeType.TEXT
+        ]
+        assert "音楽" in words
+        assert "芸術" in words
+
+
+class TestBestNDegenerationBounded:
+    """Best-n with n above the result count degenerates into full
+    retrieval; max_k must bound it and still return everything found."""
+
+    def test_max_k_bounds_degenerate_best_n(self):
+        tree = tree_from_xml("<cd><title>piano</title></cd>")
+        costs = CostModel()
+        for target in ("alpha", "beta", "gamma"):
+            costs.add_renaming("piano", target, NodeType.TEXT, 2)
+        results = SchemaEvaluator(tree).evaluate(
+            'cd[title["piano"]]', costs, n=50, initial_k=1, delta=1, max_k=8
+        )
+        assert [(r.cost) for r in results] == [0.0]

@@ -1,0 +1,156 @@
+"""Integration tests for the schema-driven evaluator (Section 7.4)."""
+
+import pytest
+
+from repro.approxql.costs import CostModel, paper_example_cost_model
+from repro.schema.evaluator import EvaluationStats, SchemaEvaluator
+from repro.schema.dataguide import build_schema
+from repro.schema.indexes import StoredSecondaryIndex
+from repro.storage.kv import MemoryStore
+from repro.xmltree.builder import tree_from_xml
+
+CATALOG = """
+<catalog>
+  <cd>
+    <title>the piano concertos</title>
+    <composer>rachmaninov</composer>
+    <tracks><track><title>vivace</title></track></tracks>
+  </cd>
+  <cd>
+    <title>piano sonata</title>
+    <performer>ashkenazy</performer>
+  </cd>
+  <mc>
+    <category>piano concerto</category>
+    <composer>rachmaninov</composer>
+  </mc>
+</catalog>
+"""
+
+
+@pytest.fixture
+def tree():
+    return tree_from_xml(CATALOG)
+
+
+@pytest.fixture
+def evaluator(tree):
+    return SchemaEvaluator(tree)
+
+
+class TestBasicEvaluation:
+    def test_exact_query(self, tree, evaluator):
+        results = evaluator.evaluate('cd[title["piano"]]')
+        assert [tree.label(r.root) for r in results] == ["cd", "cd"]
+        assert all(r.cost == 0 for r in results)
+
+    def test_paper_running_query(self, tree, evaluator):
+        costs = paper_example_cost_model()
+        results = evaluator.evaluate(
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]', costs
+        )
+        assert [(tree.label(r.root), r.cost) for r in results] == [("cd", 6.0), ("mc", 8.0)]
+
+    def test_best_n(self, tree, evaluator):
+        costs = paper_example_cost_model()
+        results = evaluator.evaluate(
+            'cd[title["piano" and "concerto"] and composer["rachmaninov"]]', costs, n=1
+        )
+        assert [(tree.label(r.root), r.cost) for r in results] == [("cd", 6.0)]
+
+    def test_no_results(self, evaluator):
+        assert evaluator.evaluate('cd[title["wagner"]]') == []
+
+    def test_bare_selector(self, tree, evaluator):
+        results = evaluator.evaluate("mc")
+        assert [tree.label(r.root) for r in results] == ["mc"]
+
+    def test_results_in_cost_order(self, evaluator):
+        costs = paper_example_cost_model()
+        results = evaluator.evaluate('cd[title["piano"]]', costs)
+        assert [r.cost for r in results] == sorted(r.cost for r in results)
+
+
+class TestIncrementalBehaviour:
+    def test_small_initial_k_still_complete(self, evaluator):
+        costs = paper_example_cost_model()
+        full = evaluator.evaluate('cd[title["piano"]]', costs)
+        tiny_steps = evaluator.evaluate('cd[title["piano"]]', costs, initial_k=1, delta=1)
+        assert tiny_steps == full
+
+    def test_stats_recorded(self, evaluator):
+        costs = paper_example_cost_model()
+        stats = EvaluationStats()
+        evaluator.evaluate('cd[title["piano"]]', costs, n=2, initial_k=1, delta=1, stats=stats)
+        assert stats.rounds >= 1
+        assert stats.second_level_executed >= 1
+        assert stats.results_found == 2
+        assert stats.executed_skeletons
+
+    def test_exhaustion_detected(self, evaluator):
+        stats = EvaluationStats()
+        evaluator.evaluate('cd[title["piano"]]', stats=stats)
+        assert stats.exhausted
+
+    def test_growing_k_never_reexecutes(self, evaluator):
+        """Executed second-level queries are remembered by signature."""
+        costs = paper_example_cost_model()
+        stats = EvaluationStats()
+        evaluator.evaluate('cd[title["piano"]]', costs, initial_k=1, delta=1, stats=stats)
+        skeletons = stats.executed_skeletons
+        assert len(skeletons) == len(set(skeletons))
+
+    def test_streaming_results(self, tree, evaluator):
+        costs = paper_example_cost_model()
+        stream = evaluator.iter_results('cd[title["piano"]]', costs)
+        first = next(stream)
+        assert tree.label(first.root) == "cd"
+        assert first.cost == 0.0
+        rest = list(stream)
+        assert all(r.cost >= first.cost for r in rest)
+
+    def test_max_k_bounds_work(self, evaluator):
+        costs = paper_example_cost_model()
+        results = evaluator.evaluate('cd[title["piano"]]', costs, initial_k=1, delta=1, max_k=2)
+        # bounded k may truncate the result list but never corrupt it
+        full = evaluator.evaluate('cd[title["piano"]]', costs)
+        assert results == full[: len(results)]
+
+    def test_count_results(self, evaluator):
+        costs = paper_example_cost_model()
+        assert evaluator.count_results('cd[title["piano"]]', costs) == 3
+
+    def test_invalid_delta_rejected(self, evaluator):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            list(evaluator.iter_results('cd[title["piano"]]', delta=0))
+
+
+class TestSecondLevelQuerySemantics:
+    def test_second_level_results_share_cost(self, tree):
+        """Every result of one second-level query has the skeleton's cost
+        (instances of a class pair are equidistant)."""
+        documents = [
+            "<cd><x><title>piano</title></x></cd>",
+            "<cd><x><title>piano</title></x></cd>",
+            "<cd><title>piano</title></cd>",
+        ]
+        tree = tree_from_xml(*documents)
+        evaluator = SchemaEvaluator(tree)
+        results = evaluator.evaluate('cd[title["piano"]]')
+        by_cost = {}
+        for result in results:
+            by_cost.setdefault(result.cost, []).append(result.root)
+        assert len(by_cost[0.0]) == 1   # the direct cd/title
+        assert len(by_cost[1.0]) == 2   # the two cd/x/title instances
+
+    def test_stored_isec_backend(self, tree):
+        schema = build_schema(tree)
+        costs = paper_example_cost_model()
+        # stored I_sec is label-complete, so build after no re-encode needed
+        isec = StoredSecondaryIndex.build(schema, MemoryStore())
+        evaluator = SchemaEvaluator(tree, schema, secondary_index=isec)
+        reference = SchemaEvaluator(tree)
+        query = 'cd[title["piano" and "concerto"] and composer["rachmaninov"]]'
+        assert evaluator.evaluate(query, costs) == reference.evaluate(query, costs)

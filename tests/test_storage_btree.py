@@ -1,0 +1,183 @@
+"""Unit and model-based property tests for the on-disk B+tree."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.storage.btree import BTree
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def tree(tmp_path):
+    with Pager(str(tmp_path / "tree.db"), page_size=512) as pager:
+        yield BTree(pager)
+
+
+class TestBasicOperations:
+    def test_get_missing_raises(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.get(b"absent")
+
+    def test_put_get(self, tree):
+        tree.put(b"key", b"value")
+        assert tree.get(b"key") == b"value"
+
+    def test_put_overwrites(self, tree):
+        tree.put(b"key", b"first")
+        tree.put(b"key", b"second")
+        assert tree.get(b"key") == b"second"
+
+    def test_empty_key_and_value(self, tree):
+        tree.put(b"", b"")
+        assert tree.get(b"") == b""
+
+    def test_contains(self, tree):
+        tree.put(b"present", b"x")
+        assert tree.contains(b"present")
+        assert not tree.contains(b"absent")
+
+    def test_delete(self, tree):
+        tree.put(b"key", b"value")
+        tree.delete(b"key")
+        assert not tree.contains(b"key")
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(b"absent")
+
+    def test_len(self, tree):
+        for index in range(10):
+            tree.put(f"k{index}".encode(), b"v")
+        assert len(tree) == 10
+
+
+class TestSplitting:
+    def test_many_keys_force_splits(self, tree):
+        pairs = {f"key-{index:05d}".encode(): f"val-{index}".encode() for index in range(500)}
+        for key, value in pairs.items():
+            tree.put(key, value)
+        for key, value in pairs.items():
+            assert tree.get(key) == value
+
+    def test_reverse_insertion_order(self, tree):
+        for index in reversed(range(300)):
+            tree.put(f"key-{index:05d}".encode(), str(index).encode())
+        assert [int(v) for _, v in tree.scan()] == list(range(300))
+
+    def test_interleaved_insertion(self, tree):
+        keys = [f"{(index * 7919) % 1000:05d}".encode() for index in range(1000)]
+        for key in keys:
+            tree.put(key, key)
+        assert sorted(set(keys)) == list(tree.keys())
+
+
+class TestOverflowValues:
+    def test_large_value_roundtrip(self, tree):
+        value = bytes(range(256)) * 64  # 16 KiB, several overflow pages
+        tree.put(b"big", value)
+        assert tree.get(b"big") == value
+
+    def test_large_value_overwrite_frees_chain(self, tmp_path):
+        with Pager(str(tmp_path / "t.db"), page_size=512) as pager:
+            tree = BTree(pager)
+            tree.put(b"big", b"a" * 5000)
+            count_after_first = pager.page_count
+            tree.put(b"big", b"b" * 5000)
+            # overwriting reuses the freed overflow pages, so the file
+            # should not have grown by a full second chain
+            assert pager.page_count <= count_after_first + 1
+            assert tree.get(b"big") == b"b" * 5000
+
+    def test_delete_large_value(self, tree):
+        tree.put(b"big", b"z" * 9000)
+        tree.delete(b"big")
+        assert not tree.contains(b"big")
+
+    def test_mixed_inline_and_overflow(self, tree):
+        tree.put(b"small", b"s")
+        tree.put(b"big", b"B" * 4000)
+        tree.put(b"medium", b"m" * 100)
+        assert tree.get(b"small") == b"s"
+        assert tree.get(b"big") == b"B" * 4000
+        assert tree.get(b"medium") == b"m" * 100
+
+
+class TestScans:
+    def test_scan_all_in_order(self, tree):
+        keys = [f"{index:04d}".encode() for index in range(50)]
+        for key in reversed(keys):
+            tree.put(key, key)
+        assert [k for k, _ in tree.scan()] == keys
+
+    def test_scan_range(self, tree):
+        for index in range(20):
+            tree.put(f"{index:02d}".encode(), b"v")
+        keys = [k for k, _ in tree.scan(start=b"05", end=b"10")]
+        assert keys == [b"05", b"06", b"07", b"08", b"09"]
+
+    def test_scan_prefix(self, tree):
+        tree.put(b"a:1", b"x")
+        tree.put(b"a:2", b"y")
+        tree.put(b"b:1", b"z")
+        assert [k for k, _ in tree.scan_prefix(b"a:")] == [b"a:1", b"a:2"]
+
+    def test_scan_empty_tree(self, tree):
+        assert list(tree.scan()) == []
+
+    def test_scan_across_leaf_boundaries(self, tree):
+        for index in range(400):
+            tree.put(f"{index:05d}".encode(), b"v")
+        assert len(list(tree.scan(start=b"00100", end=b"00300"))) == 200
+
+
+class TestPersistence:
+    def test_reopen_tree(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with Pager(path, page_size=512) as pager:
+            tree = BTree(pager)
+            meta = tree.meta_page
+            for index in range(100):
+                tree.put(f"k{index:03d}".encode(), f"v{index}".encode())
+        with Pager(path) as pager:
+            tree = BTree(pager, meta_page=meta)
+            assert tree.get(b"k042") == b"v42"
+            assert len(tree) == 100
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "get"]),
+            st.binary(min_size=0, max_size=20),
+            st.binary(min_size=0, max_size=200),
+        ),
+        max_size=120,
+    )
+)
+def test_btree_matches_dict_model(tmp_path_factory, operations):
+    """The B+tree behaves exactly like a dict under random workloads."""
+    directory = tmp_path_factory.mktemp("btree-model")
+    with Pager(str(directory / "model.db"), page_size=256) as pager:
+        tree = BTree(pager)
+        model = {}
+        for op, key, value in operations:
+            if op == "put":
+                tree.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                if key in model:
+                    tree.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        tree.delete(key)
+            else:
+                if key in model:
+                    assert tree.get(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        tree.get(key)
+        assert list(tree.scan()) == sorted(model.items())

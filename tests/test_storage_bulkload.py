@@ -1,0 +1,122 @@
+"""Tests for B+tree bulk loading."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BTree
+from repro.storage.kv import FileStore
+from repro.storage.pager import Pager
+
+
+def fresh_tree(tmp_path, name="bulk.db", page_size=512):
+    pager = Pager(str(tmp_path / name), page_size=page_size)
+    return pager, BTree(pager)
+
+
+class TestBulkLoad:
+    def test_roundtrip(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        pairs = [(f"k{i:05d}".encode(), f"v{i}".encode()) for i in range(2000)]
+        tree.bulk_load(pairs)
+        assert list(tree.scan()) == pairs
+        assert tree.get(b"k01234") == b"v1234"
+        pager.close()
+
+    def test_empty_pairs(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        tree.bulk_load([])
+        assert list(tree.scan()) == []
+        pager.close()
+
+    def test_single_pair(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        tree.bulk_load([(b"only", b"one")])
+        assert tree.get(b"only") == b"one"
+        pager.close()
+
+    def test_large_values_go_to_overflow(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        pairs = [(f"k{i}".encode(), bytes([i]) * 5000) for i in range(5)]
+        tree.bulk_load(pairs)
+        for key, value in pairs:
+            assert tree.get(key) == value
+        pager.close()
+
+    def test_updates_after_bulk_load(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        tree.bulk_load([(f"k{i:04d}".encode(), b"old") for i in range(500)])
+        tree.put(b"k0250", b"new")
+        tree.put(b"k9999", b"appended")
+        tree.delete(b"k0100")
+        assert tree.get(b"k0250") == b"new"
+        assert tree.get(b"k9999") == b"appended"
+        assert not tree.contains(b"k0100")
+        assert len(tree) == 500
+        pager.close()
+
+    def test_unsorted_rejected(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        with pytest.raises(StorageError):
+            tree.bulk_load([(b"b", b"1"), (b"a", b"2")])
+        pager.close()
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        with pytest.raises(StorageError):
+            tree.bulk_load([(b"a", b"1"), (b"a", b"2")])
+        pager.close()
+
+    def test_nonempty_tree_rejected(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        tree.put(b"existing", b"x")
+        with pytest.raises(StorageError):
+            tree.bulk_load([(b"a", b"1")])
+        pager.close()
+
+    def test_bad_fill_rejected(self, tmp_path):
+        pager, tree = fresh_tree(tmp_path)
+        with pytest.raises(StorageError):
+            tree.bulk_load([(b"a", b"1")], fill=0.01)
+        pager.close()
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with Pager(path, page_size=512) as pager:
+            tree = BTree(pager)
+            meta = tree.meta_page
+            tree.bulk_load([(f"k{i:04d}".encode(), b"v") for i in range(300)])
+        with Pager(path) as pager:
+            tree = BTree(pager, meta_page=meta)
+            assert len(tree) == 300
+
+    def test_filestore_bulk_load(self, tmp_path):
+        with FileStore(str(tmp_path / "fs.db"), page_size=512) as store:
+            pairs = [(f"{i:04d}".encode(), str(i).encode()) for i in range(400)]
+            store.bulk_load(pairs)
+            assert store.get(b"0200") == b"200"
+            assert list(store.scan(start=b"0100", end=b"0105")) == pairs[100:105]
+
+
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    pairs=st.dictionaries(
+        st.binary(min_size=1, max_size=12), st.binary(min_size=0, max_size=300), max_size=80
+    )
+)
+def test_bulk_load_equals_puts(tmp_path_factory, pairs):
+    directory = tmp_path_factory.mktemp("bulk-model")
+    sorted_pairs = sorted(pairs.items())
+    with Pager(str(directory / "bulk.db"), page_size=256) as pager:
+        bulk_tree = BTree(pager)
+        bulk_tree.bulk_load(sorted_pairs)
+        bulk_view = list(bulk_tree.scan())
+    with Pager(str(directory / "puts.db"), page_size=256) as pager:
+        put_tree = BTree(pager)
+        for key, value in sorted_pairs:
+            put_tree.put(key, value)
+        put_view = list(put_tree.scan())
+    assert bulk_view == put_view == sorted_pairs

@@ -1,0 +1,132 @@
+"""Tests for the page-based file manager."""
+
+import pytest
+
+from repro.errors import CorruptPageError, StorageError
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def pager(tmp_path):
+    with Pager(str(tmp_path / "test.db"), page_size=512) as pager:
+        yield pager
+
+
+class TestAllocation:
+    def test_fresh_file_has_header_page_only(self, pager):
+        assert pager.page_count == 1
+
+    def test_allocate_returns_increasing_pages(self, pager):
+        assert pager.allocate() == 1
+        assert pager.allocate() == 2
+        assert pager.page_count == 3
+
+    def test_freed_page_is_reused(self, pager):
+        first = pager.allocate()
+        second = pager.allocate()
+        pager.free(first)
+        assert pager.allocate() == first
+        assert pager.allocate() == second + 1
+
+    def test_free_list_is_lifo(self, pager):
+        pages = [pager.allocate() for _ in range(3)]
+        for page in pages:
+            pager.free(page)
+        assert pager.allocate() == pages[-1]
+        assert pager.allocate() == pages[-2]
+
+
+class TestReadWrite:
+    def test_roundtrip(self, pager):
+        page = pager.allocate()
+        pager.write(page, b"hello world")
+        assert pager.read(page).startswith(b"hello world")
+
+    def test_payload_padded_to_payload_size(self, pager):
+        page = pager.allocate()
+        pager.write(page, b"x")
+        assert len(pager.read(page)) == pager.payload_size
+
+    def test_oversized_payload_rejected(self, pager):
+        page = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write(page, b"x" * (pager.payload_size + 1))
+
+    def test_full_payload_accepted(self, pager):
+        page = pager.allocate()
+        payload = bytes(range(256)) * (pager.payload_size // 256 + 1)
+        payload = payload[: pager.payload_size]
+        pager.write(page, payload)
+        assert pager.read(page) == payload
+
+    def test_read_out_of_range_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.read(99)
+
+    def test_read_header_page_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.read(0)
+
+
+class TestPersistence:
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with Pager(path, page_size=512) as pager:
+            page = pager.allocate()
+            pager.write(page, b"durable")
+        with Pager(path) as pager:
+            assert pager.page_size == 512
+            assert pager.read(page).startswith(b"durable")
+
+    def test_reopen_preserves_free_list(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with Pager(path, page_size=512) as pager:
+            first = pager.allocate()
+            pager.allocate()
+            pager.free(first)
+        with Pager(path) as pager:
+            assert pager.allocate() == first
+
+    def test_corrupted_page_detected(self, tmp_path):
+        path = str(tmp_path / "corrupt.db")
+        with Pager(path, page_size=512) as pager:
+            page = pager.allocate()
+            pager.write(page, b"payload")
+        with open(path, "r+b") as handle:
+            handle.seek(page * 512 + 100)
+            handle.write(b"\xff\xff\xff")
+        with Pager(path) as pager:
+            with pytest.raises(CorruptPageError):
+                pager.read(page)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = str(tmp_path / "magic.db")
+        with Pager(path, page_size=512):
+            pass
+        with open(path, "r+b") as handle:
+            handle.write(b"NOTMAGIC")
+        with pytest.raises(CorruptPageError):
+            Pager(path)
+
+
+class TestLifecycle:
+    def test_use_after_close_rejected(self, tmp_path):
+        pager = Pager(str(tmp_path / "closed.db"))
+        pager.close()
+        with pytest.raises(StorageError):
+            pager.allocate()
+
+    def test_double_close_is_noop(self, tmp_path):
+        pager = Pager(str(tmp_path / "closed.db"))
+        pager.close()
+        pager.close()
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(str(tmp_path / "tiny.db"), page_size=16)
+
+    def test_sync_flushes(self, pager):
+        page = pager.allocate()
+        pager.write(page, b"synced")
+        pager.sync()
+        assert pager.read(page).startswith(b"synced")

@@ -1,0 +1,82 @@
+"""Tests for the posting-list serializers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.postings import (
+    decode_instance_postings,
+    decode_node_postings,
+    encode_instance_postings,
+    encode_node_postings,
+)
+
+
+class TestNodePostings:
+    def test_roundtrip(self):
+        entries = [(1, 20, 0, 1), (5, 9, 3, 2), (12, 12, 7, 4)]
+        assert decode_node_postings(encode_node_postings(entries)) == entries
+
+    def test_empty(self):
+        assert decode_node_postings(encode_node_postings([])) == []
+
+    def test_text_node_shape(self):
+        # text nodes carry bound = 0 and inscost = 0 in list entries
+        entries = [(4, 0, 9, 0), (15, 0, 9, 0)]
+        assert decode_node_postings(encode_node_postings(entries)) == entries
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(StorageError):
+            encode_node_postings([(5, 5, 0, 1), (3, 3, 0, 1)])
+
+    def test_duplicate_pre_rejected(self):
+        with pytest.raises(StorageError):
+            encode_node_postings([(5, 5, 0, 1), (5, 6, 0, 1)])
+
+
+class TestInstancePostings:
+    def test_roundtrip(self):
+        entries = [(2, 9), (11, 16), (30, 30)]
+        assert decode_instance_postings(encode_instance_postings(entries)) == entries
+
+    def test_empty(self):
+        assert decode_instance_postings(encode_instance_postings([])) == []
+
+    def test_compactness(self):
+        entries = [(index, index + 3) for index in range(0, 3000, 3)]
+        data = encode_instance_postings(entries)
+        assert len(data) < 4 * len(entries)
+
+
+node_posting = st.tuples(
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=2**10),
+)
+
+
+@given(st.lists(node_posting, max_size=50))
+def test_node_postings_roundtrip_property(entries):
+    entries = sorted(entries, key=lambda e: e[0])
+    deduped = []
+    seen = set()
+    for entry in entries:
+        if entry[0] not in seen:
+            seen.add(entry[0])
+            deduped.append(entry)
+    assert decode_node_postings(encode_node_postings(deduped)) == deduped
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**30), st.integers(min_value=0, max_value=2**30)
+        ),
+        max_size=50,
+    )
+)
+def test_instance_postings_roundtrip_property(entries):
+    entries = sorted({pre: bound for pre, bound in entries}.items())
+    assert decode_instance_postings(encode_instance_postings(entries)) == entries

@@ -1,0 +1,187 @@
+"""Tests for the semi-transformed closure enumeration and the naive
+reference evaluator."""
+
+import math
+import random
+
+import pytest
+
+from repro.approxql.costs import INFINITE, CostModel, paper_example_cost_model
+from repro.approxql.parser import parse_query
+from repro.approxql.separated import separate
+from repro.errors import EvaluationError
+from repro.transform.closure import (
+    apply_definition4,
+    count_semi_transformed,
+    semi_transformed_queries,
+)
+from repro.transform.naive import evaluate_naive
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.model import NodeType
+
+from .strategies import random_cost_model, random_query
+
+def conjunct(text):
+    (query,) = separate(parse_query(text))
+    return query
+
+
+class TestEnumeration:
+    def test_identity_always_included(self):
+        query = conjunct('cd[title["piano"]]')
+        variants = semi_transformed_queries(query, CostModel())
+        assert any(v.query == query and v.cost == 0 for v in variants)
+
+    def test_no_transformations_possible(self):
+        query = conjunct('cd[title["piano"]]')
+        variants = semi_transformed_queries(query, CostModel())
+        assert len(variants) == 1
+
+    def test_renaming_variants(self):
+        model = CostModel().add_renaming("piano", "forte", NodeType.TEXT, 2)
+        variants = semi_transformed_queries(conjunct('cd["piano"]'), model)
+        rendered = {(v.query.unparse(), v.cost) for v in variants}
+        assert rendered == {('cd["piano"]', 0.0), ('cd["forte"]', 2.0)}
+
+    def test_leaf_deletion_variants(self):
+        model = CostModel().set_delete_cost("piano", NodeType.TEXT, 8)
+        variants = semi_transformed_queries(conjunct('cd["piano" and "x"]'), model)
+        rendered = {(v.query.unparse(), v.cost, v.retained_leaves) for v in variants}
+        assert rendered == {
+            ('cd["piano" and "x"]', 0.0, 2),
+            ('cd["x"]', 8.0, 1),
+        }
+
+    def test_inner_deletion_splices_children(self):
+        model = CostModel().set_delete_cost("title", NodeType.STRUCT, 5)
+        variants = semi_transformed_queries(conjunct('cd[title["a" and "b"]]'), model)
+        rendered = {(v.query.unparse(), v.cost) for v in variants}
+        assert rendered == {
+            ('cd[title["a" and "b"]]', 0.0),
+            ('cd["a" and "b"]', 5.0),
+        }
+
+    def test_invalid_variant_flagged(self):
+        model = CostModel().set_delete_cost("x", NodeType.TEXT, 1)
+        variants = semi_transformed_queries(conjunct('cd["x"]'), model)
+        invalid = [v for v in variants if not v.is_valid]
+        assert len(invalid) == 1
+        assert invalid[0].retained_leaves == 0
+
+    def test_root_never_deleted(self):
+        model = CostModel().set_delete_cost("cd", NodeType.STRUCT, 1)
+        variants = semi_transformed_queries(conjunct('cd["x"]'), model)
+        assert all(v.query.node_type == NodeType.STRUCT for v in variants)
+        assert all(v.query.label == "cd" for v in variants)
+
+    def test_count_matches_enumeration_paper_model(self):
+        query = conjunct(
+            'cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]'
+        )
+        costs = paper_example_cost_model()
+        variants = semi_transformed_queries(query, costs)
+        assert len(variants) == count_semi_transformed(query, costs)
+
+    def test_count_matches_enumeration_random(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            query_ast = random_query(rng)
+            costs = random_cost_model(rng)
+            for conj in separate(query_ast):
+                variants = semi_transformed_queries(conj, costs)
+                assert len(variants) == count_semi_transformed(conj, costs)
+
+    def test_limit_enforced(self):
+        model = CostModel()
+        for text in "abcdefgh":
+            model.add_renaming("x", text, NodeType.TEXT, 1)
+        query = conjunct('cd[' + " and ".join(['"x"'] * 6) + "]")
+        with pytest.raises(EvaluationError):
+            semi_transformed_queries(query, model, limit=1000)
+
+    def test_costs_are_sums_of_parts(self):
+        costs = paper_example_cost_model()
+        query = conjunct('cd[title["concerto"]]')
+        variants = {v.query.unparse(): v.cost for v in semi_transformed_queries(query, costs)}
+        assert variants['cd[title["concerto"]]'] == 0
+        assert variants['mc[title["sonata"]]'] == 4 + 3
+        assert variants['dvd[category["concerto"]]'] == 6 + 4
+        assert variants['cd["concerto"]'] == 5  # title deleted
+
+
+class TestDefinition4Helper:
+    def test_sole_leaf_blocked(self):
+        costs = CostModel().set_delete_cost("rachmaninov", NodeType.TEXT, 3)
+        query = conjunct('cd[composer["rachmaninov"]]')
+        adjusted = apply_definition4(query, costs)
+        assert adjusted.delete_cost("rachmaninov", NodeType.TEXT) == INFINITE
+
+    def test_leaf_pair_kept(self):
+        costs = CostModel().set_delete_cost("piano", NodeType.TEXT, 3)
+        query = conjunct('cd[title["piano" and "concerto"]]')
+        adjusted = apply_definition4(query, costs)
+        assert adjusted.delete_cost("piano", NodeType.TEXT) == 3
+
+    def test_original_model_untouched(self):
+        costs = CostModel().set_delete_cost("x", NodeType.TEXT, 3)
+        query = conjunct('cd["x"]')
+        apply_definition4(query, costs)
+        assert costs.delete_cost("x", NodeType.TEXT) == 3
+
+    def test_no_blocked_leaves_returns_same_model(self):
+        costs = CostModel()
+        query = conjunct('cd["x" and "y"]')
+        assert apply_definition4(query, costs) is costs
+
+
+class TestNaiveEvaluator:
+    def test_exact_match(self):
+        tree = tree_from_xml("<cd><title>piano</title></cd>")
+        pairs = evaluate_naive('cd[title["piano"]]', tree, CostModel())
+        assert [(p.root, p.cost) for p in pairs] == [(1, 0.0)]
+
+    def test_no_match(self):
+        tree = tree_from_xml("<cd><title>cello</title></cd>")
+        assert evaluate_naive('cd[title["piano"]]', tree, CostModel()) == []
+
+    def test_insertion_distance_counted(self):
+        tree = tree_from_xml("<cd><tracks><track><title>piano</title></track></tracks></cd>")
+        pairs = evaluate_naive('cd[title["piano"]]', tree, CostModel())
+        # tracks and track (insert cost 1 each) lie between cd and title
+        assert [(p.root, p.cost) for p in pairs] == [(1, 2.0)]
+
+    def test_or_takes_cheaper_branch(self):
+        tree = tree_from_xml("<cd><title>sonata</title></cd>")
+        pairs = evaluate_naive('cd[title["piano" or "sonata"]]', tree, CostModel())
+        assert [(p.root, p.cost) for p in pairs] == [(1, 0.0)]
+
+    def test_all_leaves_deleted_is_not_a_result(self):
+        model = CostModel().set_delete_cost("piano", NodeType.TEXT, 1)
+        tree = tree_from_xml("<cd><x/></cd>")
+        assert evaluate_naive('cd["piano"]', tree, model) == []
+
+    def test_best_n_prunes(self):
+        tree = tree_from_xml(
+            "<c><a><t>w</t></a><a><z><t>w</t></z></a><a><z><z><t>w</t></z></z></a></c>"
+        )
+        all_pairs = evaluate_naive('a[t["w"]]', tree, CostModel())
+        assert len(all_pairs) == 3
+        assert [p.cost for p in all_pairs] == [0.0, 1.0, 2.0]
+        top = evaluate_naive('a[t["w"]]', tree, CostModel(), n=2)
+        assert top == all_pairs[:2]
+
+    def test_results_sorted_by_cost_then_pre(self):
+        tree = tree_from_xml("<c><a><t>w</t></a><a><t>w</t></a></c>")
+        pairs = evaluate_naive('a[t["w"]]', tree, CostModel())
+        assert [(p.cost, p.root) for p in pairs] == sorted((p.cost, p.root) for p in pairs)
+
+    def test_non_injective_embedding_allowed(self):
+        # both query leaves "w" may map to the single data node "w"
+        tree = tree_from_xml("<a><t>w</t></a>")
+        pairs = evaluate_naive('a[t["w" and "w"]]', tree, CostModel())
+        assert [(p.root, p.cost) for p in pairs] == [(1, 0.0)]
+
+    def test_math_inf_never_leaks(self):
+        tree = tree_from_xml("<a><t>w</t></a>")
+        for pair in evaluate_naive('a[t["w"]]', tree, CostModel()):
+            assert pair.cost != math.inf

@@ -1,0 +1,117 @@
+"""Tests for the tree-edit-distance baseline and its semantic contrast
+with approXQL's transformation model (Section 2)."""
+
+import pytest
+
+from repro.approxql.costs import CostModel
+from repro.approxql.parser import parse_query
+from repro.approxql.separated import ConjNode, separate
+from repro.engine.evaluator import DirectEvaluator
+from repro.transform.editdistance import EditCosts, tree_edit_distance
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.model import NodeType
+
+
+def conj(text):
+    (query,) = separate(parse_query(text))
+    return query
+
+
+class TestEditDistanceBasics:
+    def test_identical_trees(self):
+        query = conj('cd[title["piano"]]')
+        assert tree_edit_distance(query, query) == 0.0
+
+    def test_single_relabel(self):
+        assert tree_edit_distance(conj("cd"), conj("mc")) == 1.0
+
+    def test_insert_one_node(self):
+        left = conj('cd["x"]')
+        right = conj('cd[title["x"]]')
+        assert tree_edit_distance(left, right) == 1.0
+
+    def test_delete_one_node(self):
+        left = conj('cd[title["x"]]')
+        right = conj('cd["x"]')
+        assert tree_edit_distance(left, right) == 1.0
+
+    def test_symmetry_with_uniform_costs(self):
+        left = conj('cd[title["a" and "b"] and composer["c"]]')
+        right = conj('mc[category["a"]]')
+        assert tree_edit_distance(left, right) == tree_edit_distance(right, left)
+
+    def test_triangle_inequality_samples(self):
+        trees = [
+            conj('a["x"]'),
+            conj('a[b["x"]]'),
+            conj('c[b["y" and "x"]]'),
+        ]
+        for first in trees:
+            for second in trees:
+                for third in trees:
+                    direct = tree_edit_distance(first, third)
+                    detour = tree_edit_distance(first, second) + tree_edit_distance(
+                        second, third
+                    )
+                    assert direct <= detour + 1e-9
+
+    def test_completely_different_trees(self):
+        left = conj('a["x"]')
+        right = conj('b["y"]')
+        assert tree_edit_distance(left, right) == 2.0
+
+    def test_custom_costs(self):
+        costs = EditCosts(insert=2.0, delete=3.0, relabel=5.0)
+        left = conj('cd["x"]')
+        right = conj('cd[title["x"]]')
+        assert tree_edit_distance(left, right, costs) == 2.0
+
+    def test_types_distinguish_nodes(self):
+        # element 'x' vs term "x": a relabel, not a match
+        left = ConjNode("a", NodeType.STRUCT, (ConjNode("x", NodeType.STRUCT),))
+        right = ConjNode("a", NodeType.STRUCT, (ConjNode("x", NodeType.TEXT),))
+        assert tree_edit_distance(left, right) == 1.0
+
+
+class TestSemanticContrast:
+    """Why the paper rejects plain edit distance (Section 2): the roles
+    of root, inner nodes, and leaves matter."""
+
+    def test_edit_distance_is_blind_to_node_roles(self):
+        """Relabeling the root (scope) and relabeling a leaf (information)
+        cost the same under edit distance ..."""
+        base = conj('cd[title["piano"]]')
+        root_changed = conj('mc[title["piano"]]')
+        leaf_changed = conj('cd[title["cello"]]')
+        assert tree_edit_distance(base, root_changed) == tree_edit_distance(
+            base, leaf_changed
+        )
+
+    def test_approxql_prices_roles_differently(self):
+        """... whereas the approXQL cost model prices them independently,
+        and its evaluation reflects the asymmetry."""
+        tree = tree_from_xml(
+            "<mc><title>piano</title></mc>", "<cd><title>cello</title></cd>"
+        )
+        costs = CostModel()
+        costs.add_renaming("cd", "mc", NodeType.STRUCT, 1)      # scope: cheap
+        costs.add_renaming("piano", "cello", NodeType.TEXT, 9)  # information: dear
+        results = DirectEvaluator(tree).evaluate('cd[title["piano"]]', costs)
+        by_label = {tree.label(r.root): r.cost for r in results}
+        assert by_label["mc"] == 1.0
+        assert by_label["cd"] == 9.0
+
+    def test_approxql_forbids_information_loss(self):
+        """Edit distance happily deletes the whole query; approXQL's
+        global rule rejects embeddings that match no query leaf."""
+        query = conj('cd[title["piano"]]')
+        empty_scope = conj("cd")
+        # edit distance: just two deletions
+        assert tree_edit_distance(query, empty_scope) == 2.0
+        # approXQL: even with every deletion allowed, a cd without any
+        # leaf match is not a result
+        tree = tree_from_xml("<cd><other>z</other></cd>")
+        costs = CostModel()
+        costs.set_delete_cost("title", NodeType.STRUCT, 1)
+        costs.set_delete_cost("piano", NodeType.TEXT, 1)
+        assert DirectEvaluator(tree).evaluate('cd[title["piano"]]', costs) == []

@@ -1,0 +1,171 @@
+"""Tests for the literal basic transformations (Definitions 2-5)."""
+
+import pytest
+
+from repro.approxql.costs import INFINITE, CostModel, paper_example_cost_model
+from repro.approxql.parser import parse_query
+from repro.approxql.separated import separate
+from repro.errors import EvaluationError
+from repro.transform.ops import (
+    delete_inner,
+    delete_leaf,
+    insert_node,
+    preorder_nodes,
+    rename,
+)
+
+
+def conjunct(text):
+    (query,) = separate(parse_query(text))
+    return query
+
+
+def position_of(query, label):
+    for index, node in enumerate(preorder_nodes(query)):
+        if node.label == label:
+            return index
+    raise AssertionError(f"no node labeled {label!r}")
+
+
+@pytest.fixture
+def costs():
+    return paper_example_cost_model()
+
+
+class TestInsertion:
+    def test_insert_between_root_and_child(self, costs):
+        query = conjunct('cd[title["piano"]]')
+        new_query, applied = insert_node(query, position_of(query, "title"), "tracks", costs)
+        assert new_query.unparse() == 'cd[tracks[title["piano"]]]'
+        assert applied.cost == 1  # unlisted insert cost
+
+    def test_insert_uses_cost_model(self, costs):
+        query = conjunct('cd[title["piano"]]')
+        _, applied = insert_node(query, position_of(query, "title"), "track", costs)
+        assert applied.cost == 3
+
+    def test_paper_example_two_insertions(self, costs):
+        """Section 5.2: inserting tracks and track between cd and title."""
+        query = conjunct('cd[title["piano" and "concerto"] and composer["rachmaninov"]]')
+        query, first = insert_node(query, position_of(query, "title"), "track", costs)
+        query, second = insert_node(query, position_of(query, "track"), "tracks", costs)
+        assert query.unparse() == (
+            'cd[tracks[track[title["piano" and "concerto"]]] and composer["rachmaninov"]]'
+        )
+        assert first.cost + second.cost == 3 + 1
+
+    def test_insert_above_root_rejected(self, costs):
+        query = conjunct('cd["x"]')
+        with pytest.raises(EvaluationError):
+            insert_node(query, 0, "catalog", costs)
+
+    def test_insert_above_leaf_allowed(self, costs):
+        """An insertion replaces an edge, so the edge into a leaf works."""
+        query = conjunct('cd["piano"]')
+        new_query, _ = insert_node(query, position_of(query, "piano"), "title", costs)
+        assert new_query.unparse() == 'cd[title["piano"]]'
+
+
+class TestDeleteInner:
+    def test_children_reattach(self, costs):
+        """Section 5.2: deleting track moves the search to CD titles."""
+        query = conjunct('cd[track[title["concerto"]]]')
+        new_query, applied = delete_inner(query, position_of(query, "track"), costs)
+        assert new_query.unparse() == 'cd[title["concerto"]]'
+        assert applied.cost == 3
+
+    def test_multiple_children_splice_in_order(self, costs):
+        query = conjunct('cd[track[title["a"] and composer["b"]]]')
+        new_query, _ = delete_inner(query, position_of(query, "track"), costs)
+        assert new_query.unparse() == 'cd[title["a"] and composer["b"]]'
+
+    def test_root_not_deletable(self, costs):
+        query = conjunct('cd["x"]')
+        with pytest.raises(EvaluationError):
+            delete_inner(query, 0, costs)
+
+    def test_leaf_not_deletable_as_inner(self, costs):
+        query = conjunct('cd[title["piano"]]')
+        with pytest.raises(EvaluationError):
+            delete_inner(query, position_of(query, "piano"), costs)
+
+    def test_unlisted_label_costs_infinite(self, costs):
+        query = conjunct('cd[tracks[title["x"]]]')
+        _, applied = delete_inner(query, position_of(query, "tracks"), costs)
+        assert applied.cost == INFINITE
+
+
+class TestDeleteLeaf:
+    def test_deletable_with_leaf_sibling(self, costs):
+        query = conjunct('cd[title["piano" and "concerto"]]')
+        new_query, applied = delete_leaf(query, position_of(query, "concerto"), costs)
+        assert new_query.unparse() == 'cd[title["piano"]]'
+        assert applied.cost == 6
+
+    def test_sole_leaf_not_deletable(self, costs):
+        """Definition 4's local rule: the paper's 'rachmaninov' case."""
+        query = conjunct('cd[composer["rachmaninov"]]')
+        with pytest.raises(EvaluationError):
+            delete_leaf(query, position_of(query, "rachmaninov"), costs)
+
+    def test_leaf_with_only_inner_siblings_not_deletable(self, costs):
+        query = conjunct('cd["piano" and title["x"]]')
+        with pytest.raises(EvaluationError):
+            delete_leaf(query, position_of(query, "piano"), costs)
+
+    def test_struct_leaf_counts_as_leaf(self, costs):
+        query = conjunct('cd["piano" and performer]')
+        new_query, _ = delete_leaf(query, position_of(query, "performer"), costs)
+        assert new_query.unparse() == 'cd["piano"]'
+
+    def test_inner_node_rejected(self, costs):
+        query = conjunct('cd[title["a" and "b"]]')
+        with pytest.raises(EvaluationError):
+            delete_leaf(query, position_of(query, "title"), costs)
+
+
+class TestRename:
+    def test_rename_root(self, costs):
+        """Section 5.2: renaming cd to mc shifts the search space."""
+        query = conjunct('cd[title["x"]]')
+        new_query, applied = rename(query, 0, "mc", costs)
+        assert new_query.unparse() == 'mc[title["x"]]'
+        assert applied.cost == 4
+
+    def test_rename_leaf(self, costs):
+        query = conjunct('cd["concerto"]')
+        new_query, applied = rename(query, position_of(query, "concerto"), "sonata", costs)
+        assert new_query.unparse() == 'cd["sonata"]'
+        assert applied.cost == 3
+
+    def test_unlisted_rename_costs_infinite(self, costs):
+        query = conjunct('cd["x"]')
+        _, applied = rename(query, 0, "zzz", costs)
+        assert applied.cost == INFINITE
+
+    def test_rename_preserves_children(self, costs):
+        query = conjunct('cd[title["a" and "b"]]')
+        new_query, _ = rename(query, position_of(query, "title"), "category", costs)
+        assert new_query.unparse() == 'cd[category["a" and "b"]]'
+
+
+class TestSequences:
+    def test_transformation_sequence_costs_add(self, costs):
+        """A delete + rename + insert sequence per Definition 7/8."""
+        query = conjunct('cd[track[title["piano" and "concerto"]]]')
+        query, deletion = delete_inner(query, position_of(query, "track"), costs)
+        query, renaming = rename(query, position_of(query, "concerto"), "sonata", costs)
+        query, insertion = insert_node(query, position_of(query, "title"), "category", costs)
+        assert query.unparse() == 'cd[category[title["piano" and "sonata"]]]'
+        total = deletion.cost + renaming.cost + insertion.cost
+        assert total == 3 + 3 + 4
+
+    def test_preorder_positions_stable(self, costs):
+        query = conjunct('a[b["x"] and c["y"]]')
+        labels = [node.label for node in preorder_nodes(query)]
+        assert labels == ["a", "b", "x", "c", "y"]
+
+    def test_bad_position_rejected(self, costs):
+        query = conjunct('cd["x"]')
+        with pytest.raises(EvaluationError):
+            rename(query, 99, "y", costs)

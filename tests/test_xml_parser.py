@@ -1,0 +1,156 @@
+"""Tests for the dependency-free XML parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.parser import XMLElement, parse_document, parse_fragment
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        root = parse_document("<cd/>")
+        assert root.tag == "cd"
+        assert root.children == []
+
+    def test_element_with_text(self):
+        root = parse_document("<title>Piano Concerto</title>")
+        assert root.children == ["Piano Concerto"]
+
+    def test_nested_elements(self):
+        root = parse_document("<cd><title>x</title><composer>y</composer></cd>")
+        tags = [child.tag for child in root.children]
+        assert tags == ["title", "composer"]
+
+    def test_mixed_content_order_preserved(self):
+        root = parse_document("<p>before<b>bold</b>after</p>")
+        assert root.children[0] == "before"
+        assert isinstance(root.children[1], XMLElement)
+        assert root.children[2] == "after"
+
+    def test_attributes(self):
+        root = parse_document('<cd year="1998" label=\'Decca\'/>')
+        assert root.attributes == {"year": "1998", "label": "Decca"}
+
+    def test_whitespace_in_tags(self):
+        root = parse_document('<cd   year="1998"  ></cd>')
+        assert root.attributes == {"year": "1998"}
+
+    def test_names_with_punctuation(self):
+        root = parse_document("<my-ns:elem.name_x/>")
+        assert root.tag == "my-ns:elem.name_x"
+
+
+class TestEntitiesAndSections:
+    def test_predefined_entities(self):
+        root = parse_document("<t>&lt;&gt;&amp;&apos;&quot;</t>")
+        assert root.children == ["<>&'\""]
+
+    def test_numeric_character_references(self):
+        root = parse_document("<t>&#65;&#x42;</t>")
+        assert root.children == ["AB"]
+
+    def test_entity_in_attribute(self):
+        root = parse_document('<t a="x&amp;y"/>')
+        assert root.attributes["a"] == "x&y"
+
+    def test_cdata(self):
+        root = parse_document("<t><![CDATA[<not-a-tag> & raw]]></t>")
+        assert root.children == ["<not-a-tag> & raw"]
+
+    def test_comments_ignored(self):
+        root = parse_document("<t>a<!-- comment -->b</t>")
+        assert "".join(c for c in root.children if isinstance(c, str)) == "ab"
+
+    def test_processing_instruction_ignored(self):
+        root = parse_document("<t>a<?php echo ?>b</t>")
+        assert "".join(c for c in root.children if isinstance(c, str)) == "ab"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<t>&nope;</t>")
+
+
+class TestProlog:
+    def test_xml_declaration(self):
+        root = parse_document('<?xml version="1.0" encoding="utf-8"?><cd/>')
+        assert root.tag == "cd"
+
+    def test_doctype_skipped(self):
+        root = parse_document('<!DOCTYPE catalog SYSTEM "c.dtd"><catalog/>')
+        assert root.tag == "catalog"
+
+    def test_doctype_with_internal_subset(self):
+        text = "<!DOCTYPE catalog [<!ELEMENT catalog (cd)*>]><catalog/>"
+        assert parse_document(text).tag == "catalog"
+
+    def test_leading_comment(self):
+        assert parse_document("<!-- hi --><cd/>").tag == "cd"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a><b></a></b>",
+            "<a>",
+            "<a></b>",
+            "<a b></a>",
+            '<a b="x></a>',
+            "plain text",
+            "<a/><b/>",
+            "<1tag/>",
+            '<a b="<"/>',
+            "<a>&#xZZ;</a>",
+            "<t><![CDATA[unterminated</t>",
+        ],
+    )
+    def test_malformed_documents_rejected(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse_document(text)
+
+    def test_error_reports_offset(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse_document("<a></b>")
+        assert excinfo.value.position >= 0
+
+
+class TestFragments:
+    def test_multiple_roots(self):
+        elements = parse_fragment("<a/> <b/> <c/>")
+        assert [e.tag for e in elements] == ["a", "b", "c"]
+
+    def test_empty_fragment(self):
+        assert parse_fragment("   ") == []
+
+    def test_fragment_with_comments_between(self):
+        elements = parse_fragment("<a/><!-- x --><b/>")
+        assert [e.tag for e in elements] == ["a", "b"]
+
+
+class TestHelpers:
+    def test_text_content_recursive(self):
+        root = parse_document("<cd><title>piano <i>concerto</i></title></cd>")
+        assert root.text_content() == "piano concerto"
+
+    def test_find_all(self):
+        root = parse_document("<c><cd><cd/></cd><dvd/></c>")
+        assert len(root.find_all("cd")) == 2
+
+    def test_paper_example_document(self):
+        """The running example of the paper parses cleanly."""
+        text = """
+        <catalog>
+          <cd>
+            <title>The Piano Concertos</title>
+            <composer>Rachmaninov</composer>
+            <tracks>
+              <track><title>Vivace</title></track>
+            </tracks>
+          </cd>
+          <mc><category>Piano Concertos</category></mc>
+        </catalog>
+        """
+        root = parse_document(text)
+        assert root.tag == "catalog"
+        assert len(root.find_all("title")) == 2
+        assert root.find_all("composer")[0].text_content() == "Rachmaninov"

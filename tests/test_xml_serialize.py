@@ -1,0 +1,88 @@
+"""Tests for XML serialization of data trees."""
+
+import random
+
+import pytest
+
+from repro.xmltree.builder import tree_from_xml
+from repro.xmltree.model import NodeType, TreeBuilder
+from repro.xmltree.serialize import collection_to_xml, escape_text, subtree_to_xml
+
+from .strategies import random_tree
+
+
+class TestEscaping:
+    def test_special_characters(self):
+        assert escape_text("a<b&c>d") == "a&lt;b&amp;c&gt;d"
+
+    def test_plain_text_untouched(self):
+        assert escape_text("piano") == "piano"
+
+
+class TestSubtreeSerialization:
+    def test_empty_element(self):
+        tree = tree_from_xml("<cd/>")
+        assert subtree_to_xml(tree, tree.document_roots()[0]) == "<cd/>"
+
+    def test_text_only_element(self):
+        tree = tree_from_xml("<title>Piano Concerto</title>")
+        root = tree.document_roots()[0]
+        assert subtree_to_xml(tree, root) == "<title>piano concerto</title>"
+
+    def test_nested_elements(self):
+        tree = tree_from_xml("<cd><title>x</title><composer>y</composer></cd>")
+        root = tree.document_roots()[0]
+        assert (
+            subtree_to_xml(tree, root)
+            == "<cd><title>x</title><composer>y</composer></cd>"
+        )
+
+    def test_mixed_content_runs(self):
+        builder = TreeBuilder()
+        builder.start_struct("p")
+        builder.add_word("before")
+        builder.start_struct("b")
+        builder.add_word("bold")
+        builder.end_struct()
+        builder.add_word("after")
+        builder.end_struct()
+        tree = builder.finish()
+        assert (
+            subtree_to_xml(tree, tree.document_roots()[0])
+            == "<p>before<b>bold</b>after</p>"
+        )
+
+    def test_serializing_a_text_node(self):
+        tree = tree_from_xml("<t>word</t>")
+        text_pre = next(
+            p for p in tree.iter_nodes() if tree.node_type(p) == NodeType.TEXT
+        )
+        assert subtree_to_xml(tree, text_pre) == "word"
+
+    def test_indented_output(self):
+        tree = tree_from_xml("<cd><title>x</title></cd>")
+        rendered = subtree_to_xml(tree, tree.document_roots()[0], indent=2)
+        assert rendered == "<cd>\n  <title>x</title>\n</cd>\n"
+
+    def test_collection_roundtrip(self):
+        tree = tree_from_xml("<a>x</a>", "<b><c>y z</c></b>")
+        rendered = collection_to_xml(tree)
+        assert rendered == "<a>x</a>\n<b><c>y z</c></b>"
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_serialize_then_parse_preserves_structure(self, seed):
+        tree = random_tree(random.Random(seed), max_nodes=40)
+        rebuilt = tree_from_xml(*collection_to_xml(tree).split("\n"))
+        assert rebuilt.labels == tree.labels
+        assert list(rebuilt.types) == list(tree.types)
+        assert rebuilt.parents == tree.parents
+        assert rebuilt.bounds == tree.bounds
+
+    def test_indent_does_not_change_structure(self):
+        tree = tree_from_xml("<cd><x>a b</x><y><z>c</z></y></cd>")
+        compact = tree_from_xml(collection_to_xml(tree))
+        pretty = tree_from_xml(collection_to_xml(tree, indent=4))
+        assert compact.labels == pretty.labels
+        assert compact.parents == pretty.parents
