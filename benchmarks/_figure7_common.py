@@ -4,11 +4,22 @@ Each benchmark measures the mean evaluation time of the query set of one
 (pattern, renamings) cell at one requested result count n — exactly the
 points of the paper's Figure 7 curves.  ``n=None`` is the paper's n = ∞
 (all results).
+
+With ``--telemetry-dir DIR`` each point additionally writes a JSON
+sidecar of engine counters (pages read, postings decoded, second-level
+queries) taken from one extra, unmeasured evaluation — the timed rounds
+stay uninstrumented so the measurement is unperturbed.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
+
+from repro.telemetry.collector import Telemetry, collecting
+from repro.telemetry.report import POSTING_COUNTERS
 
 RENAMINGS = (0, 5, 10)
 N_VALUES = (1, 10, None)
@@ -38,7 +49,9 @@ def evaluate_query_set(workload, pattern: int, renamings: int, n, algorithm: str
     return total
 
 
-def run_panel_point(benchmark, workload, pattern, algorithm, renamings, n):
+def run_panel_point(
+    benchmark, workload, pattern, algorithm, renamings, n, telemetry_dir=None
+):
     if algorithm == "schema" and n is None and pattern == 3 and renamings > 0:
         # Full retrieval through the schema enumerates the closure's
         # skeletons, which is combinatorial for the large Boolean pattern
@@ -54,6 +67,33 @@ def run_panel_point(benchmark, workload, pattern, algorithm, renamings, n):
         iterations=1,
         warmup_rounds=0,
     )
+    if telemetry_dir is not None:
+        _write_sidecar(telemetry_dir, workload, pattern, algorithm, renamings, n)
+
+
+def _write_sidecar(telemetry_dir, workload, pattern, algorithm, renamings, n):
+    """One extra instrumented evaluation of the point, dumped as JSON."""
+    telemetry = Telemetry()
+    with collecting(telemetry):
+        results = evaluate_query_set(workload, pattern, renamings, n, algorithm)
+    counters = telemetry.counters
+    record = {
+        "pattern": pattern,
+        "algorithm": algorithm,
+        "renamings": renamings,
+        "n": n,
+        "results": results,
+        "counters": dict(sorted(counters.items())),
+        "summary": {
+            "pages_read": counters.get("storage.pages_read", 0),
+            "postings_decoded": sum(counters.get(name, 0) for name in POSTING_COUNTERS),
+            "second_level_queries": counters.get("schema.second_level_executed", 0),
+        },
+    }
+    name = f"figure7_p{pattern}_{algorithm}_r{renamings}_n{n_id(n)}.json"
+    with open(os.path.join(telemetry_dir, name), "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
 
 
 def n_id(n) -> str:

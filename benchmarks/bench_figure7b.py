@@ -18,6 +18,8 @@ PATTERN = 2
 @pytest.mark.parametrize("renamings", RENAMINGS)
 @pytest.mark.parametrize("n", N_VALUES, ids=n_id)
 @pytest.mark.parametrize("algorithm", ["direct", "schema"])
-def bench_pattern2(benchmark, workload, algorithm, renamings, n):
+def bench_pattern2(benchmark, workload, telemetry_dir, algorithm, renamings, n):
     benchmark.group = f"figure7b n={n_id(n)} r={renamings}"
-    run_panel_point(benchmark, workload, PATTERN, algorithm, renamings, n)
+    run_panel_point(
+        benchmark, workload, PATTERN, algorithm, renamings, n, telemetry_dir
+    )

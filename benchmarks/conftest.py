@@ -19,6 +19,14 @@ def pytest_addoption(parser):
         help="collection scale for the benchmark workloads (tiny keeps the "
         "full suite to minutes; use small/paper for publication-grade runs)",
     )
+    parser.addoption(
+        "--telemetry-dir",
+        action="store",
+        default=None,
+        help="write one telemetry JSON sidecar per benchmark point into "
+        "this directory (counters from an extra unmeasured evaluation; "
+        "the timed rounds stay uninstrumented)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -29,3 +37,16 @@ def bench_scale(request):
 @pytest.fixture(scope="session")
 def workload(bench_scale):
     return get_workload(bench_scale)
+
+
+@pytest.fixture(scope="session")
+def telemetry_dir(request):
+    """Directory for telemetry sidecars, created on first use; ``None``
+    when ``--telemetry-dir`` was not given (the default)."""
+    path = request.config.getoption("--telemetry-dir")
+    if path is None:
+        return None
+    import os
+
+    os.makedirs(path, exist_ok=True)
+    return path

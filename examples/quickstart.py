@@ -58,10 +58,23 @@ def main() -> None:
     print()
 
     # Both algorithms of the paper agree; pick one explicitly if needed.
+    # query() returns a ResultSet: a plain list of results that also
+    # knows how it was computed.
     direct = db.query(query, n=5, costs=costs, method="direct")
     schema = db.query(query, n=5, costs=costs, method="schema")
     assert direct == schema
     print("direct and schema-driven evaluation returned identical rankings")
+    print(f"  methods: {direct.method} vs {schema.method}, costs {schema.costs}")
+    print()
+
+    # Ask what "auto" would do, and let a query report its own work.
+    print(db.plan(query, n=5).format())
+    report = db.query(query, n=5, costs=costs, collect="counters").report
+    print(
+        f"telemetry: {report.postings_decoded} postings decoded, "
+        f"{report.second_level_queries} second-level queries "
+        f"(see examples/observability.py for the full breakdown)"
+    )
 
 
 if __name__ == "__main__":

@@ -47,18 +47,31 @@ __all__ = [
     "EvaluationError",
     "GenerationError",
     "NodeType",
+    "QueryPlan",
+    "QueryReport",
     "QueryResult",
     "QuerySyntaxError",
     "ReproError",
+    "ResultSet",
+    "ResultStream",
     "SchemaError",
     "StorageError",
+    "Telemetry",
     "XMLSyntaxError",
     "__version__",
     "parse_query",
     "tree_from_xml",
 ]
 
-_LAZY = {"Database": "core", "QueryResult": "core"}
+_LAZY = {
+    "Database": "core",
+    "QueryPlan": "core",
+    "QueryResult": "core",
+    "ResultSet": "core",
+    "ResultStream": "core",
+    "QueryReport": "telemetry",
+    "Telemetry": "telemetry",
+}
 
 
 def __getattr__(name: str):

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro.bench figure7 --pattern 1 --scale small
     python -m repro.bench figure7 --pattern 2 --renamings 0 5
+    python -m repro.bench figure7 --pattern 1 --quick
+    python -m repro.bench figure7 --pattern 1 --telemetry-out fig7a.json
     python -m repro.bench schema-info --scale paper
 """
 
@@ -13,7 +15,13 @@ import argparse
 import sys
 
 from .chart import render_chart
-from .figure7 import DEFAULT_N_VALUES, format_markdown, format_series, run_figure7
+from .figure7 import (
+    DEFAULT_N_VALUES,
+    format_markdown,
+    format_series,
+    points_to_json,
+    run_figure7,
+)
 from .workloads import SCALES, get_workload
 
 
@@ -47,6 +55,19 @@ def main(argv: "list[str] | None" = None) -> int:
     figure7.add_argument(
         "--chart", action="store_true", help="draw an ASCII log-scale chart of the panel"
     )
+    figure7.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: tiny scale, 2 queries per point, n in {1, 10}, "
+        "renamings in {0, 5} — seconds instead of minutes, for CI",
+    )
+    figure7.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="collect engine telemetry during the run and write a JSON "
+        "sidecar (per-point counters: pages read, postings decoded, "
+        "second-level queries)",
+    )
 
     info = commands.add_parser("schema-info", help="print collection and schema sizes")
     info.add_argument("--scale", choices=sorted(SCALES), default="small")
@@ -54,18 +75,32 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "figure7":
+        scale = args.scale
+        renamings = tuple(args.renamings)
+        n_values = tuple(args.n)
+        queries = args.queries
+        if args.quick:
+            scale = "tiny"
+            renamings = tuple(r for r in renamings if r <= 5) or (0, 5)
+            n_values = tuple(n for n in n_values if n is not None and n <= 10) or (1, 10)
+            queries = min(queries, 2)
         points = run_figure7(
             args.pattern,
-            scale=args.scale,
-            renamings_counts=tuple(args.renamings),
-            n_values=tuple(args.n),
-            queries_per_point=args.queries,
+            scale=scale,
+            renamings_counts=renamings,
+            n_values=n_values,
+            queries_per_point=queries,
+            collect_telemetry=args.telemetry_out is not None,
         )
         if args.chart:
-            print(render_chart(points, args.scale))
+            print(render_chart(points, scale))
         else:
             formatter = format_markdown if args.markdown else format_series
-            print(formatter(points, args.scale))
+            print(formatter(points, scale))
+        if args.telemetry_out:
+            with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+                handle.write(points_to_json(points, scale) + "\n")
+            print(f"telemetry sidecar written to {args.telemetry_out}")
         return 0
 
     if args.command == "schema-info":

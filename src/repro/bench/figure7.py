@@ -13,10 +13,12 @@ reproduces the paper's n = ∞ point (all results).
 
 from __future__ import annotations
 
+import json
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..telemetry.collector import Telemetry, collecting
 from .workloads import Workload, get_workload
 
 #: the x-axis of the paper's figure; None encodes n = infinity
@@ -26,7 +28,14 @@ DEFAULT_RENAMINGS = (0, 5, 10)
 
 @dataclass(frozen=True)
 class Figure7Point:
-    """One measured point of one curve."""
+    """One measured point of one curve.
+
+    ``counters`` holds the aggregated telemetry of every evaluation that
+    went into the point (pages read, postings decoded, second-level
+    queries, ...) when the run collected it; ``None`` otherwise.  It is
+    excluded from equality so instrumented and plain runs compare equal
+    on the measurement itself.
+    """
 
     pattern: int
     algorithm: str  # "direct" | "schema"
@@ -34,6 +43,7 @@ class Figure7Point:
     n: "int | None"
     mean_seconds: float
     mean_results: float
+    counters: "dict[str, int] | None" = field(default=None, compare=False)
 
     @property
     def n_label(self) -> str:
@@ -48,11 +58,18 @@ def run_figure7(
     queries_per_point: int = 10,
     repeats: int = 1,
     workload: "Workload | None" = None,
+    collect_telemetry: bool = False,
 ) -> list[Figure7Point]:
     """Measure one panel of Figure 7.
 
     Every point is the mean over ``queries_per_point`` random queries of
     the same pattern (the paper uses 10), evaluated ``repeats`` times.
+
+    With ``collect_telemetry`` the evaluations run under an active
+    :class:`~repro.telemetry.collector.Telemetry` and each point carries
+    the aggregated counters (see :func:`points_to_json` for the sidecar
+    format).  Counting adds a small per-posting overhead, so timings of
+    an instrumented run are not comparable to a plain run.
     """
     if workload is None:
         workload = get_workload(scale)
@@ -68,19 +85,21 @@ def run_figure7(
             for algorithm in ("direct", "schema"):
                 elapsed = 0.0
                 results_total = 0
-                for generated in queries:
-                    for _ in range(repeats):
-                        start = time.perf_counter()
-                        if algorithm == "direct":
-                            results = workload.direct.evaluate(
-                                generated.query, generated.costs, n=n
-                            )
-                        else:
-                            results = workload.schema_eval.evaluate(
-                                generated.query, generated.costs, n=n
-                            )
-                        elapsed += time.perf_counter() - start
-                        results_total += len(results)
+                telemetry = Telemetry() if collect_telemetry else None
+                with collecting(telemetry):
+                    for generated in queries:
+                        for _ in range(repeats):
+                            start = time.perf_counter()
+                            if algorithm == "direct":
+                                results = workload.direct.evaluate(
+                                    generated.query, generated.costs, n=n
+                                )
+                            else:
+                                results = workload.schema_eval.evaluate(
+                                    generated.query, generated.costs, n=n
+                                )
+                            elapsed += time.perf_counter() - start
+                            results_total += len(results)
                 measurements = len(queries) * repeats
                 points.append(
                     Figure7Point(
@@ -90,6 +109,7 @@ def run_figure7(
                         n,
                         elapsed / measurements,
                         results_total / measurements,
+                        counters=dict(telemetry.counters) if telemetry else None,
                     )
                 )
     return points
@@ -191,3 +211,37 @@ def _shape_summary(points: list[Figure7Point]) -> str:
         f"shape: schema faster at n<=10 in {wins_small}/{total_small} curves; "
         f"at n=inf in {wins_all}/{total_all} curves"
     )
+
+
+def points_to_json(points: list[Figure7Point], scale: str, indent: int = 2) -> str:
+    """Serialize a measured panel as the telemetry sidecar JSON.
+
+    One record per point: the measurement itself plus, when the run was
+    instrumented, the aggregated counters and the three headline numbers
+    (pages read, postings decoded, second-level queries) the paper's
+    cost discussion turns on.
+    """
+    from ..telemetry.report import POSTING_COUNTERS
+
+    records = []
+    for point in points:
+        record = {
+            "pattern": point.pattern,
+            "algorithm": point.algorithm,
+            "renamings": point.renamings,
+            "n": point.n,
+            "mean_seconds": point.mean_seconds,
+            "mean_results": point.mean_results,
+        }
+        if point.counters is not None:
+            counters = point.counters
+            record["counters"] = dict(sorted(counters.items()))
+            record["summary"] = {
+                "pages_read": counters.get("storage.pages_read", 0),
+                "postings_decoded": sum(
+                    counters.get(name, 0) for name in POSTING_COUNTERS
+                ),
+                "second_level_queries": counters.get("schema.second_level_executed", 0),
+            }
+        records.append(record)
+    return json.dumps({"scale": scale, "points": records}, indent=indent)

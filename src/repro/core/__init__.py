@@ -1,15 +1,18 @@
 """Public façade: the :class:`Database` a downstream user adopts."""
 
-from .database import Database
+from .database import Database, QueryPlan
 from .explain import Explanation, explain_skeleton
 from .persist import FORMAT_VERSION, load_tree, save_tree
-from .results import QueryResult
+from .results import QueryResult, ResultSet, ResultStream
 
 __all__ = [
     "Database",
     "Explanation",
     "FORMAT_VERSION",
+    "QueryPlan",
     "QueryResult",
+    "ResultSet",
+    "ResultStream",
     "explain_skeleton",
     "load_tree",
     "save_tree",

@@ -6,6 +6,8 @@ Examples::
     python -m repro query catalog.apxq 'cd[title["piano"]]' -n 5
     python -m repro query docs/catalog.xml 'cd[title["piano"]]' --costs costs.txt
     python -m repro query catalog.apxq 'cd[title["piano"]]' --explain
+    python -m repro query catalog.apxq 'cd[title["piano"]]' --stats
+    python -m repro plan catalog.apxq 'cd[title["piano"]]' -n 5
     python -m repro info catalog.apxq
     python -m repro schema catalog.apxq
 """
@@ -62,7 +64,10 @@ def _command_query(args: argparse.Namespace) -> int:
             print(explanation.format())
         print(f"-- {len(explanations)} result(s) in {elapsed * 1000:.1f} ms")
         return 0
-    results = database.query(args.query, n=n, costs=costs, method=args.method)
+    collect = "timings" if args.stats else "off"
+    results = database.query(
+        args.query, n=n, costs=costs, method=args.method, collect=collect
+    )
     elapsed = time.perf_counter() - start
     for result in results:
         if args.xml:
@@ -70,7 +75,18 @@ def _command_query(args: argparse.Namespace) -> int:
         else:
             words = " ".join(result.words()[:10])
             print(f"{result.cost}\t{result.path}\t{words}")
-    print(f"-- {len(results)} result(s) in {elapsed * 1000:.1f} ms ({args.method})")
+    method = results.method if results.method is not None else args.method
+    print(f"-- {len(results)} result(s) in {elapsed * 1000:.1f} ms ({method})")
+    if args.stats:
+        print(results.report.format())
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    database = _open_database(args.sources)
+    n = None if args.n == 0 else args.n
+    plan = database.plan(args.query, n=n, method=args.method)
+    print(plan.format())
     return 0
 
 
@@ -121,7 +137,24 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--explain", action="store_true", help="show the transformations behind each result"
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect telemetry and print a per-stage breakdown "
+        "(pages read, postings decoded, second-level queries, timings)",
+    )
     query.set_defaults(func=_command_query)
+
+    plan = commands.add_parser(
+        "plan", help="show how a query would be evaluated, without running it"
+    )
+    plan.add_argument("sources", nargs=1, help=f"a saved {_DB_SUFFIX} file or an XML file")
+    plan.add_argument("query", help="approXQL query text")
+    plan.add_argument("-n", type=int, default=10, help="result count (0 = all)")
+    plan.add_argument(
+        "--method", choices=("auto", "direct", "schema"), default="auto"
+    )
+    plan.set_defaults(func=_command_plan)
 
     info = commands.add_parser("info", help="collection statistics")
     info.add_argument("sources", nargs="+")

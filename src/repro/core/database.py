@@ -8,14 +8,21 @@ This is the public entry point a downstream user adopts::
 Both of the paper's algorithms are available per query (``method="direct"``
 or ``"schema"``); the default ``"auto"`` follows the paper's conclusion —
 schema-driven evaluation for best-n retrieval, direct evaluation when all
-results are wanted.
+results are wanted.  :meth:`Database.plan` exposes that decision without
+running the query; ``collect="counters"`` (or ``"timings"``) makes
+:meth:`Database.query` return a :class:`~repro.core.results.ResultSet`
+whose :class:`~repro.telemetry.report.QueryReport` accounts for every
+page read, posting decoded, and second-level query executed.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
-from ..approxql.ast import NameSelector
+from ..approxql.ast import NameSelector, count_or_operators, count_selectors
 from ..approxql.costs import CostModel
 from ..approxql.parser import parse_query
 from ..engine.evaluator import DirectEvaluator
@@ -24,14 +31,50 @@ from ..schema.dataguide import Schema, build_schema
 from ..schema.evaluator import EvaluationStats, SchemaEvaluator
 from ..schema.indexes import StoredSecondaryIndex
 from ..storage.kv import MemoryStore
+from ..telemetry import collector as _telemetry
+from ..telemetry.collector import MODE_OFF, MODE_TIMINGS, MODES, Telemetry
+from ..telemetry.report import QueryReport
 from ..xmltree.builder import BuildOptions, CollectionBuilder
 from ..xmltree.indexes import MemoryNodeIndexes, StoredNodeIndexes
 from ..xmltree.model import DataTree
 from .explain import Explanation, explain_skeleton
 from .persist import load_tree, open_file_store, save_tree
-from .results import QueryResult
+from .results import QueryResult, ResultSet, ResultStream
 
 _METHODS = ("auto", "direct", "schema")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The ``"auto"`` method-selection decision, made public.
+
+    :meth:`Database.plan` returns one of these instead of burying the
+    choice inside :meth:`Database.query`: the chosen algorithm, why it
+    was chosen, and a summary of the parsed query (the quantities the
+    paper's complexity bounds are phrased in).
+    """
+
+    query: str
+    method: str
+    requested: str
+    reason: str
+    n: "int | None"
+    root_label: str
+    selectors: int
+    or_decisions: int
+    conjunctive_queries: int
+
+    def format(self) -> str:
+        """Human-readable rendering for the CLI's ``plan`` command."""
+        n_label = "all" if self.n is None else str(self.n)
+        lines = [
+            f"plan: {self.query}",
+            f"  method: {self.method} ({self.reason})",
+            f"  n: {n_label}  root: {self.root_label}",
+            f"  selectors: {self.selectors}  or-decisions: {self.or_decisions}  "
+            f"conjunctive queries: {self.conjunctive_queries}",
+        ]
+        return "\n".join(lines)
 
 
 class Database:
@@ -197,29 +240,56 @@ class Database:
         method: str = "auto",
         max_cost: "float | None" = None,
         stats: "EvaluationStats | None" = None,
-    ) -> list[QueryResult]:
+        collect: str = "off",
+    ) -> ResultSet:
         """Evaluate an approXQL query and return the best ``n`` results.
 
         ``n=None`` retrieves every approximate result; ``max_cost`` drops
         results costlier than the bound.  ``method`` picks the algorithm:
         ``"direct"`` (Section 6), ``"schema"`` (Section 7), or ``"auto"``
         (schema for best-n, direct for all).
+
+        ``collect`` controls telemetry: ``"off"`` (default) attaches a
+        report with only the method and wall time, ``"counters"`` fills
+        the per-stage counters (pages read, postings decoded, second-level
+        queries, ...), ``"timings"`` additionally records per-stage wall
+        times.  The returned :class:`~repro.core.results.ResultSet`
+        compares equal to a plain list of results and carries the report
+        as ``.report``.
+
+        ``stats`` is a deprecation shim for the pre-telemetry
+        :class:`~repro.schema.evaluator.EvaluationStats` hook; prefer
+        ``collect="counters"`` and the returned report.
         """
-        if method not in _METHODS:
-            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
-        resolved_costs = costs if costs is not None else self._default_costs
-        self._check_insert_costs(resolved_costs)
-        if method == "auto":
-            method = "schema" if n is not None else "direct"
-        if method == "direct":
-            results = self._direct_evaluator().evaluate(
-                text, resolved_costs, n=n, max_cost=max_cost
+        query, resolved_costs = self._resolve(text, costs)
+        chosen, _ = self._choose_method(method, n)
+        if collect not in MODES:
+            raise EvaluationError(f"unknown collect mode {collect!r}; expected one of {MODES}")
+        if stats is not None:
+            warnings.warn(
+                "Database.query(stats=...) is deprecated; pass collect='counters' "
+                "and read the schema.* counters off ResultSet.report",
+                DeprecationWarning,
+                stacklevel=2,
             )
+        telemetry = Telemetry(timed=collect == MODE_TIMINGS) if collect != MODE_OFF else None
+        start = time.perf_counter()
+        if telemetry is None:
+            results = self._evaluate(chosen, query, resolved_costs, n, max_cost, stats)
         else:
-            results = self._schema_eval().evaluate(
-                text, resolved_costs, n=n, max_cost=max_cost, stats=stats
-            )
-        return [QueryResult(result.root, result.cost, self._tree) for result in results]
+            with _telemetry.collecting(telemetry):
+                results = self._evaluate(chosen, query, resolved_costs, n, max_cost, stats)
+        wall_seconds = time.perf_counter() - start
+        report = QueryReport.from_telemetry(
+            telemetry,
+            query=query.unparse(),
+            method=chosen,
+            collect=collect,
+            n=n,
+            wall_seconds=wall_seconds,
+            results=len(results),
+        )
+        return ResultSet(results, report)
 
     def stream(
         self,
@@ -227,19 +297,76 @@ class Database:
         costs: "CostModel | None" = None,
         initial_k: "int | None" = None,
         delta: "int | None" = None,
-    ) -> Iterator[QueryResult]:
+        collect: str = "off",
+    ) -> ResultStream:
         """Incrementally stream results in increasing cost order — the
-        Section 7.4 advantage of the schema-driven evaluation."""
-        resolved_costs = costs if costs is not None else self._default_costs
-        self._check_insert_costs(resolved_costs)
+        Section 7.4 advantage of the schema-driven evaluation.
+
+        Returns a :class:`~repro.core.results.ResultStream` whose
+        ``.report`` is live: with ``collect`` enabled its counters grow
+        as results are pulled, so stopping early shows exactly what the
+        evaluation did so far.
+        """
+        query, resolved_costs = self._resolve(text, costs)
+        if collect not in MODES:
+            raise EvaluationError(f"unknown collect mode {collect!r}; expected one of {MODES}")
+        telemetry = Telemetry(timed=collect == MODE_TIMINGS) if collect != MODE_OFF else None
+        report = QueryReport(
+            query=query.unparse(),
+            method="schema",
+            collect=collect,
+            n=None,
+            counters=telemetry.counters if telemetry is not None else {},
+            timings=telemetry.timings if telemetry is not None else {},
+        )
+        iterator = self._iter_stream(query, resolved_costs, initial_k, delta)
+        return ResultStream(iterator, report, telemetry)
+
+    def _iter_stream(
+        self,
+        query: NameSelector,
+        costs: CostModel,
+        initial_k: "int | None",
+        delta: "int | None",
+    ) -> Iterator[QueryResult]:
         for result in self._schema_eval().iter_results(
-            text, resolved_costs, initial_k=initial_k, delta=delta
+            query, costs, initial_k=initial_k, delta=delta
         ):
             yield QueryResult(result.root, result.cost, self._tree)
 
+    def plan(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 10,
+        method: str = "auto",
+    ) -> QueryPlan:
+        """Explain which algorithm :meth:`query` would run — the
+        ``"auto"`` selection decision, public instead of buried — plus a
+        summary of the parsed query."""
+        query, _ = self._resolve(text, None)
+        chosen, reason = self._choose_method(method, n)
+        or_decisions = count_or_operators(query)
+        return QueryPlan(
+            query=query.unparse(),
+            method=chosen,
+            requested=method,
+            reason=reason,
+            n=n,
+            root_label=query.label,
+            selectors=count_selectors(query),
+            or_decisions=or_decisions,
+            conjunctive_queries=2**or_decisions,
+        )
+
     def count_results(self, text: "str | NameSelector", costs: "CostModel | None" = None) -> int:
-        """Total number of approximate results for the query."""
-        return len(self.query(text, n=None, costs=costs, method="direct"))
+        """Total number of approximate results for the query.
+
+        Uses the direct evaluator's counting fast path: the embedding
+        costs are computed once, but no result objects are materialized
+        and no sort is performed.
+        """
+        query, resolved_costs = self._resolve(text, costs)
+        return self._direct_evaluator().count(query, resolved_costs)
 
     def suggest_costs(self, options=None) -> CostModel:
         """Derive a cost model from the collection itself (the paper's
@@ -260,9 +387,7 @@ class Database:
         """Best-``n`` results with the transformation sequence that
         produced each (renamings, deletions, and the implicitly inserted
         element labels read off the schema)."""
-        query = parse_query(text) if isinstance(text, str) else text
-        resolved_costs = costs if costs is not None else self._default_costs
-        self._check_insert_costs(resolved_costs)
+        query, resolved_costs = self._resolve(text, costs)
         explanations: list[Explanation] = []
         for result in self._schema_eval().iter_results(query, resolved_costs):
             assert result.skeleton is not None
@@ -285,6 +410,54 @@ class Database:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _resolve(
+        self, text: "str | NameSelector", costs: "CostModel | None"
+    ) -> tuple[NameSelector, CostModel]:
+        """Parse the query text and resolve the effective cost model
+        (validating it against a stored database's baked-in costs)."""
+        query = parse_query(text) if isinstance(text, str) else text
+        resolved_costs = costs if costs is not None else self._default_costs
+        self._check_insert_costs(resolved_costs)
+        return query, resolved_costs
+
+    def _choose_method(self, method: str, n: "int | None") -> tuple[str, str]:
+        """Resolve ``method`` to a concrete algorithm plus the reason —
+        the paper's conclusion, applied: schema-driven evaluation for
+        best-n retrieval, direct evaluation for full retrieval."""
+        if method not in _METHODS:
+            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
+        if method != "auto":
+            return method, f"explicitly requested method={method!r}"
+        if n is None:
+            return (
+                "direct",
+                "auto: full retrieval (n=None) favors the direct algorithm (Section 6)",
+            )
+        return (
+            "schema",
+            f"auto: best-n retrieval (n={n}) favors the schema-driven algorithm (Section 7)",
+        )
+
+    def _evaluate(
+        self,
+        chosen: str,
+        query: NameSelector,
+        costs: CostModel,
+        n: "int | None",
+        max_cost: "float | None",
+        stats: "EvaluationStats | None",
+    ) -> list[QueryResult]:
+        if chosen == "direct":
+            raw = self._direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
+        else:
+            raw = self._schema_eval().evaluate(
+                query, costs, n=n, max_cost=max_cost, stats=stats
+            )
+        with _telemetry.timer("core.materialize"):
+            results = [QueryResult(result.root, result.cost, self._tree) for result in raw]
+        _telemetry.count("core.results_materialized", len(results))
+        return results
 
     def _direct_evaluator(self) -> DirectEvaluator:
         if self._direct is None:

@@ -5,10 +5,22 @@ wraps a pair together with the data tree so callers can inspect, render,
 or re-serialize the matched subtree (the paper's final step: "the results
 ... belonging to the embedding roots are selected and retrieved to the
 user").
+
+:class:`ResultSet` is what :meth:`~repro.core.database.Database.query`
+returns: a plain ``list`` of results (it compares equal to one) that also
+carries the query's :class:`~repro.telemetry.report.QueryReport`.
+:class:`ResultStream` is the streaming counterpart returned by
+:meth:`~repro.core.database.Database.stream`, with a report that grows as
+results are pulled.
 """
 
 from __future__ import annotations
 
+import time
+from collections.abc import Iterator
+
+from ..telemetry.collector import Telemetry, collecting
+from ..telemetry.report import QueryReport
 from ..xmltree.model import DataTree, NodeType
 from ..xmltree.serialize import subtree_to_xml
 
@@ -76,3 +88,83 @@ class QueryResult:
 
     def __repr__(self) -> str:
         return f"QueryResult(root={self.root}, cost={self.cost}, label={self.label!r})"
+
+
+class ResultSet(list):
+    """The ranked results of one query, plus how they were computed.
+
+    A ``list`` subclass, so every list operation — indexing, slicing,
+    iteration, and crucially equality against a plain list of
+    :class:`QueryResult` — behaves exactly as before the telemetry
+    redesign.  On top of that it exposes:
+
+    * :attr:`report` — the :class:`~repro.telemetry.report.QueryReport`
+      (method chosen, per-stage counters, wall time);
+    * :attr:`method` — shorthand for ``report.method``;
+    * :attr:`costs` — the result costs as a plain list of floats.
+    """
+
+    __slots__ = ("report",)
+
+    def __init__(self, results=(), report: "QueryReport | None" = None) -> None:
+        super().__init__(results)
+        self.report = report
+
+    @property
+    def method(self) -> "str | None":
+        """The algorithm that produced the results (``"direct"`` or
+        ``"schema"``), ``None`` when no report was attached."""
+        return self.report.method if self.report is not None else None
+
+    @property
+    def costs(self) -> list[float]:
+        """The embedding cost of each result, in rank order."""
+        return [result.cost for result in self]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({list.__repr__(self)}, method={self.method!r})"
+
+
+class ResultStream:
+    """Iterator over incrementally streamed results.
+
+    Results arrive in increasing cost order (the Section 7.4 advantage of
+    schema-driven evaluation).  :attr:`report` is live: its counters and
+    wall time grow as results are pulled, so a consumer that stops early
+    sees exactly what the evaluation did up to that point.
+    """
+
+    __slots__ = ("report", "_iterator", "_telemetry")
+
+    def __init__(
+        self,
+        iterator: Iterator[QueryResult],
+        report: QueryReport,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self._iterator = iterator
+        self.report = report
+        self._telemetry = telemetry
+
+    @property
+    def method(self) -> str:
+        return self.report.method
+
+    def __iter__(self) -> "ResultStream":
+        return self
+
+    def __next__(self) -> QueryResult:
+        start = time.perf_counter()
+        if self._telemetry is None:
+            try:
+                result = next(self._iterator)
+            finally:
+                self.report.wall_seconds += time.perf_counter() - start
+        else:
+            with collecting(self._telemetry):
+                try:
+                    result = next(self._iterator)
+                finally:
+                    self.report.wall_seconds += time.perf_counter() - start
+        self.report.results += 1
+        return result

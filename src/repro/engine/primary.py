@@ -38,8 +38,9 @@ class PrimaryEvaluator:
     indexes of a data tree.
 
     The public counters (``fetch_count``, ``postings_fetched``,
-    ``memo_hits``, ``list_ops``) expose what one evaluation did — the
-    quantities the Section 6.5 complexity bound is phrased in.
+    ``memo_hits``, ``list_ops``, ``merge_ops``, ``fetch_cache_hits``)
+    expose what one evaluation did — the quantities the Section 6.5
+    complexity bound is phrased in.
     """
 
     def __init__(self, indexes: NodeIndexes, memoize: bool = True) -> None:
@@ -51,6 +52,8 @@ class PrimaryEvaluator:
         self.postings_fetched = 0
         self.memo_hits = 0
         self.list_ops = 0
+        self.merge_ops = 0
+        self.fetch_cache_hits = 0
 
     def evaluate(self, expanded: ExpandedQuery) -> EvalList:
         """Return the list of root matches of all approximate embeddings;
@@ -116,6 +119,7 @@ class PrimaryEvaluator:
             renamed = self._fetch(rename_label, node.node_type, as_leaf=False)
             annotated = self._primary(node.child, 0.0, renamed)
             result = merge(result, annotated, rename_cost)
+            self.merge_ops += 1
         return result
 
     # ------------------------------------------------------------------
@@ -130,6 +134,8 @@ class PrimaryEvaluator:
             self._fetch_cache[key] = cached
             self.fetch_count += 1
             self.postings_fetched += len(cached)
+        else:
+            self.fetch_cache_hits += 1
         return cached
 
     def _fetch_leaf_merged(self, leaf: ExpandedNode) -> EvalList:
@@ -138,6 +144,7 @@ class PrimaryEvaluator:
         for rename_label, rename_cost in leaf.renamings:
             renamed = self._fetch(rename_label, leaf.node_type, as_leaf=True)
             result = merge(result, renamed, rename_cost)
+            self.merge_ops += 1
         return result
 
 

@@ -22,6 +22,7 @@ from ..approxql.costs import CostModel
 from ..approxql.expanded import build_expanded
 from ..approxql.parser import parse_query
 from ..errors import EvaluationError
+from ..telemetry import collector as _telemetry
 from ..xmltree.model import DataTree
 from .dataguide import Schema, build_schema
 from .entries import SchemaEntry  # noqa: F401 - part of SchemaResult's type
@@ -50,7 +51,14 @@ class SchemaResult:
 
 @dataclass
 class EvaluationStats:
-    """Observability for experiments: what the incremental driver did."""
+    """Observability for experiments: what the incremental driver did.
+
+    .. deprecated::
+        Superseded by the engine-wide telemetry layer: pass
+        ``collect="counters"`` to :meth:`repro.core.database.Database.query`
+        and read the ``schema.*`` counters off the returned report.  Kept
+        as a shim for callers that drive :class:`SchemaEvaluator` directly.
+    """
 
     rounds: int = 0
     final_k: int = 0
@@ -203,12 +211,16 @@ class SchemaEvaluator:
 
         while True:
             evaluator = PrimaryKEvaluator(self._indexes, k)
-            root_entries = evaluator.evaluate(expanded)
-            queries = sort_roots(k, root_entries)
+            with _telemetry.timer("schema.topk"):
+                root_entries = evaluator.evaluate(expanded)
+                queries = sort_roots(k, root_entries)
             if stats is not None:
                 stats.rounds += 1
                 stats.final_k = k
                 stats.second_level_generated = len(queries)
+            _telemetry.count("schema.rounds")
+            _telemetry.gauge("schema.final_k", k)
+            _telemetry.gauge("schema.skeletons_enumerated", len(queries))
             fresh = [entry for entry in queries if entry.signature not in executed]
             for entry in fresh:
                 if max_cost is not None and entry.embcost > max_cost:
@@ -226,16 +238,21 @@ class SchemaEvaluator:
                 ):
                     # this root class is saturated: the skeleton can only
                     # re-deliver known roots at equal or higher cost
+                    _telemetry.count("schema.saturation_skips")
                     continue
                 if stats is not None:
                     stats.second_level_executed += 1
                     stats.executed_skeletons.append(entry.format_skeleton())
-                instances = executor.execute(entry)
+                _telemetry.count("schema.second_level_executed")
+                with _telemetry.timer("schema.secondary"):
+                    instances = executor.execute(entry)
                 if stats is not None:
                     stats.secondary_fetches = executor.fetch_count
                     stats.secondary_semijoins = executor.semijoin_count
-                if instances and stats is not None:
-                    stats.second_level_nonempty += 1
+                if instances:
+                    if stats is not None:
+                        stats.second_level_nonempty += 1
+                    _telemetry.count("schema.second_level_nonempty")
                 for pre, _ in instances:
                     if pre not in found:
                         found[pre] = entry.embcost
@@ -243,6 +260,7 @@ class SchemaEvaluator:
                         emitted += 1
                         if stats is not None:
                             stats.results_found = emitted
+                        _telemetry.gauge("schema.results_found", emitted)
                         yield SchemaResult(pre, entry.embcost, entry)
                         if n is not None and emitted >= n:
                             return
@@ -260,6 +278,9 @@ class SchemaEvaluator:
             k = min(max_k, k + delta)
             if growth == "geometric":
                 delta *= 2
+            # the k-doubling restart the paper's prefix-erasure amortizes:
+            # the top-k primary reruns from scratch with the larger k
+            _telemetry.count("schema.kdoubling_restarts")
 
     def _root_instance_counts(self, root) -> "dict[int, int] | None":
         """Instance counts of every candidate root class (the data nodes

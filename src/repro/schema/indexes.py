@@ -26,6 +26,7 @@ from ..storage.postings import (
     decode_instance_postings,
     encode_instance_postings,
 )
+from ..telemetry.collector import current as _telemetry_current
 from ..xmltree.model import NodeType
 from .dataguide import Schema
 
@@ -55,6 +56,10 @@ class SchemaNodeIndexes:
         with that name; text classes containing that term)."""
         table = self._struct if node_type == NodeType.STRUCT else self._text
         nodes = table.get(label)
+        telemetry = _telemetry_current()
+        if telemetry is not None:
+            telemetry.count("index.schema_fetches")
+            telemetry.count("index.schema_postings", len(nodes) if nodes else 0)
         if not nodes:
             return []
         schema = self._schema
@@ -91,12 +96,18 @@ class MemorySecondaryIndex(SecondaryIndex):
     def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
         schema = self._schema
         if schema_pre >= len(schema):
-            return []
-        if schema.is_text_class(schema_pre):
-            return schema.term_instances.get(schema_pre, {}).get(label, [])
-        if schema.labels[schema_pre] != label:
-            return []
-        return schema.instances[schema_pre]
+            posting: list[InstancePosting] = []
+        elif schema.is_text_class(schema_pre):
+            posting = schema.term_instances.get(schema_pre, {}).get(label, [])
+        elif schema.labels[schema_pre] != label:
+            posting = []
+        else:
+            posting = schema.instances[schema_pre]
+        telemetry = _telemetry_current()
+        if telemetry is not None:
+            telemetry.count("index.sec_fetches")
+            telemetry.count("index.sec_postings", len(posting))
+        return posting
 
 
 class StoredSecondaryIndex(SecondaryIndex):
@@ -120,11 +131,19 @@ class StoredSecondaryIndex(SecondaryIndex):
         return index
 
     def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
+        telemetry = _telemetry_current()
         try:
             data = self._namespace.get(_sec_key(schema_pre, label))
         except KeyNotFoundError:
+            if telemetry is not None:
+                telemetry.count("index.sec_fetches")
+                telemetry.count("index.sec_postings", 0)
             return []
-        return decode_instance_postings(data)
+        posting = decode_instance_postings(data)
+        if telemetry is not None:
+            telemetry.count("index.sec_fetches")
+            telemetry.count("index.sec_postings", len(posting))
+        return posting
 
 
 def _sec_key(schema_pre: int, label: str) -> bytes:

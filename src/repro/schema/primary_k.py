@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..approxql.expanded import ExpandedNode, ExpandedQuery, RepType
 from ..errors import EvaluationError
+from ..telemetry.collector import count as _telemetry_count
 from ..xmltree.model import NodeType
 from .indexes import SchemaNodeIndexes
 from .topk_ops import (
@@ -70,6 +71,7 @@ class PrimaryKEvaluator:
         return add_edge_k(base, edge_cost)
 
     def _primary_base(self, node: ExpandedNode, ancestors: TopKList) -> TopKList:
+        _telemetry_count("schema.topk_list_ops")
         k, monitor = self._k, self.monitor
         reptype = node.reptype
         if reptype == RepType.LEAF:

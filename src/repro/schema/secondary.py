@@ -15,6 +15,7 @@ from __future__ import annotations
 from bisect import bisect_right
 
 from ..storage.postings import InstancePosting
+from ..telemetry.collector import count as _telemetry_count
 from .entries import SchemaEntry
 from .indexes import SecondaryIndex
 
@@ -39,6 +40,7 @@ class SecondaryExecutor:
         an instance embedding of the whole skeleton (Figure 5)."""
         cached = self._memo.get(entry)
         if cached is not None:
+            _telemetry_count("schema.skeleton_memo_hits")
             return cached
         instances = self._index.fetch(entry.pre, entry.label)
         self.fetch_count += 1
@@ -48,6 +50,7 @@ class SecondaryExecutor:
             child_instances = self.execute(child)
             instances = semi_join(instances, child_instances)
             self.semijoin_count += 1
+            _telemetry_count("schema.semijoins")
         self._memo[entry] = instances
         return instances
 

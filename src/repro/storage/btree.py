@@ -22,6 +22,7 @@ import struct
 from collections.abc import Iterator
 
 from ..errors import CorruptPageError, KeyNotFoundError, StorageError
+from ..telemetry.collector import count as _telemetry_count
 from .pager import Pager
 from .varint import decode_uvarint, encode_uvarint
 
@@ -371,6 +372,7 @@ class BTree:
         if tag == _INLINE_VALUE:
             assert isinstance(payload, bytes)
             return payload
+        _telemetry_count("btree.overflow_values_read")
         total_len, page_no = payload  # type: ignore[misc]
         chunks = []
         remaining = total_len
@@ -468,6 +470,7 @@ class BTree:
         return node
 
     def _read_node(self, page_no: int) -> _Node:
+        _telemetry_count("btree.node_visits")
         return self._deserialize(page_no, self._pager.read(page_no))
 
     def _write_node(self, node: _Node) -> None:

@@ -8,6 +8,10 @@ eight bytes and reused before the file grows.
 Every page is checksummed (CRC32 over the payload) so torn or corrupted
 reads surface as :class:`~repro.errors.CorruptPageError` instead of silent
 garbage — the same contract Berkeley DB gives the paper's implementation.
+
+Page reads and writes report into the ambient telemetry collector
+(``storage.pages_read`` / ``storage.pages_written``), so a query against
+a stored database accounts for every page it touches.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import struct
 import zlib
 
 from ..errors import CorruptPageError, StorageError
+from ..telemetry.collector import count as _telemetry_count
 
 DEFAULT_PAGE_SIZE = 4096
 _MAGIC = b"APXQPG01"
@@ -122,6 +127,7 @@ class Pager:
         """Read and verify the payload of ``page_no``."""
         self._check_open()
         self._validate_page_no(page_no)
+        _telemetry_count("storage.pages_read")
         self._file.seek(page_no * self.page_size)
         raw = self._file.read(self.page_size)
         if len(raw) < _PAGE_PREFIX_SIZE:
@@ -141,6 +147,7 @@ class Pager:
             raise StorageError(
                 f"payload of {len(payload)} bytes exceeds page capacity {self.payload_size}"
             )
+        _telemetry_count("storage.pages_written")
         padded = payload.ljust(self.payload_size, b"\x00")
         crc = zlib.crc32(padded)
         self._file.seek(page_no * self.page_size)

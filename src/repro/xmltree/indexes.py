@@ -24,6 +24,7 @@ from ..storage.postings import (
     decode_node_postings,
     encode_node_postings,
 )
+from ..telemetry.collector import current as _telemetry_current
 from .model import DataTree, NodeType
 
 STRUCT_NAMESPACE = b"Istruct"
@@ -63,6 +64,10 @@ class MemoryNodeIndexes(NodeIndexes):
 
     def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
         pres = self._by_type[node_type].get(label)
+        telemetry = _telemetry_current()
+        if telemetry is not None:
+            telemetry.count("index.data_fetches")
+            telemetry.count("index.data_postings", len(pres) if pres else 0)
         if not pres:
             return []
         tree = self._tree
@@ -107,11 +112,19 @@ class StoredNodeIndexes(NodeIndexes):
 
     def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
         namespace = self._struct if node_type == NodeType.STRUCT else self._text
+        telemetry = _telemetry_current()
         try:
             data = namespace.get(_label_key(label))
         except KeyNotFoundError:
+            if telemetry is not None:
+                telemetry.count("index.data_fetches")
+                telemetry.count("index.data_postings", 0)
             return []
-        return decode_node_postings(data)
+        posting = decode_node_postings(data)
+        if telemetry is not None:
+            telemetry.count("index.data_fetches")
+            telemetry.count("index.data_postings", len(posting))
+        return posting
 
     def labels(self, node_type: NodeType) -> Iterator[str]:
         namespace = self._struct if node_type == NodeType.STRUCT else self._text

@@ -56,6 +56,26 @@ def test_loaded_database_streams(tmp_path):
     assert {(r.root, r.cost) for r in streamed} == {(r.root, r.cost) for r in reference}
 
 
+def test_page_read_counters_distinguish_stored_from_memory(tmp_path):
+    """Telemetry parity check: the same query returns identical results
+    from the in-memory indexes and from the single-file store, but only
+    the stored run reads pages — the in-memory run must report zero."""
+    rng = random.Random(8800)
+    tree = random_tree(rng, max_nodes=60)
+    database = Database.from_tree(tree)
+    path = str(tmp_path / "pages.apxq")
+    database.save(path)
+    loaded = Database.load(path)
+    query = random_query(rng)
+    for method in ("direct", "schema"):
+        memory = database.query(query, n=None, method=method, collect="counters")
+        stored = loaded.query(query, n=None, method=method, collect="counters")
+        assert {(r.root, r.cost) for r in stored} == {(r.root, r.cost) for r in memory}
+        assert memory.report.pages_read == 0
+        if memory:  # postings were actually fetched, so pages were touched
+            assert stored.report.pages_read > 0
+
+
 def test_separation_count_is_stable_after_reload(tmp_path):
     """Sanity: parsing machinery is independent of the storage path."""
     rng = random.Random(11)

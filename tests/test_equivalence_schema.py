@@ -62,6 +62,47 @@ def test_streaming_order_is_nondecreasing(seed):
     assert costs_seen == sorted(costs_seen)
 
 
+def test_schema_decodes_fewer_postings_for_best_n():
+    """The paper's Figure 7 claim, stated in counters instead of seconds:
+    for best-n retrieval with renamings over template-shaped data, the
+    schema-driven algorithm must touch strictly fewer postings than the
+    direct one.  The direct algorithm fetches the instance lists of every
+    renamed label up front; the schema path weighs the renamings on
+    class-level lists (bounded by the schema, not the data) and only its
+    winning second-level queries ever touch instance lists."""
+    from repro.approxql.costs import CostModel
+    from repro.telemetry.collector import Telemetry, collecting
+    from repro.telemetry.report import POSTING_COUNTERS
+    from repro.xmltree.builder import tree_from_xml
+    from repro.xmltree.model import NodeType
+
+    rng = random.Random(77)
+    documents = []
+    for _ in range(150):
+        title = rng.choice(["alpha", "beta", "gamma", "delta"])
+        documents.append(f"<cd><title>{title}</title></cd>")
+    for _ in range(150):
+        name = rng.choice(["alpha", "beta", "gamma", "delta"])
+        documents.append(f"<song><name>{name}</name></song>")
+    tree = tree_from_xml(*documents)
+    costs = CostModel()
+    costs.add_renaming("cd", "song", NodeType.STRUCT, 2)
+    costs.add_renaming("title", "name", NodeType.STRUCT, 2)
+    query = 'cd[title["alpha"]]'
+
+    def postings(counters):
+        return sum(counters.get(name, 0) for name in POSTING_COUNTERS)
+
+    for n in (1, 5):
+        direct_telemetry, schema_telemetry = Telemetry(), Telemetry()
+        with collecting(direct_telemetry):
+            direct = DirectEvaluator(tree).evaluate(query, costs, n=n)
+        with collecting(schema_telemetry):
+            schema = SchemaEvaluator(tree).evaluate(query, costs, n=n)
+        assert sorted(r.cost for r in schema) == sorted(r.cost for r in direct[:n])
+        assert postings(schema_telemetry.counters) < postings(direct_telemetry.counters)
+
+
 def test_schema_equals_direct_on_regular_data():
     """Template-shaped data (many instances per class) stresses the
     instance/class machinery differently from random trees."""

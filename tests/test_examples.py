@@ -51,6 +51,14 @@ def test_persistent_store_quick():
     assert "in-memory and on-disk evaluation agree" in output
 
 
+def test_observability():
+    output = run_example("observability.py")
+    assert "plan:" in output
+    assert "pages read" in output
+    assert "postings decoded" in output
+    assert "second-level queries" in output
+
+
 def test_cost_tuning():
     output = run_example("cost_tuning.py")
     assert "suggested cost model" in output
