@@ -1,0 +1,202 @@
+"""Read-path cache benchmarks on the Figure 7a workload.
+
+Two experiments over a *stored* database built from the pattern-1
+workload collection:
+
+* **Page-cache sweep** — the same query set evaluated through the file
+  store at several page-cache capacities (posting cache off, so the
+  pager is the only variable).  Reports wall time per pass plus the
+  ``storage.pages_read`` / ``cache.page_hits`` split.
+* **Posting-cache comparison** — the repeated-query best-n path (the
+  incremental driver re-fetches the same postings round after round)
+  with the decoded-posting cache off vs. on at its default budget.
+
+Standalone usage (writes the committed ``BENCH_cache.json`` baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py --scale tiny --out BENCH_cache.json
+
+The module also exposes one pytest-benchmark point per page-cache
+capacity when collected with ``pytest benchmarks/bench_cache.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench.workloads import SCALES, get_workload
+from repro.telemetry.collector import Telemetry, collecting
+
+PATTERN = 1  # Figure 7a: the path pattern
+RENAMINGS = 5
+QUERIES_PER_POINT = 5
+PASSES = 3
+PAGE_CACHE_SWEEP = (0, 4, 16, 64, 256)
+
+
+def build_stored_workload(scale: str, directory: str):
+    """Save the workload collection into a single-file store and return
+    ``(path, queries)`` for the Figure 7a query set."""
+    workload = get_workload(scale)
+    path = os.path.join(directory, f"bench-cache-{scale}.apxq")
+    if not os.path.exists(path):
+        Database.from_tree(workload.tree).save(path)
+    queries = workload.queries(PATTERN, RENAMINGS, count=QUERIES_PER_POINT)
+    return path, queries
+
+
+def run_query_set(database: Database, queries, n, method: str) -> int:
+    total = 0
+    for generated in queries:
+        total += len(
+            database.query(generated.query, n=n, costs=generated.costs, method=method)
+        )
+    return total
+
+
+def measure_point(database: Database, queries, n, method: str) -> dict:
+    """Time ``PASSES`` evaluations of the query set (uninstrumented),
+    then run one instrumented pass for the counters."""
+    times = []
+    for _ in range(PASSES):
+        start = time.perf_counter()
+        run_query_set(database, queries, n, method)
+        times.append(time.perf_counter() - start)
+    telemetry = Telemetry()
+    with collecting(telemetry):
+        results = run_query_set(database, queries, n, method)
+    counters = telemetry.counters
+    return {
+        "results": results,
+        "pass_seconds": times,
+        "best_seconds": min(times),
+        "counters": {
+            "storage.pages_read": counters.get("storage.pages_read", 0),
+            "cache.page_hits": counters.get("cache.page_hits", 0),
+            "cache.page_evictions": counters.get("cache.page_evictions", 0),
+            "cache.posting_hits": counters.get("cache.posting_hits", 0),
+            "cache.posting_evictions": counters.get("cache.posting_evictions", 0),
+        },
+    }
+
+
+def page_cache_sweep(path: str, queries, capacities=PAGE_CACHE_SWEEP) -> list[dict]:
+    """One point per capacity: posting cache off, direct evaluation of
+    the full query set (n = all), fresh database handle per point."""
+    points = []
+    for capacity in capacities:
+        database = Database.open(path, page_cache_pages=capacity, posting_cache_bytes=0)
+        point = measure_point(database, queries, n=None, method="direct")
+        point["page_cache_pages"] = capacity
+        points.append(point)
+    return points
+
+
+def posting_cache_comparison(path: str, queries) -> dict:
+    """The repeated-query best-n path with the posting cache off vs. on
+    (page cache at its default in both, so only the posting cache moves)."""
+    comparison = {}
+    for label, budget in (("off", 0), ("default", None)):
+        database = Database.open(path, posting_cache_bytes=budget)
+        comparison[label] = measure_point(database, queries, n=10, method="schema")
+    off, on = comparison["off"]["best_seconds"], comparison["default"]["best_seconds"]
+    comparison["speedup"] = off / on if on else float("inf")
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stored_workload(bench_scale, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("bench-cache"))
+    return build_stored_workload(bench_scale, directory)
+
+
+@pytest.mark.parametrize("capacity", PAGE_CACHE_SWEEP)
+def bench_page_cache_capacity(benchmark, stored_workload, capacity):
+    path, queries = stored_workload
+    database = Database.open(path, page_cache_pages=capacity, posting_cache_bytes=0)
+    benchmark.pedantic(
+        run_query_set,
+        args=(database, queries, None, "direct"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("budget", [0, None], ids=["posting-off", "posting-default"])
+def bench_posting_cache_best_n(benchmark, stored_workload, budget):
+    path, queries = stored_workload
+    database = Database.open(path, posting_cache_bytes=budget)
+    benchmark.pedantic(
+        run_query_set,
+        args=(database, queries, 10, "schema"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone baseline writer
+# ----------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as directory:
+        path, queries = build_stored_workload(args.scale, directory)
+        record = {
+            "workload": {
+                "scale": args.scale,
+                "pattern": PATTERN,
+                "renamings": RENAMINGS,
+                "queries": QUERIES_PER_POINT,
+                "passes": PASSES,
+            },
+            "page_cache_sweep": page_cache_sweep(path, queries),
+            "posting_cache_best_n": posting_cache_comparison(path, queries),
+        }
+
+    rendered = json.dumps(record, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"baseline written to {args.out}")
+    else:
+        print(rendered, end="")
+
+    sweep = record["page_cache_sweep"]
+    uncached = next(p for p in sweep if p["page_cache_pages"] == 0)
+    cached = sweep[-1]
+    print(
+        f"pages read: {uncached['counters']['storage.pages_read']} uncached -> "
+        f"{cached['counters']['storage.pages_read']} at "
+        f"{cached['page_cache_pages']} pages",
+        file=sys.stderr,
+    )
+    print(
+        f"best-n posting cache speedup: "
+        f"{record['posting_cache_best_n']['speedup']:.2f}x",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,16 +25,39 @@ from .database import Database
 _DB_SUFFIX = ".apxq"
 
 
-def _open_database(sources: list[str]) -> Database:
-    """A single ``.apxq`` path opens a saved database; anything else is
-    read as XML documents."""
+def _open_database(args: argparse.Namespace) -> Database:
+    """A single ``.apxq`` path opens a saved database (honoring the
+    cache knobs); anything else is read as XML documents."""
+    sources = args.sources
     if len(sources) == 1 and sources[0].endswith(_DB_SUFFIX):
-        return Database.load(sources[0])
+        return Database.open(
+            sources[0],
+            page_cache_pages=getattr(args, "page_cache_pages", None),
+            posting_cache_bytes=getattr(args, "posting_cache_bytes", None),
+        )
     documents = []
     for path in sources:
         with open(path, encoding="utf-8") as handle:
             documents.append(handle.read())
     return Database.from_xml(*documents)
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """Read-path cache knobs, honored when the source is a saved database."""
+    parser.add_argument(
+        "--page-cache-pages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pager LRU cache capacity in pages (0 disables; default 256)",
+    )
+    parser.add_argument(
+        "--posting-cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="decoded posting cache budget in bytes (0 disables; default 8 MiB)",
+    )
 
 
 def _load_costs(path: "str | None") -> "CostModel | None":
@@ -44,7 +67,7 @@ def _load_costs(path: "str | None") -> "CostModel | None":
 
 
 def _command_build(args: argparse.Namespace) -> int:
-    database = _open_database(args.sources)
+    database = _open_database(args)
     start = time.perf_counter()
     database.save(args.output)
     elapsed = time.perf_counter() - start
@@ -53,7 +76,7 @@ def _command_build(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    database = _open_database(args.sources)
+    database = _open_database(args)
     costs = _load_costs(args.costs)
     n = None if args.n == 0 else args.n
     start = time.perf_counter()
@@ -83,7 +106,7 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _command_plan(args: argparse.Namespace) -> int:
-    database = _open_database(args.sources)
+    database = _open_database(args)
     n = None if args.n == 0 else args.n
     plan = database.plan(args.query, n=n, method=args.method)
     print(plan.format())
@@ -91,7 +114,7 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 
 def _command_info(args: argparse.Namespace) -> int:
-    database = _open_database(args.sources)
+    database = _open_database(args)
     print(database.describe())
     tree = database.tree
     from ..xmltree.model import NodeType
@@ -106,7 +129,7 @@ def _command_info(args: argparse.Namespace) -> int:
 
 
 def _command_schema(args: argparse.Namespace) -> int:
-    database = _open_database(args.sources)
+    database = _open_database(args)
     print(database.schema.format(max_depth=args.depth))
     return 0
 
@@ -143,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect telemetry and print a per-stage breakdown "
         "(pages read, postings decoded, second-level queries, timings)",
     )
+    _add_cache_options(query)
     query.set_defaults(func=_command_query)
 
     plan = commands.add_parser(
@@ -154,15 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--method", choices=("auto", "direct", "schema"), default="auto"
     )
+    _add_cache_options(plan)
     plan.set_defaults(func=_command_plan)
 
     info = commands.add_parser("info", help="collection statistics")
     info.add_argument("sources", nargs="+")
+    _add_cache_options(info)
     info.set_defaults(func=_command_info)
 
     schema = commands.add_parser("schema", help="print the DataGuide")
     schema.add_argument("sources", nargs="+")
     schema.add_argument("--depth", type=int, default=12)
+    _add_cache_options(schema)
     schema.set_defaults(func=_command_schema)
 
     return parser

@@ -30,7 +30,7 @@ from ..errors import EvaluationError
 from ..schema.dataguide import Schema, build_schema
 from ..schema.evaluator import EvaluationStats, SchemaEvaluator
 from ..schema.indexes import StoredSecondaryIndex
-from ..storage.kv import MemoryStore
+from ..storage.kv import MemoryStore, Store
 from ..telemetry import collector as _telemetry
 from ..telemetry.collector import MODE_OFF, MODE_TIMINGS, MODES, Telemetry
 from ..telemetry.report import QueryReport
@@ -100,6 +100,8 @@ class Database:
         self._direct = _direct
         self._schema_evaluator = _schema_evaluator
         self._schema: "Schema | None" = None
+        #: the file store behind a loaded database (None when in-memory)
+        self._store: "Store | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -178,12 +180,40 @@ class Database:
             store.sync()
 
     @classmethod
-    def load(cls, path: str) -> "Database":
-        """Open a saved database; posting fetches go to the file store."""
-        store = open_file_store(path)
+    def open(
+        cls,
+        path: str,
+        page_cache_pages: "int | None" = None,
+        posting_cache_bytes: "int | None" = None,
+    ) -> "Database":
+        """Open a saved database; posting fetches go to the file store.
+
+        Two read-path caches sit between the evaluators and the file,
+        both on by default:
+
+        ``page_cache_pages``
+            Capacity of the pager's LRU page cache (the buffer-pool role
+            Berkeley DB plays in the paper's §8 setup).  ``0`` disables
+            it; ``None`` keeps the default
+            (:data:`~repro.storage.pager.DEFAULT_CACHE_PAGES`).
+        ``posting_cache_bytes``
+            Byte budget of the shared decoded-posting cache reused
+            across queries (and across the best-*n* driver's rounds).
+            ``0`` disables it; ``None`` keeps the default
+            (:data:`~repro.storage.cache.DEFAULT_POSTING_CACHE_BYTES`).
+
+        With both knobs at ``0`` the read path is byte-identical to the
+        uncached engine.
+        """
+        from ..storage.cache import DEFAULT_POSTING_CACHE_BYTES, PostingCache
+
+        store = open_file_store(path, cache_pages=page_cache_pages)
+        if posting_cache_bytes is None:
+            posting_cache_bytes = DEFAULT_POSTING_CACHE_BYTES
+        posting_cache = PostingCache(posting_cache_bytes) if posting_cache_bytes else None
         tree, insert_costs, fingerprint = load_tree(store)
-        node_indexes = StoredNodeIndexes(store)
-        secondary = StoredSecondaryIndex(store)
+        node_indexes = StoredNodeIndexes(store, posting_cache)
+        secondary = StoredSecondaryIndex(store, posting_cache)
         schema = build_schema(tree)
         schema.encode_costs(insert_costs.insert_cost, fingerprint=insert_costs.insert_fingerprint)
         database = cls(
@@ -195,7 +225,22 @@ class Database:
             _frozen_fingerprint=fingerprint,
         )
         database._schema = schema
+        database._store = store
         return database
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        page_cache_pages: "int | None" = None,
+        posting_cache_bytes: "int | None" = None,
+    ) -> "Database":
+        """Alias of :meth:`open` (the historical name)."""
+        return cls.open(
+            path,
+            page_cache_pages=page_cache_pages,
+            posting_cache_bytes=posting_cache_bytes,
+        )
 
     # ------------------------------------------------------------------
     # inspection

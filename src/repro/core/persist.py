@@ -103,9 +103,14 @@ def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
     return tree, insert_costs, fingerprint
 
 
-def open_file_store(path: str) -> FileStore:
-    """Open (or create) the single-file store of a database."""
-    return FileStore(path)
+def open_file_store(path: str, cache_pages: "int | None" = None) -> FileStore:
+    """Open (or create) the single-file store of a database.
+
+    ``cache_pages`` sizes the pager's LRU page cache (``0`` disables it;
+    ``None`` keeps the pager default)."""
+    if cache_pages is None:
+        return FileStore(path)
+    return FileStore(path, cache_pages=cache_pages)
 
 
 __all__ = [

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..approxql.expanded import ExpandedNode, ExpandedQuery, RepType
 from ..errors import EvaluationError
+from ..storage.cache import FetchMemo
 from ..xmltree.indexes import NodeIndexes
 from ..xmltree.model import NodeType
 from .entries import ListEntry
@@ -46,14 +47,17 @@ class PrimaryEvaluator:
     def __init__(self, indexes: NodeIndexes, memoize: bool = True) -> None:
         self._indexes = indexes
         self._memoize = memoize
-        self._fetch_cache: dict[tuple[str, NodeType, bool], EvalList] = {}
+        # Lifetime contract (see repro.storage.cache): one memo per
+        # evaluator instance, one instance per evaluation — never
+        # invalidated; cross-query posting reuse lives in the shared
+        # PostingCache underneath the indexes.
+        self._fetch_cache = FetchMemo()
         self._memo: dict[tuple[int, int], EvalList] = {}
         self.fetch_count = 0
         self.postings_fetched = 0
         self.memo_hits = 0
         self.list_ops = 0
         self.merge_ops = 0
-        self.fetch_cache_hits = 0
 
     def evaluate(self, expanded: ExpandedQuery) -> EvalList:
         """Return the list of root matches of all approximate embeddings;
@@ -126,17 +130,21 @@ class PrimaryEvaluator:
     # fetching
     # ------------------------------------------------------------------
 
+    @property
+    def fetch_cache_hits(self) -> int:
+        return self._fetch_cache.hits
+
     def _fetch(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalList:
-        key = (label, node_type, as_leaf)
-        cached = self._fetch_cache.get(key)
-        if cached is None:
-            cached = fetch(self._indexes, label, node_type, as_leaf)
-            self._fetch_cache[key] = cached
-            self.fetch_count += 1
-            self.postings_fetched += len(cached)
-        else:
-            self.fetch_cache_hits += 1
-        return cached
+        return self._fetch_cache.get_or_build(
+            (label, node_type, as_leaf),
+            lambda: self._fetch_build(label, node_type, as_leaf),
+        )
+
+    def _fetch_build(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalList:
+        built = fetch(self._indexes, label, node_type, as_leaf)
+        self.fetch_count += 1
+        self.postings_fetched += len(built)
+        return built
 
     def _fetch_leaf_merged(self, leaf: ExpandedNode) -> EvalList:
         """The leaf case's fetch-and-merge over the leaf's renamings."""

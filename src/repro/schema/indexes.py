@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from ..errors import KeyNotFoundError
+from ..storage.cache import PostingCache
 from ..storage.kv import Namespace, Store
 from ..storage.postings import (
     InstancePosting,
@@ -111,10 +112,19 @@ class MemorySecondaryIndex(SecondaryIndex):
 
 
 class StoredSecondaryIndex(SecondaryIndex):
-    """``I_sec`` persisted in a key-value store under ``pre#label`` keys."""
+    """``I_sec`` persisted in a key-value store under ``pre#label`` keys.
 
-    def __init__(self, store: Store) -> None:
+    Accepts the same shared :class:`~repro.storage.cache.PostingCache`
+    as the stored node indexes: the best-*n* driver re-fetches the same
+    ``pre#label`` postings across rounds and across queries, and the
+    cache (generation-invalidated on any store write) hands back the
+    already-decoded lists.
+    """
+
+    def __init__(self, store: Store, posting_cache: "PostingCache | None" = None) -> None:
+        self._store = store
         self._namespace = Namespace(store, SEC_NAMESPACE)
+        self._cache = posting_cache
 
     @classmethod
     def build(cls, schema: Schema, store: Store) -> "StoredSecondaryIndex":
@@ -132,14 +142,25 @@ class StoredSecondaryIndex(SecondaryIndex):
 
     def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
         telemetry = _telemetry_current()
+        key = _sec_key(schema_pre, label)
+        cache = self._cache
+        if cache is not None:
+            posting = cache.get(SEC_NAMESPACE, key, self._store.generation)
+            if posting is not None:
+                if telemetry is not None:
+                    telemetry.count("index.sec_fetches")
+                    telemetry.count("index.sec_postings", len(posting))
+                return posting
         try:
-            data = self._namespace.get(_sec_key(schema_pre, label))
+            data = self._namespace.get(key)
         except KeyNotFoundError:
             if telemetry is not None:
                 telemetry.count("index.sec_fetches")
                 telemetry.count("index.sec_postings", 0)
             return []
         posting = decode_instance_postings(data)
+        if cache is not None:
+            cache.put(SEC_NAMESPACE, key, self._store.generation, posting)
         if telemetry is not None:
             telemetry.count("index.sec_fetches")
             telemetry.count("index.sec_postings", len(posting))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..approxql.expanded import ExpandedNode, ExpandedQuery, RepType
 from ..errors import EvaluationError
+from ..storage.cache import FetchMemo
 from ..telemetry.collector import count as _telemetry_count
 from ..xmltree.model import NodeType
 from .indexes import SchemaNodeIndexes
@@ -44,7 +45,10 @@ class PrimaryKEvaluator:
         self._indexes = indexes
         self._k = k
         self.monitor = TruncationMonitor()
-        self._fetch_cache: dict[tuple[str, NodeType, bool], TopKList] = {}
+        # Same lifetime contract as PrimaryEvaluator._fetch_cache (see
+        # repro.storage.cache): one memo per top-k round — the driver
+        # re-instantiates this evaluator when k grows.
+        self._fetch_cache = FetchMemo()
         self._memo: dict[tuple[int, int], TopKList] = {}
 
     def evaluate(self, expanded: ExpandedQuery) -> TopKList:
@@ -107,12 +111,10 @@ class PrimaryKEvaluator:
     # ------------------------------------------------------------------
 
     def _fetch(self, label: str, node_type: NodeType, as_leaf: bool) -> TopKList:
-        key = (label, node_type, as_leaf)
-        cached = self._fetch_cache.get(key)
-        if cached is None:
-            cached = fetch_k(self._indexes, label, node_type, as_leaf)
-            self._fetch_cache[key] = cached
-        return cached
+        return self._fetch_cache.get_or_build(
+            (label, node_type, as_leaf),
+            lambda: fetch_k(self._indexes, label, node_type, as_leaf),
+        )
 
     def _fetch_leaf_merged(self, leaf: ExpandedNode) -> TopKList:
         result = self._fetch(leaf.label, leaf.node_type, as_leaf=True)

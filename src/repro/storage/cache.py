@@ -1,0 +1,149 @@
+"""Read-path caches above the storage engine.
+
+Two caches live here, one per level of the read path:
+
+* :class:`PostingCache` — a byte-budgeted LRU of **decoded posting
+  lists**, shared across queries and across index objects.  The stored
+  indexes (``StoredNodeIndexes``, ``StoredSecondaryIndex``) consult it
+  before hitting the key-value store, so the incremental best-*n*
+  driver's overlapping second-level queries reuse decoded lists round
+  after round instead of re-decoding varint by varint.
+* :class:`FetchMemo` — the per-evaluation memo of *derived* fetch
+  results (evaluation lists / top-k lists built from a posting), shared
+  in shape by ``PrimaryEvaluator`` and ``PrimaryKEvaluator``.
+
+Invalidation contract
+---------------------
+``PostingCache`` entries are tagged with the owning store's
+**generation** (a counter every :class:`~repro.storage.kv.Store` bumps
+on any ``put`` / ``delete`` / ``bulk_load``).  A lookup that observes a
+different generation than the entry recorded is a miss and drops the
+stale entry — so *any* write to the store invalidates every cached
+posting, lazily, without the writer knowing about the cache.
+
+``FetchMemo`` is never invalidated: its correctness comes from its
+bounded lifetime.  One memo lives for exactly one evaluator run (one
+``PrimaryEvaluator`` evaluation, one ``PrimaryKEvaluator`` round) during
+which the underlying indexes are not mutated; cross-run reuse happens
+one level below, in ``PostingCache``.
+
+Cached posting lists are shared objects: callers must treat them as
+immutable (every consumer in the engine already does — the list ops
+build new lists).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, TypeVar
+
+from ..errors import StorageError
+from ..telemetry.collector import count as _telemetry_count
+
+#: default budget for the decoded-posting cache (bytes, estimated)
+DEFAULT_POSTING_CACHE_BYTES = 8 * 1024 * 1024
+
+#: estimated in-memory cost of one cached list / one posting tuple; the
+#: budget is a sizing knob, not an exact accounting, so a stable estimate
+#: beats sys.getsizeof recursion on the hot path
+_BASE_COST = 120
+_ENTRY_COST = 96
+
+_T = TypeVar("_T")
+
+
+class PostingCache:
+    """Byte-budgeted LRU over decoded posting lists.
+
+    Keys are ``(namespace_tag, key)`` pairs; values are the decoded
+    posting lists exactly as the codecs return them.  Entries carry the
+    store generation observed at decode time and are dropped when the
+    generation moves (see the module docstring for the contract).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_POSTING_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise StorageError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[tuple[bytes, bytes], tuple[int, int, list]]" = (
+            OrderedDict()
+        )
+        self._used_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        """Estimated bytes currently held (the budget's currency)."""
+        return self._used_bytes
+
+    def get(self, namespace: bytes, key: bytes, generation: int) -> "list | None":
+        """The cached posting under ``(namespace, key)``, or ``None`` on
+        a miss or when the entry predates ``generation``."""
+        cache_key = (namespace, key)
+        entry = self._entries.get(cache_key)
+        if entry is None:
+            _telemetry_count("cache.posting_misses")
+            return None
+        entry_generation, cost, posting = entry
+        if entry_generation != generation:
+            # a write moved the store's generation: the entry is stale
+            del self._entries[cache_key]
+            self._used_bytes -= cost
+            _telemetry_count("cache.posting_invalidations")
+            _telemetry_count("cache.posting_misses")
+            return None
+        self._entries.move_to_end(cache_key)
+        _telemetry_count("cache.posting_hits")
+        return posting
+
+    def put(self, namespace: bytes, key: bytes, generation: int, posting: list) -> None:
+        """Remember ``posting`` under ``(namespace, key)`` at ``generation``."""
+        if not self.max_bytes:
+            return
+        cost = _BASE_COST + _ENTRY_COST * len(posting)
+        if cost > self.max_bytes:
+            return  # a single oversized list would evict everything else
+        cache_key = (namespace, key)
+        previous = self._entries.pop(cache_key, None)
+        if previous is not None:
+            self._used_bytes -= previous[1]
+        self._entries[cache_key] = (generation, cost, posting)
+        self._used_bytes += cost
+        entries = self._entries
+        while self._used_bytes > self.max_bytes:
+            _, (_, evicted_cost, _) = entries.popitem(last=False)
+            self._used_bytes -= evicted_cost
+            _telemetry_count("cache.posting_evictions")
+
+    def clear(self) -> None:
+        """Drop every entry (eager form of generation invalidation)."""
+        self._entries.clear()
+        self._used_bytes = 0
+
+
+class FetchMemo:
+    """Per-evaluation memo of derived fetch results.
+
+    Keyed by ``(label, node_type, as_leaf)``; one instance lives for one
+    evaluator run and is then discarded (the invalidation contract in
+    the module docstring).  ``hits`` counts served lookups, feeding the
+    evaluators' ``fetch_cache_hits`` statistics.
+    """
+
+    __slots__ = ("_entries", "hits")
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits = 0
+
+    def get_or_build(self, key, build: "Callable[[], _T]") -> _T:
+        """The memoized value under ``key``, building it on first use."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = build()
+            self._entries[key] = entry
+        else:
+            self.hits += 1
+        return entry

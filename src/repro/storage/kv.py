@@ -21,11 +21,22 @@ from collections.abc import Iterator
 
 from ..errors import KeyNotFoundError, StorageError
 from .btree import BTree
-from .pager import DEFAULT_PAGE_SIZE, Pager
+from .pager import DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE, Pager
 
 
 class Store:
-    """Abstract ordered key-value store."""
+    """Abstract ordered key-value store.
+
+    Every store carries a **generation** counter that advances on any
+    mutation (``put`` / ``delete`` / ``bulk_load``).  Read-side caches —
+    the decoded-posting cache above all — tag their entries with the
+    generation they observed and treat a changed generation as a blanket
+    invalidation, so a write anywhere in the store can never serve stale
+    decoded data.
+    """
+
+    #: mutation counter; subclasses bump it on every write
+    generation: int = 0
 
     def get(self, key: bytes) -> bytes:
         """Return the value under ``key``; raises KeyNotFoundError."""
@@ -83,6 +94,7 @@ class MemoryStore(Store):
     def __init__(self) -> None:
         self._data: dict[bytes, bytes] = {}
         self._sorted_keys: list[bytes] = []
+        self.generation = 0
 
     def get(self, key: bytes) -> bytes:
         try:
@@ -96,6 +108,7 @@ class MemoryStore(Store):
         if key not in self._data:
             bisect.insort(self._sorted_keys, key)
         self._data[key] = value
+        self.generation += 1
 
     def delete(self, key: bytes) -> None:
         if key not in self._data:
@@ -103,6 +116,7 @@ class MemoryStore(Store):
         del self._data[key]
         index = bisect.bisect_left(self._sorted_keys, key)
         del self._sorted_keys[index]
+        self.generation += 1
 
     def contains(self, key: bytes) -> bool:
         return key in self._data
@@ -120,10 +134,20 @@ class MemoryStore(Store):
 
 
 class FileStore(Store):
-    """Persistent store backed by :class:`Pager` + :class:`BTree`."""
+    """Persistent store backed by :class:`Pager` + :class:`BTree`.
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
-        self._pager = Pager(path, page_size=page_size)
+    ``cache_pages`` sizes the pager's LRU page cache (0 disables it);
+    see :class:`~repro.storage.pager.Pager`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+    ) -> None:
+        self._pager = Pager(path, page_size=page_size, cache_pages=cache_pages)
+        self.generation = 0
         # A fresh pager has only the header page; the B+tree then allocates
         # its meta page as page 1.  An existing file reopens from page 1.
         if self._pager.page_count == 1:
@@ -136,9 +160,11 @@ class FileStore(Store):
 
     def put(self, key: bytes, value: bytes) -> None:
         self._tree.put(key, value)
+        self.generation += 1
 
     def delete(self, key: bytes) -> None:
         self._tree.delete(key)
+        self.generation += 1
 
     def contains(self, key: bytes) -> bool:
         return self._tree.contains(key)
@@ -148,6 +174,7 @@ class FileStore(Store):
 
     def bulk_load(self, pairs: list[tuple[bytes, bytes]]) -> None:
         self._tree.bulk_load(pairs)
+        self.generation += 1
 
     def sync(self) -> None:
         self._pager.sync()
@@ -164,6 +191,11 @@ class Namespace(Store):
             raise StorageError("namespace tags must not contain NUL bytes")
         self._store = store
         self._prefix = tag + b"\x00"
+
+    @property
+    def generation(self) -> int:  # type: ignore[override]
+        """The underlying store's mutation counter (namespaces share it)."""
+        return self._store.generation
 
     def get(self, key: bytes) -> bytes:
         return self._store.get(self._prefix + key)

@@ -9,9 +9,18 @@ Every page is checksummed (CRC32 over the payload) so torn or corrupted
 reads surface as :class:`~repro.errors.CorruptPageError` instead of silent
 garbage — the same contract Berkeley DB gives the paper's implementation.
 
+An **LRU page cache** (the role of Berkeley DB's buffer pool in the
+paper's §8 setup) sits in front of the file: hot pages — B+tree root and
+internal nodes above all — are served from memory without a seek, a read,
+or a CRC check.  The cache is write-through, so a cached page is always
+byte-identical to the file, and ``cache_pages=0`` disables it entirely
+(every read then hits the file exactly as before).
+
 Page reads and writes report into the ambient telemetry collector
-(``storage.pages_read`` / ``storage.pages_written``), so a query against
-a stored database accounts for every page it touches.
+(``storage.pages_read`` / ``storage.pages_written`` count *file* I/O;
+``cache.page_hits`` / ``cache.page_misses`` / ``cache.page_evictions``
+account for the cache in front of it), so a query against a stored
+database accounts for every page it touches.
 """
 
 from __future__ import annotations
@@ -19,11 +28,14 @@ from __future__ import annotations
 import os
 import struct
 import zlib
+from collections import OrderedDict
 
 from ..errors import CorruptPageError, StorageError
 from ..telemetry.collector import count as _telemetry_count
 
 DEFAULT_PAGE_SIZE = 4096
+#: default page-cache capacity in pages (1 MiB at the default page size)
+DEFAULT_CACHE_PAGES = 256
 _MAGIC = b"APXQPG01"
 _HEADER_FMT = "<8sIIQ"  # magic, page_size, page_count, free_list_head
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
@@ -44,13 +56,24 @@ class Pager:
     page_size:
         Size of each page in bytes (only consulted when creating a new
         file; an existing file dictates its own page size).
+    cache_pages:
+        Capacity of the LRU page cache in pages; ``0`` disables caching.
     """
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+    ) -> None:
         if page_size < 128:
             raise StorageError(f"page size {page_size} too small (min 128)")
+        if cache_pages < 0:
+            raise StorageError(f"cache_pages must be >= 0, got {cache_pages}")
         self.path = path
         self._closed = False
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._cache_capacity = cache_pages
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         self._file = open(path, "r+b" if exists else "w+b")
         if exists:
@@ -95,38 +118,55 @@ class Pager:
         return self.page_size - _PAGE_PREFIX_SIZE
 
     def allocate(self) -> int:
-        """Return the number of a fresh (or recycled) page."""
+        """Return the number of a fresh (or recycled) page.
+
+        Allocation is pure bookkeeping: growing the file updates only the
+        in-memory page count (the header is persisted on :meth:`sync` /
+        :meth:`close`), and the page's contents are undefined until its
+        first :meth:`write` — callers always write an allocated page
+        before reading it.  This keeps bulk-load-style allocation storms
+        at one page write per page instead of three.
+        """
         self._check_open()
         if self._free_list_head != _NO_PAGE:
             page_no = self._free_list_head
             payload = self.read(page_no)
             (next_free,) = struct.unpack_from(_FREE_LINK_FMT, payload, 0)
             self._free_list_head = next_free
-            self._write_header()
             return page_no
         page_no = self.page_count
         self.page_count += 1
-        self.write(page_no, b"")
-        self._write_header()
         return page_no
 
     def free(self, page_no: int) -> None:
-        """Return ``page_no`` to the free list for reuse."""
+        """Return ``page_no`` to the free list for reuse.
+
+        Like :meth:`allocate`, the header update is deferred to
+        :meth:`sync` / :meth:`close`; only the free-list link is written.
+        """
         self._check_open()
         self._validate_page_no(page_no)
         link = struct.pack(_FREE_LINK_FMT, self._free_list_head)
         self.write(page_no, link)
         self._free_list_head = page_no
-        self._write_header()
 
     # ------------------------------------------------------------------
     # page IO
     # ------------------------------------------------------------------
 
     def read(self, page_no: int) -> bytes:
-        """Read and verify the payload of ``page_no``."""
+        """Return the payload of ``page_no`` — from the page cache when
+        resident, otherwise read from the file and CRC-verified."""
         self._check_open()
         self._validate_page_no(page_no)
+        cache = self._cache
+        cached = cache.get(page_no)
+        if cached is not None:
+            cache.move_to_end(page_no)
+            _telemetry_count("cache.page_hits")
+            return cached
+        if self._cache_capacity:
+            _telemetry_count("cache.page_misses")
         _telemetry_count("storage.pages_read")
         self._file.seek(page_no * self.page_size)
         raw = self._file.read(self.page_size)
@@ -136,10 +176,15 @@ class Pager:
         payload = raw[_PAGE_PREFIX_SIZE : self.page_size]
         if zlib.crc32(payload) != stored_crc:
             raise CorruptPageError(f"{self.path}: checksum mismatch on page {page_no}")
+        self._cache_store(page_no, payload)
         return payload
 
     def write(self, page_no: int, payload: bytes) -> None:
-        """Write ``payload`` (padded with zeros) to ``page_no``."""
+        """Write ``payload`` (padded with zeros) to ``page_no``.
+
+        Write-through: the file is always written, and a cached copy of
+        the page is refreshed so subsequent reads stay coherent.
+        """
         self._check_open()
         if page_no <= 0 or page_no > self.page_count:
             raise StorageError(f"page {page_no} out of range (count {self.page_count})")
@@ -152,6 +197,18 @@ class Pager:
         crc = zlib.crc32(padded)
         self._file.seek(page_no * self.page_size)
         self._file.write(struct.pack(_PAGE_PREFIX_FMT, crc) + padded)
+        self._cache_store(page_no, padded)
+
+    def _cache_store(self, page_no: int, payload: bytes) -> None:
+        capacity = self._cache_capacity
+        if not capacity:
+            return
+        cache = self._cache
+        cache[page_no] = payload
+        cache.move_to_end(page_no)
+        if len(cache) > capacity:
+            cache.popitem(last=False)
+            _telemetry_count("cache.page_evictions")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -171,6 +228,7 @@ class Pager:
         self._write_header()
         self._file.flush()
         self._file.close()
+        self._cache.clear()
         self._closed = True
 
     def __enter__(self) -> "Pager":

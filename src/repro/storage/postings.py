@@ -22,8 +22,8 @@ from __future__ import annotations
 from ..errors import StorageError
 from ..telemetry.collector import count as _telemetry_count, current as _telemetry_current
 from .varint import (
-    decode_svarint,
     decode_uvarint,
+    decode_uvarint_block,
     encode_svarint,
     encode_uvarint,
 )
@@ -51,22 +51,31 @@ def encode_node_postings(entries: list[NodePosting]) -> bytes:
 
 
 def decode_node_postings(data: bytes) -> list[NodePosting]:
-    """Inverse of :func:`encode_node_postings`."""
+    """Inverse of :func:`encode_node_postings`.
+
+    The serialized columns are decoded with the block varint kernel —
+    one scan of the buffer materializes every raw value, then one tight
+    loop zig-zag-decodes, prefix-sums, and batch-builds the tuples —
+    instead of four codec function calls per entry.
+    """
     count, pos = decode_uvarint(data, 0)
     telemetry = _telemetry_current()
     if telemetry is not None:
         telemetry.count("codec.lists_decoded")
         telemetry.count("codec.entries_decoded", count)
         telemetry.count("codec.bytes_decoded", len(data))
+    raws, _ = decode_uvarint_block(data, pos, 4 * count)
     entries: list[NodePosting] = []
+    append = entries.append
     pre = 0
+    index = 0
     for _ in range(count):
-        delta, pos = decode_svarint(data, pos)
-        pre += delta
-        bound_offset, pos = decode_svarint(data, pos)
-        pathcost, pos = decode_uvarint(data, pos)
-        inscost, pos = decode_uvarint(data, pos)
-        entries.append((pre, pre + bound_offset, pathcost, inscost))
+        delta = raws[index]
+        offset = raws[index + 1]
+        pre += (delta >> 1) if not delta & 1 else -((delta + 1) >> 1)
+        bound = pre + ((offset >> 1) if not offset & 1 else -((offset + 1) >> 1))
+        append((pre, bound, raws[index + 2], raws[index + 3]))
+        index += 4
     return entries
 
 
@@ -85,20 +94,25 @@ def encode_instance_postings(entries: list[InstancePosting]) -> bytes:
 
 
 def decode_instance_postings(data: bytes) -> list[InstancePosting]:
-    """Inverse of :func:`encode_instance_postings`."""
+    """Inverse of :func:`encode_instance_postings` (block decode kernel,
+    see :func:`decode_node_postings`)."""
     count, pos = decode_uvarint(data, 0)
     telemetry = _telemetry_current()
     if telemetry is not None:
         telemetry.count("codec.lists_decoded")
         telemetry.count("codec.entries_decoded", count)
         telemetry.count("codec.bytes_decoded", len(data))
+    raws, _ = decode_uvarint_block(data, pos, 2 * count)
     entries: list[InstancePosting] = []
+    append = entries.append
     pre = 0
+    index = 0
     for _ in range(count):
-        delta, pos = decode_svarint(data, pos)
-        pre += delta
-        bound_offset, pos = decode_svarint(data, pos)
-        entries.append((pre, pre + bound_offset))
+        delta = raws[index]
+        offset = raws[index + 1]
+        pre += (delta >> 1) if not delta & 1 else -((delta + 1) >> 1)
+        append((pre, pre + ((offset >> 1) if not offset & 1 else -((offset + 1) >> 1))))
+        index += 2
     return entries
 
 

@@ -49,6 +49,44 @@ def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
     raise StorageError("uvarint too long (more than 10 bytes)")
 
 
+def decode_uvarint_block(data: bytes, offset: int, count: int) -> tuple[list[int], int]:
+    """Decode ``count`` consecutive LEB128 values in one buffer scan.
+
+    This is the block decode kernel under the posting codecs: instead of
+    one :func:`decode_uvarint` call (with its bounds bookkeeping) per
+    value, the buffer — any bytes-like object, including a
+    :class:`memoryview` — is walked once in a single loop, with the
+    common one-byte case handled without entering the continuation loop.
+    Returns ``(values, next_offset)``.
+    """
+    values: list[int] = []
+    append = values.append
+    pos = offset
+    try:
+        for _ in range(count):
+            byte = data[pos]
+            pos += 1
+            if byte < _CONTINUATION:
+                append(byte)
+                continue
+            result = byte & _PAYLOAD_MASK
+            shift = 7
+            while True:
+                byte = data[pos]
+                pos += 1
+                if byte < _CONTINUATION:
+                    result |= byte << shift
+                    break
+                result |= (byte & _PAYLOAD_MASK) << shift
+                shift += 7
+                if shift > 63:
+                    raise StorageError("uvarint too long (more than 10 bytes)")
+            append(result)
+    except IndexError:
+        raise StorageError("truncated uvarint") from None
+    return values, pos
+
+
 def zigzag_encode(value: int) -> int:
     """Map a signed integer to an unsigned one with small absolute values
     staying small (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...)."""
@@ -83,11 +121,7 @@ def encode_uvarint_list(values: list[int]) -> bytes:
 def decode_uvarint_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
     """Decode a length-prefixed list of non-negative integers."""
     count, pos = decode_uvarint(data, offset)
-    values = []
-    for _ in range(count):
-        value, pos = decode_uvarint(data, pos)
-        values.append(value)
-    return values, pos
+    return decode_uvarint_block(data, pos, count)
 
 
 def encode_delta_list(values: list[int]) -> bytes:
@@ -108,10 +142,11 @@ def encode_delta_list(values: list[int]) -> bytes:
 def decode_delta_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
     """Inverse of :func:`encode_delta_list`."""
     count, pos = decode_uvarint(data, offset)
+    raws, pos = decode_uvarint_block(data, pos, count)
     values = []
+    append = values.append
     current = 0
-    for _ in range(count):
-        delta, pos = decode_svarint(data, pos)
-        current += delta
-        values.append(current)
+    for raw in raws:
+        current += (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+        append(current)
     return values, pos

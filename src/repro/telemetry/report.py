@@ -100,6 +100,16 @@ class QueryReport:
         """Second-level queries executed (0 for the direct method)."""
         return int(self.get("schema.second_level_executed"))
 
+    @property
+    def page_cache_hits(self) -> int:
+        """Page reads served by the pager's LRU cache instead of the file."""
+        return int(self.get("cache.page_hits"))
+
+    @property
+    def posting_cache_hits(self) -> int:
+        """Index fetches served as already-decoded posting lists."""
+        return int(self.get("cache.posting_hits"))
+
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
@@ -113,6 +123,8 @@ class QueryReport:
             f"  pages read: {self.pages_read} | "
             f"postings decoded: {self.postings_decoded} | "
             f"second-level queries: {self.second_level_queries}",
+            f"  cache hits: {self.page_cache_hits} page / "
+            f"{self.posting_cache_hits} posting",
         ]
         if self.collect == "off":
             lines.append("  (collection off; pass collect='counters' or --stats)")
@@ -141,6 +153,8 @@ class QueryReport:
                 "pages_read": self.pages_read,
                 "postings_decoded": self.postings_decoded,
                 "second_level_queries": self.second_level_queries,
+                "page_cache_hits": self.page_cache_hits,
+                "posting_cache_hits": self.posting_cache_hits,
             },
             "counters": dict(self.counters),
             "timings": dict(self.timings),

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from ..errors import KeyNotFoundError, SchemaError
+from ..storage.cache import PostingCache
 from ..storage.kv import Namespace, Store
 from ..storage.postings import (
     NodePosting,
@@ -90,11 +91,18 @@ class StoredNodeIndexes(NodeIndexes):
     the insert-cost table in force at build time; evaluating with a
     different insert-cost table requires rebuilding (callers check the
     tree's :attr:`~repro.xmltree.model.DataTree.insert_cost_fingerprint`).
+
+    An optional shared :class:`~repro.storage.cache.PostingCache` keeps
+    decoded postings across fetches (and across queries); entries are
+    invalidated by the store's generation counter on any write, so a
+    re-indexed document is never served from stale decoded state.
     """
 
-    def __init__(self, store: Store) -> None:
+    def __init__(self, store: Store, posting_cache: "PostingCache | None" = None) -> None:
+        self._store = store
         self._struct = Namespace(store, STRUCT_NAMESPACE)
         self._text = Namespace(store, TEXT_NAMESPACE)
+        self._cache = posting_cache
 
     @classmethod
     def build(cls, tree: DataTree, store: Store) -> "StoredNodeIndexes":
@@ -111,16 +119,30 @@ class StoredNodeIndexes(NodeIndexes):
         return indexes
 
     def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
-        namespace = self._struct if node_type == NodeType.STRUCT else self._text
+        if node_type == NodeType.STRUCT:
+            namespace, tag = self._struct, STRUCT_NAMESPACE
+        else:
+            namespace, tag = self._text, TEXT_NAMESPACE
         telemetry = _telemetry_current()
+        key = _label_key(label)
+        cache = self._cache
+        if cache is not None:
+            posting = cache.get(tag, key, self._store.generation)
+            if posting is not None:
+                if telemetry is not None:
+                    telemetry.count("index.data_fetches")
+                    telemetry.count("index.data_postings", len(posting))
+                return posting
         try:
-            data = namespace.get(_label_key(label))
+            data = namespace.get(key)
         except KeyNotFoundError:
             if telemetry is not None:
                 telemetry.count("index.data_fetches")
                 telemetry.count("index.data_postings", 0)
             return []
         posting = decode_node_postings(data)
+        if cache is not None:
+            cache.put(tag, key, self._store.generation, posting)
         if telemetry is not None:
             telemetry.count("index.data_fetches")
             telemetry.count("index.data_postings", len(posting))

@@ -56,6 +56,68 @@ def test_loaded_database_streams(tmp_path):
     assert {(r.root, r.cost) for r in streamed} == {(r.root, r.cost) for r in reference}
 
 
+@pytest.mark.parametrize(
+    "page_cache_pages,posting_cache_bytes",
+    [
+        (0, 0),  # caches off: byte-identical to the uncached engine
+        (None, None),  # both caches at their defaults
+        (1, 1024),  # pathological capacities: constant eviction churn
+    ],
+    ids=["caches-off", "caches-default", "capacity-1"],
+)
+def test_cache_configurations_preserve_results(
+    tmp_path, page_cache_pages, posting_cache_bytes
+):
+    """The read-path caches are invisible to query semantics: every cache
+    configuration returns the same results, and repeating a query (the
+    warm-cache path the best-n driver exercises) changes nothing."""
+    rng = random.Random(9100)
+    tree = random_tree(rng, max_nodes=60)
+    database = Database.from_tree(tree)
+    path = str(tmp_path / "cached.apxq")
+    database.save(path)
+    loaded = Database.open(
+        path,
+        page_cache_pages=page_cache_pages,
+        posting_cache_bytes=posting_cache_bytes,
+    )
+    for _ in range(3):
+        query = random_query(rng)
+        expected = database.query(query, n=None, method="direct")
+        for method in ("direct", "schema"):
+            cold = loaded.query(query, n=None, method=method)
+            warm = loaded.query(query, n=None, method=method)
+            assert {(r.root, r.cost) for r in cold} == {
+                (r.root, r.cost) for r in expected
+            }
+            assert [(r.root, r.cost) for r in warm] == [
+                (r.root, r.cost) for r in cold
+            ]
+
+
+def test_repeated_query_hits_the_posting_cache(tmp_path):
+    """With the posting cache on, a repeated query is served decoded
+    postings; with it off, the counters stay silent."""
+    rng = random.Random(9200)
+    tree = random_tree(rng, max_nodes=60)
+    database = Database.from_tree(tree)
+    path = str(tmp_path / "warm.apxq")
+    database.save(path)
+
+    cached = Database.open(path)
+    query = random_query(rng)
+    cached.query(query, n=None, method="direct")
+    warm = cached.query(query, n=None, method="direct", collect="counters")
+    if warm:
+        assert warm.report.posting_cache_hits > 0
+
+    uncached = Database.open(path, page_cache_pages=0, posting_cache_bytes=0)
+    cold = uncached.query(query, n=None, method="direct", collect="counters")
+    assert cold.report.posting_cache_hits == 0
+    assert cold.report.page_cache_hits == 0
+    assert not any(name.startswith("cache.") for name in cold.report.counters)
+
+
 def test_page_read_counters_distinguish_stored_from_memory(tmp_path):
     """Telemetry parity check: the same query returns identical results
     from the in-memory indexes and from the single-file store, but only

@@ -1,0 +1,193 @@
+"""Tests for the read-path caches (decoded postings and fetch memos).
+
+Covers the two cache classes in ``repro.storage.cache`` directly, and the
+invalidation contract end to end: a stored index that shares a
+:class:`PostingCache` must serve fresh postings after the underlying
+store is rewritten, because every store write moves the generation.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import StorageError
+from repro.schema.indexes import SEC_NAMESPACE, StoredSecondaryIndex
+from repro.storage.cache import FetchMemo, PostingCache
+from repro.storage.kv import MemoryStore, Namespace
+from repro.telemetry.collector import Telemetry, collecting
+from repro.xmltree.indexes import STRUCT_NAMESPACE, StoredNodeIndexes
+from repro.xmltree.model import NodeType
+
+NS = b"ns"
+
+
+class TestPostingCache:
+    def test_get_miss_then_hit(self):
+        cache = PostingCache(max_bytes=1 << 20)
+        assert cache.get(NS, b"a", 0) is None
+        posting = [(1, 2, 0, 0)]
+        cache.put(NS, b"a", 0, posting)
+        assert cache.get(NS, b"a", 0) is posting
+
+    def test_namespaces_do_not_collide(self):
+        cache = PostingCache(max_bytes=1 << 20)
+        cache.put(b"x", b"k", 0, [(1, 1, 0, 0)])
+        cache.put(b"y", b"k", 0, [(2, 2, 0, 0)])
+        assert cache.get(b"x", b"k", 0) == [(1, 1, 0, 0)]
+        assert cache.get(b"y", b"k", 0) == [(2, 2, 0, 0)]
+
+    def test_generation_mismatch_is_a_miss_and_drops_the_entry(self):
+        cache = PostingCache(max_bytes=1 << 20)
+        cache.put(NS, b"a", 3, [(1, 1, 0, 0)])
+        assert cache.get(NS, b"a", 4) is None
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+        # even asking with the original generation misses now
+        assert cache.get(NS, b"a", 3) is None
+
+    def test_byte_budget_evicts_least_recently_used(self):
+        # each 1-entry posting costs a fixed estimate; size the budget
+        # to hold exactly three of them
+        cache = PostingCache(max_bytes=1 << 20)
+        cache.put(NS, b"probe", 0, [(0, 0, 0, 0)])
+        per_entry = cache.used_bytes
+        cache.clear()
+        cache.max_bytes = 3 * per_entry
+
+        for key in (b"a", b"b", b"c"):
+            cache.put(NS, key, 0, [(1, 1, 0, 0)])
+        assert cache.get(NS, b"a", 0) is not None  # touch: a becomes MRU
+        cache.put(NS, b"d", 0, [(1, 1, 0, 0)])  # over budget: evict b
+        assert cache.get(NS, b"b", 0) is None
+        assert cache.get(NS, b"a", 0) is not None
+        assert cache.get(NS, b"c", 0) is not None
+        assert cache.get(NS, b"d", 0) is not None
+        assert len(cache) == 3
+
+    def test_oversized_posting_is_not_cached(self):
+        cache = PostingCache(max_bytes=200)
+        cache.put(NS, b"big", 0, [(i, i, 0, 0) for i in range(100)])
+        assert len(cache) == 0
+        assert cache.get(NS, b"big", 0) is None
+
+    def test_zero_budget_disables_caching(self):
+        cache = PostingCache(max_bytes=0)
+        cache.put(NS, b"a", 0, [(1, 1, 0, 0)])
+        assert len(cache) == 0
+        assert cache.get(NS, b"a", 0) is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(StorageError):
+            PostingCache(max_bytes=-1)
+
+    def test_replacing_an_entry_keeps_accounting_consistent(self):
+        cache = PostingCache(max_bytes=1 << 20)
+        cache.put(NS, b"a", 0, [(1, 1, 0, 0)])
+        once = cache.used_bytes
+        cache.put(NS, b"a", 0, [(1, 1, 0, 0), (2, 2, 0, 0)])
+        assert len(cache) == 1
+        assert cache.used_bytes > once
+        cache.clear()
+        assert cache.used_bytes == 0
+        assert len(cache) == 0
+
+    def test_telemetry_counters(self):
+        cache = PostingCache(max_bytes=1 << 20)
+        telemetry = Telemetry()
+        with collecting(telemetry):
+            cache.get(NS, b"a", 0)  # miss
+            cache.put(NS, b"a", 0, [(1, 1, 0, 0)])
+            cache.get(NS, b"a", 0)  # hit
+            cache.get(NS, b"a", 1)  # stale: invalidation + miss
+        assert telemetry.counters["cache.posting_misses"] == 2
+        assert telemetry.counters["cache.posting_hits"] == 1
+        assert telemetry.counters["cache.posting_invalidations"] == 1
+
+
+class TestFetchMemo:
+    def test_builds_once_and_counts_hits(self):
+        memo = FetchMemo()
+        calls = []
+        build = lambda: calls.append(1) or ["built"]
+        first = memo.get_or_build("key", build)
+        second = memo.get_or_build("key", build)
+        assert first is second
+        assert len(calls) == 1
+        assert memo.hits == 1
+
+    def test_distinct_keys_build_separately(self):
+        memo = FetchMemo()
+        assert memo.get_or_build(("a", 1), lambda: [1]) == [1]
+        assert memo.get_or_build(("a", 2), lambda: [2]) == [2]
+        assert memo.hits == 0
+
+
+class TestStoredIndexInvalidation:
+    """index → fetch → re-index → fetch must see fresh data (satellite c)."""
+
+    def test_node_index_sees_rewritten_postings(self):
+        store = MemoryStore()
+        cache = PostingCache()
+        tree_one = Database.from_xml("<lib><b>alpha</b></lib>").tree
+        StoredNodeIndexes.build(tree_one, store)
+        indexes = StoredNodeIndexes(store, posting_cache=cache)
+
+        first = indexes.fetch("b", NodeType.STRUCT)
+        assert len(first) == 1
+        # second fetch is served from the cache: identical object
+        assert indexes.fetch("b", NodeType.STRUCT) is first
+
+        tree_two = Database.from_xml("<lib><b>alpha</b><b>beta</b></lib>").tree
+        StoredNodeIndexes.build(tree_two, store)  # writes bump the generation
+        fresh = indexes.fetch("b", NodeType.STRUCT)
+        assert fresh is not first
+        assert len(fresh) == 2
+
+    def test_secondary_index_sees_rewritten_postings(self):
+        store = MemoryStore()
+        cache = PostingCache()
+        namespace = Namespace(store, SEC_NAMESPACE)
+        from repro.storage.postings import encode_instance_postings
+
+        namespace.put(b"1#b", encode_instance_postings([(5, 6)]))
+        index = StoredSecondaryIndex(store, posting_cache=cache)
+        assert index.fetch(1, "b") == [(5, 6)]
+        namespace.put(b"1#b", encode_instance_postings([(5, 6), (9, 10)]))
+        assert index.fetch(1, "b") == [(5, 6), (9, 10)]
+
+    def test_indexes_sharing_one_cache_do_not_collide(self):
+        """I_struct and I_sec share the PostingCache object; their
+        namespace tags must keep their entries apart."""
+        store = MemoryStore()
+        cache = PostingCache()
+        tree = Database.from_xml("<lib><b>alpha</b></lib>").tree
+        StoredNodeIndexes.build(tree, store)
+        node_indexes = StoredNodeIndexes(store, posting_cache=cache)
+        sec_index = StoredSecondaryIndex(store, posting_cache=cache)
+
+        node_posting = node_indexes.fetch("b", NodeType.STRUCT)
+        assert node_posting
+        assert sec_index.fetch(0, "b") == []  # no I_sec entries written
+        assert cache.get(STRUCT_NAMESPACE, b"b", store.generation) is node_posting
+        assert cache.get(SEC_NAMESPACE, b"b", store.generation) is None
+
+
+class TestDatabaseLevelInvalidation:
+    def test_requery_after_rebuild_sees_fresh_data(self, tmp_path):
+        """Full path: build a database file, query it with the posting
+        cache on, rewrite the stored postings, query again — the second
+        query must reflect the rewrite, not the cached decode."""
+        path = str(tmp_path / "fresh.apxq")
+        Database.from_xml("<lib><cd><title>piano works</title></cd></lib>").save(path)
+        loaded = Database.open(path)
+        before = loaded.query('cd[title["piano"]]', n=None, method="direct")
+        assert len(before) == 1
+
+        # rewrite the I_struct posting for "cd" through the loaded
+        # database's own store: the cd node vanishes from the index
+        from repro.storage.postings import encode_node_postings
+        from repro.xmltree.indexes import STRUCT_NAMESPACE as NS_STRUCT
+
+        store = loaded._store
+        Namespace(store, NS_STRUCT).put(b"cd", encode_node_postings([]))
+        after = loaded.query('cd[title["piano"]]', n=None, method="direct")
+        assert len(after) == 0

@@ -1,9 +1,12 @@
 """Tests for the page-based file manager."""
 
+import os
+
 import pytest
 
 from repro.errors import CorruptPageError, StorageError
 from repro.storage.pager import Pager
+from repro.telemetry.collector import Telemetry, collecting
 
 
 @pytest.fixture
@@ -130,3 +133,133 @@ class TestLifecycle:
         pager.write(page, b"synced")
         pager.sync()
         assert pager.read(page).startswith(b"synced")
+
+
+def _corrupt_page_on_disk(path, page_size, page_no):
+    """Flip payload bytes of ``page_no`` directly in the file, bypassing
+    the pager — a subsequent *file* read must fail the CRC check, while
+    a *cached* read cannot notice."""
+    with open(path, "r+b") as handle:
+        handle.seek(page_no * page_size + 100)
+        handle.write(b"\xde\xad\xbe\xef")
+
+
+class TestPageCache:
+    def test_negative_capacity_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(str(tmp_path / "bad.db"), page_size=512, cache_pages=-1)
+
+    def test_lru_eviction_order(self, tmp_path):
+        """Touching a page must protect it from eviction: with capacity
+        2, writing a third page evicts the *least recently used* page,
+        not the oldest-written one."""
+        path = str(tmp_path / "lru.db")
+        with Pager(path, page_size=512, cache_pages=2) as pager:
+            one, two, three = pager.allocate(), pager.allocate(), pager.allocate()
+            pager.write(one, b"one")
+            pager.write(two, b"two")  # cache: [one, two]
+            pager.read(one)  # cache: [two, one]
+            pager.write(three, b"three")  # over capacity: evict two
+            pager.sync()
+            for page in (one, two, three):
+                _corrupt_page_on_disk(path, 512, page)
+            # one and three are served from the cache, untouched by the
+            # on-disk corruption; two must go to the file and fail CRC
+            assert pager.read(one).startswith(b"one")
+            assert pager.read(three).startswith(b"three")
+            with pytest.raises(CorruptPageError):
+                pager.read(two)
+
+    def test_cache_disabled_reads_always_hit_the_file(self, tmp_path):
+        path = str(tmp_path / "nocache.db")
+        with Pager(path, page_size=512, cache_pages=0) as pager:
+            page = pager.allocate()
+            pager.write(page, b"payload")
+            pager.sync()
+            _corrupt_page_on_disk(path, 512, page)
+            with pytest.raises(CorruptPageError):
+                pager.read(page)
+
+    def test_write_through_keeps_cache_coherent(self, tmp_path):
+        with Pager(str(tmp_path / "wt.db"), page_size=512, cache_pages=4) as pager:
+            page = pager.allocate()
+            pager.write(page, b"before")
+            assert pager.read(page).startswith(b"before")
+            pager.write(page, b"after")
+            assert pager.read(page).startswith(b"after")
+
+    def test_telemetry_counters(self, tmp_path):
+        with Pager(str(tmp_path / "tele.db"), page_size=512, cache_pages=1) as pager:
+            one, two = pager.allocate(), pager.allocate()
+            pager.write(one, b"one")
+            pager.write(two, b"two")  # capacity 1: only two stays cached
+            telemetry = Telemetry()
+            with collecting(telemetry):
+                pager.read(two)  # hit
+                pager.read(one)  # miss: file read, caches one, evicts two
+            assert telemetry.counters["cache.page_hits"] == 1
+            assert telemetry.counters["cache.page_misses"] == 1
+            assert telemetry.counters["storage.pages_read"] == 1
+            assert telemetry.counters["cache.page_evictions"] == 1
+
+    def test_disabled_cache_emits_no_cache_counters(self, tmp_path):
+        """With the cache off, telemetry must be byte-identical to the
+        uncached engine: pages_read only, no cache.* noise."""
+        with Pager(str(tmp_path / "off.db"), page_size=512, cache_pages=0) as pager:
+            page = pager.allocate()
+            pager.write(page, b"x")
+            telemetry = Telemetry()
+            with collecting(telemetry):
+                pager.read(page)
+                pager.read(page)
+            assert telemetry.counters == {"storage.pages_read": 2}
+
+
+class TestAllocationCoalescing:
+    def test_grow_allocation_does_no_page_io(self, tmp_path):
+        """Growing the file is pure bookkeeping: no dummy page write, no
+        header write per allocation (satellite of the caching PR)."""
+        with Pager(str(tmp_path / "grow.db"), page_size=512) as pager:
+            telemetry = Telemetry()
+            with collecting(telemetry):
+                for _ in range(10):
+                    pager.allocate()
+            assert telemetry.counters.get("storage.pages_written", 0) == 0
+            assert telemetry.counters.get("storage.pages_read", 0) == 0
+
+    def test_file_grows_only_on_first_write(self, tmp_path):
+        path = str(tmp_path / "size.db")
+        with Pager(path, page_size=512) as pager:
+            pager.sync()
+            before = os.path.getsize(path)
+            page = pager.allocate()
+            pager.sync()
+            assert os.path.getsize(path) == before
+            pager.write(page, b"x")
+            pager.sync()
+            assert os.path.getsize(path) > before
+
+    def test_page_count_persisted_on_close(self, tmp_path):
+        path = str(tmp_path / "count.db")
+        with Pager(path, page_size=512) as pager:
+            pages = [pager.allocate() for _ in range(5)]
+            for page in pages:
+                pager.write(page, b"p")
+        with Pager(path) as reopened:
+            assert reopened.page_count == 6
+            assert reopened.allocate() == 6
+
+    def test_free_defers_header_but_persists_via_close(self, tmp_path):
+        path = str(tmp_path / "freelist.db")
+        with Pager(path, page_size=512) as pager:
+            first = pager.allocate()
+            second = pager.allocate()
+            pager.write(first, b"a")
+            pager.write(second, b"b")
+            telemetry = Telemetry()
+            with collecting(telemetry):
+                pager.free(first)
+            # exactly one page write: the free-list link, no header churn
+            assert telemetry.counters["storage.pages_written"] == 1
+        with Pager(path) as reopened:
+            assert reopened.allocate() == first

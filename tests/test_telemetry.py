@@ -309,6 +309,34 @@ class TestCli:
         output = capsys.readouterr().out
         pages_line = next(line for line in output.splitlines() if "pages read:" in line)
         pages = int(pages_line.split("pages read:")[1].split("|")[0].strip())
+        cache_line = next(line for line in output.splitlines() if "cache hits:" in line)
+        page_hits = int(cache_line.split("cache hits:")[1].split("page")[0].strip())
+        # the default page cache may absorb all query-time reads (load
+        # warms it), but every page the query touched shows up somewhere
+        assert pages + page_hits > 0
+
+    def test_query_stats_with_page_cache_disabled_counts_pages(
+        self, catalog_file, tmp_path, capsys
+    ):
+        db_path = str(tmp_path / "catalog.apxq")
+        assert cli_main(["build", db_path, catalog_file]) == 0
+        capsys.readouterr()
+        code = cli_main(
+            [
+                "query",
+                db_path,
+                'cd[title["piano"]]',
+                "--stats",
+                "--page-cache-pages",
+                "0",
+                "--posting-cache-bytes",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        pages_line = next(line for line in output.splitlines() if "pages read:" in line)
+        pages = int(pages_line.split("pages read:")[1].split("|")[0].strip())
         assert pages > 0
 
     def test_plan_command(self, catalog_file, capsys):
