@@ -1,0 +1,270 @@
+"""Durability benchmarks: what the write-ahead log costs (and saves).
+
+Three experiments:
+
+* **Database save** — building the single-file store from the Figure 7a
+  workload collection with ``durability="none"`` vs. ``"wal"``.  This is
+  the end-to-end cost of logging every page: one extra sequential write
+  per page, plus the commit fsync and the closing checkpoint.
+* **Commit batches** — a raw :class:`FileStore` update workload (puts in
+  committed batches) at several batch sizes, none vs. WAL.  Small
+  batches amortize the fsync worst; this sweep shows the commit-rate /
+  throughput trade.
+* **Recovery** — time to reopen a store whose process was killed with a
+  populated log (the replay path), as a function of committed frames.
+
+Standalone usage (writes the committed ``BENCH_wal.json`` baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py --scale tiny --out BENCH_wal.json
+
+The module also exposes pytest-benchmark points when collected with
+``pytest benchmarks/bench_wal.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench.workloads import SCALES, get_workload
+from repro.storage.faults import FaultInjector
+from repro.storage.kv import FileStore
+from repro.telemetry.collector import Telemetry, collecting
+
+PAGE_SIZE = 4096
+PASSES = 3
+BATCH_SIZES = (1, 16, 256)
+KV_OPS = 1024
+RECOVERY_FRAMES = (64, 512)
+DURABILITIES = ("none", "wal")
+
+
+def _kv_pairs(count: int):
+    return [
+        (f"key{i:08d}".encode(), bytes([i % 251 or 1]) * (64 + i % 512))
+        for i in range(count)
+    ]
+
+
+def _timed(fn) -> "tuple[float, object]":
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+
+
+def save_database(tree, path: str, durability: str) -> None:
+    if os.path.exists(path):
+        os.remove(path)
+    Database.from_tree(tree).save(path, durability=durability)
+
+
+def measure_save(tree, directory: str) -> dict:
+    """Per-durability wall time of saving the workload collection, plus
+    the ``wal.*`` counters of one instrumented save."""
+    points = {}
+    for durability in DURABILITIES:
+        path = os.path.join(directory, f"save-{durability}.apxq")
+        times = [_timed(lambda: save_database(tree, path, durability))[0] for _ in range(PASSES)]
+        telemetry = Telemetry()
+        with collecting(telemetry):
+            save_database(tree, path, durability)
+        points[durability] = {
+            "pass_seconds": times,
+            "best_seconds": min(times),
+            "file_bytes": os.path.getsize(path),
+            "counters": {
+                name: value
+                for name, value in sorted(telemetry.counters.items())
+                if name.startswith(("wal.", "storage.pages_written"))
+            },
+        }
+    none, wal = points["none"]["best_seconds"], points["wal"]["best_seconds"]
+    points["wal_overhead"] = wal / none if none else float("inf")
+    return points
+
+
+def commit_batches(path: str, durability: str, batch_size: int, ops: int = KV_OPS) -> None:
+    """The raw store workload: ``ops`` puts, committed every ``batch_size``."""
+    if os.path.exists(path):
+        os.remove(path)
+    wal_path = path + "-wal"
+    if os.path.exists(wal_path):
+        os.remove(wal_path)
+    with FileStore(path, page_size=PAGE_SIZE, durability=durability) as store:
+        for index, (key, value) in enumerate(_kv_pairs(ops)):
+            store.put(key, value)
+            if (index + 1) % batch_size == 0:
+                store.commit()
+
+
+def measure_commit_batches(directory: str) -> list[dict]:
+    points = []
+    for batch_size in BATCH_SIZES:
+        point = {"batch_size": batch_size, "ops": KV_OPS}
+        for durability in DURABILITIES:
+            path = os.path.join(directory, f"kv-{durability}-{batch_size}.apxq")
+            times = [
+                _timed(lambda: commit_batches(path, durability, batch_size))[0]
+                for _ in range(PASSES)
+            ]
+            point[durability] = {"pass_seconds": times, "best_seconds": min(times)}
+        none, wal = point["none"]["best_seconds"], point["wal"]["best_seconds"]
+        point["wal_overhead"] = wal / none if none else float("inf")
+        points.append(point)
+    return points
+
+
+def crashed_store(path: str, frames: int) -> None:
+    """Populate ``path`` with a committed-but-never-checkpointed log and
+    abandon it mid-flight, leaving recovery the whole replay."""
+    injector = FaultInjector()  # unbuffered, so the abandon is a faithful kill
+    store = FileStore(
+        path,
+        page_size=PAGE_SIZE,
+        durability="wal",
+        wal_checkpoint_bytes=1 << 30,
+        opener=injector.opener(),
+    )
+    for key, value in _kv_pairs(frames):
+        store.put(key, value)
+    store.commit()
+    pager = store._pager
+    pager._file.close()
+    pager._wal._file.close()
+
+
+def measure_recovery(directory: str) -> list[dict]:
+    points = []
+    for frames in RECOVERY_FRAMES:
+        path = os.path.join(directory, f"recover-{frames}.apxq")
+        times = []
+        replayed = 0
+        for _ in range(PASSES):
+            crashed_store(path, frames)
+            telemetry = Telemetry()
+
+            def _reopen():
+                with collecting(telemetry):
+                    FileStore(path, page_size=PAGE_SIZE, must_exist=True).close()
+
+            seconds, _ = _timed(_reopen)
+            times.append(seconds)
+            replayed = int(telemetry.counters.get("wal.frames_replayed", 0))
+            os.remove(path)
+        points.append(
+            {
+                "committed_puts": frames,
+                "frames_replayed": replayed,
+                "pass_seconds": times,
+                "best_seconds": min(times),
+            }
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark points
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("durability", DURABILITIES)
+def bench_save_durability(benchmark, workload, tmp_path, durability):
+    path = str(tmp_path / f"save-{durability}.apxq")
+    benchmark.pedantic(
+        save_database,
+        args=(workload.tree, path, durability),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("durability", DURABILITIES)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def bench_commit_batches(benchmark, tmp_path, durability, batch_size):
+    path = str(tmp_path / "kv.apxq")
+    benchmark.pedantic(
+        commit_batches,
+        args=(path, durability, batch_size),
+        kwargs={"ops": KV_OPS // 4},
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def bench_recovery_replay(benchmark, tmp_path):
+    path = str(tmp_path / "recover.apxq")
+
+    def _setup():
+        crashed_store(path, RECOVERY_FRAMES[0])
+        return (), {}
+
+    def _reopen():
+        FileStore(path, page_size=PAGE_SIZE, must_exist=True).close()
+        os.remove(path)
+
+    benchmark.pedantic(_reopen, setup=_setup, rounds=3, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# standalone baseline writer
+# ----------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    tree = get_workload(args.scale).tree
+    with tempfile.TemporaryDirectory() as directory:
+        record = {
+            "workload": {"scale": args.scale, "passes": PASSES, "kv_ops": KV_OPS},
+            "save": measure_save(tree, directory),
+            "commit_batches": measure_commit_batches(directory),
+            "recovery": measure_recovery(directory),
+        }
+
+    rendered = json.dumps(record, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"baseline written to {args.out}")
+    else:
+        print(rendered, end="")
+
+    print(
+        f"save overhead (wal vs none): {record['save']['wal_overhead']:.2f}x",
+        file=sys.stderr,
+    )
+    for point in record["commit_batches"]:
+        print(
+            f"commit every {point['batch_size']:>3}: "
+            f"wal overhead {point['wal_overhead']:.2f}x",
+            file=sys.stderr,
+        )
+    for point in record["recovery"]:
+        print(
+            f"recovery of {point['frames_replayed']} frames: "
+            f"{point['best_seconds'] * 1000:.1f} ms",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Examples::
     python -m repro plan catalog.apxq 'cd[title["piano"]]' -n 5
     python -m repro info catalog.apxq
     python -m repro schema catalog.apxq
+    python -m repro build catalog.apxq docs/*.xml --durability wal
+    python -m repro verify catalog.apxq
 """
 
 from __future__ import annotations
@@ -27,13 +29,15 @@ _DB_SUFFIX = ".apxq"
 
 def _open_database(args: argparse.Namespace) -> Database:
     """A single ``.apxq`` path opens a saved database (honoring the
-    cache knobs); anything else is read as XML documents."""
+    cache and durability knobs); anything else is read as XML documents."""
     sources = args.sources
     if len(sources) == 1 and sources[0].endswith(_DB_SUFFIX):
         return Database.open(
             sources[0],
             page_cache_pages=getattr(args, "page_cache_pages", None),
             posting_cache_bytes=getattr(args, "posting_cache_bytes", None),
+            durability=getattr(args, "durability", "none") or "none",
+            wal_checkpoint_bytes=getattr(args, "wal_checkpoint_bytes", None),
         )
     documents = []
     for path in sources:
@@ -58,6 +62,26 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
         metavar="BYTES",
         help="decoded posting cache budget in bytes (0 disables; default 8 MiB)",
     )
+    _add_durability_options(parser)
+
+
+def _add_durability_options(parser: argparse.ArgumentParser) -> None:
+    """Durability knobs: WAL vs. straight-through writes."""
+    parser.add_argument(
+        "--durability",
+        choices=("none", "wal"),
+        default="none",
+        help="crash story for writes: 'wal' logs every page write and makes "
+        "commits atomic; 'none' (default) writes straight through",
+    )
+    parser.add_argument(
+        "--wal-checkpoint-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="WAL size that triggers folding the log back into the main "
+        "file (default 4 MiB; only with --durability wal)",
+    )
 
 
 def _load_costs(path: "str | None") -> "CostModel | None":
@@ -69,10 +93,22 @@ def _load_costs(path: "str | None") -> "CostModel | None":
 def _command_build(args: argparse.Namespace) -> int:
     database = _open_database(args)
     start = time.perf_counter()
-    database.save(args.output)
+    database.save(
+        args.output,
+        durability=args.durability,
+        wal_checkpoint_bytes=args.wal_checkpoint_bytes,
+    )
     elapsed = time.perf_counter() - start
     print(f"built {args.output}: {database.describe()} ({elapsed:.1f}s)")
     return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from ..storage.verify import verify_store
+
+    report = verify_store(args.path)
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -146,7 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
     build = commands.add_parser("build", help="build and save a database file")
     build.add_argument("output", help=f"output path (conventionally {_DB_SUFFIX})")
     build.add_argument("sources", nargs="+", help="XML document files")
+    _add_durability_options(build)
     build.set_defaults(func=_command_build)
+
+    verify = commands.add_parser(
+        "verify", help="walk a saved database's pages and WAL frames, checking checksums"
+    )
+    verify.add_argument("path", help=f"a saved {_DB_SUFFIX} file")
+    verify.set_defaults(func=_command_verify)
 
     query = commands.add_parser("query", help="run an approXQL query")
     query.add_argument("sources", nargs=1, help=f"a saved {_DB_SUFFIX} file or an XML file")

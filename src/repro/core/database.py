@@ -162,12 +162,23 @@ class Database:
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: str) -> None:
+    def save(
+        self,
+        path: str,
+        durability: str = "none",
+        wal_checkpoint_bytes: "int | None" = None,
+    ) -> None:
         """Persist the tree and every index into a single-file store.
 
         Everything is staged in memory first and bulk-loaded into the
         B+tree in one sorted pass — the fast path for building read-mostly
         index files.
+
+        ``durability="wal"`` routes the build through the write-ahead
+        log: a build killed at any I/O boundary leaves either the
+        finished store or a cleanly empty one, never a half-written
+        file.  The default ``"none"`` writes straight through (fastest;
+        an interrupted build must be re-run).
         """
         costs = self._default_costs
         self._tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
@@ -175,7 +186,9 @@ class Database:
         save_tree(self._tree, staging, costs)
         StoredNodeIndexes.build(self._tree, staging)
         StoredSecondaryIndex.build(self.schema, staging)
-        with open_file_store(path) as store:
+        with open_file_store(
+            path, durability=durability, wal_checkpoint_bytes=wal_checkpoint_bytes
+        ) as store:
             store.bulk_load(list(staging.scan()))
             store.sync()
 
@@ -185,8 +198,17 @@ class Database:
         path: str,
         page_cache_pages: "int | None" = None,
         posting_cache_bytes: "int | None" = None,
+        durability: str = "none",
+        wal_checkpoint_bytes: "int | None" = None,
     ) -> "Database":
         """Open a saved database; posting fetches go to the file store.
+
+        A missing, empty, or non-database file raises a typed
+        :class:`~repro.errors.StorageError` naming the path and reason.
+        If the store crashed while in WAL durability mode, its log is
+        recovered before anything is read — committed batches are
+        replayed, uncommitted ones rolled back — in *every* durability
+        mode.
 
         Two read-path caches sit between the evaluators and the file,
         both on by default:
@@ -202,12 +224,23 @@ class Database:
             ``0`` disables it; ``None`` keeps the default
             (:data:`~repro.storage.cache.DEFAULT_POSTING_CACHE_BYTES`).
 
-        With both knobs at ``0`` the read path is byte-identical to the
-        uncached engine.
+        ``durability`` selects the crash story for *writes made through
+        this handle* (``"wal"`` logs them; the default ``"none"``
+        matches the historical engine byte for byte), and
+        ``wal_checkpoint_bytes`` sizes the log-fold trigger.
+
+        With both cache knobs at ``0`` the read path is byte-identical
+        to the uncached engine.
         """
         from ..storage.cache import DEFAULT_POSTING_CACHE_BYTES, PostingCache
 
-        store = open_file_store(path, cache_pages=page_cache_pages)
+        store = open_file_store(
+            path,
+            cache_pages=page_cache_pages,
+            durability=durability,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
+            must_exist=True,
+        )
         if posting_cache_bytes is None:
             posting_cache_bytes = DEFAULT_POSTING_CACHE_BYTES
         posting_cache = PostingCache(posting_cache_bytes) if posting_cache_bytes else None
@@ -234,12 +267,16 @@ class Database:
         path: str,
         page_cache_pages: "int | None" = None,
         posting_cache_bytes: "int | None" = None,
+        durability: str = "none",
+        wal_checkpoint_bytes: "int | None" = None,
     ) -> "Database":
         """Alias of :meth:`open` (the historical name)."""
         return cls.open(
             path,
             page_cache_pages=page_cache_pages,
             posting_cache_bytes=posting_cache_bytes,
+            durability=durability,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -268,10 +305,14 @@ class Database:
     def describe(self) -> str:
         """One-paragraph summary of the collection."""
         schema = self.schema
-        return (
+        summary = (
             f"Database: {len(self._tree)} data nodes, {len(schema)} schema nodes, "
             f"{len(self._tree.document_roots())} documents"
         )
+        store = self._store
+        if store is not None and getattr(store, "durability", "none") == "wal":
+            summary += ", wal durability"
+        return summary
 
     # ------------------------------------------------------------------
     # querying

@@ -21,7 +21,7 @@ from __future__ import annotations
 import struct
 
 from ..approxql.costs import CostModel
-from ..errors import StorageError
+from ..errors import KeyNotFoundError, StorageError
 from ..storage.kv import FileStore, Namespace, Store
 from ..storage.varint import decode_delta_list, encode_delta_list
 from ..xmltree.indexes import StoredNodeIndexes
@@ -62,10 +62,17 @@ def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
     fingerprint string recorded at save time."""
     meta = Namespace(store, META_NAMESPACE)
     columns = Namespace(store, TREE_NAMESPACE)
-    (version,) = struct.unpack("<I", meta.get(b"version"))
+    try:
+        (version,) = struct.unpack("<I", meta.get(b"version"))
+        (node_count,) = struct.unpack("<Q", meta.get(b"nodes"))
+    except KeyNotFoundError as error:
+        raise StorageError(
+            "not an approXQL database (missing version metadata)"
+        ) from error
+    except struct.error as error:
+        raise StorageError(f"corrupt database metadata ({error})") from error
     if version != FORMAT_VERSION:
         raise StorageError(f"unsupported database format version {version}")
-    (node_count,) = struct.unpack("<Q", meta.get(b"nodes"))
     labels = columns.get(b"labels").decode("utf-8").split(_LABEL_SEPARATOR)
     types = [NodeType(value) for value in columns.get(b"types")]
     parents_shifted, _ = decode_delta_list(columns.get(b"parents"))
@@ -103,14 +110,28 @@ def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
     return tree, insert_costs, fingerprint
 
 
-def open_file_store(path: str, cache_pages: "int | None" = None) -> FileStore:
+def open_file_store(
+    path: str,
+    cache_pages: "int | None" = None,
+    durability: str = "none",
+    wal_checkpoint_bytes: "int | None" = None,
+    must_exist: bool = False,
+) -> FileStore:
     """Open (or create) the single-file store of a database.
 
     ``cache_pages`` sizes the pager's LRU page cache (``0`` disables it;
-    ``None`` keeps the pager default)."""
-    if cache_pages is None:
-        return FileStore(path)
-    return FileStore(path, cache_pages=cache_pages)
+    ``None`` keeps the pager default).  ``durability`` selects the crash
+    story (``"none"`` or ``"wal"``), ``wal_checkpoint_bytes`` the log
+    size that triggers a checkpoint, and ``must_exist=True`` turns a
+    missing or empty file into a typed error instead of creating it."""
+    kwargs: dict = {
+        "durability": durability,
+        "wal_checkpoint_bytes": wal_checkpoint_bytes,
+        "must_exist": must_exist,
+    }
+    if cache_pages is not None:
+        kwargs["cache_pages"] = cache_pages
+    return FileStore(path, **kwargs)
 
 
 __all__ = [

@@ -8,11 +8,18 @@ Public surface:
 * :class:`~repro.storage.btree.BTree` and
   :class:`~repro.storage.pager.Pager` — the on-disk machinery.
 * posting codecs in :mod:`repro.storage.postings`.
+* durability: the write-ahead log in :mod:`repro.storage.wal`
+  (``durability="wal"`` on the pager / store / database), offline
+  checking in :mod:`repro.storage.verify`, and the fault-injection
+  harness in :mod:`repro.storage.faults`.
 """
 
 from .btree import BTree
+from .faults import FaultInjector, FaultyFile, SimulatedCrash
 from .kv import FileStore, MemoryStore, Namespace, Store
-from .pager import DEFAULT_PAGE_SIZE, Pager
+from .pager import DEFAULT_PAGE_SIZE, DURABILITY_MODES, Pager
+from .verify import VerifyReport, verify_store
+from .wal import DEFAULT_CHECKPOINT_BYTES, WAL_SUFFIX, WriteAheadLog, recover
 from .postings import (
     decode_instance_postings,
     decode_node_postings,
@@ -30,12 +37,20 @@ from .varint import (
 
 __all__ = [
     "BTree",
+    "DEFAULT_CHECKPOINT_BYTES",
     "DEFAULT_PAGE_SIZE",
+    "DURABILITY_MODES",
+    "FaultInjector",
+    "FaultyFile",
     "FileStore",
     "MemoryStore",
     "Namespace",
     "Pager",
+    "SimulatedCrash",
     "Store",
+    "VerifyReport",
+    "WAL_SUFFIX",
+    "WriteAheadLog",
     "decode_delta_list",
     "decode_instance_postings",
     "decode_node_postings",
@@ -46,4 +61,6 @@ __all__ = [
     "encode_node_postings",
     "encode_svarint",
     "encode_uvarint",
+    "recover",
+    "verify_store",
 ]

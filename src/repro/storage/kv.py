@@ -137,7 +137,9 @@ class FileStore(Store):
     """Persistent store backed by :class:`Pager` + :class:`BTree`.
 
     ``cache_pages`` sizes the pager's LRU page cache (0 disables it);
-    see :class:`~repro.storage.pager.Pager`.
+    ``durability`` selects the crash story (``"none"`` or ``"wal"`` —
+    see :class:`~repro.storage.pager.Pager`); ``wal_checkpoint_bytes``,
+    ``opener``, and ``must_exist`` pass straight through to the pager.
     """
 
     def __init__(
@@ -145,15 +147,47 @@ class FileStore(Store):
         path: str,
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_pages: int = DEFAULT_CACHE_PAGES,
+        durability: str = "none",
+        wal_checkpoint_bytes: "int | None" = None,
+        opener=None,
+        must_exist: bool = False,
     ) -> None:
-        self._pager = Pager(path, page_size=page_size, cache_pages=cache_pages)
-        self.generation = 0
+        pager_kwargs = {}
+        if wal_checkpoint_bytes is not None:
+            pager_kwargs["wal_checkpoint_bytes"] = wal_checkpoint_bytes
+        self._pager = Pager(
+            path,
+            page_size=page_size,
+            cache_pages=cache_pages,
+            durability=durability,
+            opener=opener,
+            must_exist=must_exist,
+            **pager_kwargs,
+        )
+        # Crash recovery replayed logged pages into the file: advance the
+        # generation so any decoded-posting cache entry recorded against
+        # an earlier open of this store is dropped, never served stale.
+        self.generation = 1 if self._pager.recovered_frames else 0
         # A fresh pager has only the header page; the B+tree then allocates
         # its meta page as page 1.  An existing file reopens from page 1.
         if self._pager.page_count == 1:
             self._tree = BTree(self._pager)
         else:
             self._tree = BTree(self._pager, meta_page=1)
+
+    @property
+    def durability(self) -> str:
+        """The pager's durability mode (``"none"`` or ``"wal"``)."""
+        return self._pager.durability
+
+    def commit(self) -> None:
+        """Make every write since the last commit atomically durable
+        (the WAL commit point; plain :meth:`sync` in ``"none"`` mode)."""
+        self._pager.commit()
+
+    def checkpoint(self) -> None:
+        """Commit, then fold the write-ahead log into the main file."""
+        self._pager.checkpoint()
 
     def get(self, key: bytes) -> bytes:
         return self._tree.get(key)

@@ -1,0 +1,293 @@
+"""Write-ahead log: crash durability for the page store.
+
+The paper's implementation inherits durability from Berkeley DB; this
+module is our equivalent.  In WAL mode the pager never touches the main
+database file between checkpoints — every page write is appended to a
+sidecar log (``<path>-wal``) as a checksummed *frame*, and a batch of
+frames becomes durable atomically when a **commit frame** (the image of
+the header page, page 0) is appended and the log is fsynced.
+
+Log layout::
+
+    +--------------------------------------------------+
+    | header: magic, version, page_size, salt          |
+    +--------------------------------------------------+
+    | frame 0: page_no, commit, crc32 | page image     |
+    | frame 1: ...                                     |
+    +--------------------------------------------------+
+
+Each frame's CRC32 covers the page image, the page number, the commit
+marker, and the log's **salt**, so a frame can never be mistaken for one
+from an earlier incarnation of the log (the salt changes on every
+checkpoint).  ``commit`` is 0 for ordinary frames; a commit frame
+carries the number of frames in its batch and is always a page-0 frame —
+replaying it restores the header (page count, free-list head) along with
+the data pages, which is what makes a batch atomic.
+
+Protocol (single writer):
+
+* **commit** — append the header page as a commit frame, flush, fsync
+  the log.  The main file is untouched; readers in the same process see
+  logged pages through the log's page index.
+* **checkpoint** — after a commit, fold every logged page image back
+  into the main file, fsync it, then truncate the log to zero and bump
+  the salt.  Crash anywhere inside: the log still holds the committed
+  frames, so recovery redoes the fold — checkpointing is idempotent.
+* **recovery** (:func:`recover`) — on open, scan the log: frames up to
+  the last valid commit frame are replayed into the main file; a torn
+  tail (short frame, bad checksum, or uncommitted batch) is discarded.
+  The store therefore reopens in exactly the last committed state —
+  full rollback or full commit, never half.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+from ..errors import CorruptPageError, StorageError
+from ..telemetry.collector import count as _telemetry_count
+
+#: suffix of the log sidecar next to the main database file
+WAL_SUFFIX = "-wal"
+#: default log size that triggers a checkpoint at the next commit
+DEFAULT_CHECKPOINT_BYTES = 4 * 1024 * 1024
+
+_WAL_MAGIC = b"APXQWAL1"
+_WAL_VERSION = 1
+_WAL_HEADER_FMT = "<8sIII"  # magic, version, page_size, salt
+_WAL_HEADER_SIZE = struct.calcsize(_WAL_HEADER_FMT)
+_FRAME_FMT = "<QII"  # page_no, commit marker, crc32
+_FRAME_HEADER_SIZE = struct.calcsize(_FRAME_FMT)
+
+#: page number of the header page; a frame for it is a commit frame
+HEADER_PAGE = 0
+
+
+def default_opener(path: str, mode: str):
+    """The opener used when none is injected (plain ``open``)."""
+    return open(path, mode)
+
+
+def fsync_file(file) -> None:
+    """Fsync through the file object when it offers ``fsync()`` (the
+    fault-injection wrapper does), else through its descriptor."""
+    fsync = getattr(file, "fsync", None)
+    if fsync is not None:
+        fsync()
+    else:
+        os.fsync(file.fileno())
+
+
+def frame_checksum(page_no: int, commit: int, salt: int, image: bytes) -> int:
+    """CRC32 binding a frame to its page number, batch role, and log
+    incarnation — a stale or relocated frame fails this check."""
+    crc = zlib.crc32(struct.pack("<QII", page_no, commit, salt))
+    return zlib.crc32(image, crc)
+
+
+class WriteAheadLog:
+    """The append side of the log, owned by a live pager.
+
+    Created *after* :func:`recover` has run, so the log file it opens is
+    always empty (or absent); any previous incarnation's frames were
+    already replayed or discarded.  The header is written lazily on the
+    first frame, with a salt one past the previous incarnation's.
+    """
+
+    def __init__(self, path: str, page_size: int, opener=None) -> None:
+        self.path = path
+        self._page_size = page_size
+        opener = opener or default_opener
+        salt = 0
+        if os.path.exists(path):
+            with opener(path, "rb") as existing:
+                header = existing.read(_WAL_HEADER_SIZE)
+            if len(header) == _WAL_HEADER_SIZE:
+                magic, version, _, old_salt = struct.unpack(_WAL_HEADER_FMT, header)
+                if magic == _WAL_MAGIC and version == _WAL_VERSION:
+                    salt = old_salt
+            self._file = opener(path, "r+b")
+            self._file.seek(0)
+            self._file.truncate(0)
+        else:
+            self._file = opener(path, "w+b")
+        self._salt = (salt + 1) & 0xFFFFFFFF
+        self._size = 0
+        self._header_written = False
+        #: latest frame image offset per page (committed and pending)
+        self._index: dict[int, int] = {}
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current log size in bytes (the checkpoint trigger's input)."""
+        return self._size
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames appended since the last commit."""
+        return self._pending
+
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        self._file.seek(0)
+        self._file.write(
+            struct.pack(_WAL_HEADER_FMT, _WAL_MAGIC, _WAL_VERSION, self._page_size, self._salt)
+        )
+        self._size = _WAL_HEADER_SIZE
+        self._header_written = True
+
+    def append(self, page_no: int, image: bytes, commit: int = 0) -> None:
+        """Append one frame holding the raw page image of ``page_no``."""
+        if len(image) != self._page_size:
+            raise StorageError(
+                f"WAL frame image must be exactly {self._page_size} bytes, "
+                f"got {len(image)}"
+            )
+        self._ensure_header()
+        crc = frame_checksum(page_no, commit, self._salt, image)
+        self._file.seek(self._size)
+        self._file.write(struct.pack(_FRAME_FMT, page_no, commit, crc) + image)
+        self._index[page_no] = self._size + _FRAME_HEADER_SIZE
+        self._size += _FRAME_HEADER_SIZE + self._page_size
+        self._pending += 1
+        _telemetry_count("wal.frames_written")
+        _telemetry_count("wal.bytes_logged", _FRAME_HEADER_SIZE + self._page_size)
+
+    def commit(self, header_image: bytes) -> None:
+        """Make every pending frame durable: append the header page as
+        the batch's commit frame, then flush and fsync the log."""
+        self.append(HEADER_PAGE, header_image, commit=self._pending + 1)
+        self._file.flush()
+        fsync_file(self._file)
+        self._pending = 0
+        _telemetry_count("wal.commits")
+
+    # ------------------------------------------------------------------
+    # reading back
+    # ------------------------------------------------------------------
+
+    def read_page(self, page_no: int) -> "bytes | None":
+        """The latest logged image of ``page_no``, or ``None`` when the
+        page was never logged in this incarnation."""
+        offset = self._index.get(page_no)
+        if offset is None:
+            return None
+        self._file.seek(offset)
+        image = self._file.read(self._page_size)
+        if len(image) != self._page_size:
+            raise CorruptPageError(f"{self.path}: short read on WAL frame of page {page_no}")
+        _telemetry_count("wal.page_reads")
+        return image
+
+    def pages(self):
+        """Yield ``(page_no, image)`` for the latest frame of every
+        logged page, in page order (the checkpoint's work list)."""
+        for page_no in sorted(self._index):
+            yield page_no, self.read_page(page_no)
+
+    def reset(self) -> None:
+        """Empty the log after a checkpoint: truncate, bump the salt,
+        fsync — stale frames can never come back to life."""
+        self._file.seek(0)
+        self._file.truncate(0)
+        self._file.flush()
+        fsync_file(self._file)
+        self._salt = (self._salt + 1) & 0xFFFFFFFF
+        self._size = 0
+        self._header_written = False
+        self._index.clear()
+        self._pending = 0
+
+    def close(self) -> None:
+        self._file.close()
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+
+
+def scan_log(wal_file, path: str = "<wal>"):
+    """Parse a log file: returns ``(committed, tail_frames, page_size)``
+    where ``committed`` maps page numbers to the latest committed image
+    and ``tail_frames`` counts valid-but-uncommitted frames after the
+    last commit.  Scanning stops at the first short or corrupt frame (a
+    torn tail).  Returns ``None`` when the file has no usable header.
+    """
+    header = wal_file.read(_WAL_HEADER_SIZE)
+    if len(header) < _WAL_HEADER_SIZE:
+        return None
+    magic, version, page_size, salt = struct.unpack(_WAL_HEADER_FMT, header)
+    if magic != _WAL_MAGIC or version != _WAL_VERSION or page_size < 128:
+        return None
+    committed: dict[int, bytes] = {}
+    pending: dict[int, bytes] = {}
+    while True:
+        frame_header = wal_file.read(_FRAME_HEADER_SIZE)
+        if len(frame_header) < _FRAME_HEADER_SIZE:
+            break
+        page_no, commit, crc = struct.unpack(_FRAME_FMT, frame_header)
+        image = wal_file.read(page_size)
+        if len(image) < page_size:
+            break
+        if frame_checksum(page_no, commit, salt, image) != crc:
+            break
+        pending[page_no] = image
+        if commit:
+            committed.update(pending)
+            pending.clear()
+    return committed, len(pending), page_size
+
+
+def recover(db_path: str, opener=None) -> int:
+    """Replay the committed tail of ``<db_path>-wal`` into the main file.
+
+    Called before the pager reads the header, in **every** durability
+    mode — a store that crashed in WAL mode must come back committed
+    even when reopened with ``durability="none"``.  Returns the number
+    of pages replayed (0 when there is no log or nothing committed).
+
+    Recovery is idempotent: it writes deterministic images at
+    deterministic offsets and truncates the log only after the main
+    file is fsynced, so recovering after a crash *during* recovery
+    yields byte-identical results.
+    """
+    opener = opener or default_opener
+    wal_path = db_path + WAL_SUFFIX
+    try:
+        wal_size = os.path.getsize(wal_path)
+    except OSError:
+        return 0  # no log, nothing to do
+    if wal_size == 0:
+        return 0
+    with opener(wal_path, "rb") as wal_file:
+        scanned = scan_log(wal_file, wal_path)
+    replayed = 0
+    if scanned is not None and scanned[0]:
+        committed, _, page_size = scanned
+        main_exists = os.path.exists(db_path) and os.path.getsize(db_path) > 0
+        with opener(db_path, "r+b" if main_exists else "w+b") as main:
+            for page_no, image in sorted(committed.items()):
+                main.seek(page_no * page_size)
+                main.write(image)
+            main.flush()
+            fsync_file(main)
+        replayed = len(committed)
+        _telemetry_count("wal.recoveries")
+        _telemetry_count("wal.frames_replayed", replayed)
+    # committed state is safe in the main file; drop the log (this also
+    # rolls back any uncommitted or torn tail)
+    with opener(wal_path, "r+b") as wal_file:
+        wal_file.seek(0)
+        wal_file.truncate(0)
+        wal_file.flush()
+        fsync_file(wal_file)
+    return replayed

@@ -110,6 +110,17 @@ class QueryReport:
         """Index fetches served as already-decoded posting lists."""
         return int(self.get("cache.posting_hits"))
 
+    @property
+    def wal_frames_written(self) -> int:
+        """Write-ahead-log frames appended (0 unless the store mutates
+        under ``durability="wal"``)."""
+        return int(self.get("wal.frames_written"))
+
+    @property
+    def wal_recoveries(self) -> int:
+        """Crash recoveries performed (log replays on open)."""
+        return int(self.get("wal.recoveries"))
+
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
@@ -126,6 +137,11 @@ class QueryReport:
             f"  cache hits: {self.page_cache_hits} page / "
             f"{self.posting_cache_hits} posting",
         ]
+        if self.wal_frames_written or self.wal_recoveries:
+            lines.append(
+                f"  wal: {self.wal_frames_written} frame(s) written / "
+                f"{self.wal_recoveries} recovery(ies)"
+            )
         if self.collect == "off":
             lines.append("  (collection off; pass collect='counters' or --stats)")
             return "\n".join(lines)
@@ -155,6 +171,8 @@ class QueryReport:
                 "second_level_queries": self.second_level_queries,
                 "page_cache_hits": self.page_cache_hits,
                 "posting_cache_hits": self.posting_cache_hits,
+                "wal_frames_written": self.wal_frames_written,
+                "wal_recoveries": self.wal_recoveries,
             },
             "counters": dict(self.counters),
             "timings": dict(self.timings),

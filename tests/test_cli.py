@@ -102,3 +102,45 @@ class TestInfoAndSchema:
         output = capsys.readouterr().out
         assert "cd" in output
         assert "#text" in output
+
+
+class TestDurabilityAndVerify:
+    def test_build_wal_then_query_and_verify(self, catalog_file, tmp_path, capsys):
+        db_path = str(tmp_path / "catalog.apxq")
+        assert main(["build", db_path, catalog_file, "--durability", "wal"]) == 0
+        capsys.readouterr()
+        assert main(["verify", db_path]) == 0
+        assert "result: ok" in capsys.readouterr().out
+        assert main(["query", db_path, 'cd[title["piano"]]', "--durability", "wal"]) == 0
+        assert "1 result(s)" in capsys.readouterr().out
+
+    def test_info_reports_wal_durability(self, catalog_file, tmp_path, capsys):
+        db_path = str(tmp_path / "catalog.apxq")
+        assert main(["build", db_path, catalog_file]) == 0
+        capsys.readouterr()
+        assert main(["info", db_path, "--durability", "wal"]) == 0
+        assert "wal durability" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, catalog_file, tmp_path, capsys):
+        db_path = str(tmp_path / "catalog.apxq")
+        assert main(["build", db_path, catalog_file]) == 0
+        capsys.readouterr()
+        with open(db_path, "r+b") as handle:
+            handle.seek(4096 + 64)  # inside page 1's payload
+            handle.write(b"\xde\xad\xbe\xef")
+        assert main(["verify", db_path]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_verify_missing_file_reports_error(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "absent.apxq")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_open_missing_database_is_a_typed_error(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "absent.apxq"), "cd"]) == 1
+        assert "not a database file" in capsys.readouterr().err
+
+    def test_open_non_database_is_a_typed_error(self, tmp_path, capsys):
+        path = tmp_path / "junk.apxq"
+        path.write_bytes(b"hello, definitely not a page store")
+        assert main(["query", str(path), "cd"]) == 1
+        assert "not a database file" in capsys.readouterr().err

@@ -1,0 +1,194 @@
+"""Tests for the fault-injection harness and the crash-consistency matrix.
+
+The first half checks the injector *itself* — the durability tests are
+only as trustworthy as the faults they inject, so torn writes must tear
+at the configured byte, fsync failures must surface as ``OSError``, and
+the simulated kill must fire exactly once.  The second half runs the
+crash matrix (``tools/crashmatrix.py``) at a scaled-down size: every
+I/O boundary of every workload, asserting full rollback or full commit.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.faults import MUTATING_OPS, FaultInjector, FaultyFile, SimulatedCrash
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "tools"))
+import crashmatrix  # noqa: E402
+
+
+@pytest.fixture
+def faulty_open(tmp_path):
+    """Factory: a FaultyFile over a fresh real file, given an injector."""
+
+    def _make(injector, name="fault.bin", mode="w+b"):
+        return injector.opener()(str(tmp_path / name), mode)
+
+    return _make
+
+
+class TestFaultyFile:
+    def test_passthrough_without_faults(self, faulty_open):
+        with faulty_open(FaultInjector()) as handle:
+            handle.write(b"hello")
+            handle.seek(0)
+            assert handle.read() == b"hello"
+
+    def test_torn_write_splits_at_configured_byte(self, faulty_open, tmp_path):
+        injector = FaultInjector(kill_after_ops=0, torn_write_bytes=3)
+        handle = faulty_open(injector)
+        with pytest.raises(SimulatedCrash):
+            handle.write(b"abcdefgh")
+        handle.close()
+        # exactly the configured prefix reached the file, nothing more
+        assert (tmp_path / "fault.bin").read_bytes() == b"abc"
+
+    def test_torn_write_defaults_to_half_the_buffer(self, faulty_open, tmp_path):
+        injector = FaultInjector(kill_after_ops=0)
+        handle = faulty_open(injector)
+        with pytest.raises(SimulatedCrash):
+            handle.write(b"0123456789")
+        handle.close()
+        assert (tmp_path / "fault.bin").read_bytes() == b"01234"
+
+    def test_fsync_failure_propagates_as_oserror(self, faulty_open):
+        injector = FaultInjector(fail_fsync=True)
+        with faulty_open(injector) as handle:
+            handle.write(b"data")
+            with pytest.raises(OSError):
+                handle.fsync()
+        # an fsync failure is an I/O error, not a crash: the injector
+        # stays alive and later operations still work
+        assert not injector.crashed
+
+    def test_kill_after_n_raises_exactly_once(self, faulty_open):
+        injector = FaultInjector(kill_after_ops=2)
+        handle = faulty_open(injector)
+        handle.write(b"one")  # op 0
+        handle.flush()  # op 1
+        with pytest.raises(SimulatedCrash):
+            handle.write(b"dies")  # op 2: the kill
+        assert injector.crashed
+        assert injector.crashed_at == 2
+        # every later operation raises StorageError — the process is
+        # dead, SimulatedCrash never fires twice
+        for attempt in (lambda: handle.write(b"x"), handle.flush, lambda: handle.read()):
+            with pytest.raises(StorageError):
+                attempt()
+        assert injector.crashed_at == 2
+
+    def test_kill_counter_shared_across_files(self, faulty_open):
+        """One injector = one process: ops on the main file and the WAL
+        sidecar advance the same counter."""
+        injector = FaultInjector(kill_after_ops=2)
+        first = faulty_open(injector, "a.bin")
+        second = faulty_open(injector, "b.bin")
+        first.write(b"one")  # op 0
+        second.write(b"two")  # op 1
+        with pytest.raises(SimulatedCrash):
+            first.flush()  # op 2
+
+    def test_short_reads_cap_every_read(self, faulty_open):
+        injector = FaultInjector(short_read_bytes=4)
+        with faulty_open(injector) as handle:
+            handle.write(b"0123456789")
+            handle.seek(0)
+            assert handle.read() == b"0123"  # unbounded read, capped
+            assert handle.read(6) == b"4567"  # large read, capped
+            assert handle.read(2) == b"89"  # small read, untouched
+        assert injector.mutating_ops == 1  # only the write mutates
+
+    def test_reads_are_not_kill_boundaries(self, faulty_open):
+        injector = FaultInjector()
+        with faulty_open(injector) as handle:
+            handle.write(b"payload")
+            before = injector.mutating_ops
+            handle.seek(0)
+            handle.read()
+            handle.tell()
+            assert injector.mutating_ops == before
+
+    def test_counting_mode_counts_all_mutating_ops(self, faulty_open):
+        injector = FaultInjector()
+        with faulty_open(injector) as handle:
+            handle.write(b"a")
+            handle.flush()
+            handle.fsync()
+            handle.truncate(0)
+        assert injector.mutating_ops == len(MUTATING_OPS)
+        assert not injector.crashed
+
+    def test_close_never_faults(self, faulty_open):
+        handle = faulty_open(FaultInjector(kill_after_ops=0))
+        with pytest.raises(SimulatedCrash):
+            handle.write(b"x")
+        handle.close()  # a dead process's descriptors close without I/O
+        assert handle.closed
+
+    def test_negative_kill_threshold_rejected(self):
+        with pytest.raises(StorageError):
+            FaultInjector(kill_after_ops=-1)
+
+    def test_simulated_crash_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        # the engine catches ReproError in places; the crash must never
+        # be swallowed by those handlers
+        assert not issubclass(SimulatedCrash, ReproError)
+
+    def test_opener_opens_unbuffered(self, tmp_path):
+        """What survives a kill must not depend on userspace buffering:
+        a completed write is immediately visible in the file."""
+        injector = FaultInjector()
+        handle = injector.opener()(str(tmp_path / "unbuf.bin"), "w+b")
+        handle.write(b"landed")
+        with open(tmp_path / "unbuf.bin", "rb") as reader:
+            assert reader.read() == b"landed"
+        handle.close()
+
+
+class TestFaultyFileProtocol:
+    def test_wraps_arbitrary_file_objects(self, tmp_path):
+        raw = open(tmp_path / "wrap.bin", "w+b")
+        proxy = FaultyFile(raw, FaultInjector())
+        proxy.write(b"abc")
+        assert proxy.tell() == 3
+        assert proxy.fileno() == raw.fileno()
+        proxy.truncate(1)
+        proxy.seek(0)
+        assert proxy.read() == b"a"
+        proxy.close()
+        assert raw.closed
+
+
+class TestCrashMatrix:
+    """The headline experiment, scaled down for CI: kill the store at
+    every mutating I/O boundary, recover, and demand a committed state."""
+
+    @pytest.mark.parametrize("workload", sorted(crashmatrix.WORKLOADS))
+    def test_every_boundary_recovers_to_a_committed_state(self, workload, tmp_path):
+        result = crashmatrix.run_matrix(workload, scale="tiny", workdir=str(tmp_path))
+        assert result.boundaries > 10, "workload too small to mean anything"
+        assert result.ok, result.format()
+        assert result.rolled_back + result.committed_ahead == result.boundaries
+
+    def test_expected_states_tracks_puts_and_deletes(self):
+        batches = [
+            [("put", b"a", b"1"), ("put", b"b", b"2")],
+            [("delete", b"a", None), ("put", b"c", b"3")],
+        ]
+        states = crashmatrix.expected_states(batches)
+        assert states == [
+            {},
+            {b"a": b"1", b"b": b"2"},
+            {b"b": b"2", b"c": b"3"},
+        ]
+
+    def test_matrix_cli_smoke(self, capsys):
+        assert crashmatrix.main(["--workload", "build", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "result: ok" in output
+        assert "half states: 0" in output

@@ -263,3 +263,119 @@ class TestAllocationCoalescing:
             assert telemetry.counters["storage.pages_written"] == 1
         with Pager(path) as reopened:
             assert reopened.allocate() == first
+
+
+class TestTypedOpenErrors:
+    """Opening something that is not a healthy database must raise a
+    typed StorageError naming the path and the reason — never a raw
+    OSError or struct.error."""
+
+    def test_missing_file_with_must_exist(self, tmp_path):
+        path = str(tmp_path / "absent.db")
+        with pytest.raises(StorageError, match="no such file") as excinfo:
+            Pager(path, must_exist=True)
+        assert path in str(excinfo.value)
+
+    def test_empty_file_with_must_exist(self, tmp_path):
+        path = tmp_path / "empty.db"
+        path.touch()
+        with pytest.raises(StorageError, match="file is empty") as excinfo:
+            Pager(str(path), must_exist=True)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_header_names_path_and_reason(self, tmp_path):
+        path = tmp_path / "stub.db"
+        path.write_bytes(b"\x01\x02\x03")
+        with pytest.raises(CorruptPageError, match="truncated header") as excinfo:
+            Pager(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_non_database_file_names_path(self, tmp_path):
+        path = tmp_path / "readme.db"
+        path.write_bytes(b"This is a text file, not a page store at all.")
+        with pytest.raises(CorruptPageError, match="bad magic") as excinfo:
+            Pager(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_implausible_geometry_rejected(self, tmp_path):
+        import struct
+
+        path = tmp_path / "geom.db"
+        path.write_bytes(struct.pack("<8sIIQ", b"APXQPG01", 4, 0, 0))
+        with pytest.raises(CorruptPageError, match="corrupt header"):
+            Pager(str(path))
+
+    def test_unopenable_path_raises_storage_error(self, tmp_path):
+        # a directory can exist but never open as a file: the OSError
+        # must come back typed, with the path in the message
+        path = tmp_path / "actually-a-dir"
+        path.mkdir()
+        (path / "page").write_bytes(b"x")  # non-empty so open is attempted
+        with pytest.raises(StorageError, match="cannot open database file"):
+            Pager(str(path))
+
+    def test_creation_io_failure_raises_typed_error(self, tmp_path):
+        from repro.storage.faults import FaultInjector
+
+        injector = FaultInjector(fail_fsync=True)
+        with pytest.raises(StorageError, match="cannot initialize"):
+            Pager(
+                str(tmp_path / "new.db"),
+                page_size=512,
+                durability="wal",
+                opener=injector.opener(),
+            )
+
+    def test_failed_open_leaks_no_handle(self, tmp_path):
+        """A constructor that raises must close the file it opened —
+        otherwise every failed open leaks a descriptor."""
+        path = tmp_path / "stub.db"
+        path.write_bytes(b"short")
+        with pytest.raises(CorruptPageError):
+            Pager(str(path))
+        # the file is not held open: an exclusive rename/unlink works
+        os.replace(path, tmp_path / "moved.db")
+
+
+class TestCloseSafety:
+    def test_close_after_failed_sync_does_not_reraise(self, tmp_path):
+        """After sync() already reported an I/O error, close() must not
+        run into the same failure again — the error was surfaced once."""
+        from repro.storage.faults import FaultInjector
+
+        injector = FaultInjector(fail_fsync=True)
+        pager = Pager(str(tmp_path / "db.apxq"), page_size=512, opener=injector.opener())
+        page = pager.allocate()
+        pager.write(page, b"payload")
+        with pytest.raises(StorageError):
+            pager.sync()
+        pager.close()  # must not raise
+        pager.close()  # and stays a no-op afterwards
+
+    def test_close_after_failed_wal_commit_does_not_reraise(self, tmp_path):
+        from repro.storage.faults import FaultInjector
+
+        path = str(tmp_path / "db.apxq")
+        Pager(path, page_size=512).close()  # create cleanly first
+        injector = FaultInjector(fail_fsync=True)
+        pager = Pager(path, durability="wal", opener=injector.opener())
+        page = pager.allocate()
+        pager.write(page, b"payload")
+        with pytest.raises(StorageError):
+            pager.commit()
+        pager.close()
+        pager.close()
+
+    def test_double_close_in_wal_mode_is_noop(self, tmp_path):
+        pager = Pager(str(tmp_path / "db.apxq"), page_size=512, durability="wal")
+        pager.write(pager.allocate(), b"data")
+        pager.close()
+        pager.close()
+
+    def test_close_is_safe_inside_context_manager_after_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with Pager(str(tmp_path / "db.apxq"), page_size=512) as pager:
+                pager.write(pager.allocate(), b"data")
+                raise RuntimeError("caller failure mid-transaction")
+        with Pager(str(tmp_path / "db.apxq")) as reopened:
+            assert reopened.page_count == 2

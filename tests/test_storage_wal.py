@@ -1,0 +1,434 @@
+"""Tests for the write-ahead log: frames, commit, checkpoint, recovery.
+
+The contract under test is the paper implementation's inherited-from-
+Berkeley-DB durability story, rebuilt here: committed batches survive a
+kill at any I/O boundary, uncommitted batches roll back entirely, and
+recovery is idempotent — running it twice (or crashing inside it and
+rerunning) is byte-identical to running it once.
+"""
+
+import filecmp
+import os
+import shutil
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.storage.kv import FileStore
+from repro.storage.pager import Pager
+from repro.storage.verify import verify_store
+from repro.storage.wal import (
+    WAL_SUFFIX,
+    WriteAheadLog,
+    frame_checksum,
+    recover,
+    scan_log,
+)
+from repro.telemetry.collector import Telemetry, collecting
+
+PAGE = 512
+
+
+def _crash(pager):
+    """Abandon a pager as a kill would: close raw handles, flush nothing.
+
+    Only meaningful under an unbuffered opener (the fault injector's),
+    where every completed write already reached the OS.
+    """
+    pager._file.close()
+    if pager._wal is not None:
+        pager._wal._file.close()
+
+
+@pytest.fixture
+def wal_pager(tmp_path):
+    """A WAL-mode pager over an injector in counting mode (unbuffered,
+    so _crash() models a kill faithfully)."""
+    injector = FaultInjector()
+    pager = Pager(
+        str(tmp_path / "db.apxq"),
+        page_size=PAGE,
+        durability="wal",
+        opener=injector.opener(),
+    )
+    yield pager
+    if not pager._closed and not pager._file.closed:
+        pager.close()
+
+
+class TestWriteAheadLog:
+    def test_append_requires_full_page_image(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "x-wal"), PAGE)
+        with pytest.raises(StorageError):
+            log.append(1, b"short")
+        log.close()
+
+    def test_read_back_latest_frame(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "x-wal"), PAGE)
+        log.append(3, b"a" * PAGE)
+        log.append(3, b"b" * PAGE)
+        assert log.read_page(3) == b"b" * PAGE
+        assert log.read_page(9) is None
+        log.close()
+
+    def test_pages_yields_page_order(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "x-wal"), PAGE)
+        for page_no in (5, 2, 9):
+            log.append(page_no, bytes([page_no]) * PAGE)
+        assert [page_no for page_no, _ in log.pages()] == [2, 5, 9]
+        log.close()
+
+    def test_commit_marks_batch_and_resets_pending(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "x-wal"), PAGE)
+        log.append(1, b"x" * PAGE)
+        assert log.pending_frames == 1
+        log.commit(b"h" * PAGE)
+        assert log.pending_frames == 0
+        log.close()
+
+    def test_salt_changes_across_incarnations(self, tmp_path):
+        path = str(tmp_path / "x-wal")
+        first = WriteAheadLog(path, PAGE)
+        first.append(1, b"x" * PAGE)
+        first_salt = first._salt
+        first.close()
+        second = WriteAheadLog(path, PAGE)
+        assert second._salt != first_salt
+        second.close()
+
+    def test_frame_checksum_binds_all_inputs(self):
+        base = frame_checksum(1, 0, 7, b"x" * PAGE)
+        assert frame_checksum(2, 0, 7, b"x" * PAGE) != base  # page number
+        assert frame_checksum(1, 1, 7, b"x" * PAGE) != base  # commit marker
+        assert frame_checksum(1, 0, 8, b"x" * PAGE) != base  # salt
+        assert frame_checksum(1, 0, 7, b"y" * PAGE) != base  # image
+
+
+class TestScanLog:
+    def _build_log(self, path, committed_batches, tail_frames=0):
+        log = WriteAheadLog(path, PAGE)
+        page_no = 1
+        for _ in range(committed_batches):
+            log.append(page_no, bytes([page_no]) * PAGE)
+            page_no += 1
+            log.commit(b"H" * PAGE)
+        for _ in range(tail_frames):
+            log.append(page_no, bytes([page_no % 251]) * PAGE)
+            page_no += 1
+        log._file.flush()
+        log.close()
+
+    def test_committed_and_tail_separated(self, tmp_path):
+        path = str(tmp_path / "x-wal")
+        self._build_log(path, committed_batches=2, tail_frames=3)
+        with open(path, "rb") as handle:
+            committed, tail, page_size = scan_log(handle, path)
+        assert page_size == PAGE
+        # 2 data pages + the header page from the commit frames
+        assert set(committed) == {0, 1, 2}
+        assert tail == 3
+
+    def test_stops_at_corrupt_frame(self, tmp_path):
+        path = str(tmp_path / "x-wal")
+        self._build_log(path, committed_batches=2)
+        # flip a byte inside the *first* batch's data frame: the scan
+        # must stop there, surfacing neither batch as committed
+        with open(path, "r+b") as handle:
+            handle.seek(40)
+            handle.write(b"\xff\xff")
+        with open(path, "rb") as handle:
+            committed, tail, _ = scan_log(handle, path)
+        assert committed == {}
+
+    def test_rejects_foreign_header(self, tmp_path):
+        path = tmp_path / "x-wal"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 100)
+        with open(path, "rb") as handle:
+            assert scan_log(handle, str(path)) is None
+
+
+class TestPagerWalMode:
+    def test_reads_see_logged_pages_before_checkpoint(self, wal_pager):
+        page = wal_pager.allocate()
+        wal_pager.write(page, b"logged only")
+        # the main file is untouched, but reads go through the log
+        assert wal_pager.read(page).startswith(b"logged only")
+        assert os.path.getsize(wal_pager.path) <= PAGE  # header only
+
+    def test_close_folds_log_into_main_file(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        with Pager(path, page_size=PAGE, durability="wal") as pager:
+            page = pager.allocate()
+            pager.write(page, b"durable")
+        assert os.path.getsize(path + WAL_SUFFIX) == 0
+        # a cleanly closed WAL store reads back in any mode
+        with Pager(path, durability="none") as pager:
+            assert pager.read(page).startswith(b"durable")
+
+    def test_uncommitted_writes_roll_back(self, wal_pager):
+        path = wal_pager.path
+        page = wal_pager.allocate()
+        wal_pager.write(page, b"never committed")
+        _crash(wal_pager)
+        with Pager(path, page_size=PAGE, durability="wal") as reopened:
+            assert reopened.page_count == 1  # the allocation rolled back
+
+    def test_committed_writes_survive_crash(self, wal_pager):
+        path = wal_pager.path
+        page = wal_pager.allocate()
+        wal_pager.write(page, b"committed")
+        wal_pager.commit()
+        _crash(wal_pager)
+        telemetry = Telemetry()
+        with collecting(telemetry):
+            with Pager(path, page_size=PAGE, durability="wal") as reopened:
+                assert reopened.read(page).startswith(b"committed")
+        assert telemetry.counters["wal.recoveries"] == 1
+        assert telemetry.counters["wal.frames_replayed"] >= 2
+
+    def test_size_triggered_checkpoint(self, tmp_path):
+        telemetry = Telemetry()
+        with collecting(telemetry):
+            with Pager(
+                str(tmp_path / "db.apxq"),
+                page_size=PAGE,
+                durability="wal",
+                wal_checkpoint_bytes=2048,
+            ) as pager:
+                for _ in range(8):
+                    pager.write(pager.allocate(), b"bulk")
+                pager.commit()  # log is past the threshold: folds
+        assert telemetry.counters["wal.checkpoints"] >= 1
+        assert telemetry.counters["wal.checkpoint_pages"] >= 8
+
+    def test_explicit_checkpoint_empties_log(self, wal_pager):
+        page = wal_pager.allocate()
+        wal_pager.write(page, b"data")
+        wal_pager.checkpoint()
+        assert wal_pager._wal.size == 0
+        assert wal_pager.read(page).startswith(b"data")
+
+    def test_commit_without_writes_leaves_no_frames(self, wal_pager):
+        telemetry = Telemetry()
+        with collecting(telemetry):
+            wal_pager.commit()
+        assert "wal.commits" not in telemetry.counters
+
+    def test_bad_durability_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(str(tmp_path / "x.db"), durability="fsync-every-write")
+
+    def test_bad_checkpoint_threshold_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(str(tmp_path / "x.db"), durability="wal", wal_checkpoint_bytes=0)
+
+
+class TestRecovery:
+    def _crashed_store(self, tmp_path, commits=2):
+        """A WAL-mode store killed after ``commits`` committed batches
+        (log populated, main file holding only the header)."""
+        injector = FaultInjector()
+        path = str(tmp_path / "db.apxq")
+        pager = Pager(
+            path, page_size=PAGE, durability="wal",
+            wal_checkpoint_bytes=1 << 30, opener=injector.opener(),
+        )
+        pages = []
+        for index in range(commits):
+            page = pager.allocate()
+            pager.write(page, f"batch {index}".encode())
+            pager.commit()
+            pages.append(page)
+        _crash(pager)
+        return path, pages
+
+    def test_recover_replays_committed_batches(self, tmp_path):
+        path, pages = self._crashed_store(tmp_path)
+        replayed = recover(path)
+        assert replayed == len(pages) + 1  # data pages + header page
+        with Pager(path, durability="none") as pager:
+            for index, page in enumerate(pages):
+                assert pager.read(page).startswith(f"batch {index}".encode())
+
+    def test_recover_without_log_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "no-wal.apxq")
+        assert recover(path) == 0
+
+    def test_recover_twice_is_byte_identical(self, tmp_path):
+        path, _ = self._crashed_store(tmp_path)
+        once_dir = tmp_path / "once"
+        twice_dir = tmp_path / "twice"
+        for directory in (once_dir, twice_dir):
+            directory.mkdir()
+            shutil.copyfile(path, directory / "db.apxq")
+            shutil.copyfile(path + WAL_SUFFIX, str(directory / "db.apxq") + WAL_SUFFIX)
+        assert recover(str(once_dir / "db.apxq")) > 0
+        assert recover(str(twice_dir / "db.apxq")) > 0
+        assert recover(str(twice_dir / "db.apxq")) == 0  # second run: no-op
+        assert filecmp.cmp(once_dir / "db.apxq", twice_dir / "db.apxq", shallow=False)
+        assert filecmp.cmp(
+            str(once_dir / "db.apxq") + WAL_SUFFIX,
+            str(twice_dir / "db.apxq") + WAL_SUFFIX,
+            shallow=False,
+        )
+
+    def test_crash_inside_recovery_is_redone(self, tmp_path):
+        """Recovery is itself a workload of writes: kill it at every
+        boundary, rerun it, and the result must match an uninterrupted
+        recovery byte for byte."""
+        path, _ = self._crashed_store(tmp_path)
+        reference_dir = tmp_path / "ref"
+        reference_dir.mkdir()
+        reference = str(reference_dir / "db.apxq")
+        shutil.copyfile(path, reference)
+        shutil.copyfile(path + WAL_SUFFIX, reference + WAL_SUFFIX)
+        recover(reference)
+
+        boundary = 0
+        while True:
+            run_dir = tmp_path / f"kill{boundary}"
+            run_dir.mkdir()
+            victim = str(run_dir / "db.apxq")
+            shutil.copyfile(path, victim)
+            shutil.copyfile(path + WAL_SUFFIX, victim + WAL_SUFFIX)
+            injector = FaultInjector(kill_after_ops=boundary)
+            try:
+                recover(victim, injector.opener())
+            except SimulatedCrash:
+                recover(victim)  # the rerun after the crash
+                assert filecmp.cmp(reference, victim, shallow=False)
+                boundary += 1
+            else:
+                break  # past the last boundary: recovery ran clean
+        assert boundary > 3  # the sweep actually exercised kill points
+
+    def test_recovery_runs_in_none_mode_too(self, tmp_path):
+        path, pages = self._crashed_store(tmp_path)
+        with Pager(path, durability="none") as pager:
+            assert pager.recovered_frames > 0
+            assert pager.read(pages[0]).startswith(b"batch 0")
+        assert os.path.getsize(path + WAL_SUFFIX) == 0
+
+
+class TestFileStoreDurability:
+    def test_roundtrip_and_clean_close(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        with FileStore(path, page_size=PAGE, durability="wal") as store:
+            for index in range(50):
+                store.put(f"k{index:03d}".encode(), bytes([index]) * 64)
+            store.sync()
+        with FileStore(path, must_exist=True) as store:
+            assert store.get(b"k007") == bytes([7]) * 64
+            assert len(dict(store.scan())) == 50
+
+    def test_generation_flags_recovery(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        injector = FaultInjector()
+        store = FileStore(
+            path, page_size=PAGE, durability="wal",
+            wal_checkpoint_bytes=1 << 30, opener=injector.opener(),
+        )
+        store.put(b"key", b"value")
+        store.commit()
+        _crash(store._pager)
+        # recovery replayed frames: the generation must advance so any
+        # decoded-posting cache from an earlier open is invalidated
+        recovered = FileStore(path, page_size=PAGE, must_exist=True)
+        assert recovered.generation == 1
+        recovered.close()
+        clean = FileStore(path, page_size=PAGE, must_exist=True)
+        assert clean.generation == 0
+        clean.close()
+
+    def test_none_mode_emits_no_wal_artifacts(self, tmp_path):
+        """``durability="none"`` must behave exactly as before the WAL
+        existed: no sidecar file, no ``wal.*`` telemetry."""
+        path = str(tmp_path / "db.apxq")
+        telemetry = Telemetry()
+        with collecting(telemetry):
+            with FileStore(path, page_size=PAGE) as store:
+                for index in range(30):
+                    store.put(f"k{index}".encode(), b"v" * 100)
+                store.sync()
+                store.commit()  # commit degrades to sync in none mode
+            with FileStore(path, must_exist=True) as store:
+                assert store.get(b"k3") == b"v" * 100
+        assert not os.path.exists(path + WAL_SUFFIX)
+        assert not any(name.startswith("wal.") for name in telemetry.counters)
+
+    def test_wal_and_none_mode_reads_agree(self, tmp_path):
+        pairs = [(f"key{i:04d}".encode(), bytes([i % 250 or 1]) * (i % 400)) for i in range(120)]
+        wal_path = str(tmp_path / "wal.apxq")
+        none_path = str(tmp_path / "none.apxq")
+        for path, durability in ((wal_path, "wal"), (none_path, "none")):
+            with FileStore(path, page_size=PAGE, durability=durability) as store:
+                for key, value in pairs:
+                    store.put(key, value)
+                store.sync()
+        with FileStore(wal_path, must_exist=True) as first:
+            with FileStore(none_path, must_exist=True) as second:
+                assert dict(first.scan()) == dict(second.scan())
+
+
+class TestVerifyStore:
+    def test_clean_store_verifies(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        with FileStore(path, page_size=PAGE, durability="wal") as store:
+            store.put(b"key", b"value" * 50)
+            store.sync()
+        report = verify_store(path)
+        assert report.ok
+        assert report.pages_checked > 0
+        assert "result: ok" in report.format()
+
+    def test_flipped_byte_fails_verification(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        with FileStore(path, page_size=PAGE) as store:
+            store.put(b"key", b"value" * 50)
+            store.sync()
+        with open(path, "r+b") as handle:
+            handle.seek(PAGE + 40)
+            handle.write(b"\xde\xad")
+        report = verify_store(path)
+        assert not report.ok
+        assert any(reason == "checksum mismatch" for _, reason in report.page_failures)
+
+    def test_non_database_fails_header_check(self, tmp_path):
+        path = tmp_path / "not-a-db.apxq"
+        path.write_bytes(b"just some text, definitely not pages")
+        report = verify_store(str(path))
+        assert not report.ok
+        assert report.header_failures
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(StorageError):
+            verify_store(str(tmp_path / "missing.apxq"))
+
+    def test_torn_wal_tail_reported_but_not_failed(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        injector = FaultInjector()
+        pager = Pager(
+            path, page_size=PAGE, durability="wal",
+            wal_checkpoint_bytes=1 << 30, opener=injector.opener(),
+        )
+        page = pager.allocate()
+        pager.write(page, b"committed")
+        pager.commit()
+        pager.write(page, b"torn tail")  # logged, never committed
+        _crash(pager)
+        report = verify_store(path)
+        assert report.ok  # a torn tail is crash residue, not damage
+        assert report.wal_present
+        assert report.wal_committed_frames >= 1
+        assert report.wal_uncommitted_frames == 1
+
+    def test_empty_pages_are_not_failures(self, tmp_path):
+        path = str(tmp_path / "db.apxq")
+        with Pager(path, page_size=PAGE) as pager:
+            first = pager.allocate()
+            pager.allocate()  # allocated, never written: a zero gap
+            pager.write(first, b"data")
+            pager.sync()
+        report = verify_store(path)
+        assert report.ok

@@ -140,6 +140,24 @@ class TestQueryReport:
         assert "pages read: 0" in text
         assert "collection off" in text
 
+    def test_wal_line_appears_only_when_wal_was_active(self):
+        quiet = QueryReport.from_telemetry(
+            Telemetry(), query="q", method="direct", collect="counters",
+            n=1, wall_seconds=0.0, results=0,
+        )
+        assert "wal:" not in quiet.format()  # none-mode output is unchanged
+        telemetry = Telemetry()
+        telemetry.count("wal.frames_written", 12)
+        telemetry.count("wal.recoveries", 1)
+        report = QueryReport.from_telemetry(
+            telemetry, query="q", method="direct", collect="counters",
+            n=1, wall_seconds=0.0, results=0,
+        )
+        assert report.wal_frames_written == 12
+        assert report.wal_recoveries == 1
+        assert "wal: 12 frame(s) written / 1 recovery(ies)" in report.format()
+        assert report.to_dict()["summary"]["wal_frames_written"] == 12
+
     def test_json_roundtrip_carries_summary(self):
         telemetry = Telemetry()
         telemetry.count("storage.pages_read", 3)
