@@ -1,0 +1,182 @@
+"""Concurrent serving benchmark on the Figure 7a workload.
+
+One experiment over a *stored* database built from the pattern-1
+workload collection: the same batch of best-n queries served through
+``Database.query_many`` at several thread counts (jobs 1, 2, 4).  Every
+parallel pass is verified query-by-query against the serial pass — the
+benchmark measures scheduling, never correctness drift.
+
+Interpreting the numbers: the engine is pure Python, so CPython's global
+interpreter lock serializes the CPU-bound portions of concurrent
+queries.  Thread-count speedups therefore track the machine's free
+cores *and* the workload's I/O share; the committed baseline records
+``cpu_count`` next to every measurement so a single-core container's
+flat curve is not mistaken for a locking regression.  The correctness
+guarantees (identical per-query results, per-query telemetry
+attribution) hold at any core count.
+
+Standalone usage (writes the committed ``BENCH_concurrent.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent.py --scale tiny --out BENCH_concurrent.json
+
+The module also exposes one pytest-benchmark point per thread count when
+collected with ``pytest benchmarks/bench_concurrent.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench.workloads import SCALES, get_workload
+
+PATTERN = 1  # Figure 7a: the path pattern
+RENAMINGS = 5
+QUERIES_PER_SET = 5
+#: the query set is repeated to give the pool a real queue to drain
+BATCH_REPEATS = 8
+PASSES = 3
+N = 10
+JOBS_SWEEP = (1, 2, 4)
+
+
+def build_stored_workload(scale: str, directory: str):
+    """Save the workload collection into a single-file store and return
+    ``(path, batch)`` where ``batch`` is the query_many input."""
+    workload = get_workload(scale)
+    path = os.path.join(directory, f"bench-concurrent-{scale}.apxq")
+    if not os.path.exists(path):
+        Database.from_tree(workload.tree).save(path)
+    generated = workload.queries(PATTERN, RENAMINGS, count=QUERIES_PER_SET)
+    batch = [(g.query, g.costs) for g in generated] * BATCH_REPEATS
+    return path, batch
+
+
+def run_batch(database: Database, batch, jobs: int):
+    return database.query_many(batch, n=N, jobs=jobs)
+
+
+def fingerprint(result_sets) -> list[list[tuple[int, float]]]:
+    """The comparison key of a batch: every query's (root, cost) list."""
+    return [[(r.root, r.cost) for r in rs] for rs in result_sets]
+
+
+def measure_jobs_sweep(path: str, batch) -> list[dict]:
+    """One point per thread count over a fresh database handle; each
+    parallel pass's results are verified against the serial results."""
+    points = []
+    serial_results = None
+    for jobs in JOBS_SWEEP:
+        database = Database.open(path)
+        times = []
+        results = None
+        for _ in range(PASSES):
+            start = time.perf_counter()
+            results = fingerprint(run_batch(database, batch, jobs))
+            times.append(time.perf_counter() - start)
+        if serial_results is None:
+            serial_results = results
+        best = min(times)
+        points.append(
+            {
+                "jobs": jobs,
+                "queries": len(batch),
+                "pass_seconds": times,
+                "best_seconds": best,
+                "queries_per_second": len(batch) / best if best else float("inf"),
+                "identical_to_serial": results == serial_results,
+            }
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stored_workload(bench_scale, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("bench-concurrent"))
+    return build_stored_workload(bench_scale, directory)
+
+
+@pytest.mark.parametrize("jobs", JOBS_SWEEP)
+def bench_query_many_jobs(benchmark, stored_workload, jobs):
+    path, batch = stored_workload
+    database = Database.open(path)
+    benchmark.pedantic(
+        run_batch,
+        args=(database, batch, jobs),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone baseline writer
+# ----------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as directory:
+        path, batch = build_stored_workload(args.scale, directory)
+        sweep = measure_jobs_sweep(path, batch)
+        serial = next(p for p in sweep if p["jobs"] == 1)
+        record = {
+            "workload": {
+                "scale": args.scale,
+                "pattern": PATTERN,
+                "renamings": RENAMINGS,
+                "batch_queries": len(batch),
+                "n": N,
+                "passes": PASSES,
+            },
+            "environment": {
+                "cpu_count": os.cpu_count(),
+                "python": sys.version.split()[0],
+            },
+            "jobs_sweep": sweep,
+            "speedup_vs_serial": {
+                str(p["jobs"]): serial["best_seconds"] / p["best_seconds"]
+                if p["best_seconds"]
+                else float("inf")
+                for p in sweep
+            },
+        }
+
+    rendered = json.dumps(record, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"baseline written to {args.out}")
+    else:
+        print(rendered, end="")
+
+    for point in sweep:
+        marker = "" if point["identical_to_serial"] else "  RESULTS DIVERGED"
+        print(
+            f"jobs={point['jobs']}: {point['queries_per_second']:.1f} queries/s"
+            f" (best of {PASSES}){marker}",
+            file=sys.stderr,
+        )
+    if not all(point["identical_to_serial"] for point in sweep):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

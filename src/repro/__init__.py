@@ -48,6 +48,7 @@ __all__ = [
     "GenerationError",
     "NodeType",
     "QueryPlan",
+    "QueryPool",
     "QueryReport",
     "QueryResult",
     "QuerySyntaxError",
@@ -60,6 +61,7 @@ __all__ = [
     "XMLSyntaxError",
     "__version__",
     "parse_query",
+    "resolve_jobs",
     "tree_from_xml",
 ]
 
@@ -71,6 +73,8 @@ _LAZY = {
     "ResultStream": "core",
     "QueryReport": "telemetry",
     "Telemetry": "telemetry",
+    "QueryPool": "concurrent",
+    "resolve_jobs": "concurrent",
 }
 
 

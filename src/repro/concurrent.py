@@ -1,0 +1,135 @@
+"""Thread-pool serving of independent query work.
+
+Two layers of the engine hand work to a :class:`QueryPool`:
+
+* the incremental best-*n* driver
+  (:meth:`repro.schema.evaluator.SchemaEvaluator.iter_results`) executes
+  one round's independent second-level queries on the pool and merges
+  their results back **in cost order**, so the parallel evaluation emits
+  exactly the serial evaluation's result sequence;
+* :meth:`repro.core.database.Database.query_many` evaluates a batch of
+  independent queries on the pool, one :class:`~repro.core.results.ResultSet`
+  per query, in input order.
+
+Telemetry attribution
+---------------------
+The ambient collector is thread-local (see
+:mod:`repro.telemetry.collector`), so a worker thread cannot report into
+the coordinator's collection by accident — nor on purpose.  The pool
+closes the gap: when the submitting thread is collecting, each task runs
+under its own fresh :class:`~repro.telemetry.collector.Telemetry`
+(inheriting the ``timed`` flag) and :meth:`QueryPool.map_ordered` merges
+the per-task collections back into the submitter's collector *in
+submission order*.  A parallel run therefore reports the same work
+counters as the serial run; only genuinely scheduling-dependent counters
+(``concurrency.queue_wait_seconds``, ``concurrency.*_lock_waits``)
+depend on the interleaving.
+
+The pool reports itself under the ``concurrency.`` section:
+``concurrency.pool_size`` (gauge), ``concurrency.tasks`` (submitted
+tasks), ``concurrency.batches`` (``map_ordered`` calls), and
+``concurrency.queue_wait_seconds`` (summed submit-to-start latency).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+from .errors import EvaluationError
+from .telemetry import collector as _telemetry
+from .telemetry.collector import Telemetry
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalize a ``jobs`` request to a concrete worker count.
+
+    ``None``, ``0``, and ``1`` mean serial execution (1); a negative
+    count means "one worker per CPU" (the CLI's ``--jobs -1``); anything
+    else is taken literally.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+class QueryPool:
+    """A fixed-size thread pool preserving order and telemetry attribution.
+
+    One pool serves one coordinator (an evaluator run, a ``query_many``
+    batch); it is not itself shared between threads.  Use as a context
+    manager or call :meth:`shutdown` — dropping the pool without a
+    shutdown leaks its worker threads until interpreter exit.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise EvaluationError(f"QueryPool needs at least one worker, got {jobs}")
+        self.jobs = jobs
+        self._executor = ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-query"
+        )
+
+    def map_ordered(self, func: "Callable[[_T], _R]", items: "Iterable[_T]") -> "list[_R]":
+        """Run ``func`` over ``items`` on the pool; results in submission
+        order.
+
+        Blocks until every task finished.  A task's exception propagates
+        to the caller (after all tasks were submitted, so no task is
+        silently dropped).  Per-task telemetry is merged back into the
+        calling thread's active collector in submission order — see the
+        module docstring.
+        """
+        tasks = list(items)
+        if not tasks:
+            return []
+        _telemetry.gauge("concurrency.pool_size", self.jobs)
+        _telemetry.count("concurrency.batches")
+        _telemetry.count("concurrency.tasks", len(tasks))
+        parent = _telemetry.current()
+        futures = [
+            self._executor.submit(_run_task, func, item, parent, time.perf_counter())
+            for item in tasks
+        ]
+        results: "list[_R]" = []
+        for future in futures:
+            result, task_telemetry = future.result()
+            if parent is not None and task_telemetry is not None:
+                parent.merge(task_telemetry)
+            results.append(result)
+        return results
+
+    def shutdown(self) -> None:
+        """Join the worker threads (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def _run_task(
+    func: "Callable[[_T], _R]",
+    item: _T,
+    parent: "Telemetry | None",
+    submitted: float,
+) -> "tuple[_R, Telemetry | None]":
+    """Run one task on a worker thread under its own collector."""
+    if parent is None:
+        return func(item), None
+    task_telemetry = Telemetry(timed=parent.timed)
+    task_telemetry.count("concurrency.queue_wait_seconds", time.perf_counter() - submitted)
+    with _telemetry.collecting(task_telemetry):
+        result = func(item)
+    return result, task_telemetry

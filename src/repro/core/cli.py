@@ -125,7 +125,8 @@ def _command_query(args: argparse.Namespace) -> int:
         return 0
     collect = "timings" if args.stats else "off"
     results = database.query(
-        args.query, n=n, costs=costs, method=args.method, collect=collect
+        args.query, n=n, costs=costs, method=args.method, collect=collect,
+        jobs=args.jobs,
     )
     elapsed = time.perf_counter() - start
     for result in results:
@@ -208,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect telemetry and print a per-stage breakdown "
         "(pages read, postings decoded, second-level queries, timings)",
+    )
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the schema-driven driver's second-level queries on N "
+        "threads (-1: one per CPU; results identical to serial)",
     )
     _add_cache_options(query)
     query.set_defaults(func=_command_query)

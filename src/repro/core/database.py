@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..approxql.ast import NameSelector, count_or_operators, count_selectors
 from ..approxql.costs import CostModel
 from ..approxql.parser import parse_query
+from ..concurrent import QueryPool, resolve_jobs
 from ..engine.evaluator import DirectEvaluator
 from ..errors import EvaluationError
 from ..schema.dataguide import Schema, build_schema
@@ -327,6 +328,7 @@ class Database:
         max_cost: "float | None" = None,
         stats: "EvaluationStats | None" = None,
         collect: str = "off",
+        jobs: "int | None" = None,
     ) -> ResultSet:
         """Evaluate an approXQL query and return the best ``n`` results.
 
@@ -342,6 +344,11 @@ class Database:
         times.  The returned :class:`~repro.core.results.ResultSet`
         compares equal to a plain list of results and carries the report
         as ``.report``.
+
+        ``jobs > 1`` runs the schema-driven driver's second-level queries
+        on that many threads (results identical to serial; see
+        :mod:`repro.concurrent`).  The direct algorithm ignores ``jobs``
+        — its one primary evaluation has no independent work units.
 
         ``stats`` is a deprecation shim for the pre-telemetry
         :class:`~repro.schema.evaluator.EvaluationStats` hook; prefer
@@ -361,10 +368,12 @@ class Database:
         telemetry = Telemetry(timed=collect == MODE_TIMINGS) if collect != MODE_OFF else None
         start = time.perf_counter()
         if telemetry is None:
-            results = self._evaluate(chosen, query, resolved_costs, n, max_cost, stats)
+            results = self._evaluate(chosen, query, resolved_costs, n, max_cost, stats, jobs)
         else:
             with _telemetry.collecting(telemetry):
-                results = self._evaluate(chosen, query, resolved_costs, n, max_cost, stats)
+                results = self._evaluate(
+                    chosen, query, resolved_costs, n, max_cost, stats, jobs
+                )
         wall_seconds = time.perf_counter() - start
         report = QueryReport.from_telemetry(
             telemetry,
@@ -376,6 +385,78 @@ class Database:
             results=len(results),
         )
         return ResultSet(results, report)
+
+    def query_many(
+        self,
+        queries: Iterable,
+        n: "int | None" = 10,
+        costs: "CostModel | None" = None,
+        max_cost: "float | None" = None,
+        method: str = "auto",
+        collect: str = "off",
+        jobs: "int | None" = None,
+    ) -> list[ResultSet]:
+        """Evaluate a batch of independent queries; one
+        :class:`~repro.core.results.ResultSet` per query, in input order.
+
+        Each item of ``queries`` is query text (or a parsed selector),
+        or a ``(text, cost_model)`` pair overriding ``costs`` for that
+        query.  ``jobs > 1`` serves the batch from a
+        :class:`~repro.concurrent.QueryPool` with that many threads
+        (``-1``: one per CPU); every query still collects its own
+        telemetry, so the reports are exactly what a serial run would
+        attach.  Results are identical to calling :meth:`query` in a
+        loop.
+
+        One batch, one insert-cost table: encoding a different insert
+        table rewrites shared per-node cost arrays on the tree and the
+        schema, so a batch mixing insert fingerprints falls back to
+        serial evaluation (correct, just not parallel — see
+        ``docs/CONCURRENCY.md``).
+        """
+        resolved: list[tuple[NameSelector, CostModel]] = []
+        for item in queries:
+            if isinstance(item, tuple):
+                text, item_costs = item
+                resolved.append(self._resolve(text, item_costs if item_costs is not None else costs))
+            else:
+                resolved.append(self._resolve(item, costs))
+        jobs = resolve_jobs(jobs)
+        if jobs > 1 and len({repr(c.insert_fingerprint) for _, c in resolved}) > 1:
+            jobs = 1
+        if jobs == 1 or len(resolved) < 2:
+            return [
+                self.query(
+                    query, n=n, costs=query_costs, method=method,
+                    max_cost=max_cost, collect=collect,
+                )
+                for query, query_costs in resolved
+            ]
+        # Encode the batch's one insert-cost table and build the lazy
+        # evaluators up front, on this thread: the workers' encode calls
+        # then see a matching fingerprint and never write the shared
+        # arrays, and no two workers race to build the same evaluator.
+        shared = resolved[0][1]
+        self._tree.encode_costs(shared.insert_cost, fingerprint=shared.insert_fingerprint)
+        chosen, _ = self._choose_method(method, n)
+        if chosen == "direct":
+            self._direct_evaluator()
+        else:
+            schema_evaluator = self._schema_eval()
+            if schema_evaluator.schema is not None:
+                schema_evaluator.schema.encode_costs(
+                    shared.insert_cost, fingerprint=shared.insert_fingerprint
+                )
+
+        def _serve(item: "tuple[NameSelector, CostModel]") -> ResultSet:
+            query, query_costs = item
+            return self.query(
+                query, n=n, costs=query_costs, method=method,
+                max_cost=max_cost, collect=collect,
+            )
+
+        with QueryPool(jobs) as pool:
+            return pool.map_ordered(_serve, resolved)
 
     def stream(
         self,
@@ -533,12 +614,13 @@ class Database:
         n: "int | None",
         max_cost: "float | None",
         stats: "EvaluationStats | None",
+        jobs: "int | None" = None,
     ) -> list[QueryResult]:
         if chosen == "direct":
             raw = self._direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
         else:
             raw = self._schema_eval().evaluate(
-                query, costs, n=n, max_cost=max_cost, stats=stats
+                query, costs, n=n, max_cost=max_cost, stats=stats, jobs=jobs
             )
         with _telemetry.timer("core.materialize"):
             results = [QueryResult(result.root, result.cost, self._tree) for result in raw]

@@ -21,6 +21,7 @@ from ..approxql.ast import NameSelector
 from ..approxql.costs import CostModel
 from ..approxql.expanded import build_expanded
 from ..approxql.parser import parse_query
+from ..concurrent import QueryPool, resolve_jobs
 from ..errors import EvaluationError
 from ..telemetry import collector as _telemetry
 from ..xmltree.model import DataTree
@@ -123,12 +124,15 @@ class SchemaEvaluator:
         growth: str = "geometric",
         max_cost: "float | None" = None,
         stats: "EvaluationStats | None" = None,
+        jobs: "int | None" = None,
     ) -> list[SchemaResult]:
         """Best-``n`` root-cost pairs via the incremental algorithm.
 
         ``n = None`` retrieves *all* approximate results.  ``initial_k``
         defaults to ``n`` (or 16); ``delta`` defaults to ``initial_k``.
         Pass an :class:`EvaluationStats` to observe the driver.
+        ``jobs > 1`` executes each round's second-level queries on a
+        thread pool (see :meth:`iter_results`).
         """
         results = list(
             self.iter_results(
@@ -141,6 +145,7 @@ class SchemaEvaluator:
                 growth=growth,
                 max_cost=max_cost,
                 stats=stats,
+                jobs=jobs,
             )
         )
         if n is not None:
@@ -158,6 +163,7 @@ class SchemaEvaluator:
         growth: str = "geometric",
         max_cost: "float | None" = None,
         stats: "EvaluationStats | None" = None,
+        jobs: "int | None" = None,
     ):
         """Generator form of :meth:`evaluate` — the paper's "results can
         be sent immediately to the user" advantage: second-level queries
@@ -168,6 +174,14 @@ class SchemaEvaluator:
         doubles the step after every unproductive round, which bounds the
         number of (re-)runs of the top-k primary by O(log k_final) and
         matters when n is far beyond the initial guess (or infinite).
+
+        ``jobs > 1`` executes each round's independent second-level
+        queries on a :class:`~repro.concurrent.QueryPool` and merges
+        their result streams back in cost order, so the emitted sequence
+        is **identical** to the serial one.  Work counters may differ:
+        the parallel driver dispatches a round's whole batch up front, so
+        skeletons the serial driver would have skipped (root class
+        saturated mid-round, n reached early) can count as executed.
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -193,6 +207,15 @@ class SchemaEvaluator:
         found: dict[int, float] = {}
         emitted = 0
 
+        # Parallel second-level execution: one pool plus one
+        # SecondaryExecutor per worker for the whole evaluation, so each
+        # worker's fetch memo persists across rounds like the serial
+        # executor's does.  Created lazily — a query that never sees a
+        # round with two fresh skeletons never starts a thread.
+        jobs = resolve_jobs(jobs)
+        pool: "QueryPool | None" = None
+        workers: "list[SecondaryExecutor]" = []
+
         # Root-class saturation (an exact early-termination rule): every
         # result is an instance of a candidate root class (the root label
         # or one of its renamings).  Results stream in increasing cost
@@ -209,78 +232,170 @@ class SchemaEvaluator:
         )
         found_per_class: dict[int, int] = {}
 
-        while True:
-            evaluator = PrimaryKEvaluator(self._indexes, k)
-            with _telemetry.timer("schema.topk"):
-                root_entries = evaluator.evaluate(expanded)
-                queries = sort_roots(k, root_entries)
-            if stats is not None:
-                stats.rounds += 1
-                stats.final_k = k
-                stats.second_level_generated = len(queries)
-            _telemetry.count("schema.rounds")
-            _telemetry.gauge("schema.final_k", k)
-            _telemetry.gauge("schema.skeletons_enumerated", len(queries))
-            fresh = [entry for entry in queries if entry.signature not in executed]
-            for entry in fresh:
-                if max_cost is not None and entry.embcost > max_cost:
-                    # queries come in cost order: everything from here on
-                    # exceeds the bound, in this round and in all larger-k
-                    # rounds that merely extend the prefix
-                    if stats is not None:
-                        stats.exhausted = True
-                    return
-                executed.add(entry.signature)
-                if (
-                    instances_per_class is not None
-                    and found_per_class.get(entry.pre, 0)
-                    >= instances_per_class.get(entry.pre, 0)
-                ):
-                    # this root class is saturated: the skeleton can only
-                    # re-deliver known roots at equal or higher cost
-                    _telemetry.count("schema.saturation_skips")
-                    continue
+        try:
+            while True:
+                evaluator = PrimaryKEvaluator(self._indexes, k)
+                with _telemetry.timer("schema.topk"):
+                    root_entries = evaluator.evaluate(expanded)
+                    queries = sort_roots(k, root_entries)
                 if stats is not None:
-                    stats.second_level_executed += 1
-                    stats.executed_skeletons.append(entry.format_skeleton())
-                _telemetry.count("schema.second_level_executed")
-                with _telemetry.timer("schema.secondary"):
-                    instances = executor.execute(entry)
-                if stats is not None:
-                    stats.secondary_fetches = executor.fetch_count
-                    stats.secondary_semijoins = executor.semijoin_count
-                if instances:
-                    if stats is not None:
-                        stats.second_level_nonempty += 1
-                    _telemetry.count("schema.second_level_nonempty")
-                for pre, _ in instances:
-                    if pre not in found:
-                        found[pre] = entry.embcost
-                        found_per_class[entry.pre] = found_per_class.get(entry.pre, 0) + 1
-                        emitted += 1
+                    stats.rounds += 1
+                    stats.final_k = k
+                    stats.second_level_generated = len(queries)
+                _telemetry.count("schema.rounds")
+                _telemetry.gauge("schema.final_k", k)
+                _telemetry.gauge("schema.skeletons_enumerated", len(queries))
+                fresh = [entry for entry in queries if entry.signature not in executed]
+                if jobs > 1 and len(fresh) > 1:
+                    # -- parallel round ----------------------------------
+                    # The queries in `fresh` are independent; only the
+                    # driver state (executed/found/emitted) is shared, and
+                    # it stays on this thread.  Dispatch the batch, then
+                    # fold results back in the original cost order so the
+                    # emitted sequence matches the serial path exactly.
+                    cutoff = len(fresh)
+                    if max_cost is not None:
+                        for index, entry in enumerate(fresh):
+                            if entry.embcost > max_cost:
+                                # cost order: everything from here on
+                                # exceeds the bound, now and in larger-k
+                                # rounds that merely extend the prefix
+                                cutoff = index
+                                break
+                    batch = []
+                    for entry in fresh[:cutoff]:
+                        executed.add(entry.signature)
+                        if (
+                            instances_per_class is not None
+                            and found_per_class.get(entry.pre, 0)
+                            >= instances_per_class.get(entry.pre, 0)
+                        ):
+                            # saturated at round start (the parallel form
+                            # of the serial mid-round check: conservative,
+                            # never changes results — see the docstring)
+                            _telemetry.count("schema.saturation_skips")
+                            continue
+                        batch.append(entry)
+                    if pool is None:
+                        pool = QueryPool(jobs)
+                        workers = [SecondaryExecutor(self._isec) for _ in range(jobs)]
+                    chunks = [
+                        (workers[i], batch[i :: len(workers)])
+                        for i in range(len(workers))
+                    ]
+                    with _telemetry.timer("schema.secondary"):
+                        chunk_results = pool.map_ordered(_execute_chunk, chunks)
+                    stride = len(workers)
+                    instances_by_index: "dict[int, list]" = {}
+                    for i, chunk in enumerate(chunk_results):
+                        for j, instances in enumerate(chunk):
+                            instances_by_index[i + j * stride] = instances
+                    for index, entry in enumerate(batch):
+                        instances = instances_by_index[index]
                         if stats is not None:
-                            stats.results_found = emitted
-                        _telemetry.gauge("schema.results_found", emitted)
-                        yield SchemaResult(pre, entry.embcost, entry)
-                        if n is not None and emitted >= n:
-                            return
-                        if total_possible is not None and emitted >= total_possible:
+                            stats.second_level_executed += 1
+                            stats.executed_skeletons.append(entry.format_skeleton())
+                        _telemetry.count("schema.second_level_executed")
+                        if stats is not None:
+                            stats.secondary_fetches = executor.fetch_count + sum(
+                                worker.fetch_count for worker in workers
+                            )
+                            stats.secondary_semijoins = executor.semijoin_count + sum(
+                                worker.semijoin_count for worker in workers
+                            )
+                        if instances:
+                            if stats is not None:
+                                stats.second_level_nonempty += 1
+                            _telemetry.count("schema.second_level_nonempty")
+                        for pre, _ in instances:
+                            if pre not in found:
+                                found[pre] = entry.embcost
+                                found_per_class[entry.pre] = (
+                                    found_per_class.get(entry.pre, 0) + 1
+                                )
+                                emitted += 1
+                                if stats is not None:
+                                    stats.results_found = emitted
+                                _telemetry.gauge("schema.results_found", emitted)
+                                yield SchemaResult(pre, entry.embcost, entry)
+                                if n is not None and emitted >= n:
+                                    return
+                                if total_possible is not None and emitted >= total_possible:
+                                    if stats is not None:
+                                        stats.exhausted = True
+                                    return
+                    if cutoff < len(fresh):
+                        if stats is not None:
+                            stats.exhausted = True
+                        return
+                else:
+                    for entry in fresh:
+                        if max_cost is not None and entry.embcost > max_cost:
+                            # queries come in cost order: everything from
+                            # here on exceeds the bound, in this round and
+                            # in all larger-k rounds that merely extend
+                            # the prefix
                             if stats is not None:
                                 stats.exhausted = True
                             return
-            exhausted = len(queries) < k and not evaluator.monitor.truncated
-            if exhausted:
-                if stats is not None:
-                    stats.exhausted = True
-                return
-            if k >= max_k:
-                return
-            k = min(max_k, k + delta)
-            if growth == "geometric":
-                delta *= 2
-            # the k-doubling restart the paper's prefix-erasure amortizes:
-            # the top-k primary reruns from scratch with the larger k
-            _telemetry.count("schema.kdoubling_restarts")
+                        executed.add(entry.signature)
+                        if (
+                            instances_per_class is not None
+                            and found_per_class.get(entry.pre, 0)
+                            >= instances_per_class.get(entry.pre, 0)
+                        ):
+                            # this root class is saturated: the skeleton
+                            # can only re-deliver known roots at equal or
+                            # higher cost
+                            _telemetry.count("schema.saturation_skips")
+                            continue
+                        if stats is not None:
+                            stats.second_level_executed += 1
+                            stats.executed_skeletons.append(entry.format_skeleton())
+                        _telemetry.count("schema.second_level_executed")
+                        with _telemetry.timer("schema.secondary"):
+                            instances = executor.execute(entry)
+                        if stats is not None:
+                            stats.secondary_fetches = executor.fetch_count
+                            stats.secondary_semijoins = executor.semijoin_count
+                        if instances:
+                            if stats is not None:
+                                stats.second_level_nonempty += 1
+                            _telemetry.count("schema.second_level_nonempty")
+                        for pre, _ in instances:
+                            if pre not in found:
+                                found[pre] = entry.embcost
+                                found_per_class[entry.pre] = (
+                                    found_per_class.get(entry.pre, 0) + 1
+                                )
+                                emitted += 1
+                                if stats is not None:
+                                    stats.results_found = emitted
+                                _telemetry.gauge("schema.results_found", emitted)
+                                yield SchemaResult(pre, entry.embcost, entry)
+                                if n is not None and emitted >= n:
+                                    return
+                                if total_possible is not None and emitted >= total_possible:
+                                    if stats is not None:
+                                        stats.exhausted = True
+                                    return
+                exhausted = len(queries) < k and not evaluator.monitor.truncated
+                if exhausted:
+                    if stats is not None:
+                        stats.exhausted = True
+                    return
+                if k >= max_k:
+                    return
+                k = min(max_k, k + delta)
+                if growth == "geometric":
+                    delta *= 2
+                # the k-doubling restart the paper's prefix-erasure
+                # amortizes: the top-k primary reruns from scratch with
+                # the larger k
+                _telemetry.count("schema.kdoubling_restarts")
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
     def _root_instance_counts(self, root) -> "dict[int, int] | None":
         """Instance counts of every candidate root class (the data nodes
@@ -303,3 +418,11 @@ class SchemaEvaluator:
     ) -> int:
         """Total number of approximate results (full retrieval)."""
         return len(self.evaluate(query, costs))
+
+
+def _execute_chunk(item: "tuple[SecondaryExecutor, list]") -> list:
+    """Worker body of a parallel round: one worker's share of the batch,
+    executed sequentially on that worker's dedicated executor (so its
+    fetch memo is never touched by two threads)."""
+    worker, entries = item
+    return [worker.execute(entry) for entry in entries]

@@ -144,8 +144,12 @@ class StoredSecondaryIndex(SecondaryIndex):
         telemetry = _telemetry_current()
         key = _sec_key(schema_pre, label)
         cache = self._cache
+        # Generation snapshot *before* the store read — a racing writer
+        # then invalidates the entry we insert instead of being masked by
+        # it (same ordering contract as StoredNodeIndexes.fetch).
+        generation = self._store.generation
         if cache is not None:
-            posting = cache.get(SEC_NAMESPACE, key, self._store.generation)
+            posting = cache.get(SEC_NAMESPACE, key, generation)
             if posting is not None:
                 if telemetry is not None:
                     telemetry.count("index.sec_fetches")
@@ -160,7 +164,7 @@ class StoredSecondaryIndex(SecondaryIndex):
             return []
         posting = decode_instance_postings(data)
         if cache is not None:
-            cache.put(SEC_NAMESPACE, key, self._store.generation, posting)
+            cache.put(SEC_NAMESPACE, key, generation, posting)
         if telemetry is not None:
             telemetry.count("index.sec_fetches")
             telemetry.count("index.sec_postings", len(posting))

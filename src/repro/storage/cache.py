@@ -27,6 +27,16 @@ bounded lifetime.  One memo lives for exactly one evaluator run (one
 which the underlying indexes are not mutated; cross-run reuse happens
 one level below, in ``PostingCache``.
 
+Thread-safety contract
+----------------------
+``PostingCache`` is shared by every query a ``Database`` serves, so its
+lookup and insert paths are guarded by one coarse lock (the critical
+sections are dict operations — micro­seconds — so striping buys nothing
+a measurement could see; the ``concurrency.posting_lock_waits`` counter
+reports how often a thread actually blocked).  ``FetchMemo`` is
+intentionally unlocked: its lifetime is one evaluator run on one thread
+(see above), so it is never visible to two threads at once.
+
 Cached posting lists are shared objects: callers must treat them as
 immutable (every consumer in the engine already does — the list ops
 build new lists).
@@ -34,6 +44,7 @@ build new lists).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, TypeVar
 
@@ -50,6 +61,33 @@ _BASE_COST = 120
 _ENTRY_COST = 96
 
 _T = TypeVar("_T")
+
+
+class CountedLock:
+    """A lock that counts blocking acquisitions into ambient telemetry.
+
+    The engine's lock-contention observability: entering the context is
+    one non-blocking acquire on the fast (uncontended) path; only when
+    the calling thread actually has to wait does the named counter tick
+    — so a single-threaded run pays one C-level call and records
+    nothing.  ``reentrant=True`` backs the lock with an :class:`RLock`
+    for owners whose guarded methods call each other (the pager).
+    """
+
+    __slots__ = ("_lock", "_counter")
+
+    def __init__(self, counter: str, reentrant: bool = False) -> None:
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+        self._counter = counter
+
+    def __enter__(self) -> "CountedLock":
+        if not self._lock.acquire(blocking=False):
+            _telemetry_count(self._counter)
+            self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._lock.release()
 
 
 class PostingCache:
@@ -69,6 +107,10 @@ class PostingCache:
             OrderedDict()
         )
         self._used_bytes = 0
+        # One coarse lock over the LRU structure: get/put are dict-sized
+        # critical sections, so a single lock measured indistinguishable
+        # from striping (see the module docstring's thread-safety notes).
+        self._lock = CountedLock("concurrency.posting_lock_waits")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,21 +124,22 @@ class PostingCache:
         """The cached posting under ``(namespace, key)``, or ``None`` on
         a miss or when the entry predates ``generation``."""
         cache_key = (namespace, key)
-        entry = self._entries.get(cache_key)
-        if entry is None:
-            _telemetry_count("cache.posting_misses")
-            return None
-        entry_generation, cost, posting = entry
-        if entry_generation != generation:
-            # a write moved the store's generation: the entry is stale
-            del self._entries[cache_key]
-            self._used_bytes -= cost
-            _telemetry_count("cache.posting_invalidations")
-            _telemetry_count("cache.posting_misses")
-            return None
-        self._entries.move_to_end(cache_key)
-        _telemetry_count("cache.posting_hits")
-        return posting
+        with self._lock:
+            entry = self._entries.get(cache_key)
+            if entry is None:
+                _telemetry_count("cache.posting_misses")
+                return None
+            entry_generation, cost, posting = entry
+            if entry_generation != generation:
+                # a write moved the store's generation: the entry is stale
+                del self._entries[cache_key]
+                self._used_bytes -= cost
+                _telemetry_count("cache.posting_invalidations")
+                _telemetry_count("cache.posting_misses")
+                return None
+            self._entries.move_to_end(cache_key)
+            _telemetry_count("cache.posting_hits")
+            return posting
 
     def put(self, namespace: bytes, key: bytes, generation: int, posting: list) -> None:
         """Remember ``posting`` under ``(namespace, key)`` at ``generation``."""
@@ -106,21 +149,23 @@ class PostingCache:
         if cost > self.max_bytes:
             return  # a single oversized list would evict everything else
         cache_key = (namespace, key)
-        previous = self._entries.pop(cache_key, None)
-        if previous is not None:
-            self._used_bytes -= previous[1]
-        self._entries[cache_key] = (generation, cost, posting)
-        self._used_bytes += cost
-        entries = self._entries
-        while self._used_bytes > self.max_bytes:
-            _, (_, evicted_cost, _) = entries.popitem(last=False)
-            self._used_bytes -= evicted_cost
-            _telemetry_count("cache.posting_evictions")
+        with self._lock:
+            previous = self._entries.pop(cache_key, None)
+            if previous is not None:
+                self._used_bytes -= previous[1]
+            self._entries[cache_key] = (generation, cost, posting)
+            self._used_bytes += cost
+            entries = self._entries
+            while self._used_bytes > self.max_bytes:
+                _, (_, evicted_cost, _) = entries.popitem(last=False)
+                self._used_bytes -= evicted_cost
+                _telemetry_count("cache.posting_evictions")
 
     def clear(self) -> None:
         """Drop every entry (eager form of generation invalidation)."""
-        self._entries.clear()
-        self._used_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._used_bytes = 0
 
 
 class FetchMemo:

@@ -21,6 +21,7 @@ from collections.abc import Iterator
 
 from ..errors import KeyNotFoundError, StorageError
 from .btree import BTree
+from .cache import CountedLock
 from .pager import DEFAULT_CACHE_PAGES, DEFAULT_PAGE_SIZE, Pager
 
 
@@ -33,6 +34,15 @@ class Store:
     generation they observed and treat a changed generation as a blanket
     invalidation, so a write anywhere in the store can never serve stale
     decoded data.
+
+    Concrete stores are **thread-safe**: every operation (including the
+    mutation *together with* its generation bump) runs under one
+    store-wide lock, so a reader can never observe a half-applied write
+    or a generation that disagrees with the bytes it just read.  Readers
+    that cache decoded values must snapshot ``generation`` *before* the
+    ``get`` and tag the cache entry with that snapshot — a write racing
+    the read then at worst wastes one cache entry, never serves a stale
+    one.
     """
 
     #: mutation counter; subclasses bump it on every write
@@ -89,11 +99,19 @@ class Store:
 
 
 class MemoryStore(Store):
-    """In-memory ordered store (sorted key list + dict)."""
+    """In-memory ordered store (sorted key list + dict).
+
+    Single dict reads are already atomic under the interpreter, so
+    ``get`` / ``contains`` stay lock-free; the lock covers the compound
+    operations — a ``put``/``delete`` touches the dict, the sorted key
+    list, *and* the generation, and ``scan`` snapshots a consistent
+    (keys, values) view.
+    """
 
     def __init__(self) -> None:
         self._data: dict[bytes, bytes] = {}
         self._sorted_keys: list[bytes] = []
+        self._lock = CountedLock("concurrency.store_lock_waits")
         self.generation = 0
 
     def get(self, key: bytes) -> bytes:
@@ -105,29 +123,34 @@ class MemoryStore(Store):
     def put(self, key: bytes, value: bytes) -> None:
         if not isinstance(key, bytes) or not isinstance(value, bytes):
             raise StorageError("store keys and values must be bytes")
-        if key not in self._data:
-            bisect.insort(self._sorted_keys, key)
-        self._data[key] = value
-        self.generation += 1
+        with self._lock:
+            if key not in self._data:
+                bisect.insort(self._sorted_keys, key)
+            self._data[key] = value
+            self.generation += 1
 
     def delete(self, key: bytes) -> None:
-        if key not in self._data:
-            raise KeyNotFoundError(key)
-        del self._data[key]
-        index = bisect.bisect_left(self._sorted_keys, key)
-        del self._sorted_keys[index]
-        self.generation += 1
+        with self._lock:
+            if key not in self._data:
+                raise KeyNotFoundError(key)
+            del self._data[key]
+            index = bisect.bisect_left(self._sorted_keys, key)
+            del self._sorted_keys[index]
+            self.generation += 1
 
     def contains(self, key: bytes) -> bool:
         return key in self._data
 
     def scan(self, start: bytes = b"", end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
-        index = bisect.bisect_left(self._sorted_keys, start)
-        # Snapshot the tail so mutation during iteration cannot skip keys.
-        for key in self._sorted_keys[index:]:
+        with self._lock:
+            index = bisect.bisect_left(self._sorted_keys, start)
+            # Snapshot a consistent view so mutation during iteration can
+            # neither skip keys nor pair a key with a missing value.
+            pairs = [(key, self._data[key]) for key in self._sorted_keys[index:]]
+        for key, value in pairs:
             if end is not None and key >= end:
                 return
-            yield key, self._data[key]
+            yield key, value
 
     def __len__(self) -> int:
         return len(self._data)
@@ -174,6 +197,11 @@ class FileStore(Store):
             self._tree = BTree(self._pager)
         else:
             self._tree = BTree(self._pager, meta_page=1)
+        # One coarse lock over the B+tree: a tree operation touches many
+        # pages (splits, sibling links), so per-page locking in the pager
+        # cannot make a *tree* operation atomic.  Reentrant because
+        # commit/checkpoint/close nest through each other.
+        self._lock = CountedLock("concurrency.store_lock_waits", reentrant=True)
 
     @property
     def durability(self) -> str:
@@ -183,38 +211,51 @@ class FileStore(Store):
     def commit(self) -> None:
         """Make every write since the last commit atomically durable
         (the WAL commit point; plain :meth:`sync` in ``"none"`` mode)."""
-        self._pager.commit()
+        with self._lock:
+            self._pager.commit()
 
     def checkpoint(self) -> None:
         """Commit, then fold the write-ahead log into the main file."""
-        self._pager.checkpoint()
+        with self._lock:
+            self._pager.checkpoint()
 
     def get(self, key: bytes) -> bytes:
-        return self._tree.get(key)
+        with self._lock:
+            return self._tree.get(key)
 
     def put(self, key: bytes, value: bytes) -> None:
-        self._tree.put(key, value)
-        self.generation += 1
+        with self._lock:
+            self._tree.put(key, value)
+            self.generation += 1
 
     def delete(self, key: bytes) -> None:
-        self._tree.delete(key)
-        self.generation += 1
+        with self._lock:
+            self._tree.delete(key)
+            self.generation += 1
 
     def contains(self, key: bytes) -> bool:
-        return self._tree.contains(key)
+        with self._lock:
+            return self._tree.contains(key)
 
     def scan(self, start: bytes = b"", end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
-        return self._tree.scan(start=start, end=end)
+        # Materialize under the lock: a B+tree cursor walks sibling links
+        # that a concurrent split rewires, so lazily yielding pairs while
+        # writers run would read pages mid-reorganization.
+        with self._lock:
+            return iter(list(self._tree.scan(start=start, end=end)))
 
     def bulk_load(self, pairs: list[tuple[bytes, bytes]]) -> None:
-        self._tree.bulk_load(pairs)
-        self.generation += 1
+        with self._lock:
+            self._tree.bulk_load(pairs)
+            self.generation += 1
 
     def sync(self) -> None:
-        self._pager.sync()
+        with self._lock:
+            self._pager.sync()
 
     def close(self) -> None:
-        self._pager.close()
+        with self._lock:
+            self._pager.close()
 
 
 class Namespace(Store):

@@ -26,6 +26,12 @@ recovery runs automatically on open, in every mode.  With
 ``durability="none"`` the write path is byte-identical to the engine
 before the WAL existed.
 
+The pager is **thread-safe**: one coarse reentrant lock guards the file
+handle (a seek+read pair must not interleave), the LRU cache, and the
+free-list/header bookkeeping.  Blocking acquisitions are counted as
+``concurrency.pager_lock_waits``, so lock contention is observable per
+query rather than guessed at.
+
 Page reads and writes report into the ambient telemetry collector
 (``storage.pages_read`` / ``storage.pages_written`` count page I/O;
 ``cache.page_*`` account for the cache; the ``wal.*`` family — frames
@@ -43,6 +49,7 @@ from collections import OrderedDict
 
 from ..errors import CorruptPageError, StorageError
 from ..telemetry.collector import count as _telemetry_count
+from .cache import CountedLock
 from .wal import (
     DEFAULT_CHECKPOINT_BYTES,
     WAL_SUFFIX,
@@ -124,6 +131,13 @@ class Pager:
         self._opener = opener or default_opener
         self._closed = False
         self._io_failed = False
+        # One coarse reentrant lock over the whole pager: the file handle
+        # (seek+read is a two-step critical section), the LRU cache, and
+        # the free-list/header bookkeeping all share it.  Reads are
+        # memory- or page-sized, so a reader/writer split measured within
+        # noise of the single lock; contention is observable through the
+        # concurrency.pager_lock_waits counter.
+        self._lock = CountedLock("concurrency.pager_lock_waits", reentrant=True)
         self._cache: "OrderedDict[int, bytes]" = OrderedDict()
         self._cache_capacity = cache_pages
         self._wal: "WriteAheadLog | None" = None
@@ -224,16 +238,17 @@ class Pager:
         before reading it.  This keeps bulk-load-style allocation storms
         at one page write per page instead of three.
         """
-        self._check_open()
-        if self._free_list_head != _NO_PAGE:
-            page_no = self._free_list_head
-            payload = self.read(page_no)
-            (next_free,) = struct.unpack_from(_FREE_LINK_FMT, payload, 0)
-            self._free_list_head = next_free
+        with self._lock:
+            self._check_open()
+            if self._free_list_head != _NO_PAGE:
+                page_no = self._free_list_head
+                payload = self.read(page_no)
+                (next_free,) = struct.unpack_from(_FREE_LINK_FMT, payload, 0)
+                self._free_list_head = next_free
+                return page_no
+            page_no = self.page_count
+            self.page_count += 1
             return page_no
-        page_no = self.page_count
-        self.page_count += 1
-        return page_no
 
     def free(self, page_no: int) -> None:
         """Return ``page_no`` to the free list for reuse.
@@ -241,11 +256,12 @@ class Pager:
         Like :meth:`allocate`, the header update is deferred to
         :meth:`sync` / :meth:`close`; only the free-list link is written.
         """
-        self._check_open()
-        self._validate_page_no(page_no)
-        link = struct.pack(_FREE_LINK_FMT, self._free_list_head)
-        self.write(page_no, link)
-        self._free_list_head = page_no
+        with self._lock:
+            self._check_open()
+            self._validate_page_no(page_no)
+            link = struct.pack(_FREE_LINK_FMT, self._free_list_head)
+            self.write(page_no, link)
+            self._free_list_head = page_no
 
     # ------------------------------------------------------------------
     # page IO
@@ -265,28 +281,29 @@ class Pager:
         """Return the payload of ``page_no`` — from the page cache when
         resident, then from the write-ahead log (WAL mode), otherwise
         read from the file and CRC-verified."""
-        self._check_open()
-        self._validate_page_no(page_no)
-        cache = self._cache
-        cached = cache.get(page_no)
-        if cached is not None:
-            cache.move_to_end(page_no)
-            _telemetry_count("cache.page_hits")
-            return cached
-        if self._cache_capacity:
-            _telemetry_count("cache.page_misses")
-        if self._wal is not None:
-            image = self._wal.read_page(page_no)
-            if image is not None:
-                payload = self._decode_page(page_no, image)
-                self._cache_store(page_no, payload)
-                return payload
-        _telemetry_count("storage.pages_read")
-        self._file.seek(page_no * self.page_size)
-        raw = self._file.read(self.page_size)
-        payload = self._decode_page(page_no, raw)
-        self._cache_store(page_no, payload)
-        return payload
+        with self._lock:
+            self._check_open()
+            self._validate_page_no(page_no)
+            cache = self._cache
+            cached = cache.get(page_no)
+            if cached is not None:
+                cache.move_to_end(page_no)
+                _telemetry_count("cache.page_hits")
+                return cached
+            if self._cache_capacity:
+                _telemetry_count("cache.page_misses")
+            if self._wal is not None:
+                image = self._wal.read_page(page_no)
+                if image is not None:
+                    payload = self._decode_page(page_no, image)
+                    self._cache_store(page_no, payload)
+                    return payload
+            _telemetry_count("storage.pages_read")
+            self._file.seek(page_no * self.page_size)
+            raw = self._file.read(self.page_size)
+            payload = self._decode_page(page_no, raw)
+            self._cache_store(page_no, payload)
+            return payload
 
     def write(self, page_no: int, payload: bytes) -> None:
         """Write ``payload`` (padded with zeros) to ``page_no``.
@@ -296,23 +313,27 @@ class Pager:
         through to the file.  Either way a cached copy of the page is
         refreshed so subsequent reads stay coherent.
         """
-        self._check_open()
-        if page_no <= 0 or page_no > self.page_count:
-            raise StorageError(f"page {page_no} out of range (count {self.page_count})")
-        if len(payload) > self.payload_size:
-            raise StorageError(
-                f"payload of {len(payload)} bytes exceeds page capacity {self.payload_size}"
-            )
-        _telemetry_count("storage.pages_written")
-        padded = payload.ljust(self.payload_size, b"\x00")
-        crc = zlib.crc32(padded)
-        image = struct.pack(_PAGE_PREFIX_FMT, crc) + padded
-        if self._wal is not None:
-            self._wal.append(page_no, image)
-        else:
-            self._file.seek(page_no * self.page_size)
-            self._file.write(image)
-        self._cache_store(page_no, padded)
+        with self._lock:
+            self._check_open()
+            if page_no <= 0 or page_no > self.page_count:
+                raise StorageError(
+                    f"page {page_no} out of range (count {self.page_count})"
+                )
+            if len(payload) > self.payload_size:
+                raise StorageError(
+                    f"payload of {len(payload)} bytes exceeds page capacity "
+                    f"{self.payload_size}"
+                )
+            _telemetry_count("storage.pages_written")
+            padded = payload.ljust(self.payload_size, b"\x00")
+            crc = zlib.crc32(padded)
+            image = struct.pack(_PAGE_PREFIX_FMT, crc) + padded
+            if self._wal is not None:
+                self._wal.append(page_no, image)
+            else:
+                self._file.seek(page_no * self.page_size)
+                self._file.write(image)
+            self._cache_store(page_no, padded)
 
     def _cache_store(self, page_no: int, payload: bytes) -> None:
         capacity = self._cache_capacity
@@ -340,31 +361,33 @@ class Pager:
         In ``durability="none"`` mode this is :meth:`sync` (flush +
         fsync, with no atomicity across the batch).
         """
-        self._check_open()
-        wal = self._wal
-        if wal is None:
-            self.sync()
-            return
-        if wal.pending_frames == 0 and wal.size == 0:
-            return  # nothing logged since the last checkpoint
-        try:
-            wal.commit(self._header_bytes().ljust(self.page_size, b"\x00"))
-        except OSError as error:
-            self._io_failed = True
-            raise StorageError(f"{self.path}: commit failed ({error})") from error
-        if wal.size >= self._wal_checkpoint_bytes:
-            self._checkpoint()
+        with self._lock:
+            self._check_open()
+            wal = self._wal
+            if wal is None:
+                self.sync()
+                return
+            if wal.pending_frames == 0 and wal.size == 0:
+                return  # nothing logged since the last checkpoint
+            try:
+                wal.commit(self._header_bytes().ljust(self.page_size, b"\x00"))
+            except OSError as error:
+                self._io_failed = True
+                raise StorageError(f"{self.path}: commit failed ({error})") from error
+            if wal.size >= self._wal_checkpoint_bytes:
+                self._checkpoint()
 
     def checkpoint(self) -> None:
         """Commit pending writes, then fold the whole log back into the
         main file (WAL mode; a no-op sync otherwise)."""
-        self._check_open()
-        if self._wal is None:
-            self.sync()
-            return
-        self.commit()
-        if self._wal.size:
-            self._checkpoint()
+        with self._lock:
+            self._check_open()
+            if self._wal is None:
+                self.sync()
+                return
+            self.commit()
+            if self._wal.size:
+                self._checkpoint()
 
     def _checkpoint(self) -> None:
         """Fold every committed frame into the main file, fsync it, then
@@ -398,17 +421,18 @@ class Pager:
         In WAL mode this is :meth:`commit` — the header travels inside
         the commit frame and the main file is left to the checkpoint.
         """
-        self._check_open()
-        if self._wal is not None:
-            self.commit()
-            return
-        try:
-            self._write_header()
-            self._file.flush()
-            fsync_file(self._file)
-        except OSError as error:
-            self._io_failed = True
-            raise StorageError(f"{self.path}: sync failed ({error})") from error
+        with self._lock:
+            self._check_open()
+            if self._wal is not None:
+                self.commit()
+                return
+            try:
+                self._write_header()
+                self._file.flush()
+                fsync_file(self._file)
+            except OSError as error:
+                self._io_failed = True
+                raise StorageError(f"{self.path}: sync failed ({error})") from error
 
     def close(self) -> None:
         """Flush and close the underlying file(s).
@@ -422,32 +446,33 @@ class Pager:
         log, so a cleanly closed store has an empty log and is readable
         in any durability mode.
         """
-        if self._closed:
-            return
-        try:
-            if not self._io_failed:
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                if not self._io_failed:
+                    if self._wal is not None:
+                        self.commit()
+                        if self._wal.size:
+                            self._checkpoint()
+                    else:
+                        self._write_header()
+                        self._file.flush()
+            except OSError as error:
+                self._io_failed = True
+                raise StorageError(f"{self.path}: close failed ({error})") from error
+            finally:
+                self._closed = True
                 if self._wal is not None:
-                    self.commit()
-                    if self._wal.size:
-                        self._checkpoint()
-                else:
-                    self._write_header()
-                    self._file.flush()
-        except OSError as error:
-            self._io_failed = True
-            raise StorageError(f"{self.path}: close failed ({error})") from error
-        finally:
-            self._closed = True
-            if self._wal is not None:
+                    try:
+                        self._wal.close()
+                    except OSError:
+                        pass
                 try:
-                    self._wal.close()
+                    self._file.close()
                 except OSError:
                     pass
-            try:
-                self._file.close()
-            except OSError:
-                pass
-            self._cache.clear()
+                self._cache.clear()
 
     def __enter__(self) -> "Pager":
         return self

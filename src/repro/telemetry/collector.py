@@ -18,10 +18,18 @@ groups related counters into the per-stage sections a
 activating a second collector redirects counts to it until its block
 exits, which lets a benchmark harness measure one point while an inner
 query collects its own report.
+
+Activation is **per thread**: every thread has its own active-collector
+slot, so concurrently collecting queries on different threads can never
+interleave counts into each other's report.  A :class:`Telemetry` object
+itself is *not* thread-safe — one thread fills it, and cross-thread
+aggregation goes through :meth:`Telemetry.merge` on the coordinating
+thread (the pattern :mod:`repro.concurrent` uses).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -92,37 +100,55 @@ class Telemetry:
 
 
 # ----------------------------------------------------------------------
-# ambient activation
+# ambient activation (thread-local)
 # ----------------------------------------------------------------------
 
-_active: "Telemetry | None" = None
-_stack: list["Telemetry | None"] = []
+
+class _CollectorState(threading.local):
+    """Per-thread activation state.
+
+    The active collector is **thread-local**: a collector activated on
+    one thread is invisible to every other thread, so two concurrently
+    collecting queries can never interleave counts into each other's
+    report.  A worker thread that should report into a query's
+    collection activates its own :class:`Telemetry` and the coordinator
+    merges it in (see :mod:`repro.concurrent`).
+    """
+
+    def __init__(self) -> None:
+        self.active: "Telemetry | None" = None
+        self.stack: list["Telemetry | None"] = []
+
+
+_state = _CollectorState()
 
 
 def current() -> "Telemetry | None":
-    """The collector counts currently go to, or ``None``."""
-    return _active
+    """The collector counts currently go to *on this thread*, or ``None``."""
+    return _state.active
 
 
 @contextmanager
 def collecting(telemetry: "Telemetry | None") -> Iterator["Telemetry | None"]:
-    """Activate ``telemetry`` for the duration of the block.
+    """Activate ``telemetry`` on the calling thread for the duration of
+    the block.
 
     Passing ``None`` deactivates collection inside the block (used to
     keep a warmup or a shadow evaluation out of an outer collection).
+    Activation is thread-local: other threads' collections are unaffected.
     """
-    global _active
-    _stack.append(_active)
-    _active = telemetry
+    state = _state
+    state.stack.append(state.active)
+    state.active = telemetry
     try:
         yield telemetry
     finally:
-        _active = _stack.pop()
+        state.active = state.stack.pop()
 
 
 def count(name: str, amount: float = 1) -> None:
     """Add to a counter of the active collector; no-op when inactive."""
-    telemetry = _active
+    telemetry = _state.active
     if telemetry is not None:
         counters = telemetry.counters
         counters[name] = counters.get(name, 0) + amount
@@ -130,7 +156,7 @@ def count(name: str, amount: float = 1) -> None:
 
 def gauge(name: str, value: float) -> None:
     """Set a gauge on the active collector; no-op when inactive."""
-    telemetry = _active
+    telemetry = _state.active
     if telemetry is not None:
         telemetry.counters[name] = value
 
@@ -174,7 +200,7 @@ def timer(name: str):
     active collector is not timed, so wrapping hot stages is free in the
     default configuration.
     """
-    telemetry = _active
+    telemetry = _state.active
     if telemetry is None or not telemetry.timed:
         return _NULL_TIMER
     return _Timer(telemetry, name)

@@ -126,8 +126,14 @@ class StoredNodeIndexes(NodeIndexes):
         telemetry = _telemetry_current()
         key = _label_key(label)
         cache = self._cache
+        # Snapshot the generation *before* reading: if a writer lands
+        # between the read and the cache insert, the entry carries the
+        # pre-write generation and the next lookup discards it.  Reading
+        # the generation again at put time would stamp possibly-old bytes
+        # with the new generation — permanently stale.
+        generation = self._store.generation
         if cache is not None:
-            posting = cache.get(tag, key, self._store.generation)
+            posting = cache.get(tag, key, generation)
             if posting is not None:
                 if telemetry is not None:
                     telemetry.count("index.data_fetches")
@@ -142,7 +148,7 @@ class StoredNodeIndexes(NodeIndexes):
             return []
         posting = decode_node_postings(data)
         if cache is not None:
-            cache.put(tag, key, self._store.generation, posting)
+            cache.put(tag, key, generation, posting)
         if telemetry is not None:
             telemetry.count("index.data_fetches")
             telemetry.count("index.data_postings", len(posting))

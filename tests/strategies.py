@@ -1,15 +1,23 @@
 """Shared hypothesis strategies and random generators for the test suite.
 
 Random data trees, queries, and cost models over a small closed alphabet,
-used by the equivalence tests (naive vs. direct vs. schema-driven).
+used by the equivalence tests (naive vs. direct vs. schema-driven), plus
+seeded generator-backed cases (:func:`generated_case`) that drive the
+paper's own datagen/querygen machinery for the differential oracle and
+the concurrency stress tests.  Everything is keyed by an integer seed so
+a failure message names the exact case to replay.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from repro.approxql.ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
 from repro.approxql.costs import CostModel
+from repro.datagen import GeneratorConfig, generate_collection
+from repro.querygen import QueryGenOptions, QueryGenerator
+from repro.xmltree.indexes import MemoryNodeIndexes
 from repro.xmltree.model import DataTree, NodeType, TreeBuilder
 
 STRUCT_LABELS = ["a", "b", "c", "d"]
@@ -57,6 +65,75 @@ def random_query_expr(rng: random.Random, depth: int = 0, max_depth: int = 3) ->
 def random_query(rng: random.Random, max_depth: int = 3) -> NameSelector:
     """A random query rooted at a name selector."""
     return NameSelector(rng.choice(STRUCT_LABELS), random_query_expr(rng, 1, max_depth))
+
+
+#: query-pattern shapes the generated cases cycle through — the paper's
+#: experiment shapes (chains of names ending in a term) plus and/or
+#: composites, kept small so the naive oracle stays tractable
+GENERATED_PATTERNS = [
+    "name[term]",
+    "name[name[term]]",
+    "name[name[term] and term]",
+    "name[name[term] or name[term]]",
+]
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One seeded datagen+querygen case.
+
+    ``describe()`` renders everything needed to replay the failure:
+    the seed reconstructs the collection and the query set bit for bit,
+    and shrinking is re-running the same seed with a smaller
+    ``num_elements``.
+    """
+
+    seed: int
+    num_elements: int
+    tree: DataTree
+    queries: list
+
+    def describe(self) -> str:
+        lines = [
+            f"replay: generated_case({self.seed}, num_elements={self.num_elements})"
+            f" -> {len(self.tree)} nodes"
+            f" (shrink by lowering num_elements at the same seed)"
+        ]
+        for generated in self.queries:
+            lines.append(f"  query: {generated.unparse()}")
+        return "\n".join(lines)
+
+
+def generated_case(
+    seed: int,
+    num_elements: int = 120,
+    renamings_per_label: int = 2,
+    queries_per_pattern: int = 1,
+) -> GeneratedCase:
+    """A small synthetic collection and query set from one seed, built
+    with the paper's own generators (Section 8.1) rather than the closed
+    test alphabet — different label/term distributions, real renaming
+    tables sampled from the indexes."""
+    config = GeneratorConfig(
+        num_elements=num_elements,
+        num_element_names=8,
+        num_terms=12,
+        num_term_occurrences=num_elements * 2,
+        max_depth=5,
+        max_fanout=4,
+        max_document_elements=20,
+        seed=seed,
+    )
+    collection = generate_collection(config)
+    generator = QueryGenerator(
+        MemoryNodeIndexes(collection.tree),
+        QueryGenOptions(renamings_per_label=renamings_per_label),
+        seed=seed,
+    )
+    queries = []
+    for pattern in GENERATED_PATTERNS:
+        queries.extend(generator.generate_set(pattern, queries_per_pattern))
+    return GeneratedCase(seed, num_elements, collection.tree, queries)
 
 
 def random_cost_model(rng: random.Random) -> CostModel:

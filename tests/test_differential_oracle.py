@@ -1,0 +1,84 @@
+"""Randomized differential oracle: three independent evaluators, one answer.
+
+The naive closure-enumeration evaluator (Section 5.3, exponential but
+obviously correct), the direct algorithm (Section 6), and the
+schema-driven algorithm (Section 7) implement the same problem
+definition three unrelated ways; on data and queries produced by the
+paper's own generators they must agree on the exact root-cost mapping.
+Every case is keyed by an integer seed and each assertion message names
+the replay call (``generated_case(seed, num_elements=...)``) — shrinking
+a failure is re-running the same seed with a smaller collection.
+"""
+
+import pytest
+
+from repro.engine.evaluator import DirectEvaluator
+from repro.schema.evaluator import SchemaEvaluator
+from repro.transform.naive import evaluate_naive
+
+from .strategies import generated_case
+
+SEEDS = range(8)
+
+
+def _oracle(tree, query, costs):
+    return {pair.root: pair.cost for pair in evaluate_naive(query, tree, costs)}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_direct_matches_naive_on_generated_cases(seed):
+    case = generated_case(700 + seed)
+    evaluator = DirectEvaluator(case.tree)
+    for generated in case.queries:
+        naive = _oracle(case.tree, generated.query, generated.costs)
+        direct = {
+            r.root: r.cost for r in evaluator.evaluate(generated.query, generated.costs)
+        }
+        assert direct == naive, case.describe()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_schema_matches_naive_on_generated_cases(seed):
+    case = generated_case(700 + seed)
+    evaluator = SchemaEvaluator(case.tree)
+    for generated in case.queries:
+        naive = _oracle(case.tree, generated.query, generated.costs)
+        schema = {
+            r.root: r.cost for r in evaluator.evaluate(generated.query, generated.costs)
+        }
+        assert schema == naive, case.describe()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_best_n_prefix_matches_naive(seed):
+    """Best-n retrieval returns the naive oracle's n cheapest costs, and
+    every returned root carries its true minimal cost."""
+    case = generated_case(800 + seed)
+    evaluator = SchemaEvaluator(case.tree)
+    for generated in case.queries:
+        naive = evaluate_naive(generated.query, case.tree, generated.costs)
+        naive_map = {pair.root: pair.cost for pair in naive}
+        for n in (1, 3):
+            best = evaluator.evaluate(
+                generated.query, generated.costs, n=n, initial_k=1, delta=1
+            )
+            assert sorted(r.cost for r in best) == sorted(
+                pair.cost for pair in naive[:n]
+            ), case.describe()
+            for result in best:
+                assert naive_map[result.root] == result.cost, case.describe()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_parallel_schema_matches_naive(seed):
+    """The thread-pooled second-level execution changes scheduling, not
+    answers: jobs=3 must reproduce the oracle's mapping and the serial
+    driver's emission order exactly."""
+    case = generated_case(900 + seed)
+    evaluator = SchemaEvaluator(case.tree)
+    for generated in case.queries:
+        naive = _oracle(case.tree, generated.query, generated.costs)
+        serial = evaluator.evaluate(generated.query, generated.costs)
+        parallel = evaluator.evaluate(generated.query, generated.costs, jobs=3)
+        assert parallel == serial, case.describe()
+        assert {r.root: r.cost for r in parallel} == naive, case.describe()

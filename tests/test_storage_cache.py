@@ -171,6 +171,102 @@ class TestStoredIndexInvalidation:
         assert cache.get(SEC_NAMESPACE, b"b", store.generation) is None
 
 
+class TestConcurrentWriterInvalidation:
+    """A writer racing the fetch path must never be masked by the cache."""
+
+    def test_write_landing_during_fetch_is_not_masked(self):
+        """The generation-snapshot ordering regression: the fetch reads
+        the generation *before* the store read, so a write that lands
+        between the read and the cache insert leaves an entry stamped
+        with the pre-write generation — invalidated on the next fetch.
+        (Stamping at insert time would mask the write forever.)"""
+        store = MemoryStore()
+        cache = PostingCache()
+        tree_one = Database.from_xml("<lib><b>alpha</b></lib>").tree
+        tree_two = Database.from_xml("<lib><b>alpha</b><b>beta</b></lib>").tree
+        StoredNodeIndexes.build(tree_one, store)
+        indexes = StoredNodeIndexes(store, posting_cache=cache)
+
+        original_get = store.get
+        state = {"raced": False}
+
+        def racing_get(key):
+            value = original_get(key)  # the read observes the old bytes...
+            if not state["raced"]:
+                state["raced"] = True
+                # ...and the writer lands before the reader can cache them
+                StoredNodeIndexes.build(tree_two, store)
+            return value
+
+        store.get = racing_get
+        stale = indexes.fetch("b", NodeType.STRUCT)
+        assert len(stale) == 1  # the raced read itself returns old data: fine
+        fresh = indexes.fetch("b", NodeType.STRUCT)
+        assert len(fresh) == 2, "cache served postings that predate the write"
+
+    def test_cache_survives_concurrent_hammering(self):
+        """Many reader threads plus a generation-bumping writer against
+        one PostingCache: no exceptions, byte accounting stays sane."""
+        import threading
+
+        cache = PostingCache(max_bytes=16_384)
+        errors = []
+        stop = threading.Event()
+
+        def reader(tag):
+            try:
+                for round_index in range(300):
+                    key = f"k{round_index % 7}".encode()
+                    generation = round_index % 3
+                    cache.put(tag, key, generation, [(1, 2)] * (round_index % 9))
+                    cache.get(tag, key, generation)
+                    if round_index % 50 == 0:
+                        cache.clear()
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=reader, args=(f"ns{i}".encode(),))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        assert not errors, errors
+        assert 0 <= cache.used_bytes <= cache.max_bytes
+
+    def test_contended_lock_reports_waits(self):
+        """CountedLock observability: a thread that actually blocks on the
+        posting-cache lock ticks concurrency.posting_lock_waits in its own
+        collection."""
+        import threading
+        import time
+
+        cache = PostingCache()
+        telemetry = Telemetry()
+        entered = threading.Event()
+
+        def blocked_reader():
+            entered.wait()
+            with collecting(telemetry):
+                cache.get(b"ns", b"k", 0)
+
+        thread = threading.Thread(target=blocked_reader)
+        raw_lock = cache._lock._lock
+        raw_lock.acquire()
+        try:
+            thread.start()
+            entered.set()
+            time.sleep(0.05)  # let the reader hit the held lock
+        finally:
+            raw_lock.release()
+        thread.join()
+        assert telemetry.counters.get("concurrency.posting_lock_waits") == 1
+        assert telemetry.counters.get("cache.posting_misses") == 1
+
+
 class TestDatabaseLevelInvalidation:
     def test_requery_after_rebuild_sees_fresh_data(self, tmp_path):
         """Full path: build a database file, query it with the posting

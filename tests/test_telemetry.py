@@ -88,6 +88,45 @@ class TestCollector:
         assert set(timed.timings) == {"t.stage"}
         assert timed.timings["t.stage"] >= 0.0
 
+    def test_activation_is_thread_local(self):
+        """Two threads collecting at once must not interleave counts —
+        the regression test for the process-global collector slot."""
+        import threading
+
+        barrier = threading.Barrier(2)
+        collections = {}
+
+        def work(name, amount):
+            telemetry = Telemetry()
+            with collecting(telemetry):
+                barrier.wait()  # both threads are now actively collecting
+                for _ in range(200):
+                    count(f"thread.{name}", amount)
+                barrier.wait()
+            collections[name] = telemetry
+
+        threads = [
+            threading.Thread(target=work, args=("one", 1)),
+            threading.Thread(target=work, args=("two", 10)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert collections["one"].counters == {"thread.one": 200}
+        assert collections["two"].counters == {"thread.two": 2000}
+
+    def test_worker_thread_sees_no_inherited_collector(self):
+        import threading
+
+        telemetry = Telemetry()
+        seen = []
+        with collecting(telemetry):
+            thread = threading.Thread(target=lambda: seen.append(current()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
     def test_merge_adds(self):
         first, second = Telemetry(), Telemetry()
         first.count("m.x", 2)
