@@ -1,6 +1,19 @@
 """Direct query evaluation (Section 6): list algebra, algorithm
-``primary``, and the pruning best-n evaluator."""
+``primary``, and the pruning best-n evaluator.
 
+The list algebra is served by the columnar kernel
+(:mod:`repro.engine.columns` + :mod:`repro.engine.ops`); the retained
+entry-per-object implementation lives in :mod:`repro.engine.reference`
+as the executable specification the property suite checks the kernel
+against."""
+
+from .columns import (
+    EvalColumns,
+    SparseTable,
+    as_columns,
+    get_rmq_crossover,
+    set_rmq_crossover,
+)
 from .entries import INFINITE, ListEntry, entry_from_posting
 from .evaluator import DirectEvaluator, DirectResult, DirectStats
 from .ops import (
@@ -20,18 +33,23 @@ __all__ = [
     "DirectEvaluator",
     "DirectResult",
     "DirectStats",
+    "EvalColumns",
     "EvalList",
     "INFINITE",
     "ListEntry",
     "PrimaryEvaluator",
+    "SparseTable",
     "add_edge_cost",
+    "as_columns",
     "entry_from_posting",
     "fetch",
+    "get_rmq_crossover",
     "intersect",
     "join",
     "merge",
     "outerjoin",
     "root_cost_pairs",
+    "set_rmq_crossover",
     "sort_best",
     "union",
 ]

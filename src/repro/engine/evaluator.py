@@ -15,6 +15,7 @@ from ..approxql.parser import parse_query
 from ..telemetry import collector as _telemetry
 from ..xmltree.indexes import MemoryNodeIndexes, NodeIndexes
 from ..xmltree.model import DataTree
+from .columns import EvalColumns
 from .entries import INFINITE
 from .primary import PrimaryEvaluator, root_cost_pairs
 
@@ -99,10 +100,11 @@ class DirectEvaluator:
         count needs is the number of roots with a valid embedding.
         """
         entries, evaluator = self._run_primary(query, costs)
+        leafcosts = entries.leafcost
         if max_cost is None:
-            total = sum(1 for entry in entries if entry.leafcost != INFINITE)
+            total = sum(1 for leaf in leafcosts if leaf != INFINITE)
         else:
-            total = sum(1 for entry in entries if entry.leafcost <= max_cost)
+            total = sum(1 for leaf in leafcosts if leaf <= max_cost)
         self._publish(evaluator, total, stats)
         return total
 
@@ -116,7 +118,7 @@ class DirectEvaluator:
 
     def _run_primary(
         self, query: "str | NameSelector", costs: "CostModel | None"
-    ) -> tuple[list, PrimaryEvaluator]:
+    ) -> tuple[EvalColumns, PrimaryEvaluator]:
         """Shared prelude of :meth:`evaluate` and :meth:`count`: parse,
         re-encode insert costs, expand, and run algorithm ``primary``."""
         if isinstance(query, str):

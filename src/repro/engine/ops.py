@@ -1,194 +1,335 @@
-"""The list algebra of Section 6.4.
+"""The list algebra of Section 6.4 — columnar kernel.
 
-Every operation consumes and produces *evaluation lists*: Python lists of
-:class:`~repro.engine.entries.ListEntry` sorted by ``pre`` with unique
-``pre`` values.  Operations never mutate their inputs (lists are shared
-across the memoized evaluation of the expanded DAG) and drop entries whose
-embedding cost is infinite — such entries can never contribute a result.
+Every operation consumes and produces *evaluation lists* sorted by
+``pre`` with unique ``pre`` values, carried as
+:class:`~repro.engine.columns.EvalColumns` struct-of-arrays (plain lists
+of :class:`~repro.engine.entries.ListEntry` are accepted and coerced, so
+entry-shaped callers keep working).  Operations never mutate their
+inputs — lists are shared across the memoized evaluation of the expanded
+DAG, and cost adjustments *share* the identity columns of their input
+instead of copying entries — and drop rows whose embedding cost is
+infinite, since such rows can never contribute a result.
 
-Each function computes both cost tracks: ``embcost`` (unconditional best)
-and ``leafcost`` (best among embeddings with at least one real query-leaf
-match; see :mod:`repro.engine.entries`).
+Each operation computes both cost tracks: ``embcost`` (unconditional
+best) and ``leafcost`` (best among embeddings with at least one real
+query-leaf match; see :mod:`repro.engine.entries`).
+
+The ``join``/``outerjoin`` range minima are answered by the descendant
+list's cached sparse table (O(1) per ancestor after one O(|D| log |D|)
+build) once the list is longer than the measured RMQ crossover; shorter
+lists use the linear slice sweep.  The entry-shaped original of this
+module survives as :mod:`repro.engine.reference`, the executable
+specification the property suite checks this kernel against.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from operator import itemgetter
 
+from ..telemetry.collector import count as _telemetry_count
 from ..xmltree.indexes import NodeIndexes
 from ..xmltree.model import NodeType
-from .entries import INFINITE, ListEntry, entry_from_posting
+from .columns import EvalColumns, as_columns, get_rmq_crossover
+from .entries import INFINITE, ListEntry
 
 EvalList = list[ListEntry]
 
 
 def fetch(
     indexes: NodeIndexes, label: str, node_type: NodeType, as_leaf_match: bool
-) -> EvalList:
-    """Initialize a list from the index posting of ``label`` (function
+) -> EvalColumns:
+    """Initialize columns from the index posting of ``label`` (function
     ``fetch`` of the paper).  ``as_leaf_match`` marks lists fetched for
-    query leaves (their entries start with ``leafcost = 0``)."""
+    query leaves (their rows start with ``leafcost = 0``).
+
+    The posting-to-column build is delegated to the index's derived-value
+    cache (:meth:`~repro.xmltree.indexes.NodeIndexes.fetch_derived`):
+    repeat queries over an unchanged store get back the columns built by
+    an earlier query — including any sparse tables already grown on them
+    — and skip posting decode and column construction entirely.
+    """
     is_text = node_type == NodeType.TEXT
-    return [
-        entry_from_posting(posting, is_text, as_leaf_match)
-        for posting in indexes.fetch(label, node_type)
-    ]
+    return indexes.fetch_derived(
+        label,
+        node_type,
+        as_leaf_match,
+        lambda posting: EvalColumns.from_postings(posting, is_text, as_leaf_match),
+    )
 
 
-def merge(left: EvalList, right: EvalList, rename_cost: float) -> EvalList:
-    """Merge two lists over distinct labels; entries copied from ``right``
-    pay the renaming cost (function ``merge``)."""
-    result: EvalList = []
-    i = j = 0
-    len_left, len_right = len(left), len(right)
-    while i < len_left and j < len_right:
-        if left[i].pre <= right[j].pre:
-            result.append(left[i])
-            i += 1
-        else:
-            result.append(_with_added_cost(right[j], rename_cost))
-            j += 1
-    result.extend(left[i:])
-    for entry in right[j:]:
-        result.append(_with_added_cost(entry, rename_cost))
-    return result
+def merge(left, right, rename_cost: float) -> EvalColumns:
+    """Merge two lists over distinct labels; rows taken from ``right``
+    pay the renaming cost (function ``merge``).  Equal ``pre`` values —
+    possible when a renaming's posting overlaps the original's — collapse
+    into one row with the minimum cost per track, preserving the
+    unique-``pre`` invariant."""
+    left = as_columns(left)
+    right = as_columns(right)
+    if not len(right):
+        return left
+    if not len(left):
+        return _with_added_cost(right, rename_cost)
+    return _merge_columns(left, _with_added_cost(right, rename_cost))
 
 
-def join(ancestors: EvalList, descendants: EvalList, edge_cost: float) -> EvalList:
+def join(ancestors, descendants, edge_cost: float) -> EvalColumns:
     """Keep ancestors that have a descendant in ``descendants``; their
     cost is the cheapest ``distance + embcost`` among those descendants
     plus ``edge_cost`` (function ``join``)."""
-    if not ancestors or not descendants:
-        return []
-    pres = [entry.pre for entry in descendants]
-    # score arrays: adding pathcost(e_D) turns the per-descendant term
-    # distance + cost into (pathcost_D + cost_D) - pathcost_A - inscost_A,
-    # whose minimum over an interval is a plain min() over a slice.
-    emb_scores = [entry.pathcost + entry.embcost for entry in descendants]
-    leaf_scores = [entry.pathcost + entry.leafcost for entry in descendants]
-    result: EvalList = []
-    for ancestor in ancestors:
-        low = bisect_right(pres, ancestor.pre)
-        high = bisect_right(pres, ancestor.bound)
+    ancestors = as_columns(ancestors)
+    descendants = as_columns(descendants)
+    if not len(ancestors) or not len(descendants):
+        return EvalColumns.empty()
+    pres = descendants.pre
+    emb_scores = descendants.emb_scores()
+    leaf_scores = descendants.leaf_scores()
+    use_rmq = len(descendants) >= get_rmq_crossover()
+    if use_rmq:
+        emb_rmq = descendants.emb_rmq()
+        leaf_rmq = descendants.leaf_rmq()
+        _telemetry_count("kernel.rmq_joins")
+    else:
+        _telemetry_count("kernel.linear_joins")
+    ancestor_pre = ancestors.pre
+    ancestor_bound = ancestors.bound
+    ancestor_path = ancestors.pathcost
+    ancestor_ins = ancestors.inscost
+    keep: list = []
+    embcost: list = []
+    leafcost: list = []
+    for i in range(len(ancestor_pre)):
+        low = bisect_right(pres, ancestor_pre[i])
+        high = bisect_right(pres, ancestor_bound[i])
         if low >= high:
             continue
-        base = ancestor.pathcost + ancestor.inscost
-        embcost = min(emb_scores[low:high]) - base + edge_cost
-        if embcost == INFINITE:
+        base = ancestor_path[i] + ancestor_ins[i]
+        if use_rmq:
+            emb = emb_rmq.minimum(low, high)
+        else:
+            emb = min(emb_scores[low:high])
+        emb = emb - base + edge_cost
+        if emb == INFINITE:
             continue
-        leafcost = min(leaf_scores[low:high])
-        leafcost = leafcost - base + edge_cost if leafcost != INFINITE else INFINITE
-        copy = ancestor.copy()
-        copy.embcost = embcost
-        copy.leafcost = leafcost
-        result.append(copy)
-    return result
+        leaf = leaf_rmq.minimum(low, high) if use_rmq else min(leaf_scores[low:high])
+        keep.append(i)
+        embcost.append(emb)
+        leafcost.append(leaf - base + edge_cost if leaf != INFINITE else INFINITE)
+    return _rebind(ancestors, keep, embcost, leafcost)
 
 
-def outerjoin(
-    ancestors: EvalList, descendants: EvalList, edge_cost: float, delete_cost: float
-) -> EvalList:
+def outerjoin(ancestors, descendants, edge_cost: float, delete_cost: float) -> EvalColumns:
     """Like ``join`` but every ancestor survives: without a descendant it
     pays the delete cost of the query leaf; with descendants it pays the
     cheaper of deletion and the best match (function ``outerjoin``)."""
-    pres = [entry.pre for entry in descendants]
-    emb_scores = [entry.pathcost + entry.embcost for entry in descendants]
-    leaf_scores = [entry.pathcost + entry.leafcost for entry in descendants]
-    result: EvalList = []
-    for ancestor in ancestors:
-        low = bisect_right(pres, ancestor.pre)
-        high = bisect_right(pres, ancestor.bound)
+    ancestors = as_columns(ancestors)
+    descendants = as_columns(descendants)
+    pres = descendants.pre
+    emb_scores = descendants.emb_scores()
+    leaf_scores = descendants.leaf_scores()
+    use_rmq = len(descendants) and len(descendants) >= get_rmq_crossover()
+    if use_rmq:
+        emb_rmq = descendants.emb_rmq()
+        leaf_rmq = descendants.leaf_rmq()
+        _telemetry_count("kernel.rmq_joins")
+    else:
+        _telemetry_count("kernel.linear_joins")
+    ancestor_pre = ancestors.pre
+    ancestor_bound = ancestors.bound
+    ancestor_path = ancestors.pathcost
+    ancestor_ins = ancestors.inscost
+    keep: list = []
+    embcost: list = []
+    leafcost: list = []
+    for i in range(len(ancestor_pre)):
+        low = bisect_right(pres, ancestor_pre[i])
+        high = bisect_right(pres, ancestor_bound[i])
         if low < high:
-            base = ancestor.pathcost + ancestor.inscost
-            match_cost = min(emb_scores[low:high]) - base
-            embcost = min(delete_cost, match_cost) + edge_cost
-            leafcost = min(leaf_scores[low:high])
-            leafcost = leafcost - base + edge_cost if leafcost != INFINITE else INFINITE
+            base = ancestor_path[i] + ancestor_ins[i]
+            if use_rmq:
+                match = emb_rmq.minimum(low, high)
+            else:
+                match = min(emb_scores[low:high])
+            emb = min(delete_cost, match - base) + edge_cost
+            leaf = leaf_rmq.minimum(low, high) if use_rmq else min(leaf_scores[low:high])
+            leaf = leaf - base + edge_cost if leaf != INFINITE else INFINITE
         else:
-            embcost = delete_cost + edge_cost
-            leafcost = INFINITE
-        if embcost == INFINITE:
+            emb = delete_cost + edge_cost
+            leaf = INFINITE
+        if emb == INFINITE:
             continue
-        copy = ancestor.copy()
-        copy.embcost = embcost
-        copy.leafcost = leafcost
-        result.append(copy)
-    return result
+        keep.append(i)
+        embcost.append(emb)
+        leafcost.append(leaf)
+    return _rebind(ancestors, keep, embcost, leafcost)
 
 
-def intersect(left: EvalList, right: EvalList, edge_cost: float) -> EvalList:
+def intersect(left, right, edge_cost: float) -> EvalColumns:
     """Conjunction: keep nodes present in both lists, summing the costs
     (function ``intersect``)."""
-    result: EvalList = []
-    right_pres = [entry.pre for entry in right]
-    for entry in left:
-        index = bisect_left(right_pres, entry.pre)
-        if index >= len(right) or right[index].pre != entry.pre:
+    left = as_columns(left)
+    right = as_columns(right)
+    right_pres = right.pre
+    len_right = len(right_pres)
+    left_pre = left.pre
+    keep: list = []
+    embcost: list = []
+    leafcost: list = []
+    for i in range(len(left_pre)):
+        pre = left_pre[i]
+        index = bisect_left(right_pres, pre)
+        if index >= len_right or right_pres[index] != pre:
             continue
-        other = right[index]
-        embcost = entry.embcost + other.embcost + edge_cost
-        if embcost == INFINITE:
+        emb = left.embcost[i] + right.embcost[index] + edge_cost
+        if emb == INFINITE:
             continue
-        leafcost = min(entry.leafcost + other.embcost, entry.embcost + other.leafcost)
-        copy = entry.copy()
-        copy.embcost = embcost
-        copy.leafcost = leafcost + edge_cost if leafcost != INFINITE else INFINITE
-        result.append(copy)
-    return result
+        leaf = min(
+            left.leafcost[i] + right.embcost[index],
+            left.embcost[i] + right.leafcost[index],
+        )
+        keep.append(i)
+        embcost.append(emb)
+        leafcost.append(leaf + edge_cost if leaf != INFINITE else INFINITE)
+    return _rebind(left, keep, embcost, leafcost)
 
 
-def union(left: EvalList, right: EvalList, edge_cost: float) -> EvalList:
+def union(left, right, edge_cost: float) -> EvalColumns:
     """Disjunction: keep nodes of either list; nodes in both take the
-    minimum cost (function ``union``)."""
-    result: EvalList = []
-    i = j = 0
-    len_left, len_right = len(left), len(right)
-    while i < len_left and j < len_right:
-        left_entry, right_entry = left[i], right[j]
-        if left_entry.pre < right_entry.pre:
-            result.append(_with_added_cost(left_entry, edge_cost))
-            i += 1
-        elif right_entry.pre < left_entry.pre:
-            result.append(_with_added_cost(right_entry, edge_cost))
-            j += 1
-        else:
-            copy = left_entry.copy()
-            copy.embcost = min(left_entry.embcost, right_entry.embcost) + edge_cost
-            leafcost = min(left_entry.leafcost, right_entry.leafcost)
-            copy.leafcost = leafcost + edge_cost if leafcost != INFINITE else INFINITE
-            result.append(copy)
-            i += 1
-            j += 1
-    for entry in left[i:]:
-        result.append(_with_added_cost(entry, edge_cost))
-    for entry in right[j:]:
-        result.append(_with_added_cost(entry, edge_cost))
-    return result
+    minimum cost (function ``union``).  Shifting both inputs first makes
+    this the same sorted-merge-with-min-fold as ``merge`` (addition by a
+    shared constant is monotone, so folding after shifting picks the same
+    minima)."""
+    left = as_columns(left)
+    right = as_columns(right)
+    if not len(right):
+        return _with_added_cost(left, edge_cost)
+    if not len(left):
+        return _with_added_cost(right, edge_cost)
+    return _merge_columns(
+        _with_added_cost(left, edge_cost), _with_added_cost(right, edge_cost)
+    )
 
 
-def sort_best(n: "int | None", entries: EvalList) -> EvalList:
+def sort_best(n: "int | None", entries) -> EvalColumns:
     """Sort by valid embedding cost and keep the best ``n`` (function
-    ``sort``).  Entries without any valid embedding (infinite
-    ``leafcost``) are discarded."""
-    valid = [entry for entry in entries if entry.leafcost != INFINITE]
-    valid.sort(key=lambda entry: (entry.leafcost, entry.pre))
-    if n is None:
-        return valid
-    return valid[:n]
+    ``sort``).  Rows without any valid embedding (infinite ``leafcost``)
+    are discarded."""
+    entries = as_columns(entries)
+    leafcost = entries.leafcost
+    pre = entries.pre
+    order = sorted(
+        (i for i in range(len(pre)) if leafcost[i] != INFINITE),
+        key=lambda i: (leafcost[i], pre[i]),
+    )
+    if n is not None:
+        order = order[:n]
+    return entries.take(order)
 
 
-def add_edge_cost(entries: EvalList, edge_cost: float) -> EvalList:
-    """A fresh list with ``edge_cost`` added to every entry's costs (used
-    to reuse memoized zero-edge results under a different edge cost)."""
+def add_edge_cost(entries, edge_cost: float) -> EvalColumns:
+    """A fresh list with ``edge_cost`` added to every row's costs (used
+    to reuse memoized zero-edge results under a different edge cost).
+    The identity columns are shared with the input — the whole point of
+    the columnar layout is that a cost shift is two column passes, not a
+    per-entry copy."""
     if edge_cost == 0:
         return entries
-    return [_with_added_cost(entry, edge_cost) for entry in entries]
+    return _with_added_cost(as_columns(entries), edge_cost)
 
 
-def _with_added_cost(entry: ListEntry, cost: float) -> ListEntry:
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+
+def _with_added_cost(columns: EvalColumns, cost: float) -> EvalColumns:
     if cost == 0:
-        return entry
-    copy = entry.copy()
-    copy.embcost = entry.embcost + cost
-    copy.leafcost = entry.leafcost + cost if entry.leafcost != INFINITE else INFINITE
-    return copy
+        return columns
+    return EvalColumns(
+        columns.pre,
+        columns.bound,
+        columns.pathcost,
+        columns.inscost,
+        [emb + cost for emb in columns.embcost],
+        [leaf + cost if leaf != INFINITE else INFINITE for leaf in columns.leafcost],
+    )
+
+
+def _merge_columns(left: EvalColumns, right: EvalColumns) -> EvalColumns:
+    """Merge two non-empty, cost-shifted column sets by ``pre``; equal
+    ``pre`` values collapse to one row (identity fields from ``left``)
+    with the minimum cost per track.  The merged order is computed once
+    as indices into the concatenated inputs, then each column is gathered
+    in a single C-level pass."""
+    left_pre = left.pre
+    right_pre = right.pre
+    len_left = len(left_pre)
+    len_right = len(right_pre)
+    order: list = []
+    pre: list = []
+    collapsed: list = []
+    i = j = 0
+    while i < len_left and j < len_right:
+        lp = left_pre[i]
+        rp = right_pre[j]
+        if lp < rp:
+            order.append(i)
+            pre.append(lp)
+            i += 1
+        elif rp < lp:
+            order.append(len_left + j)
+            pre.append(rp)
+            j += 1
+        else:
+            collapsed.append((len(order), i, j))
+            order.append(i)
+            pre.append(lp)
+            i += 1
+            j += 1
+    order.extend(range(i, len_left))
+    pre.extend(left_pre[i:])
+    order.extend(range(len_left + j, len_left + len_right))
+    pre.extend(right_pre[j:])
+    if len(order) == 1:
+        only = order[0]
+
+        def gather(column: list) -> list:
+            return [column[only]]
+
+    else:
+        getter = itemgetter(*order)
+
+        def gather(column: list) -> list:
+            return list(getter(column))
+
+    bound = gather(left.bound + right.bound)
+    pathcost = gather(left.pathcost + right.pathcost)
+    inscost = gather(left.inscost + right.inscost)
+    embcost = gather(left.embcost + right.embcost)
+    leafcost = gather(left.leafcost + right.leafcost)
+    left_emb = left.embcost
+    right_emb = right.embcost
+    left_leaf = left.leafcost
+    right_leaf = right.leafcost
+    for position, li, rj in collapsed:
+        embcost[position] = min(left_emb[li], right_emb[rj])
+        leafcost[position] = min(left_leaf[li], right_leaf[rj])
+    return EvalColumns(pre, bound, pathcost, inscost, embcost, leafcost)
+
+
+def _rebind(source: EvalColumns, keep: list, embcost: list, leafcost: list) -> EvalColumns:
+    """Build a result from surviving rows of ``source`` with new cost
+    columns; when every row survived the identity columns are shared
+    unchanged."""
+    if len(keep) == len(source.pre):
+        return EvalColumns(
+            source.pre, source.bound, source.pathcost, source.inscost, embcost, leafcost
+        )
+    return EvalColumns(
+        [source.pre[i] for i in keep],
+        [source.bound[i] for i in keep],
+        [source.pathcost[i] for i in keep],
+        [source.inscost[i] for i in keep],
+        embcost,
+        leafcost,
+    )

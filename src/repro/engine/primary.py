@@ -21,9 +21,9 @@ from ..errors import EvaluationError
 from ..storage.cache import FetchMemo
 from ..xmltree.indexes import NodeIndexes
 from ..xmltree.model import NodeType
-from .entries import ListEntry
+from .columns import EvalColumns
+from .entries import INFINITE, ListEntry
 from .ops import (
-    EvalList,
     add_edge_cost,
     fetch,
     intersect,
@@ -52,14 +52,14 @@ class PrimaryEvaluator:
         # invalidated; cross-query posting reuse lives in the shared
         # PostingCache underneath the indexes.
         self._fetch_cache = FetchMemo()
-        self._memo: dict[tuple[int, int], EvalList] = {}
+        self._memo: dict[tuple[int, int], EvalColumns] = {}
         self.fetch_count = 0
         self.postings_fetched = 0
         self.memo_hits = 0
         self.list_ops = 0
         self.merge_ops = 0
 
-    def evaluate(self, expanded: ExpandedQuery) -> EvalList:
+    def evaluate(self, expanded: ExpandedQuery) -> EvalColumns:
         """Return the list of root matches of all approximate embeddings;
         entry costs are the embedding costs of the best embedding per
         root (``embcost`` unconditional, ``leafcost`` with the global
@@ -77,7 +77,7 @@ class PrimaryEvaluator:
     # the four cases of Figure 4
     # ------------------------------------------------------------------
 
-    def _primary(self, node: ExpandedNode, edge_cost: float, ancestors: EvalList) -> EvalList:
+    def _primary(self, node: ExpandedNode, edge_cost: float, ancestors: EvalColumns) -> EvalColumns:
         """``primary(u, c_edge, L_A)`` with the edge cost factored out of
         the memoized computation."""
         if not self._memoize:
@@ -91,7 +91,7 @@ class PrimaryEvaluator:
             self.memo_hits += 1
         return add_edge_cost(base, edge_cost)
 
-    def _primary_base(self, node: ExpandedNode, ancestors: EvalList) -> EvalList:
+    def _primary_base(self, node: ExpandedNode, ancestors: EvalColumns) -> EvalColumns:
         self.list_ops += 1
         reptype = node.reptype
         if reptype == RepType.LEAF:
@@ -112,7 +112,7 @@ class PrimaryEvaluator:
             return union(left, right, 0.0)
         raise EvaluationError(f"unknown representation type {reptype!r}")
 
-    def _evaluate_node_matches(self, node: ExpandedNode) -> EvalList:
+    def _evaluate_node_matches(self, node: ExpandedNode) -> EvalColumns:
         """The ``node`` case of Figure 4 minus the final join: label
         matches of ``node`` (original label and renamings) annotated with
         the embedding cost of the child subtree beneath them."""
@@ -134,19 +134,19 @@ class PrimaryEvaluator:
     def fetch_cache_hits(self) -> int:
         return self._fetch_cache.hits
 
-    def _fetch(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalList:
+    def _fetch(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalColumns:
         return self._fetch_cache.get_or_build(
             (label, node_type, as_leaf),
             lambda: self._fetch_build(label, node_type, as_leaf),
         )
 
-    def _fetch_build(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalList:
+    def _fetch_build(self, label: str, node_type: NodeType, as_leaf: bool) -> EvalColumns:
         built = fetch(self._indexes, label, node_type, as_leaf)
         self.fetch_count += 1
         self.postings_fetched += len(built)
         return built
 
-    def _fetch_leaf_merged(self, leaf: ExpandedNode) -> EvalList:
+    def _fetch_leaf_merged(self, leaf: ExpandedNode) -> EvalColumns:
         """The leaf case's fetch-and-merge over the leaf's renamings."""
         result = self._fetch(leaf.label, leaf.node_type, as_leaf=True)
         for rename_label, rename_cost in leaf.renamings:
@@ -156,13 +156,24 @@ class PrimaryEvaluator:
         return result
 
 
-def root_cost_pairs(entries: list[ListEntry]) -> list[tuple[int, float]]:
+def root_cost_pairs(entries: "EvalColumns | list[ListEntry]") -> list[tuple[int, float]]:
     """Convert a root evaluation list into (root, cost) result pairs,
-    keeping only roots with a valid embedding and sorting by (cost, pre)."""
-    pairs = [
-        (entry.pre, entry.leafcost)
-        for entry in entries
-        if entry.leafcost != float("inf")
-    ]
+    keeping only roots with a valid embedding and sorting by (cost, pre).
+
+    Accepts the kernel's columnar lists (the fast path: two column reads,
+    no entry views) and plain ``ListEntry`` lists alike; infinity checks
+    use the shared ``INFINITE`` sentinel."""
+    if isinstance(entries, EvalColumns):
+        pairs = [
+            (pre, leaf)
+            for pre, leaf in zip(entries.pre, entries.leafcost)
+            if leaf != INFINITE
+        ]
+    else:
+        pairs = [
+            (entry.pre, entry.leafcost)
+            for entry in entries
+            if entry.leafcost != INFINITE
+        ]
     pairs.sort(key=lambda pair: (pair[1], pair[0]))
     return pairs

@@ -45,6 +45,7 @@ class SchemaNodeIndexes:
         self._schema = schema
         self._struct: dict[str, list[int]] = {}
         self._text: dict[str, list[int]] = {}
+        self._derived: dict = {}
         for node in range(len(schema)):
             if schema.is_text_class(node):
                 for term in schema.term_instances.get(node, {}):
@@ -68,6 +69,31 @@ class SchemaNodeIndexes:
             (node, schema.bounds[node], schema.pathcosts[node], schema.inscosts[node])
             for node in nodes
         ]
+
+    def fetch_derived(self, label: str, node_type: NodeType, variant, build):
+        """A value derived from the posting of ``label`` — the top-k
+        evaluators' fetched entry lists — cached across queries and
+        tagged with the schema's insert-cost fingerprint, exactly like
+        :meth:`repro.xmltree.indexes.MemoryNodeIndexes.fetch_derived`
+        (including the snapshot-before-fetch ordering and the
+        caching-disabled behavior of a ``None`` fingerprint).  Cached
+        values are shared objects: callers must treat them as immutable.
+        """
+        fingerprint = self._schema.insert_cost_fingerprint
+        key = (label, node_type, variant)
+        cached = self._derived.get(key)
+        if cached is not None and fingerprint is not None and cached[0] == fingerprint:
+            telemetry = _telemetry_current()
+            if telemetry is not None:
+                telemetry.count("kernel.column_cache_hits")
+            return cached[1]
+        value = build(self.fetch(label, node_type))
+        telemetry = _telemetry_current()
+        if telemetry is not None:
+            telemetry.count("kernel.column_cache_misses")
+        if fingerprint is not None:
+            self._derived[key] = (fingerprint, value)
+        return value
 
     def labels(self, node_type: NodeType) -> Iterator[str]:
         """Every label present in the schema index for ``node_type``."""

@@ -27,6 +27,7 @@ import heapq
 from bisect import bisect_right
 from collections.abc import Iterator
 
+from ..engine.entries import INFINITE
 from ..xmltree.model import NodeType
 from .entries import SchemaEntry, entry_from_schema_posting
 from .indexes import SchemaNodeIndexes
@@ -59,12 +60,23 @@ def fetch_k(
     indexes: SchemaNodeIndexes, label: str, node_type: NodeType, as_leaf_match: bool
 ) -> TopKList:
     """Initialize a list from a schema-index posting; entries carry the
-    fetched label (so renamed matches build the right ``I_sec`` keys)."""
+    fetched label (so renamed matches build the right ``I_sec`` keys).
+
+    The built list is served through the indexes' derived-value cache
+    (:meth:`SchemaNodeIndexes.fetch_derived`), so repeat queries — and
+    the incremental driver's growing-k rounds — skip the posting-to-entry
+    construction; the returned list is a shared object and must not be
+    mutated."""
     is_text = node_type == NodeType.TEXT
-    return [
-        entry_from_schema_posting(posting, label, is_text, as_leaf_match)
-        for posting in indexes.fetch(label, node_type)
-    ]
+    return indexes.fetch_derived(
+        label,
+        node_type,
+        as_leaf_match,
+        lambda posting: [
+            entry_from_schema_posting(item, label, is_text, as_leaf_match)
+            for item in posting
+        ],
+    )
 
 
 def merge_k(
@@ -95,17 +107,10 @@ def join_k(
     that descendant."""
     if not ancestors or not descendants:
         return []
-    pres = [entry.pre for entry in descendants]
+    classes = _partition_by_class(descendants)
     result: TopKList = []
     for ancestor in ancestors:
-        low = bisect_right(pres, ancestor.pre)
-        high = bisect_right(pres, ancestor.bound)
-        if low >= high:
-            continue
-        base = ancestor.pathcost + ancestor.inscost
-        _extend_with_descendants(
-            result, ancestor, descendants[low:high], base, edge_cost, k, monitor
-        )
+        _extend_from_columns(result, ancestor, classes, edge_cost, k, monitor)
     return _rebuild(result, k, monitor)
 
 
@@ -120,18 +125,11 @@ def outerjoin_k(
     """``join_k`` for query leaves: every ancestor additionally gets a
     deletion candidate (empty pointer set, no leaf match) when the leaf's
     delete cost is finite."""
-    pres = [entry.pre for entry in descendants]
+    classes = _partition_by_class(descendants)
     result: TopKList = []
-    infinite = float("inf")
     for ancestor in ancestors:
-        low = bisect_right(pres, ancestor.pre)
-        high = bisect_right(pres, ancestor.bound)
-        base = ancestor.pathcost + ancestor.inscost
-        if low < high:
-            _extend_with_descendants(
-                result, ancestor, descendants[low:high], base, edge_cost, k, monitor
-            )
-        if delete_cost != infinite:
+        _extend_from_columns(result, ancestor, classes, edge_cost, k, monitor)
+        if delete_cost != INFINITE:
             result.append(
                 SchemaEntry(
                     ancestor.pre,
@@ -235,37 +233,84 @@ def sort_roots(k: "int | None", entries: TopKList) -> TopKList:
 # ----------------------------------------------------------------------
 
 
-def _extend_with_descendants(
+class _ClassColumns:
+    """One validity class of a descendant list as parallel columns.
+
+    Built once per ``join_k``/``outerjoin_k`` call (the columnar analogue
+    of the engine kernel's :class:`~repro.engine.columns.EvalColumns`):
+    per-class ``pres`` make the ancestor-interval bisect land directly on
+    class members, ``scores`` precompute ``pathcost + embcost`` (the
+    ancestor-independent part of the candidate cost), and ``sort_keys``
+    cache the deterministic tie-break — so the per-ancestor inner loop
+    selects candidates without touching a single entry attribute."""
+
+    __slots__ = ("has_leaf", "pres", "scores", "sort_keys", "entries")
+
+    def __init__(self, has_leaf: bool) -> None:
+        self.has_leaf = has_leaf
+        self.pres: list[int] = []
+        self.scores: list[float] = []
+        self.sort_keys: list[tuple] = []
+        self.entries: TopKList = []
+
+    def append(self, entry: SchemaEntry) -> None:
+        self.pres.append(entry.pre)
+        self.scores.append(entry.pathcost + entry.embcost)
+        self.sort_keys.append(entry.sort_key())
+        self.entries.append(entry)
+
+
+def _partition_by_class(descendants: TopKList) -> tuple[_ClassColumns, _ClassColumns]:
+    """Split a descendant list into (valid, invalid) column sets; each
+    stays sorted by ``pre`` (stable filter of a sorted list)."""
+    valid = _ClassColumns(True)
+    invalid = _ClassColumns(False)
+    for entry in descendants:
+        (valid if entry.has_leaf else invalid).append(entry)
+    return valid, invalid
+
+
+def _extend_from_columns(
     result: TopKList,
     ancestor: SchemaEntry,
-    descendants: list[SchemaEntry],
-    base: float,
+    classes: tuple[_ClassColumns, _ClassColumns],
     edge_cost: float,
     k: int,
     monitor: "TruncationMonitor | None",
 ) -> None:
     """Append copies of ``ancestor`` for the k cheapest descendants of
     each validity class (the shared core of join_k/outerjoin_k)."""
-    valid_candidates = []
-    invalid_candidates = []
-    for descendant in descendants:
-        cost = descendant.pathcost + descendant.embcost - base + edge_cost
-        bucket = valid_candidates if descendant.has_leaf else invalid_candidates
-        bucket.append((cost, descendant.sort_key(), descendant))
-    for candidates in (valid_candidates, invalid_candidates):
-        if monitor is not None and len(candidates) > k:
+    ancestor_pre = ancestor.pre
+    ancestor_bound = ancestor.bound
+    base = ancestor.pathcost + ancestor.inscost
+    for columns in classes:
+        pres = columns.pres
+        low = bisect_right(pres, ancestor_pre)
+        high = bisect_right(pres, ancestor_bound)
+        if low >= high:
+            continue
+        if monitor is not None and high - low > k:
             monitor.flag()
-        for cost, _, descendant in heapq.nsmallest(k, candidates, key=lambda c: (c[0], c[1])):
+        scores = columns.scores
+        sort_keys = columns.sort_keys
+        selected = heapq.nsmallest(
+            k,
+            range(low, high),
+            key=lambda i: (scores[i] - base + edge_cost, sort_keys[i]),
+        )
+        entries = columns.entries
+        has_leaf = columns.has_leaf
+        for i in selected:
             result.append(
                 SchemaEntry(
-                    ancestor.pre,
-                    ancestor.bound,
+                    ancestor_pre,
+                    ancestor_bound,
                     ancestor.pathcost,
                     ancestor.inscost,
-                    cost,
+                    scores[i] - base + edge_cost,
                     ancestor.label,
-                    (descendant,),
-                    descendant.has_leaf,
+                    (entries[i],),
+                    has_leaf,
                 )
             )
 

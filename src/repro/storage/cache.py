@@ -7,10 +7,16 @@ Two caches live here, one per level of the read path:
   indexes (``StoredNodeIndexes``, ``StoredSecondaryIndex``) consult it
   before hitting the key-value store, so the incremental best-*n*
   driver's overlapping second-level queries reuse decoded lists round
-  after round instead of re-decoding varint by varint.
+  after round instead of re-decoding varint by varint.  A second key
+  plane (:meth:`PostingCache.get_derived` / ``put_derived``) holds
+  **derived builds** — the evaluation kernel's columnar fetch lists,
+  together with whatever sparse tables have lazily grown on them — under
+  the same byte budget and the same generation invalidation, so repeat
+  queries skip posting-to-column construction entirely.
 * :class:`FetchMemo` — the per-evaluation memo of *derived* fetch
-  results (evaluation lists / top-k lists built from a posting), shared
-  in shape by ``PrimaryEvaluator`` and ``PrimaryKEvaluator``.
+  results (columnar evaluation lists / top-k lists built from a
+  posting), shared in shape by ``PrimaryEvaluator`` and
+  ``PrimaryKEvaluator``.
 
 Invalidation contract
 ---------------------
@@ -26,6 +32,15 @@ bounded lifetime.  One memo lives for exactly one evaluator run (one
 ``PrimaryEvaluator`` evaluation, one ``PrimaryKEvaluator`` round) during
 which the underlying indexes are not mutated; cross-run reuse happens
 one level below, in ``PostingCache``.
+
+Cached columns and sparse tables obey the same two-level contract: the
+``EvalColumns`` a ``FetchMemo`` holds live for one evaluator run; the
+``EvalColumns`` the derived plane of ``PostingCache`` (or the
+fingerprint-tagged memo of the in-memory indexes) holds live until the
+store generation (or insert-cost fingerprint) moves.  Both kinds are
+immutable shared objects, and the sparse tables lazily built on them are
+pure functions of their columns — safe to grow on a cached object and
+reuse from any later query.
 
 Thread-safety contract
 ----------------------
@@ -59,6 +74,10 @@ DEFAULT_POSTING_CACHE_BYTES = 8 * 1024 * 1024
 #: beats sys.getsizeof recursion on the hot path
 _BASE_COST = 120
 _ENTRY_COST = 96
+
+#: key-plane marker separating derived builds (columnar fetch lists)
+#: from the decoded postings they were built from
+_DERIVED_PLANE = b"\x00derived"
 
 _T = TypeVar("_T")
 
@@ -103,9 +122,10 @@ class PostingCache:
         if max_bytes < 0:
             raise StorageError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._entries: "OrderedDict[tuple[bytes, bytes], tuple[int, int, list]]" = (
-            OrderedDict()
-        )
+        # keys are (namespace, key) for postings and
+        # (namespace, key, _DERIVED_PLANE) for derived builds; both kinds
+        # share one LRU order and one byte budget
+        self._entries: "OrderedDict[tuple, tuple[int, int, object]]" = OrderedDict()
         self._used_bytes = 0
         # One coarse lock over the LRU structure: get/put are dict-sized
         # critical sections, so a single lock measured indistinguishable
@@ -123,37 +143,57 @@ class PostingCache:
     def get(self, namespace: bytes, key: bytes, generation: int) -> "list | None":
         """The cached posting under ``(namespace, key)``, or ``None`` on
         a miss or when the entry predates ``generation``."""
-        cache_key = (namespace, key)
+        return self._lookup((namespace, key), generation, "cache.posting")
+
+    def put(self, namespace: bytes, key: bytes, generation: int, posting: list) -> None:
+        """Remember ``posting`` under ``(namespace, key)`` at ``generation``."""
+        self._insert((namespace, key), generation, posting, len(posting))
+
+    def get_derived(self, namespace: bytes, key: bytes, generation: int):
+        """The cached derived build (columnar fetch list) under
+        ``(namespace, key)``, or ``None`` on a miss or when the entry
+        predates ``generation``.  Derived entries live in their own key
+        plane, so they never shadow the posting cached under the same
+        ``(namespace, key)``."""
+        return self._lookup((namespace, key, _DERIVED_PLANE), generation, "kernel.column_cache")
+
+    def put_derived(
+        self, namespace: bytes, key: bytes, generation: int, value, entries: int
+    ) -> None:
+        """Remember a derived build at ``generation``; ``entries`` is the
+        row count of the posting it was built from (the budget
+        estimate's currency, same scale as a cached posting)."""
+        self._insert((namespace, key, _DERIVED_PLANE), generation, value, entries)
+
+    def _lookup(self, cache_key, generation: int, family: str):
         with self._lock:
             entry = self._entries.get(cache_key)
             if entry is None:
-                _telemetry_count("cache.posting_misses")
+                _telemetry_count(family + "_misses")
                 return None
-            entry_generation, cost, posting = entry
+            entry_generation, cost, value = entry
             if entry_generation != generation:
                 # a write moved the store's generation: the entry is stale
                 del self._entries[cache_key]
                 self._used_bytes -= cost
-                _telemetry_count("cache.posting_invalidations")
-                _telemetry_count("cache.posting_misses")
+                _telemetry_count(family + "_invalidations")
+                _telemetry_count(family + "_misses")
                 return None
             self._entries.move_to_end(cache_key)
-            _telemetry_count("cache.posting_hits")
-            return posting
+            _telemetry_count(family + "_hits")
+            return value
 
-    def put(self, namespace: bytes, key: bytes, generation: int, posting: list) -> None:
-        """Remember ``posting`` under ``(namespace, key)`` at ``generation``."""
+    def _insert(self, cache_key, generation: int, value, entry_count: int) -> None:
         if not self.max_bytes:
             return
-        cost = _BASE_COST + _ENTRY_COST * len(posting)
+        cost = _BASE_COST + _ENTRY_COST * entry_count
         if cost > self.max_bytes:
             return  # a single oversized list would evict everything else
-        cache_key = (namespace, key)
         with self._lock:
             previous = self._entries.pop(cache_key, None)
             if previous is not None:
                 self._used_bytes -= previous[1]
-            self._entries[cache_key] = (generation, cost, posting)
+            self._entries[cache_key] = (generation, cost, value)
             self._used_bytes += cost
             entries = self._entries
             while self._used_bytes > self.max_bytes:

@@ -111,6 +111,23 @@ class QueryReport:
         return int(self.get("cache.posting_hits"))
 
     @property
+    def column_cache_hits(self) -> int:
+        """Kernel fetches served as already-built columnar lists (the
+        ``kernel.*`` family: derived-value caching above the posting
+        cache, with the sparse tables lazily grown on the columns)."""
+        return int(self.get("kernel.column_cache_hits"))
+
+    @property
+    def rmq_builds(self) -> int:
+        """Sparse tables built by join/outerjoin range-min lookups."""
+        return int(self.get("kernel.rmq_builds"))
+
+    @property
+    def rmq_reuses(self) -> int:
+        """Range-min lookups answered by an already-built sparse table."""
+        return int(self.get("kernel.rmq_reuses"))
+
+    @property
     def wal_frames_written(self) -> int:
         """Write-ahead-log frames appended (0 unless the store mutates
         under ``durability="wal"``)."""
@@ -135,7 +152,8 @@ class QueryReport:
             f"postings decoded: {self.postings_decoded} | "
             f"second-level queries: {self.second_level_queries}",
             f"  cache hits: {self.page_cache_hits} page / "
-            f"{self.posting_cache_hits} posting",
+            f"{self.posting_cache_hits} posting / "
+            f"{self.column_cache_hits} column",
         ]
         if self.wal_frames_written or self.wal_recoveries:
             lines.append(
@@ -171,6 +189,9 @@ class QueryReport:
                 "second_level_queries": self.second_level_queries,
                 "page_cache_hits": self.page_cache_hits,
                 "posting_cache_hits": self.posting_cache_hits,
+                "column_cache_hits": self.column_cache_hits,
+                "rmq_builds": self.rmq_builds,
+                "rmq_reuses": self.rmq_reuses,
                 "wal_frames_written": self.wal_frames_written,
                 "wal_recoveries": self.wal_recoveries,
             },

@@ -40,6 +40,23 @@ class NodeIndexes:
         the label never occurs."""
         raise NotImplementedError
 
+    def fetch_derived(self, label: str, node_type: NodeType, variant, build):
+        """A value derived from the posting of ``label`` — in practice
+        the evaluation kernel's columnar build — cached across queries
+        where the implementation can prove freshness.
+
+        ``build`` receives the posting list and returns the derived
+        value; ``variant`` distinguishes derivations of the same posting
+        (the kernel's leaf/non-leaf fetch tracks).  The base
+        implementation performs no caching; see
+        :class:`MemoryNodeIndexes` (insert-cost-fingerprint tagging) and
+        :class:`StoredNodeIndexes` (store-generation tagging through the
+        shared :class:`~repro.storage.cache.PostingCache`).  Cached
+        values are shared objects: callers must treat them as immutable,
+        exactly like cached postings.
+        """
+        return build(self.fetch(label, node_type))
+
     def labels(self, node_type: NodeType) -> Iterator[str]:
         """All labels present in the index for ``node_type``."""
         raise NotImplementedError
@@ -59,6 +76,7 @@ class MemoryNodeIndexes(NodeIndexes):
     def __init__(self, tree: DataTree) -> None:
         self._tree = tree
         self._by_type: tuple[dict[str, list[int]], dict[str, list[int]]] = ({}, {})
+        self._derived: dict = {}
         for pre in range(len(tree)):
             table = self._by_type[tree.types[pre]]
             table.setdefault(tree.labels[pre], []).append(pre)
@@ -76,6 +94,34 @@ class MemoryNodeIndexes(NodeIndexes):
         pathcosts = tree.pathcosts
         inscosts = tree.inscosts
         return [(pre, bounds[pre], pathcosts[pre], inscosts[pre]) for pre in pres]
+
+    def fetch_derived(self, label: str, node_type: NodeType, variant, build):
+        """Derived-value cache tagged with the tree's insert-cost
+        fingerprint: re-encoding the tree under a different cost table
+        changes the fingerprint and lazily drops every cached value.
+
+        The fingerprint is snapshotted *before* assembling the posting
+        (the same ordering contract as the stored indexes' generation
+        snapshot), so a re-encode racing the build leaves an entry that
+        the next lookup rejects instead of one that masks the re-encode.
+        A ``None`` fingerprint means costs were never encoded (or were
+        encoded unfingerprinted) and disables caching.
+        """
+        fingerprint = self._tree.insert_cost_fingerprint
+        key = (label, node_type, variant)
+        cached = self._derived.get(key)
+        if cached is not None and fingerprint is not None and cached[0] == fingerprint:
+            telemetry = _telemetry_current()
+            if telemetry is not None:
+                telemetry.count("kernel.column_cache_hits")
+            return cached[1]
+        value = build(self.fetch(label, node_type))
+        telemetry = _telemetry_current()
+        if telemetry is not None:
+            telemetry.count("kernel.column_cache_misses")
+        if fingerprint is not None:
+            self._derived[key] = (fingerprint, value)
+        return value
 
     def labels(self, node_type: NodeType) -> Iterator[str]:
         return iter(self._by_type[node_type])
@@ -153,6 +199,27 @@ class StoredNodeIndexes(NodeIndexes):
             telemetry.count("index.data_fetches")
             telemetry.count("index.data_postings", len(posting))
         return posting
+
+    def fetch_derived(self, label: str, node_type: NodeType, variant, build):
+        """Derived-value cache layered on the shared
+        :class:`~repro.storage.cache.PostingCache`: values are tagged
+        with the store generation snapshotted *before* the posting read
+        (the invalidation ordering documented on :meth:`fetch`), so any
+        write to the store lazily drops cached columns exactly like it
+        drops cached postings."""
+        cache = self._cache
+        if cache is None:
+            return build(self.fetch(label, node_type))
+        tag = STRUCT_NAMESPACE if node_type == NodeType.STRUCT else TEXT_NAMESPACE
+        key = _label_key(label) + (b"\x01" if variant else b"\x00")
+        generation = self._store.generation
+        value = cache.get_derived(tag, key, generation)
+        if value is not None:
+            return value
+        posting = self.fetch(label, node_type)
+        value = build(posting)
+        cache.put_derived(tag, key, generation, value, len(posting))
+        return value
 
     def labels(self, node_type: NodeType) -> Iterator[str]:
         namespace = self._struct if node_type == NodeType.STRUCT else self._text
