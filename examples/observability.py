@@ -70,7 +70,7 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         path = str(Path(tmp) / "catalog.apxq")
         db.save(path)
-        stored = Database.load(path)
+        stored = Database.open(path)
         report = stored.query(QUERY, n=5, collect="counters").report
         print(f"stored database: {report.pages_read} pages read, "
               f"{report.get('btree.node_visits')} B+tree node visits")

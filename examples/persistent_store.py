@@ -39,7 +39,7 @@ def main() -> None:
           f"{(time.perf_counter() - start) * 1000:.0f} ms)")
 
     start = time.perf_counter()
-    reopened = Database.load(path)
+    reopened = Database.open(path)
     print(f"reopened in {(time.perf_counter() - start) * 1000:.0f} ms")
 
     # pick a term that certainly occurs and query through the disk store

@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
 from .errors import EvaluationError
+from .storage.overlay import SnapshotOverlay, current_overlay, using_overlay
 from .telemetry import collector as _telemetry
 from .telemetry.collector import Telemetry
 
@@ -96,8 +97,11 @@ class QueryPool:
         _telemetry.count("concurrency.batches")
         _telemetry.count("concurrency.tasks", len(tasks))
         parent = _telemetry.current()
+        overlay = current_overlay()
         futures = [
-            self._executor.submit(_run_task, func, item, parent, time.perf_counter())
+            self._executor.submit(
+                _run_task, func, item, parent, overlay, time.perf_counter()
+            )
             for item in tasks
         ]
         results: "list[_R]" = []
@@ -123,13 +127,17 @@ def _run_task(
     func: "Callable[[_T], _R]",
     item: _T,
     parent: "Telemetry | None",
+    overlay: "SnapshotOverlay | None",
     submitted: float,
 ) -> "tuple[_R, Telemetry | None]":
-    """Run one task on a worker thread under its own collector."""
+    """Run one task on a worker thread under its own collector, with the
+    submitting thread's snapshot overlay re-activated so the task reads
+    the same pinned store generation (see :mod:`repro.storage.overlay`)."""
     if parent is None:
-        return func(item), None
+        with using_overlay(overlay):
+            return func(item), None
     task_telemetry = Telemetry(timed=parent.timed)
     task_telemetry.count("concurrency.queue_wait_seconds", time.perf_counter() - submitted)
-    with _telemetry.collecting(task_telemetry):
+    with _telemetry.collecting(task_telemetry), using_overlay(overlay):
         result = func(item)
     return result, task_telemetry

@@ -11,6 +11,9 @@ Examples::
     python -m repro info catalog.apxq
     python -m repro schema catalog.apxq
     python -m repro build catalog.apxq docs/*.xml --durability wal
+    python -m repro insert catalog.apxq new-disc.xml --durability wal
+    python -m repro delete catalog.apxq 42
+    python -m repro replace catalog.apxq 42 fixed-disc.xml
     python -m repro verify catalog.apxq
 """
 
@@ -23,8 +26,21 @@ import time
 from ..approxql.costs import CostModel
 from ..errors import ReproError
 from .database import Database
+from .persist import StoreOptions
 
 _DB_SUFFIX = ".apxq"
+
+
+def _store_options(args: argparse.Namespace) -> StoreOptions:
+    """The CLI's storage flags as the one shared keyword surface
+    (:class:`~repro.core.persist.StoreOptions`) that
+    :meth:`Database.open` / :meth:`Database.save` also take."""
+    return StoreOptions(
+        page_cache_pages=getattr(args, "page_cache_pages", None),
+        posting_cache_bytes=getattr(args, "posting_cache_bytes", None),
+        durability=getattr(args, "durability", "none") or "none",
+        wal_checkpoint_bytes=getattr(args, "wal_checkpoint_bytes", None),
+    )
 
 
 def _open_database(args: argparse.Namespace) -> Database:
@@ -32,18 +48,21 @@ def _open_database(args: argparse.Namespace) -> Database:
     cache and durability knobs); anything else is read as XML documents."""
     sources = args.sources
     if len(sources) == 1 and sources[0].endswith(_DB_SUFFIX):
-        return Database.open(
-            sources[0],
-            page_cache_pages=getattr(args, "page_cache_pages", None),
-            posting_cache_bytes=getattr(args, "posting_cache_bytes", None),
-            durability=getattr(args, "durability", "none") or "none",
-            wal_checkpoint_bytes=getattr(args, "wal_checkpoint_bytes", None),
-        )
+        return Database.open(sources[0], _store_options(args))
     documents = []
     for path in sources:
         with open(path, encoding="utf-8") as handle:
             documents.append(handle.read())
     return Database.from_xml(*documents)
+
+
+def _open_stored(args: argparse.Namespace) -> Database:
+    """Open the saved database a mutation command targets."""
+    if not args.database.endswith(_DB_SUFFIX):
+        raise ReproError(
+            f"mutation commands need a saved {_DB_SUFFIX} database, got {args.database!r}"
+        )
+    return Database.open(args.database, _store_options(args))
 
 
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
@@ -93,13 +112,45 @@ def _load_costs(path: "str | None") -> "CostModel | None":
 def _command_build(args: argparse.Namespace) -> int:
     database = _open_database(args)
     start = time.perf_counter()
-    database.save(
-        args.output,
-        durability=args.durability,
-        wal_checkpoint_bytes=args.wal_checkpoint_bytes,
-    )
+    database.save(args.output, _store_options(args))
     elapsed = time.perf_counter() - start
     print(f"built {args.output}: {database.describe()} ({elapsed:.1f}s)")
+    return 0
+
+
+def _command_insert(args: argparse.Namespace) -> int:
+    database = _open_stored(args)
+    with open(args.document, encoding="utf-8") as handle:
+        xml = handle.read()
+    report = database.insert_document(xml)
+    database._store.close()
+    print(report.format())
+    return 0
+
+
+def _command_delete(args: argparse.Namespace) -> int:
+    database = _open_stored(args)
+    report = database.delete_document(args.root)
+    database._store.close()
+    print(report.format())
+    return 0
+
+
+def _command_replace(args: argparse.Namespace) -> int:
+    database = _open_stored(args)
+    with open(args.document, encoding="utf-8") as handle:
+        xml = handle.read()
+    report = database.replace_document(args.root, xml)
+    database._store.close()
+    print(report.format())
+    return 0
+
+
+def _command_documents(args: argparse.Namespace) -> int:
+    database = _open_database(args)
+    tree = database.tree
+    for root in database.documents():
+        print(f"{root}\t{tree.label(root)}\t{tree.bounds[root] - root + 1} nodes")
     return 0
 
 
@@ -185,6 +236,38 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("sources", nargs="+", help="XML document files")
     _add_durability_options(build)
     build.set_defaults(func=_command_build)
+
+    insert = commands.add_parser(
+        "insert", help="add one XML document to a saved database, in place"
+    )
+    insert.add_argument("database", help=f"a saved {_DB_SUFFIX} file")
+    insert.add_argument("document", help="XML file holding one document")
+    _add_cache_options(insert)
+    insert.set_defaults(func=_command_insert)
+
+    delete = commands.add_parser(
+        "delete", help="remove the document rooted at a pre number, in place"
+    )
+    delete.add_argument("database", help=f"a saved {_DB_SUFFIX} file")
+    delete.add_argument("root", type=int, help="document root pre (see 'documents')")
+    _add_cache_options(delete)
+    delete.set_defaults(func=_command_delete)
+
+    replace = commands.add_parser(
+        "replace", help="atomically swap the document at a pre number for an XML file"
+    )
+    replace.add_argument("database", help=f"a saved {_DB_SUFFIX} file")
+    replace.add_argument("root", type=int, help="document root pre (see 'documents')")
+    replace.add_argument("document", help="XML file holding the replacement document")
+    _add_cache_options(replace)
+    replace.set_defaults(func=_command_replace)
+
+    documents = commands.add_parser(
+        "documents", help="list live document roots (the pre numbers mutations take)"
+    )
+    documents.add_argument("sources", nargs="+")
+    _add_cache_options(documents)
+    documents.set_defaults(func=_command_documents)
 
     verify = commands.add_parser(
         "verify", help="walk a saved database's pages and WAL frames, checking checksums"

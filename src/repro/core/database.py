@@ -1,9 +1,12 @@
-"""The database façade: build a collection once, query it many ways.
+"""The database façade: build a collection, query it many ways, mutate it
+while queries keep running.
 
 This is the public entry point a downstream user adopts::
 
     db = Database.from_xml(xml_one, xml_two)
     results = db.query('cd[title["piano"]]', n=10, costs=my_costs)
+    root = db.insert_document("<cd><title>new disc</title></cd>").root
+    db.delete_document(root)
 
 Both of the paper's algorithms are available per query (``method="direct"``
 or ``"schema"``); the default ``"auto"`` follows the paper's conclusion —
@@ -13,12 +16,27 @@ running the query; ``collect="counters"`` (or ``"timings"``) makes
 :meth:`Database.query` return a :class:`~repro.core.results.ResultSet`
 whose :class:`~repro.telemetry.report.QueryReport` accounts for every
 page read, posting decoded, and second-level query executed.
+
+Mutation and snapshot reads (MVCC-lite)
+---------------------------------------
+:meth:`Database.insert_document` / :meth:`~Database.delete_document` /
+:meth:`~Database.replace_document` mutate the collection at document
+granularity, incrementally maintaining the pre/bound encoding, the
+stored indexes, and the DataGuide — see ``docs/MUTATION.md``.  Every
+query runs against one immutable *engine state* (tree view + schema +
+evaluators) pinned at its start; a writer builds the successor state
+copy-on-write and publishes it atomically, so readers never block and
+never observe half a mutation.  :meth:`Database.snapshot` pins a state
+explicitly — the returned :class:`Snapshot` keeps answering queries
+against its generation while writers move the database forward.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
+import weakref
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
@@ -28,18 +46,32 @@ from ..approxql.parser import parse_query
 from ..concurrent import QueryPool, resolve_jobs
 from ..engine.evaluator import DirectEvaluator
 from ..errors import EvaluationError
-from ..schema.dataguide import Schema, build_schema
+from ..schema.dataguide import (
+    Schema,
+    build_schema,
+    update_schema_for_delete,
+    update_schema_for_insert,
+)
 from ..schema.evaluator import EvaluationStats, SchemaEvaluator
 from ..schema.indexes import StoredSecondaryIndex
 from ..storage.kv import MemoryStore, Store
+from ..storage.overlay import SnapshotOverlay, using_overlay
 from ..telemetry import collector as _telemetry
 from ..telemetry.collector import MODE_OFF, MODE_TIMINGS, MODES, Telemetry
 from ..telemetry.report import QueryReport
-from ..xmltree.builder import BuildOptions, CollectionBuilder
-from ..xmltree.indexes import MemoryNodeIndexes, StoredNodeIndexes
-from ..xmltree.model import DataTree
+from ..xmltree.builder import BuildOptions, CollectionBuilder, tree_from_xml
+from ..xmltree.indexes import MemoryNodeIndexes, NodeIndexes, StoredNodeIndexes
+from ..xmltree.model import DataTree, compact_tree
 from .explain import Explanation, explain_skeleton
-from .persist import load_tree, open_file_store, save_tree
+from .mutation import MutationReport, StoreMutator, _node_entry
+from .persist import (
+    StoreOptions,
+    append_tree_segment,
+    load_tree,
+    open_file_store,
+    save_dead_roots,
+    save_tree,
+)
 from .results import QueryResult, ResultSet, ResultStream
 
 _METHODS = ("auto", "direct", "schema")
@@ -78,11 +110,250 @@ class QueryPlan:
         return "\n".join(lines)
 
 
+class _EngineState:
+    """One immutable generation of the engine: the tree view, schema, and
+    evaluators a query (or pinned snapshot) runs against.
+
+    States are swapped atomically by the writer; a reader grabs the
+    current state once and uses only it.  The tree *object* is shared
+    across generations (a graft appends at the tail, a delete only
+    tombstones), so the state additionally freezes the two quantities
+    that do move: ``node_count`` and the live ``documents`` tuple.
+
+    The components of the newest memory-backed state build lazily (the
+    first query pays, exactly as before mutation existed); the writer
+    fully materializes the current state before touching the shared
+    arrays, so a *superseded* state is never lazy and never observes the
+    grown tree.
+    """
+
+    __slots__ = (
+        "generation",
+        "tree",
+        "node_count",
+        "documents",
+        "schema",
+        "node_indexes",
+        "secondary",
+        "direct",
+        "schema_evaluator",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        tree: DataTree,
+        schema: "Schema | None" = None,
+        node_indexes: "NodeIndexes | None" = None,
+        secondary: "StoredSecondaryIndex | None" = None,
+        direct: "DirectEvaluator | None" = None,
+        schema_evaluator: "SchemaEvaluator | None" = None,
+    ) -> None:
+        self.generation = generation
+        self.tree = tree
+        self.node_count = len(tree)
+        self.documents: tuple[int, ...] = tuple(tree.document_roots())
+        self.schema = schema
+        self.node_indexes = node_indexes
+        self.secondary = secondary
+        self.direct = direct
+        self.schema_evaluator = schema_evaluator
+        self._lock = threading.Lock()
+
+    # Lazy accessors use double-checked locking: slot reads are atomic
+    # under CPython, the lock only serializes construction.  Dependencies
+    # are built *before* taking the lock so it never nests.
+
+    def ensure_node_indexes(self) -> NodeIndexes:
+        if self.node_indexes is None:
+            with self._lock:
+                if self.node_indexes is None:
+                    self.node_indexes = MemoryNodeIndexes(self.tree)
+        return self.node_indexes
+
+    def ensure_schema(self) -> Schema:
+        if self.schema is None:
+            evaluator = self.schema_evaluator
+            built = None
+            if evaluator is None or evaluator.schema is None:
+                built = build_schema(self.tree)
+            with self._lock:
+                if self.schema is None:
+                    if evaluator is not None and evaluator.schema is not None:
+                        self.schema = evaluator.schema
+                    else:
+                        self.schema = built
+        return self.schema
+
+    def direct_evaluator(self) -> DirectEvaluator:
+        if self.direct is None:
+            indexes = self.ensure_node_indexes()
+            with self._lock:
+                if self.direct is None:
+                    self.direct = DirectEvaluator(self.tree, indexes)
+        return self.direct
+
+    def schema_eval(self) -> SchemaEvaluator:
+        if self.schema_evaluator is None:
+            schema = self.ensure_schema()
+            with self._lock:
+                if self.schema_evaluator is None:
+                    self.schema_evaluator = SchemaEvaluator(
+                        self.tree, schema, secondary_index=self.secondary
+                    )
+        return self.schema_evaluator
+
+    def materialize(self) -> None:
+        """Build every lazy component now (the writer calls this before
+        mutating the shared tree)."""
+        self.ensure_node_indexes()
+        self.ensure_schema()
+        self.direct_evaluator()
+        self.schema_eval()
+
+
+class Snapshot:
+    """A read view pinned to one generation of a :class:`Database`.
+
+    Obtained from :meth:`Database.snapshot`; every query method answers
+    against the pinned generation even while writers mutate the database
+    concurrently — for a stored database the writer preserves each
+    pre-mutation posting into this snapshot's overlay before overwriting
+    it (see :mod:`repro.storage.overlay`).  Close the snapshot (or use it
+    as a context manager) when done; an open snapshot keeps accumulating
+    preserved values while writers run.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        state: _EngineState,
+        overlay: "SnapshotOverlay | None",
+    ) -> None:
+        self._database = database
+        self._state = state
+        self._overlay = overlay
+        self._closed = False
+
+    # -- pinned facts ---------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The database generation this snapshot serves."""
+        return self._state.generation
+
+    @property
+    def node_count(self) -> int:
+        return self._state.node_count
+
+    @property
+    def documents(self) -> tuple[int, ...]:
+        """Root pre numbers of the live documents at the pinned generation."""
+        return self._state.documents
+
+    # -- querying (the Database signatures, against the pinned state) ---
+
+    def query(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 10,
+        costs: "CostModel | None" = None,
+        method: str = "auto",
+        max_cost: "float | None" = None,
+        collect: str = "off",
+        jobs: "int | None" = None,
+    ) -> ResultSet:
+        """:meth:`Database.query` against the pinned generation."""
+        self._check_open()
+        with using_overlay(self._overlay):
+            return self._database._query_impl(
+                self._state, text, n, costs, method, max_cost, None, collect, jobs
+            )
+
+    def count_results(
+        self, text: "str | NameSelector", costs: "CostModel | None" = None
+    ) -> int:
+        """:meth:`Database.count_results` against the pinned generation."""
+        self._check_open()
+        with using_overlay(self._overlay):
+            return self._database._count_impl(self._state, text, costs)
+
+    def stream(
+        self,
+        text: "str | NameSelector",
+        costs: "CostModel | None" = None,
+        initial_k: "int | None" = None,
+        delta: "int | None" = None,
+        collect: str = "off",
+    ) -> ResultStream:
+        """:meth:`Database.stream` against the pinned generation.
+
+        The stream borrows this snapshot's pin: keep the snapshot open
+        while pulling results.
+        """
+        self._check_open()
+        return self._database._stream_impl(
+            self._state, self._overlay, None, text, costs, initial_k, delta, collect
+        )
+
+    def explain(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 5,
+        costs: "CostModel | None" = None,
+    ) -> list[Explanation]:
+        """:meth:`Database.explain` against the pinned generation."""
+        self._check_open()
+        with using_overlay(self._overlay):
+            return self._database._explain_impl(self._state, text, n, costs)
+
+    def plan(
+        self, text: "str | NameSelector", n: "int | None" = 10, method: str = "auto"
+    ) -> QueryPlan:
+        """:meth:`Database.plan` (the decision is generation-independent)."""
+        self._check_open()
+        return self._database.plan(text, n=n, method=method)
+
+    def describe(self) -> str:
+        """One-line summary of the collection at the pinned generation."""
+        self._check_open()
+        schema = self._state.ensure_schema()
+        return (
+            f"Snapshot of generation {self.generation}: "
+            f"{self.node_count} data nodes, {len(schema)} schema nodes, "
+            f"{len(self.documents)} documents"
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pin (idempotent).  Queries on a closed snapshot
+        raise a typed error."""
+        if not self._closed:
+            self._closed = True
+            self._database._release(self._overlay)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EvaluationError("snapshot is closed")
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else "open"
+        return f"Snapshot(generation={self.generation}, {status})"
+
+
 class Database:
-    """A queryable collection of XML documents.
+    """A queryable, mutable collection of XML documents.
 
     Create instances through :meth:`from_xml`, :meth:`from_tree`, or
-    :meth:`load`; the constructor wires an already-built tree.
+    :meth:`open`; the constructor wires an already-built tree.
     """
 
     def __init__(
@@ -94,15 +365,26 @@ class Database:
         _schema_evaluator: "SchemaEvaluator | None" = None,
         _frozen_fingerprint: "str | None" = None,
     ) -> None:
-        self._tree = tree
+        schema = None
+        if _schema_evaluator is not None and _schema_evaluator.schema is not None:
+            schema = _schema_evaluator.schema
+        self._state = _EngineState(
+            0, tree, schema=schema, direct=_direct, schema_evaluator=_schema_evaluator
+        )
         self._default_costs = default_costs if default_costs is not None else CostModel()
         self._stored = _stored
         self._frozen_fingerprint = _frozen_fingerprint
-        self._direct = _direct
-        self._schema_evaluator = _schema_evaluator
-        self._schema: "Schema | None" = None
-        #: the file store behind a loaded database (None when in-memory)
+        #: the file store behind an opened database (None when in-memory)
         self._store: "Store | None" = None
+        self._store_options: "StoreOptions | None" = None
+        # Mutation machinery.  One writer at a time (_write_lock); the
+        # overlay lock orders snapshot pinning against the writer's
+        # preserve-then-write steps (see _pin / _preserve).
+        self._write_lock = threading.Lock()
+        self._overlay_lock = threading.Lock()
+        self._overlays: "weakref.WeakSet[SnapshotOverlay]" = weakref.WeakSet()
+        self._pending: "dict[tuple[bytes, bytes], object] | None" = None
+        self._failed: "str | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -166,53 +448,78 @@ class Database:
     def save(
         self,
         path: str,
-        durability: str = "none",
+        options: "StoreOptions | None" = None,
+        *,
+        durability: "str | None" = None,
         wal_checkpoint_bytes: "int | None" = None,
     ) -> None:
         """Persist the tree and every index into a single-file store.
 
         Everything is staged in memory first and bulk-loaded into the
         B+tree in one sorted pass — the fast path for building read-mostly
-        index files.
+        index files.  A mutated collection is vacuumed on the way out:
+        tombstoned documents are compacted away, so the saved file is as
+        dense as a fresh build (reopening it assigns new pre numbers when
+        documents were deleted).
 
-        ``durability="wal"`` routes the build through the write-ahead
-        log: a build killed at any I/O boundary leaves either the
-        finished store or a cleanly empty one, never a half-written
-        file.  The default ``"none"`` writes straight through (fastest;
-        an interrupted build must be re-run).
+        ``options`` is the shared :class:`~repro.core.persist.StoreOptions`
+        keyword surface; the explicit ``durability`` /
+        ``wal_checkpoint_bytes`` keywords override its fields for callers
+        that only need those.  ``durability="wal"`` routes the build
+        through the write-ahead log: a build killed at any I/O boundary
+        leaves either the finished store or a cleanly empty one, never a
+        half-written file.  The default ``"none"`` writes straight
+        through (fastest; an interrupted build must be re-run).
         """
-        costs = self._default_costs
-        self._tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
-        staging = MemoryStore()
-        save_tree(self._tree, staging, costs)
-        StoredNodeIndexes.build(self._tree, staging)
-        StoredSecondaryIndex.build(self.schema, staging)
-        with open_file_store(
-            path, durability=durability, wal_checkpoint_bytes=wal_checkpoint_bytes
-        ) as store:
-            store.bulk_load(list(staging.scan()))
-            store.sync()
+        options = (options or StoreOptions()).merged(
+            durability=durability, wal_checkpoint_bytes=wal_checkpoint_bytes
+        )
+        with self._write_lock:
+            self._check_failed()
+            state = self._state
+            costs = self._default_costs
+            tree = compact_tree(state.tree)
+            tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+            if tree is state.tree:
+                schema = state.ensure_schema()
+            else:
+                schema = build_schema(tree)
+            schema.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+            staging = MemoryStore()
+            save_tree(tree, staging, costs)
+            StoredNodeIndexes.build(tree, staging)
+            StoredSecondaryIndex.build(schema, staging)
+            with open_file_store(path, options) as store:
+                store.bulk_load(list(staging.scan()))
+                store.sync()
 
     @classmethod
     def open(
         cls,
         path: str,
+        options: "StoreOptions | None" = None,
+        *,
         page_cache_pages: "int | None" = None,
         posting_cache_bytes: "int | None" = None,
-        durability: str = "none",
+        durability: "str | None" = None,
         wal_checkpoint_bytes: "int | None" = None,
+        page_size: "int | None" = None,
     ) -> "Database":
         """Open a saved database; posting fetches go to the file store.
 
-        A missing, empty, or non-database file raises a typed
+        The one entry point for stored databases (the historical
+        :meth:`load` is a deprecated alias).  A missing, empty, or
+        non-database file raises a typed
         :class:`~repro.errors.StorageError` naming the path and reason.
         If the store crashed while in WAL durability mode, its log is
         recovered before anything is read — committed batches are
         replayed, uncommitted ones rolled back — in *every* durability
         mode.
 
-        Two read-path caches sit between the evaluators and the file,
-        both on by default:
+        ``options`` is the single keyword surface for every storage knob
+        (:class:`~repro.core.persist.StoreOptions`), shared verbatim with
+        :meth:`save` and the CLI.  The explicit keywords override its
+        fields, so existing call sites keep working:
 
         ``page_cache_pages``
             Capacity of the pager's LRU page cache (the buffer-pool role
@@ -224,27 +531,30 @@ class Database:
             across queries (and across the best-*n* driver's rounds).
             ``0`` disables it; ``None`` keeps the default
             (:data:`~repro.storage.cache.DEFAULT_POSTING_CACHE_BYTES`).
-
-        ``durability`` selects the crash story for *writes made through
-        this handle* (``"wal"`` logs them; the default ``"none"``
-        matches the historical engine byte for byte), and
-        ``wal_checkpoint_bytes`` sizes the log-fold trigger.
+        ``durability``
+            Crash story for writes made through this handle — document
+            mutations above all: ``"wal"`` makes each mutation one
+            atomic commit frame, the default ``"none"`` matches the
+            historical engine byte for byte.  ``wal_checkpoint_bytes``
+            sizes the log-fold trigger.
 
         With both cache knobs at ``0`` the read path is byte-identical
         to the uncached engine.
         """
         from ..storage.cache import DEFAULT_POSTING_CACHE_BYTES, PostingCache
 
-        store = open_file_store(
-            path,
-            cache_pages=page_cache_pages,
+        options = (options or StoreOptions()).merged(
+            page_cache_pages=page_cache_pages,
+            posting_cache_bytes=posting_cache_bytes,
             durability=durability,
             wal_checkpoint_bytes=wal_checkpoint_bytes,
-            must_exist=True,
+            page_size=page_size,
         )
-        if posting_cache_bytes is None:
-            posting_cache_bytes = DEFAULT_POSTING_CACHE_BYTES
-        posting_cache = PostingCache(posting_cache_bytes) if posting_cache_bytes else None
+        store = open_file_store(path, options, must_exist=True)
+        cache_bytes = options.posting_cache_bytes
+        if cache_bytes is None:
+            cache_bytes = DEFAULT_POSTING_CACHE_BYTES
+        posting_cache = PostingCache(cache_bytes) if cache_bytes else None
         tree, insert_costs, fingerprint = load_tree(store)
         node_indexes = StoredNodeIndexes(store, posting_cache)
         secondary = StoredSecondaryIndex(store, posting_cache)
@@ -254,31 +564,30 @@ class Database:
             tree,
             default_costs=insert_costs,
             _stored=True,
-            _direct=DirectEvaluator(tree, node_indexes),
-            _schema_evaluator=SchemaEvaluator(tree, schema, secondary_index=secondary),
             _frozen_fingerprint=fingerprint,
         )
-        database._schema = schema
+        database._state = _EngineState(
+            0,
+            tree,
+            schema=schema,
+            node_indexes=node_indexes,
+            secondary=secondary,
+            direct=DirectEvaluator(tree, node_indexes),
+            schema_evaluator=SchemaEvaluator(tree, schema, secondary_index=secondary),
+        )
         database._store = store
+        database._store_options = options
         return database
 
     @classmethod
-    def load(
-        cls,
-        path: str,
-        page_cache_pages: "int | None" = None,
-        posting_cache_bytes: "int | None" = None,
-        durability: str = "none",
-        wal_checkpoint_bytes: "int | None" = None,
-    ) -> "Database":
-        """Alias of :meth:`open` (the historical name)."""
-        return cls.open(
-            path,
-            page_cache_pages=page_cache_pages,
-            posting_cache_bytes=posting_cache_bytes,
-            durability=durability,
-            wal_checkpoint_bytes=wal_checkpoint_bytes,
+    def load(cls, path: str, *args, **kwargs) -> "Database":
+        """Deprecated alias of :meth:`open` (the historical name)."""
+        warnings.warn(
+            "Database.load is deprecated; use Database.open (same arguments)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return cls.open(path, *args, **kwargs)
 
     # ------------------------------------------------------------------
     # inspection
@@ -286,34 +595,284 @@ class Database:
 
     @property
     def tree(self) -> DataTree:
-        return self._tree
+        return self._state.tree
 
     @property
     def schema(self) -> Schema:
         """The compacted DataGuide of the collection (built lazily)."""
-        if self._schema is None:
-            evaluator = self._schema_evaluator
-            if evaluator is not None and evaluator.schema is not None:
-                self._schema = evaluator.schema
-            else:
-                self._schema = build_schema(self._tree)
-        return self._schema
+        return self._state.ensure_schema()
 
     @property
     def node_count(self) -> int:
-        return len(self._tree)
+        """Total nodes in the arrays, tombstones included (see
+        :attr:`live_node_count` for the queryable population)."""
+        return len(self._state.tree)
+
+    @property
+    def live_node_count(self) -> int:
+        """Nodes belonging to live documents, super-root included."""
+        return self._state.tree.live_node_count
+
+    @property
+    def generation(self) -> int:
+        """Number of mutations published so far (0 for a fresh build)."""
+        return self._state.generation
+
+    def documents(self) -> tuple[int, ...]:
+        """Root pre numbers of the live documents, in insertion order."""
+        return self._state.documents
 
     def describe(self) -> str:
         """One-paragraph summary of the collection."""
-        schema = self.schema
+        state = self._state
+        schema = state.ensure_schema()
         summary = (
-            f"Database: {len(self._tree)} data nodes, {len(schema)} schema nodes, "
-            f"{len(self._tree.document_roots())} documents"
+            f"Database: {state.node_count} data nodes, {len(schema)} schema nodes, "
+            f"{len(state.documents)} documents"
         )
+        dead = len(state.tree.dead_roots)
+        if dead:
+            summary += f", {dead} tombstoned"
+        if state.generation:
+            summary += f", generation {state.generation}"
         store = self._store
         if store is not None and getattr(store, "durability", "none") == "wal":
             summary += ", wal durability"
         return summary
+
+    # ------------------------------------------------------------------
+    # snapshot pinning (MVCC-lite)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current generation for reading.
+
+        The returned :class:`Snapshot` answers every query against this
+        generation even while :meth:`insert_document` /
+        :meth:`delete_document` / :meth:`replace_document` move the
+        database forward: the writer preserves each pre-mutation posting
+        into the snapshot's overlay before overwriting it (stored
+        databases), and in-memory databases pin the immutable engine
+        state directly.  Close the snapshot when done.
+        """
+        self._check_failed()
+        state, overlay = self._pin()
+        return Snapshot(self, state, overlay)
+
+    def _pin(self) -> "tuple[_EngineState, SnapshotOverlay | None]":
+        """The current state plus, for stored databases, a registered
+        overlay seeded with whatever an in-flight mutation has already
+        preserved — so pinning mid-mutation still yields the previous
+        generation's complete view."""
+        if self._store is None:
+            return self._state, None
+        with self._overlay_lock:
+            state = self._state
+            overlay = SnapshotOverlay(state.generation)
+            if self._pending:
+                for (tag, key), value in self._pending.items():
+                    overlay.preserve(tag, key, value)
+            self._overlays.add(overlay)
+        return state, overlay
+
+    def _release(self, overlay: "SnapshotOverlay | None") -> None:
+        if overlay is None:
+            return
+        with self._overlay_lock:
+            self._overlays.discard(overlay)
+
+    def _preserve(self, tag: bytes, key: bytes, value: object) -> None:
+        """Writer-side copy-on-write: pin ``key``'s old decoded value into
+        every registered overlay (and the in-flight seed) before the
+        store write lands."""
+        with self._overlay_lock:
+            if self._pending is not None:
+                self._pending.setdefault((tag, key), value)
+            for overlay in self._overlays:
+                overlay.preserve(tag, key, value)
+
+    def _check_failed(self) -> None:
+        if self._failed is not None:
+            raise EvaluationError(
+                f"database is unusable after a failed {self._failed} mutation "
+                "(the store may hold an uncommitted half-write); reopen it to "
+                "recover the last committed state"
+            )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert_document(
+        self, xml: str, options: "BuildOptions | None" = None
+    ) -> MutationReport:
+        """Add one XML document to the collection, online.
+
+        The document's nodes are grafted at the tail of the preorder (no
+        existing node is renumbered), the touched index postings and
+        DataGuide classes are maintained incrementally, and — for a
+        stored database — every write lands in one WAL commit frame.
+        Queries running concurrently keep their pinned view.  Returns a
+        :class:`~repro.core.mutation.MutationReport` whose ``root`` is
+        the new document's root pre number.
+        """
+        document = tree_from_xml(xml, options=options)
+        return self._mutate("insert", document=document)
+
+    def delete_document(self, root: int) -> MutationReport:
+        """Remove the document rooted at pre number ``root``, online.
+
+        The document is tombstoned — its nodes stay as holes in the
+        preorder, so no survivor is renumbered — and filtered out of
+        every index posting and DataGuide instance list; emptied classes
+        keep their ids.  :meth:`save` compacts tombstones away.
+        """
+        return self._mutate("delete", remove_root=root)
+
+    def replace_document(
+        self, root: int, xml: str, options: "BuildOptions | None" = None
+    ) -> MutationReport:
+        """Atomically replace the document at ``root`` with ``xml`` — a
+        delete and an insert published as one generation (and, for a
+        stored database, one commit frame)."""
+        document = tree_from_xml(xml, options=options)
+        return self._mutate("replace", document=document, remove_root=root)
+
+    def _mutate(
+        self,
+        action: str,
+        document: "DataTree | None" = None,
+        remove_root: "int | None" = None,
+    ) -> MutationReport:
+        started = time.perf_counter()
+        with self._write_lock:
+            self._check_failed()
+            state = self._state
+            # A superseded state must never be lazy: build everything
+            # before the shared arrays change.
+            state.materialize()
+            tree = state.tree
+            costs = self._default_costs
+            tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
+            if remove_root is not None:
+                self._check_document_root(tree, remove_root)
+            stored = self._store is not None
+            start = len(tree)
+            new_root: "int | None" = None
+            nodes_removed = 0
+            schema = state.schema
+            delete_update = insert_update = None
+            grafted = marked = False
+            keys_rewritten = 0
+            if stored:
+                with self._overlay_lock:
+                    self._pending = {}
+            try:
+                if remove_root is not None:
+                    nodes_removed = tree.bounds[remove_root] - remove_root + 1
+                    tree.mark_dead(remove_root)
+                    marked = True
+                    delete_update = update_schema_for_delete(schema, tree, remove_root)
+                    schema = delete_update.schema
+                if document is not None:
+                    new_root = tree.graft_document(document, costs.insert_cost)
+                    grafted = True
+                    insert_update = update_schema_for_insert(schema, tree, start)
+                    schema = insert_update.schema
+                added = range(start, len(tree)) if document is not None else None
+                removed = (
+                    (remove_root, tree.bounds[remove_root])
+                    if remove_root is not None
+                    else None
+                )
+                if stored:
+                    if added is not None:
+                        # integer-cost check before the first store write
+                        for pre in added:
+                            _node_entry(tree, pre)
+                    mutator = StoreMutator(self._store, self._preserve)
+                    mutator.update_node_postings(tree, added=added, removed=removed)
+                    if delete_update is not None:
+                        mutator.update_secondary(state.schema, delete_update)
+                    if insert_update is not None:
+                        base = (
+                            delete_update.schema
+                            if delete_update is not None
+                            else state.schema
+                        )
+                        mutator.update_secondary(base, insert_update)
+                    if added is not None:
+                        append_tree_segment(tree, self._store, start)
+                    if removed is not None:
+                        save_dead_roots(tree, self._store)
+                    # THE commit point: everything above is one WAL frame.
+                    self._store.commit()
+                    keys_rewritten = mutator.keys_rewritten
+                    schema.encode_costs(
+                        costs.insert_cost, fingerprint=costs.insert_fingerprint
+                    )
+                    node_indexes: NodeIndexes = state.node_indexes
+                    secondary = state.secondary
+                else:
+                    node_indexes = MemoryNodeIndexes.evolve(
+                        state.node_indexes, tree, added=added, removed=removed
+                    )
+                    secondary = None
+            except BaseException:
+                if stored:
+                    # The store may hold uncommitted half-writes in btree
+                    # memory; poison the handle so no reader trusts it.
+                    # Reopening recovers the last committed state.
+                    self._failed = action
+                    with self._overlay_lock:
+                        self._pending = None
+                else:
+                    if grafted:
+                        tree.ungraft(start)
+                    if marked:
+                        tree.dead_roots.discard(remove_root)
+                raise
+            new_state = _EngineState(
+                state.generation + 1,
+                tree,
+                schema=schema,
+                node_indexes=node_indexes,
+                secondary=secondary,
+                direct=DirectEvaluator(tree, node_indexes),
+                schema_evaluator=SchemaEvaluator(
+                    tree, schema, secondary_index=secondary
+                ),
+            )
+            with self._overlay_lock:
+                self._state = new_state
+                self._pending = None
+            _telemetry.count(f"mutation.{action}s")
+            nodes_added = len(tree) - start if document is not None else 0
+            if nodes_added:
+                _telemetry.count("mutation.nodes_added", nodes_added)
+            if nodes_removed:
+                _telemetry.count("mutation.nodes_removed", nodes_removed)
+            return MutationReport(
+                action=action,
+                generation=new_state.generation,
+                root=new_root,
+                removed_root=remove_root,
+                nodes_added=nodes_added,
+                nodes_removed=nodes_removed,
+                classes_added=insert_update.classes_added if insert_update else 0,
+                schema_renumbered=bool(insert_update and insert_update.renumbered),
+                keys_rewritten=keys_rewritten,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+    @staticmethod
+    def _check_document_root(tree: DataTree, root: int) -> None:
+        if root <= 0 or root >= len(tree) or tree.parents[root] != 0:
+            raise EvaluationError(
+                f"pre {root} is not a document root (see Database.documents())"
+            )
+        if root in tree.dead_roots:
+            raise EvaluationError(f"document at pre {root} was already deleted")
 
     # ------------------------------------------------------------------
     # querying
@@ -337,6 +896,11 @@ class Database:
         ``"direct"`` (Section 6), ``"schema"`` (Section 7), or ``"auto"``
         (schema for best-n, direct for all).
 
+        The query runs against the generation current at its start: a
+        concurrent mutation neither blocks it nor leaks half-applied
+        postings into it (see :meth:`snapshot` for pinning one generation
+        across many queries).
+
         ``collect`` controls telemetry: ``"off"`` (default) attaches a
         report with only the method and wall time, ``"counters"`` fills
         the per-stage counters (pages read, postings decoded, second-level
@@ -354,6 +918,28 @@ class Database:
         :class:`~repro.schema.evaluator.EvaluationStats` hook; prefer
         ``collect="counters"`` and the returned report.
         """
+        state, overlay = self._pin()
+        try:
+            with using_overlay(overlay):
+                return self._query_impl(
+                    state, text, n, costs, method, max_cost, stats, collect, jobs
+                )
+        finally:
+            self._release(overlay)
+
+    def _query_impl(
+        self,
+        state: _EngineState,
+        text: "str | NameSelector",
+        n: "int | None",
+        costs: "CostModel | None",
+        method: str,
+        max_cost: "float | None",
+        stats: "EvaluationStats | None",
+        collect: str,
+        jobs: "int | None",
+    ) -> ResultSet:
+        self._check_failed()
         query, resolved_costs = self._resolve(text, costs)
         chosen, _ = self._choose_method(method, n)
         if collect not in MODES:
@@ -363,16 +949,16 @@ class Database:
                 "Database.query(stats=...) is deprecated; pass collect='counters' "
                 "and read the schema.* counters off ResultSet.report",
                 DeprecationWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
         telemetry = Telemetry(timed=collect == MODE_TIMINGS) if collect != MODE_OFF else None
         start = time.perf_counter()
         if telemetry is None:
-            results = self._evaluate(chosen, query, resolved_costs, n, max_cost, stats, jobs)
+            results = self._evaluate(state, chosen, query, resolved_costs, n, max_cost, stats, jobs)
         else:
             with _telemetry.collecting(telemetry):
                 results = self._evaluate(
-                    chosen, query, resolved_costs, n, max_cost, stats, jobs
+                    state, chosen, query, resolved_costs, n, max_cost, stats, jobs
                 )
         wall_seconds = time.perf_counter() - start
         report = QueryReport.from_telemetry(
@@ -412,7 +998,10 @@ class Database:
         table rewrites shared per-node cost arrays on the tree and the
         schema, so a batch mixing insert fingerprints falls back to
         serial evaluation (correct, just not parallel — see
-        ``docs/CONCURRENCY.md``).
+        ``docs/CONCURRENCY.md``).  The fallback is *not* silent: every
+        returned report carries a ``concurrency.batch_fallback = 1``
+        counter (in every ``collect`` mode) so callers can detect the
+        lost parallelism.
         """
         resolved: list[tuple[NameSelector, CostModel]] = []
         for item in queries:
@@ -422,27 +1011,35 @@ class Database:
             else:
                 resolved.append(self._resolve(item, costs))
         jobs = resolve_jobs(jobs)
+        fallback = False
         if jobs > 1 and len({repr(c.insert_fingerprint) for _, c in resolved}) > 1:
             jobs = 1
+            fallback = True
         if jobs == 1 or len(resolved) < 2:
-            return [
+            results = [
                 self.query(
                     query, n=n, costs=query_costs, method=method,
                     max_cost=max_cost, collect=collect,
                 )
                 for query, query_costs in resolved
             ]
+            if fallback:
+                _telemetry.count("concurrency.batch_fallback")
+                for result in results:
+                    result.report.counters["concurrency.batch_fallback"] = 1
+            return results
         # Encode the batch's one insert-cost table and build the lazy
         # evaluators up front, on this thread: the workers' encode calls
         # then see a matching fingerprint and never write the shared
         # arrays, and no two workers race to build the same evaluator.
+        state = self._state
         shared = resolved[0][1]
-        self._tree.encode_costs(shared.insert_cost, fingerprint=shared.insert_fingerprint)
+        state.tree.encode_costs(shared.insert_cost, fingerprint=shared.insert_fingerprint)
         chosen, _ = self._choose_method(method, n)
         if chosen == "direct":
-            self._direct_evaluator()
+            state.direct_evaluator()
         else:
-            schema_evaluator = self._schema_eval()
+            schema_evaluator = state.schema_eval()
             if schema_evaluator.schema is not None:
                 schema_evaluator.schema.encode_costs(
                     shared.insert_cost, fingerprint=shared.insert_fingerprint
@@ -472,8 +1069,38 @@ class Database:
         Returns a :class:`~repro.core.results.ResultStream` whose
         ``.report`` is live: with ``collect`` enabled its counters grow
         as results are pulled, so stopping early shows exactly what the
-        evaluation did so far.
+        evaluation did so far.  The stream stays pinned to the generation
+        current at its creation — pulls interleaved with mutations keep
+        yielding that generation's results.
         """
+        self._check_failed()
+        state, overlay = self._pin()
+        try:
+            return self._stream_impl(
+                state,
+                overlay,
+                (lambda: self._release(overlay)) if overlay is not None else None,
+                text,
+                costs,
+                initial_k,
+                delta,
+                collect,
+            )
+        except BaseException:
+            self._release(overlay)
+            raise
+
+    def _stream_impl(
+        self,
+        state: _EngineState,
+        overlay: "SnapshotOverlay | None",
+        on_close,
+        text: "str | NameSelector",
+        costs: "CostModel | None",
+        initial_k: "int | None",
+        delta: "int | None",
+        collect: str,
+    ) -> ResultStream:
         query, resolved_costs = self._resolve(text, costs)
         if collect not in MODES:
             raise EvaluationError(f"unknown collect mode {collect!r}; expected one of {MODES}")
@@ -486,20 +1113,21 @@ class Database:
             counters=telemetry.counters if telemetry is not None else {},
             timings=telemetry.timings if telemetry is not None else {},
         )
-        iterator = self._iter_stream(query, resolved_costs, initial_k, delta)
-        return ResultStream(iterator, report, telemetry)
+        iterator = self._iter_stream(state, query, resolved_costs, initial_k, delta)
+        return ResultStream(iterator, report, telemetry, overlay=overlay, on_close=on_close)
 
     def _iter_stream(
         self,
+        state: _EngineState,
         query: NameSelector,
         costs: CostModel,
         initial_k: "int | None",
         delta: "int | None",
     ) -> Iterator[QueryResult]:
-        for result in self._schema_eval().iter_results(
+        for result in state.schema_eval().iter_results(
             query, costs, initial_k=initial_k, delta=delta
         ):
-            yield QueryResult(result.root, result.cost, self._tree)
+            yield QueryResult(result.root, result.cost, state.tree)
 
     def plan(
         self,
@@ -530,10 +1158,24 @@ class Database:
 
         Uses the direct evaluator's counting fast path: the embedding
         costs are computed once, but no result objects are materialized
-        and no sort is performed.
+        and no sort is performed.  Resolution (parsing, cost-model
+        validation, the stored database's frozen-fingerprint check) is
+        the exact :meth:`query` path, so identical inputs raise identical
+        typed errors from both.
         """
+        state, overlay = self._pin()
+        try:
+            with using_overlay(overlay):
+                return self._count_impl(state, text, costs)
+        finally:
+            self._release(overlay)
+
+    def _count_impl(
+        self, state: _EngineState, text: "str | NameSelector", costs: "CostModel | None"
+    ) -> int:
+        self._check_failed()
         query, resolved_costs = self._resolve(text, costs)
-        return self._direct_evaluator().count(query, resolved_costs)
+        return state.direct_evaluator().count(query, resolved_costs)
 
     def suggest_costs(self, options=None) -> CostModel:
         """Derive a cost model from the collection itself (the paper's
@@ -541,9 +1183,11 @@ class Database:
         depth-aware delete costs, frequency-based insert costs.  See
         :func:`repro.approxql.suggest_cost_model`."""
         from ..approxql.suggest import suggest_cost_model
-        from ..xmltree.indexes import MemoryNodeIndexes
 
-        return suggest_cost_model(MemoryNodeIndexes(self._tree), self.schema, options)
+        state = self._state
+        return suggest_cost_model(
+            MemoryNodeIndexes(state.tree), state.ensure_schema(), options
+        )
 
     def explain(
         self,
@@ -554,12 +1198,28 @@ class Database:
         """Best-``n`` results with the transformation sequence that
         produced each (renamings, deletions, and the implicitly inserted
         element labels read off the schema)."""
+        state, overlay = self._pin()
+        try:
+            with using_overlay(overlay):
+                return self._explain_impl(state, text, n, costs)
+        finally:
+            self._release(overlay)
+
+    def _explain_impl(
+        self,
+        state: _EngineState,
+        text: "str | NameSelector",
+        n: "int | None",
+        costs: "CostModel | None",
+    ) -> list[Explanation]:
+        self._check_failed()
         query, resolved_costs = self._resolve(text, costs)
+        schema = state.ensure_schema()
         explanations: list[Explanation] = []
-        for result in self._schema_eval().iter_results(query, resolved_costs):
+        for result in state.schema_eval().iter_results(query, resolved_costs):
             assert result.skeleton is not None
             derived_cost, operations = explain_skeleton(
-                query, result.skeleton, resolved_costs, self.schema
+                query, result.skeleton, resolved_costs, schema
             )
             explanations.append(
                 Explanation(
@@ -582,7 +1242,13 @@ class Database:
         self, text: "str | NameSelector", costs: "CostModel | None"
     ) -> tuple[NameSelector, CostModel]:
         """Parse the query text and resolve the effective cost model
-        (validating it against a stored database's baked-in costs)."""
+        (validating it against a stored database's baked-in costs).
+
+        Every query-shaped entry point — :meth:`query`, :meth:`query_many`,
+        :meth:`count_results`, :meth:`stream`, :meth:`explain`,
+        :meth:`plan` — resolves through here, so identical inputs raise
+        identical typed errors regardless of the method called.
+        """
         query = parse_query(text) if isinstance(text, str) else text
         resolved_costs = costs if costs is not None else self._default_costs
         self._check_insert_costs(resolved_costs)
@@ -608,6 +1274,7 @@ class Database:
 
     def _evaluate(
         self,
+        state: _EngineState,
         chosen: str,
         query: NameSelector,
         costs: CostModel,
@@ -617,25 +1284,15 @@ class Database:
         jobs: "int | None" = None,
     ) -> list[QueryResult]:
         if chosen == "direct":
-            raw = self._direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
+            raw = state.direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
         else:
-            raw = self._schema_eval().evaluate(
+            raw = state.schema_eval().evaluate(
                 query, costs, n=n, max_cost=max_cost, stats=stats, jobs=jobs
             )
         with _telemetry.timer("core.materialize"):
-            results = [QueryResult(result.root, result.cost, self._tree) for result in raw]
+            results = [QueryResult(result.root, result.cost, state.tree) for result in raw]
         _telemetry.count("core.results_materialized", len(results))
         return results
-
-    def _direct_evaluator(self) -> DirectEvaluator:
-        if self._direct is None:
-            self._direct = DirectEvaluator(self._tree, MemoryNodeIndexes(self._tree))
-        return self._direct
-
-    def _schema_eval(self) -> SchemaEvaluator:
-        if self._schema_evaluator is None:
-            self._schema_evaluator = SchemaEvaluator(self._tree, self.schema)
-        return self._schema_evaluator
 
     def _check_insert_costs(self, costs: CostModel) -> None:
         if self._stored and repr(costs.insert_fingerprint) != self._frozen_fingerprint:

@@ -10,6 +10,15 @@ and wires the evaluators to the *stored* posting indexes, so query
 evaluation fetches postings from disk exactly like the paper's
 Berkeley-DB-backed implementation.
 
+Document mutation extends the layout without a format bump: an inserted
+document's columns land as one *tree segment* under a ``seg<start>`` key
+(:func:`append_tree_segment`), a deleted document's root joins the
+``deadroots`` metadata list (:func:`save_dead_roots`), and the ``nodes``
+count tracks the full (live + tombstoned) array length.  :func:`load_tree`
+replays base columns, then segments in start order — data preorder equals
+historical append order, which is what keeps the rebuilt schema numbering
+identical to the one the incremental updates maintained.
+
 Stored postings bake in the insert-cost table in force at save time;
 loading records its fingerprint and queries with a different insert-cost
 table are rejected (use an in-memory database for per-query insert
@@ -19,6 +28,7 @@ costs).
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass, replace
 
 from ..approxql.costs import CostModel
 from ..errors import KeyNotFoundError, StorageError
@@ -32,6 +42,42 @@ META_NAMESPACE = b"meta"
 TREE_NAMESPACE = b"tree"
 FORMAT_VERSION = 1
 _LABEL_SEPARATOR = "\x00"
+_SEGMENT_PREFIX = b"seg"
+_LENGTH_FMT = "<I"
+
+
+@dataclass(frozen=True)
+class StoreOptions:
+    """The single keyword surface for a database file's storage knobs.
+
+    Shared by :meth:`repro.core.database.Database.open`,
+    :meth:`~repro.core.database.Database.save`, and the CLI's
+    ``--page-cache``/``--posting-cache``/``--durability``/
+    ``--wal-checkpoint-kib`` options, so every entry point spells the
+    same configuration the same way.  ``None`` keeps an engine default.
+
+    ``opener`` is the fault-injection seam (an ``open(path, mode)``
+    replacement threaded through to every file the pager touches); it
+    exists for the crash matrix and stays ``None`` in normal operation.
+    """
+
+    #: LRU page-cache capacity in pages (0 disables; None = engine default)
+    page_cache_pages: "int | None" = None
+    #: decoded-posting cache budget in bytes (None = engine default)
+    posting_cache_bytes: "int | None" = None
+    #: ``"none"`` or ``"wal"``
+    durability: str = "none"
+    #: WAL size triggering a checkpoint (None = engine default)
+    wal_checkpoint_bytes: "int | None" = None
+    #: page size for newly created files (an existing file dictates its own)
+    page_size: "int | None" = None
+    #: file-opener replacement for fault injection (testing only)
+    opener: "object | None" = None
+
+    def merged(self, **overrides) -> "StoreOptions":
+        """A copy with every non-``None`` override applied."""
+        changes = {name: value for name, value in overrides.items() if value is not None}
+        return replace(self, **changes) if changes else self
 
 
 def save_tree(tree: DataTree, store: Store, insert_costs: CostModel) -> None:
@@ -57,8 +103,68 @@ def save_tree(tree: DataTree, store: Store, insert_costs: CostModel) -> None:
     columns.put(b"bounds", encode_delta_list(tree.bounds))
 
 
+def _segment_key(start: int) -> bytes:
+    # zero-padded so lexicographic key order equals start order
+    return _SEGMENT_PREFIX + b"%016d" % start
+
+
+def append_tree_segment(tree: DataTree, store: Store, start: int) -> None:
+    """Persist the columns of the document grafted at ``start`` as one
+    tree segment, and refresh the total node count.
+
+    The segment value holds the four column slices, each length-prefixed;
+    parent and bound values are absolute (they already point into the
+    full tree), so loading is pure concatenation.
+    """
+    columns = Namespace(store, TREE_NAMESPACE)
+    meta = Namespace(store, META_NAMESPACE)
+    labels = tree.labels[start:]
+    for label in labels:
+        if _LABEL_SEPARATOR in label:
+            raise StorageError(f"label {label!r} contains the column separator")
+    blobs = (
+        _LABEL_SEPARATOR.join(labels).encode("utf-8"),
+        bytes(int(node_type) for node_type in tree.types[start:]),
+        encode_delta_list([parent + 1 for parent in tree.parents[start:]]),
+        encode_delta_list(tree.bounds[start:]),
+    )
+    value = b"".join(struct.pack(_LENGTH_FMT, len(blob)) + blob for blob in blobs)
+    columns.put(_segment_key(start), value)
+    meta.put(b"nodes", struct.pack("<Q", len(tree)))
+
+
+def _decode_segment(value: bytes) -> tuple[list[str], list[NodeType], list[int], list[int]]:
+    blobs = []
+    offset = 0
+    length_size = struct.calcsize(_LENGTH_FMT)
+    for _ in range(4):
+        if offset + length_size > len(value):
+            raise StorageError("corrupt tree segment (truncated length prefix)")
+        (length,) = struct.unpack_from(_LENGTH_FMT, value, offset)
+        offset += length_size
+        if offset + length > len(value):
+            raise StorageError("corrupt tree segment (truncated column)")
+        blobs.append(value[offset : offset + length])
+        offset += length
+    labels = blobs[0].decode("utf-8").split(_LABEL_SEPARATOR)
+    types = [NodeType(byte) for byte in blobs[1]]
+    parents_shifted, _ = decode_delta_list(blobs[2])
+    bounds, _ = decode_delta_list(blobs[3])
+    parents = [parent - 1 for parent in parents_shifted]
+    if not (len(labels) == len(types) == len(parents) == len(bounds)):
+        raise StorageError("inconsistent column lengths in tree segment")
+    return labels, types, parents, bounds
+
+
+def save_dead_roots(tree: DataTree, store: Store) -> None:
+    """Persist the tombstoned document roots (sorted delta list)."""
+    meta = Namespace(store, META_NAMESPACE)
+    meta.put(b"deadroots", encode_delta_list(sorted(tree.dead_roots)))
+
+
 def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
-    """Restore the tree, its build-time insert-cost table, and the
+    """Restore the tree (base columns plus any mutation segments, in
+    historical append order), its build-time insert-cost table, and the
     fingerprint string recorded at save time."""
     meta = Namespace(store, META_NAMESPACE)
     columns = Namespace(store, TREE_NAMESPACE)
@@ -77,29 +183,48 @@ def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
     types = [NodeType(value) for value in columns.get(b"types")]
     parents_shifted, _ = decode_delta_list(columns.get(b"parents"))
     bounds, _ = decode_delta_list(columns.get(b"bounds"))
-    if not (len(labels) == len(types) == len(parents_shifted) == len(bounds) == node_count):
+    parents = [parent - 1 for parent in parents_shifted]
+    if not (len(labels) == len(types) == len(parents) == len(bounds)):
         raise StorageError("inconsistent column lengths in stored database")
+
+    # mutation segments: key order is start order is append order
+    for key, value in columns.scan():
+        if not key.startswith(_SEGMENT_PREFIX):
+            continue
+        try:
+            start = int(key[len(_SEGMENT_PREFIX):])
+        except ValueError as error:
+            raise StorageError(f"corrupt tree segment key {key!r}") from error
+        if start != len(labels):
+            raise StorageError(
+                f"tree segment at {start} does not continue the column "
+                f"(length {len(labels)})"
+            )
+        seg_labels, seg_types, seg_parents, seg_bounds = _decode_segment(value)
+        labels.extend(seg_labels)
+        types.extend(seg_types)
+        parents.extend(seg_parents)
+        bounds.extend(seg_bounds)
+    if len(labels) != node_count:
+        raise StorageError(
+            f"stored tree has {len(labels)} nodes, metadata says {node_count}"
+        )
 
     tree = DataTree()
     tree.labels = labels
     tree.types = types
-    tree.parents = [parent - 1 for parent in parents_shifted]
+    tree.parents = parents
     tree.bounds = bounds
+    tree.bounds[0] = node_count - 1  # grafts only persist their own columns
     tree.inscosts = [0.0] * node_count
     tree.pathcosts = [0.0] * node_count
-    tree._first_child = [-1] * node_count
-    tree._next_sibling = [-1] * node_count
-    last_child: dict[int, int] = {}
-    for pre in range(node_count):
-        parent = tree.parents[pre]
-        if parent == -1:
-            continue
-        previous = last_child.get(parent, -1)
-        if previous == -1:
-            tree._first_child[parent] = pre
-        else:
-            tree._next_sibling[previous] = pre
-        last_child[parent] = pre
+    tree.rebuild_links()
+
+    try:
+        dead_roots, _ = decode_delta_list(meta.get(b"deadroots"))
+    except KeyNotFoundError:
+        dead_roots = []
+    tree.dead_roots = set(dead_roots)
 
     insert_costs = CostModel.from_lines(
         meta.get(b"insertcosts").decode("utf-8").splitlines()
@@ -112,32 +237,36 @@ def load_tree(store: Store) -> tuple[DataTree, CostModel, str]:
 
 def open_file_store(
     path: str,
-    cache_pages: "int | None" = None,
-    durability: str = "none",
-    wal_checkpoint_bytes: "int | None" = None,
+    options: "StoreOptions | None" = None,
     must_exist: bool = False,
 ) -> FileStore:
     """Open (or create) the single-file store of a database.
 
-    ``cache_pages`` sizes the pager's LRU page cache (``0`` disables it;
-    ``None`` keeps the pager default).  ``durability`` selects the crash
-    story (``"none"`` or ``"wal"``), ``wal_checkpoint_bytes`` the log
-    size that triggers a checkpoint, and ``must_exist=True`` turns a
-    missing or empty file into a typed error instead of creating it."""
+    ``options`` carries the storage knobs (see :class:`StoreOptions`;
+    ``None`` means all defaults); ``must_exist=True`` turns a missing or
+    empty file into a typed error instead of creating it."""
+    options = options or StoreOptions()
     kwargs: dict = {
-        "durability": durability,
-        "wal_checkpoint_bytes": wal_checkpoint_bytes,
+        "durability": options.durability,
+        "wal_checkpoint_bytes": options.wal_checkpoint_bytes,
         "must_exist": must_exist,
     }
-    if cache_pages is not None:
-        kwargs["cache_pages"] = cache_pages
+    if options.page_cache_pages is not None:
+        kwargs["cache_pages"] = options.page_cache_pages
+    if options.page_size is not None:
+        kwargs["page_size"] = options.page_size
+    if options.opener is not None:
+        kwargs["opener"] = options.opener
     return FileStore(path, **kwargs)
 
 
 __all__ = [
     "FORMAT_VERSION",
+    "StoreOptions",
+    "append_tree_segment",
     "load_tree",
     "open_file_store",
+    "save_dead_roots",
     "save_tree",
     "StoredNodeIndexes",
 ]

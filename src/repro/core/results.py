@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterator
 
+from ..storage.overlay import SnapshotOverlay, using_overlay
 from ..telemetry.collector import Telemetry, collecting
 from ..telemetry.report import QueryReport
 from ..xmltree.model import DataTree, NodeType
@@ -132,19 +133,30 @@ class ResultStream:
     schema-driven evaluation).  :attr:`report` is live: its counters and
     wall time grow as results are pulled, so a consumer that stops early
     sees exactly what the evaluation did up to that point.
+
+    A stream over a stored database is pinned to the generation it was
+    opened against: the stream holds the snapshot overlay and re-activates
+    it around every pull, because a context manager entered inside the
+    suspended generator would leak the thread-local to the caller between
+    pulls.  ``on_close`` runs once — at exhaustion or :meth:`close` —
+    releasing the pin.
     """
 
-    __slots__ = ("report", "_iterator", "_telemetry")
+    __slots__ = ("report", "_iterator", "_telemetry", "_overlay", "_on_close")
 
     def __init__(
         self,
         iterator: Iterator[QueryResult],
         report: QueryReport,
         telemetry: "Telemetry | None" = None,
+        overlay: "SnapshotOverlay | None" = None,
+        on_close=None,
     ) -> None:
         self._iterator = iterator
         self.report = report
         self._telemetry = telemetry
+        self._overlay = overlay
+        self._on_close = on_close
 
     @property
     def method(self) -> str:
@@ -153,18 +165,31 @@ class ResultStream:
     def __iter__(self) -> "ResultStream":
         return self
 
+    def close(self) -> None:
+        """Release the stream's snapshot pin (idempotent; also called
+        automatically at exhaustion)."""
+        on_close, self._on_close = self._on_close, None
+        if on_close is not None:
+            on_close()
+
     def __next__(self) -> QueryResult:
         start = time.perf_counter()
-        if self._telemetry is None:
-            try:
-                result = next(self._iterator)
-            finally:
-                self.report.wall_seconds += time.perf_counter() - start
-        else:
-            with collecting(self._telemetry):
+        try:
+            if self._telemetry is None:
                 try:
-                    result = next(self._iterator)
+                    with using_overlay(self._overlay):
+                        result = next(self._iterator)
                 finally:
                     self.report.wall_seconds += time.perf_counter() - start
+            else:
+                with collecting(self._telemetry):
+                    try:
+                        with using_overlay(self._overlay):
+                            result = next(self._iterator)
+                    finally:
+                        self.report.wall_seconds += time.perf_counter() - start
+        except StopIteration:
+            self.close()
+            raise
         self.report.results += 1
         return result

@@ -3,7 +3,14 @@ the secondary index ``I_sec``, the segmented top-k variant of algorithm
 ``primary``, algorithm ``secondary``, and the incremental best-n driver.
 """
 
-from .dataguide import TEXT_CLASS_LABEL, Schema, build_schema
+from .dataguide import (
+    TEXT_CLASS_LABEL,
+    Schema,
+    SchemaUpdate,
+    build_schema,
+    update_schema_for_delete,
+    update_schema_for_insert,
+)
 from .entries import SchemaEntry, entry_from_schema_posting
 from .evaluator import (
     DEFAULT_MAX_K,
@@ -42,6 +49,7 @@ __all__ = [
     "SchemaEvaluator",
     "SchemaNodeIndexes",
     "SchemaResult",
+    "SchemaUpdate",
     "SecondaryExecutor",
     "SecondaryIndex",
     "StoredSecondaryIndex",
@@ -59,4 +67,6 @@ __all__ = [
     "semi_join",
     "sort_roots",
     "union_k",
+    "update_schema_for_delete",
+    "update_schema_for_insert",
 ]

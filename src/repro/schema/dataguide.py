@@ -16,6 +16,7 @@ instances — the property the whole second-level query machinery rests on.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from ..errors import SchemaError
 from ..xmltree.model import DataTree, NodeType
@@ -155,6 +156,13 @@ def build_schema(tree: DataTree) -> Schema:
     One pass discovers the classes (a trie over label-type paths, with all
     text children collapsing into one class); a second pass renumbers the
     schema in preorder and collects instance postings.
+
+    **Liveness**: classes are discovered from *every* node — tombstoned
+    documents included — so deleting a document never renumbers the
+    schema (its classes merely empty out); instance postings, however,
+    list only nodes of live documents.  Because the data preorder equals
+    historical append order, rebuilding from a persisted tree reproduces
+    the exact numbering the incremental updates maintained.
     """
     # --- pass 1: discover classes in data order -----------------------
     # provisional ids in discovery order
@@ -224,9 +232,12 @@ def build_schema(tree: DataTree) -> Schema:
         if schema.bounds[new_id] > schema.bounds[parent]:
             schema.bounds[parent] = schema.bounds[new_id]
 
-    # --- instance postings ---------------------------------------------
+    # --- instance postings (live nodes only) ---------------------------
+    flags = tree.live_flags() if tree.dead_roots else None
     schema.class_of = [new_id_of[provisional] for provisional in provisional_of]
     for data_pre in range(len(tree)):
+        if flags is not None and not flags[data_pre]:
+            continue
         schema_node = schema.class_of[data_pre]
         pair = (data_pre, tree.bounds[data_pre])
         schema.instances[schema_node].append(pair)
@@ -238,3 +249,194 @@ def build_schema(tree: DataTree) -> Schema:
     # CostModel().insert_fingerprint (see TreeBuilder.finish)
     schema.encode_costs(lambda label: 1.0, fingerprint=(1.0, ()))
     return schema
+
+
+# ----------------------------------------------------------------------
+# incremental maintenance (document-level mutation)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SchemaUpdate:
+    """Outcome of one incremental schema maintenance step.
+
+    ``schema`` is a *new* object: shared (copy-on-write) with the old
+    schema wherever possible so readers pinned to the old schema keep a
+    consistent view.  ``touched`` names the struct classes whose instance
+    posting changed, ``touched_terms`` the per-term changes of text
+    classes — together they are exactly the ``I_sec`` keys a stored
+    database must rewrite.  When the mutation introduced new classes the
+    whole schema is rebuilt and renumbered: ``remap`` then carries the
+    old-id to new-id mapping so stale ``I_sec`` keys can be moved.
+    """
+
+    schema: Schema
+    #: struct classes (new-schema ids) whose instance posting changed
+    touched: set[int] = field(default_factory=set)
+    #: text classes (new-schema ids) -> terms whose posting changed
+    touched_terms: dict[int, set[str]] = field(default_factory=dict)
+    #: old schema id -> new schema id; ``None`` unless renumbered
+    remap: "dict[int, int] | None" = None
+    classes_added: int = 0
+
+    @property
+    def renumbered(self) -> bool:
+        return self.remap is not None
+
+
+def _cow_schema(old: Schema) -> Schema:
+    """A copy of ``old`` sharing every structure the update won't touch.
+
+    The class tree (labels/types/parents/bounds/children) is shared
+    outright — it only changes on a renumbering rebuild, which builds a
+    fresh schema instead.  ``inscosts``/``pathcosts`` are copied because
+    :meth:`Schema.encode_costs` rewrites them in place per cost model.
+    The outer ``instances`` list and ``term_instances`` dict are shallow
+    copies so individual classes can be replaced copy-on-write.
+    ``class_of`` is shared: it is append-only, and a reader pinned to the
+    old schema never looks up a data node that did not exist yet.
+    """
+    new = Schema()
+    new.labels = old.labels
+    new.types = old.types
+    new.parents = old.parents
+    new.bounds = old.bounds
+    new._children = old._children
+    new.inscosts = list(old.inscosts)
+    new.pathcosts = list(old.pathcosts)
+    new.instances = list(old.instances)
+    new.term_instances = dict(old.term_instances)
+    new.class_of = old.class_of
+    new._insert_cost_fingerprint = old._insert_cost_fingerprint
+    return new
+
+
+def _path_to_id(schema: Schema) -> dict[tuple, int]:
+    """Label-type path -> schema id (paths are unique by Definition 14)."""
+    return {schema.label_type_path(node): node for node in range(len(schema))}
+
+
+def update_schema_for_insert(old: Schema, tree: DataTree, start: int) -> SchemaUpdate:
+    """Maintain ``old`` after ``tree`` grew by one document at ``start``.
+
+    Fast path (no new label-type paths): a copy-on-write schema whose
+    touched classes get the new instance pairs appended — existing class
+    ids, bounds, and untouched postings are shared with ``old``.  Slow
+    path (a new class appeared): rebuild from the full tree, which may
+    renumber classes; the update then carries the id remapping.
+    """
+    # child-key lookup over the existing classes, as in discovery pass 1
+    child_key_map: dict[tuple[int, str, NodeType], int] = {}
+    for parent in range(len(old)):
+        for child in old._children[parent]:
+            child_key_map[(parent, old.labels[child], old.types[child])] = child
+
+    new_class_of: list[int] = []
+    for pre in range(start, len(tree.labels)):
+        parent_class = (
+            0 if tree.parents[pre] == 0 else new_class_of[tree.parents[pre] - start]
+        )
+        if tree.types[pre] == NodeType.TEXT:
+            key = (parent_class, TEXT_CLASS_LABEL, NodeType.TEXT)
+        else:
+            key = (parent_class, tree.labels[pre], NodeType.STRUCT)
+        node = child_key_map.get(key)
+        if node is None:
+            return _rebuild_update(old, tree, start)
+        new_class_of.append(node)
+
+    update = SchemaUpdate(schema=_cow_schema(old))
+    schema = update.schema
+    copied: set[int] = set()
+    for pre in range(start, len(tree.labels)):
+        node = new_class_of[pre - start]
+        schema.class_of.append(node)
+        pair = (pre, tree.bounds[pre])
+        if node not in copied:
+            schema.instances[node] = list(schema.instances[node])
+            copied.add(node)
+        schema.instances[node].append(pair)
+        if tree.types[pre] == NodeType.TEXT:
+            term = tree.labels[pre]
+            by_term = schema.term_instances.get(node)
+            if node not in update.touched_terms:
+                by_term = dict(by_term) if by_term is not None else {}
+                schema.term_instances[node] = by_term
+                update.touched_terms[node] = set()
+            if term not in update.touched_terms[node]:
+                by_term[term] = list(by_term.get(term, ()))
+                update.touched_terms[node].add(term)
+            by_term[term].append(pair)
+        else:
+            update.touched.add(node)
+    return update
+
+
+def update_schema_for_delete(old: Schema, tree: DataTree, root: int) -> SchemaUpdate:
+    """Maintain ``old`` after the document at ``root`` was tombstoned.
+
+    A delete never renumbers: classes are discovered from dead nodes too,
+    so an emptied class simply keeps a zero-length instance posting.  The
+    touched classes' postings are filtered copy-on-write.
+    """
+    bound = tree.bounds[root]
+    update = SchemaUpdate(schema=_cow_schema(old))
+    schema = update.schema
+    affected: set[int] = set()
+    for pre in range(root, bound + 1):
+        node = schema.class_of[pre]
+        affected.add(node)
+        if tree.types[pre] == NodeType.TEXT:
+            update.touched_terms.setdefault(node, set()).add(tree.labels[pre])
+
+    def survives(pair: tuple[int, int]) -> bool:
+        return not root <= pair[0] <= bound
+
+    for node in affected:
+        schema.instances[node] = [
+            pair for pair in schema.instances[node] if survives(pair)
+        ]
+        terms = update.touched_terms.get(node)
+        if terms is None:
+            update.touched.add(node)
+            continue
+        by_term = dict(schema.term_instances.get(node, ()))
+        for term in terms:
+            kept = [pair for pair in by_term.get(term, ()) if survives(pair)]
+            if kept:
+                by_term[term] = kept
+            else:
+                by_term.pop(term, None)
+        schema.term_instances[node] = by_term
+    return update
+
+
+def _rebuild_update(old: Schema, tree: DataTree, start: int) -> SchemaUpdate:
+    """Full rebuild fallback for inserts that add classes.
+
+    The rebuilt schema may renumber every class; the remapping (old id ->
+    new id, total on the old ids because classes never disappear) lets the
+    stored-index layer move exactly the ``I_sec`` keys whose id changed.
+    Touched classes are the moved and brand-new ones plus every class
+    that gained an instance from the grafted document.
+    """
+    schema = build_schema(tree)
+    new_ids = _path_to_id(schema)
+    remap = {node: new_ids[old.label_type_path(node)] for node in range(len(old))}
+    update = SchemaUpdate(
+        schema=schema, remap=remap, classes_added=len(schema) - len(old)
+    )
+    moved = {new for node, new in remap.items() if new != node}
+    fresh = set(range(len(schema))) - set(remap.values())
+    for node in moved | fresh:
+        if schema.is_text_class(node):
+            update.touched_terms[node] = set(schema.term_instances.get(node, ()))
+        else:
+            update.touched.add(node)
+    for pre in range(start, len(tree.labels)):
+        node = schema.class_of[pre]
+        if tree.types[pre] == NodeType.TEXT:
+            update.touched_terms.setdefault(node, set()).add(tree.labels[pre])
+        else:
+            update.touched.add(node)
+    return update

@@ -21,6 +21,7 @@ from collections.abc import Iterator
 from ..errors import KeyNotFoundError
 from ..storage.cache import PostingCache
 from ..storage.kv import Namespace, Store
+from ..storage.overlay import MISSING, current_overlay
 from ..storage.postings import (
     InstancePosting,
     NodePosting,
@@ -46,11 +47,16 @@ class SchemaNodeIndexes:
         self._struct: dict[str, list[int]] = {}
         self._text: dict[str, list[int]] = {}
         self._derived: dict = {}
+        # classes whose every instance was deleted are skipped: they stay
+        # in the schema tree (numbering stability) but can never produce
+        # a match, and every ancestor of a live node is live because
+        # deletion is whole-document
         for node in range(len(schema)):
             if schema.is_text_class(node):
-                for term in schema.term_instances.get(node, {}):
-                    self._text.setdefault(term, []).append(node)
-            else:
+                for term, posting in schema.term_instances.get(node, {}).items():
+                    if posting:
+                        self._text.setdefault(term, []).append(node)
+            elif schema.instances[node]:
                 self._struct.setdefault(schema.labels[node], []).append(node)
 
     def fetch(self, label: str, node_type: NodeType) -> list[NodePosting]:
@@ -169,6 +175,17 @@ class StoredSecondaryIndex(SecondaryIndex):
     def fetch(self, schema_pre: int, label: str) -> list[InstancePosting]:
         telemetry = _telemetry_current()
         key = _sec_key(schema_pre, label)
+        # snapshot overlay outranks cache and store (see
+        # StoredNodeIndexes.fetch for the contract)
+        overlay = current_overlay()
+        if overlay is not None:
+            pinned = overlay.get(SEC_NAMESPACE, key)
+            if pinned is not MISSING:
+                if telemetry is not None:
+                    telemetry.count("index.sec_fetches")
+                    telemetry.count("index.sec_postings", len(pinned))
+                    telemetry.count("mutation.overlay_hits")
+                return pinned
         cache = self._cache
         # Generation snapshot *before* the store read — a racing writer
         # then invalidates the entry we insert instead of being masked by

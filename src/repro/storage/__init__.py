@@ -17,6 +17,7 @@ Public surface:
 from .btree import BTree
 from .faults import FaultInjector, FaultyFile, SimulatedCrash
 from .kv import FileStore, MemoryStore, Namespace, Store
+from .overlay import SnapshotOverlay, current_overlay, using_overlay
 from .pager import DEFAULT_PAGE_SIZE, DURABILITY_MODES, Pager
 from .verify import VerifyReport, verify_store
 from .wal import DEFAULT_CHECKPOINT_BYTES, WAL_SUFFIX, WriteAheadLog, recover
@@ -47,6 +48,7 @@ __all__ = [
     "Namespace",
     "Pager",
     "SimulatedCrash",
+    "SnapshotOverlay",
     "Store",
     "VerifyReport",
     "WAL_SUFFIX",
@@ -61,6 +63,8 @@ __all__ = [
     "encode_node_postings",
     "encode_svarint",
     "encode_uvarint",
+    "current_overlay",
     "recover",
+    "using_overlay",
     "verify_store",
 ]

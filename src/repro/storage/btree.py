@@ -38,6 +38,12 @@ _META_KEY_ROOT = 1
 # can always hold at least a couple of entries, so splits terminate.
 _INLINE_FRACTION = 4
 
+# Decoded nodes kept by the LRU node cache.  Point lookups and updates
+# re-walk the same root-to-leaf paths over and over (a document mutation
+# rewrites hundreds of adjacent index keys), and deserializing a node is
+# far costlier than reading its page from the pager's cache.
+_NODE_CACHE_SIZE = 128
+
 
 class _Node:
     """In-memory image of one B+tree page."""
@@ -63,12 +69,28 @@ class BTree:
     reopening the file restores the index.
     """
 
-    def __init__(self, pager: Pager, meta_page: int | None = None) -> None:
+    def __init__(
+        self,
+        pager: Pager,
+        meta_page: int | None = None,
+        node_cache_size: int | None = None,
+    ) -> None:
         self._pager = pager
         self._inline_limit = pager.payload_size // _INLINE_FRACTION
+        # decoded-node LRU: page number -> the live _Node image.  Writers
+        # mutate these objects in place and every successful node write
+        # re-registers them, so the cache always mirrors the tree the
+        # current process sees.  Scans bypass it (they iterate private
+        # copies so an interleaved put cannot disturb a running cursor).
+        # Size 0 disables it, keeping every page read visible to the
+        # pager's I/O accounting.
+        self._node_cache_size = (
+            _NODE_CACHE_SIZE if node_cache_size is None else node_cache_size
+        )
+        self._node_cache: dict[int, _Node] = {}
         if meta_page is None:
-            self._meta_page = pager.allocate()
-            root = _Node(pager.allocate(), is_leaf=True)
+            self._meta_page = self._allocate()
+            root = _Node(self._allocate(), is_leaf=True)
             self._write_node(root)
             self._root_page = root.page_no
             self._write_meta()
@@ -122,7 +144,7 @@ class BTree:
         split = self._insert(self._root_page, key, value)
         if split is not None:
             middle_key, right_page = split
-            new_root = _Node(self._pager.allocate(), is_leaf=False)
+            new_root = _Node(self._allocate(), is_leaf=False)
             new_root.keys = [middle_key]
             new_root.children = [self._root_page, right_page]
             self._write_node(new_root)
@@ -150,7 +172,7 @@ class BTree:
 
         # ---- leaf level ------------------------------------------------
         leaves: list[tuple[bytes, _Node]] = []  # (first key, node)
-        current = _Node(self._pager.allocate(), is_leaf=True)
+        current = _Node(self._allocate(), is_leaf=True)
         current_size = 10  # header: type byte + count varint + next link
         for key, value in pairs:
             if not isinstance(key, bytes) or not isinstance(value, bytes):
@@ -161,7 +183,7 @@ class BTree:
             entry_size = len(key) + 5 + self._stored_value_size(stored)
             if current.keys and current_size + entry_size > budget:
                 leaves.append((current.keys[0], current))
-                fresh = _Node(self._pager.allocate(), is_leaf=True)
+                fresh = _Node(self._allocate(), is_leaf=True)
                 current.next_leaf = fresh.page_no
                 self._write_node(current)
                 current = fresh
@@ -179,7 +201,7 @@ class BTree:
         level = leaves
         while len(level) > 1:
             parents: list[tuple[bytes, _Node]] = []
-            parent = _Node(self._pager.allocate(), is_leaf=False)
+            parent = _Node(self._allocate(), is_leaf=False)
             parent.children.append(level[0][1].page_no)
             parent_min = level[0][0]
             parent_size = 20
@@ -188,7 +210,7 @@ class BTree:
                 if parent.keys and parent_size + entry_size > budget:
                     parents.append((parent_min, parent))
                     self._write_node(parent)
-                    parent = _Node(self._pager.allocate(), is_leaf=False)
+                    parent = _Node(self._allocate(), is_leaf=False)
                     parent.children.append(child.page_no)
                     parent_min = min_key
                     parent_size = 20
@@ -200,6 +222,7 @@ class BTree:
             self._write_node(parent)
             level = parents
         self._pager.free(self._root_page)  # the empty pre-bulk root leaf
+        self._node_cache.pop(self._root_page, None)
         self._root_page = level[0][1].page_no
         self._write_meta()
 
@@ -220,9 +243,9 @@ class BTree:
         self, start: bytes = b"", end: bytes | None = None
     ) -> Iterator[tuple[bytes, bytes]]:
         """Yield ``(key, value)`` pairs with ``start <= key < end`` in order."""
-        node = self._read_node(self._root_page)
+        node = self._read_node_copy(self._root_page)
         while not node.is_leaf:
-            node = self._read_node(node.children[self._child_index(node, start)])
+            node = self._read_node_copy(node.children[self._child_index(node, start)])
         while True:
             for index, key in enumerate(node.keys):
                 if key < start:
@@ -232,7 +255,7 @@ class BTree:
                 yield key, self._load_value(node.values[index])
             if node.next_leaf == _NO_PAGE:
                 return
-            node = self._read_node(node.next_leaf)
+            node = self._read_node_copy(node.next_leaf)
 
     def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Yield all pairs whose key starts with ``prefix``."""
@@ -285,12 +308,13 @@ class BTree:
         serialized = self._serialize(node)
         if len(serialized) <= self._pager.payload_size:
             self._pager.write(node.page_no, serialized)
+            self._cache_node(node)
             return None
         return self._split(node)
 
     def _split(self, node: _Node) -> tuple[bytes, int]:
         middle = self._split_point(node)
-        right = _Node(self._pager.allocate(), node.is_leaf)
+        right = _Node(self._allocate(), node.is_leaf)
         if node.is_leaf:
             right.keys = node.keys[middle:]
             right.values = node.values[middle:]
@@ -354,7 +378,7 @@ class BTree:
         offset = 0
         pages: list[int] = []
         while offset < len(value):
-            pages.append(self._pager.allocate())
+            pages.append(self._allocate())
             offset += chunk_size
         offset = 0
         for index, page_no in enumerate(pages):
@@ -469,7 +493,37 @@ class BTree:
                 pos += key_len
         return node
 
+    def _allocate(self) -> int:
+        """Allocate a page, dropping any decoded node cached for a prior
+        life of that page number (the pager recycles freed pages)."""
+        page_no = self._pager.allocate()
+        self._node_cache.pop(page_no, None)
+        return page_no
+
+    def _cache_node(self, node: _Node) -> None:
+        if self._node_cache_size == 0:
+            return
+        cache = self._node_cache
+        cache.pop(node.page_no, None)
+        cache[node.page_no] = node
+        if len(cache) > self._node_cache_size:
+            cache.pop(next(iter(cache)))
+
     def _read_node(self, page_no: int) -> _Node:
+        _telemetry_count("btree.node_visits")
+        node = self._node_cache.get(page_no)
+        if node is not None:
+            _telemetry_count("btree.node_cache_hits")
+            self._cache_node(node)  # refresh LRU position
+            return node
+        node = self._deserialize(page_no, self._pager.read(page_no))
+        self._cache_node(node)
+        return node
+
+    def _read_node_copy(self, page_no: int) -> _Node:
+        """A private decoded image for cursors: scans iterate node lists
+        while callers may interleave puts, so they must never alias the
+        cached (writer-mutated) objects."""
         _telemetry_count("btree.node_visits")
         return self._deserialize(page_no, self._pager.read(page_no))
 
@@ -478,6 +532,7 @@ class BTree:
         if len(data) > self._pager.payload_size:
             raise StorageError("internal error: writing oversized node without split")
         self._pager.write(node.page_no, data)
+        self._cache_node(node)
 
     # ------------------------------------------------------------------
     # metadata

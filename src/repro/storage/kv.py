@@ -193,10 +193,15 @@ class FileStore(Store):
         self.generation = 1 if self._pager.recovered_frames else 0
         # A fresh pager has only the header page; the B+tree then allocates
         # its meta page as page 1.  An existing file reopens from page 1.
+        # cache_pages=0 also disables the B+tree's decoded-node cache, so
+        # "caches off" keeps every page read visible to the I/O counters.
+        node_cache_size = 0 if cache_pages == 0 else None
         if self._pager.page_count == 1:
-            self._tree = BTree(self._pager)
+            self._tree = BTree(self._pager, node_cache_size=node_cache_size)
         else:
-            self._tree = BTree(self._pager, meta_page=1)
+            self._tree = BTree(
+                self._pager, meta_page=1, node_cache_size=node_cache_size
+            )
         # One coarse lock over the B+tree: a tree operation touches many
         # pages (splits, sibling links), so per-page locking in the pager
         # cannot make a *tree* operation atomic.  Reentrant because

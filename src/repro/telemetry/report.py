@@ -111,6 +111,12 @@ class QueryReport:
         return int(self.get("cache.posting_hits"))
 
     @property
+    def node_cache_hits(self) -> int:
+        """B+tree node visits served as already-decoded node images
+        (the decoded-node LRU above the pager's page cache)."""
+        return int(self.get("btree.node_cache_hits"))
+
+    @property
     def column_cache_hits(self) -> int:
         """Kernel fetches served as already-built columnar lists (the
         ``kernel.*`` family: derived-value caching above the posting
@@ -138,6 +144,20 @@ class QueryReport:
         """Crash recoveries performed (log replays on open)."""
         return int(self.get("wal.recoveries"))
 
+    @property
+    def batch_fallback(self) -> bool:
+        """True when :meth:`~repro.core.database.Database.query_many`
+        served this query serially because the batch mixed insert-cost
+        fingerprints (parallelism was requested but not applied)."""
+        return bool(self.get("concurrency.batch_fallback"))
+
+    @property
+    def overlay_hits(self) -> int:
+        """Index fetches answered from a snapshot overlay — postings a
+        concurrent writer overwrote after this reader pinned its
+        generation (see :meth:`~repro.core.database.Database.snapshot`)."""
+        return int(self.get("mutation.overlay_hits"))
+
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
@@ -152,6 +172,7 @@ class QueryReport:
             f"postings decoded: {self.postings_decoded} | "
             f"second-level queries: {self.second_level_queries}",
             f"  cache hits: {self.page_cache_hits} page / "
+            f"{self.node_cache_hits} node / "
             f"{self.posting_cache_hits} posting / "
             f"{self.column_cache_hits} column",
         ]
@@ -188,12 +209,15 @@ class QueryReport:
                 "postings_decoded": self.postings_decoded,
                 "second_level_queries": self.second_level_queries,
                 "page_cache_hits": self.page_cache_hits,
+                "node_cache_hits": self.node_cache_hits,
                 "posting_cache_hits": self.posting_cache_hits,
                 "column_cache_hits": self.column_cache_hits,
                 "rmq_builds": self.rmq_builds,
                 "rmq_reuses": self.rmq_reuses,
                 "wal_frames_written": self.wal_frames_written,
                 "wal_recoveries": self.wal_recoveries,
+                "batch_fallback": self.batch_fallback,
+                "overlay_hits": self.overlay_hits,
             },
             "counters": dict(self.counters),
             "timings": dict(self.timings),

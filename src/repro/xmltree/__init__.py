@@ -8,7 +8,7 @@ and the inverted indexes ``I_struct`` / ``I_text`` map labels to postings.
 
 from .builder import BuildOptions, CollectionBuilder, tree_from_xml
 from .indexes import MemoryNodeIndexes, NodeIndexes, StoredNodeIndexes
-from .model import ROOT_LABEL, DataTree, NodeType, TreeBuilder, tokenize
+from .model import ROOT_LABEL, DataTree, NodeType, TreeBuilder, compact_tree, tokenize
 from .parser import XMLElement, parse_document, parse_fragment
 from .serialize import collection_to_xml, escape_text, subtree_to_xml
 from .stats import CollectionStatistics, collect_statistics
@@ -28,6 +28,7 @@ __all__ = [
     "XMLElement",
     "collect_statistics",
     "collection_to_xml",
+    "compact_tree",
     "escape_text",
     "parse_document",
     "parse_fragment",

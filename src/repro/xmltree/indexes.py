@@ -20,6 +20,7 @@ from collections.abc import Iterator
 from ..errors import KeyNotFoundError, SchemaError
 from ..storage.cache import PostingCache
 from ..storage.kv import Namespace, Store
+from ..storage.overlay import MISSING, current_overlay
 from ..storage.postings import (
     NodePosting,
     decode_node_postings,
@@ -77,7 +78,12 @@ class MemoryNodeIndexes(NodeIndexes):
         self._tree = tree
         self._by_type: tuple[dict[str, list[int]], dict[str, list[int]]] = ({}, {})
         self._derived: dict = {}
+        # tombstoned documents are holes in the preorder: their nodes stay
+        # in the arrays but must never appear in a posting
+        flags = tree.live_flags() if tree.dead_roots else None
         for pre in range(len(tree)):
+            if flags is not None and not flags[pre]:
+                continue
             table = self._by_type[tree.types[pre]]
             table.setdefault(tree.labels[pre], []).append(pre)
 
@@ -129,6 +135,56 @@ class MemoryNodeIndexes(NodeIndexes):
     def posting_size(self, label: str, node_type: NodeType) -> int:
         return len(self._by_type[node_type].get(label, ()))
 
+    @classmethod
+    def evolve(
+        cls,
+        old: "MemoryNodeIndexes",
+        tree: DataTree,
+        added: "range | None" = None,
+        removed: "tuple[int, int] | None" = None,
+    ) -> "MemoryNodeIndexes":
+        """Copy-on-write successor of ``old`` after a document mutation.
+
+        ``added`` is the pre range of a grafted document, ``removed`` the
+        ``(root, bound)`` interval of a tombstoned one (both for a
+        replace).  Only the label lists a mutation touches are copied;
+        everything else is shared with ``old``, whose pinned readers keep
+        their consistent pre-mutation view.  Removal before addition
+        keeps every list pre-sorted (grafted pres are the highest).
+        """
+        new = cls.__new__(cls)
+        new._tree = tree
+        new._derived = {}
+        tables: tuple[dict[str, list[int]], dict[str, list[int]]] = (
+            dict(old._by_type[0]),
+            dict(old._by_type[1]),
+        )
+        new._by_type = tables
+        if removed is not None:
+            root, bound = removed
+            affected = {
+                (tree.types[pre], tree.labels[pre])
+                for pre in range(root, bound + 1)
+            }
+            for node_type, label in affected:
+                table = tables[node_type]
+                kept = [pre for pre in table[label] if not root <= pre <= bound]
+                if kept:
+                    table[label] = kept
+                else:
+                    del table[label]
+        if added is not None:
+            copied: set[tuple[NodeType, str]] = set()
+            for pre in added:
+                node_type = tree.types[pre]
+                label = tree.labels[pre]
+                table = tables[node_type]
+                if (node_type, label) not in copied:
+                    table[label] = list(table.get(label, ()))
+                    copied.add((node_type, label))
+                table[label].append(pre)
+        return new
+
 
 class StoredNodeIndexes(NodeIndexes):
     """Indexes persisted in a key-value store.
@@ -171,6 +227,18 @@ class StoredNodeIndexes(NodeIndexes):
             namespace, tag = self._text, TEXT_NAMESPACE
         telemetry = _telemetry_current()
         key = _label_key(label)
+        # A pinned snapshot's overlay outranks both the cache and the
+        # store: a hit is the decoded value at the snapshot's generation,
+        # a miss proves the key is untouched since then.
+        overlay = current_overlay()
+        if overlay is not None:
+            pinned = overlay.get(tag, key)
+            if pinned is not MISSING:
+                if telemetry is not None:
+                    telemetry.count("index.data_fetches")
+                    telemetry.count("index.data_postings", len(pinned))
+                    telemetry.count("mutation.overlay_hits")
+                return pinned
         cache = self._cache
         # Snapshot the generation *before* reading: if a writer lands
         # between the read and the cache insert, the entry carries the
@@ -208,9 +276,14 @@ class StoredNodeIndexes(NodeIndexes):
         write to the store lazily drops cached columns exactly like it
         drops cached postings."""
         cache = self._cache
+        tag = STRUCT_NAMESPACE if node_type == NodeType.STRUCT else TEXT_NAMESPACE
+        overlay = current_overlay()
+        if overlay is not None and overlay.get(tag, _label_key(label)) is not MISSING:
+            # pinned key: build from the overlay value (via fetch) and
+            # keep it out of the generation-tagged shared cache
+            return build(self.fetch(label, node_type))
         if cache is None:
             return build(self.fetch(label, node_type))
-        tag = STRUCT_NAMESPACE if node_type == NodeType.STRUCT else TEXT_NAMESPACE
         key = _label_key(label) + (b"\x01" if variant else b"\x00")
         generation = self._store.generation
         value = cache.get_derived(tag, key, generation)

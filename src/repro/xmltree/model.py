@@ -50,6 +50,15 @@ class DataTree:
     Instances are produced by :class:`TreeBuilder` (or the convenience
     constructors in :mod:`repro.xmltree.builder`); the arrays are read-only
     by convention once building finishes.
+
+    **Mutation** happens at document granularity and preserves every
+    existing pre number: :meth:`graft_document` appends a new document's
+    nodes at the tail (only the super-root's bound changes among existing
+    nodes), and :meth:`mark_dead` tombstones a document root without
+    touching the arrays — the interval test and the distance formula keep
+    working for every surviving node because holes in the preorder never
+    invalidate them.  :func:`compact_tree` squeezes the holes back out
+    when a store is rewritten from scratch.
     """
 
     __slots__ = (
@@ -59,6 +68,7 @@ class DataTree:
         "bounds",
         "inscosts",
         "pathcosts",
+        "dead_roots",
         "_first_child",
         "_next_sibling",
         "_insert_cost_fingerprint",
@@ -71,6 +81,9 @@ class DataTree:
         self.bounds: list[int] = []
         self.inscosts: list[float] = []
         self.pathcosts: list[float] = []
+        #: document roots removed by :meth:`mark_dead`; their subtrees stay
+        #: in the arrays as tombstones until :func:`compact_tree`
+        self.dead_roots: set[int] = set()
         self._first_child: list[int] = []
         self._next_sibling: list[int] = []
         self._insert_cost_fingerprint: object = None
@@ -200,8 +213,159 @@ class DataTree:
         return iter(range(len(self.labels)))
 
     def document_roots(self) -> list[int]:
-        """Pre numbers of the roots of the individual documents."""
-        return self.children(self.root)
+        """Pre numbers of the roots of the *live* documents (tombstoned
+        documents are excluded; see :meth:`mark_dead`)."""
+        roots = self.children(self.root)
+        if not self.dead_roots:
+            return roots
+        dead = self.dead_roots
+        return [root for root in roots if root not in dead]
+
+    # ------------------------------------------------------------------
+    # document-level mutation
+    # ------------------------------------------------------------------
+
+    def graft_document(
+        self, document: "DataTree", insert_cost_of: Callable[[str], float]
+    ) -> int:
+        """Append another tree's single document at the tail of this one.
+
+        ``document`` must hold exactly one document (as built by
+        :func:`~repro.xmltree.builder.tree_from_xml` from one XML string).
+        Its nodes receive the next ``len(document) - 1`` pre numbers, so
+        no existing node is renumbered and every existing bound except
+        the super-root's is untouched — the append is invisible to any
+        reader holding the old node count.  ``insert_cost_of`` must be
+        the cost table of the current encoding so path costs stay
+        telescoped; returns the grafted document's root pre.
+        """
+        roots = document.children(0)
+        if len(roots) != 1:
+            raise ReproError(
+                f"graft_document needs exactly one document, got {len(roots)}"
+            )
+        offset = len(self.labels) - 1  # document pre i >= 1 maps to offset + i
+        root_pre = offset + 1
+        cache: dict[str, float] = {}
+        for pre in range(1, len(document.labels)):
+            new_pre = offset + pre
+            label = document.labels[pre]
+            node_type = document.types[pre]
+            parent = document.parents[pre]
+            new_parent = 0 if parent == 0 else offset + parent
+            if node_type == NodeType.TEXT:
+                cost = 0.0
+            else:
+                cost = cache.get(label)
+                if cost is None:
+                    cost = insert_cost_of(label)
+                    if cost < 0:
+                        raise ReproError(f"negative insert cost for label {label!r}")
+                    cache[label] = cost
+            self.labels.append(label)
+            self.types.append(node_type)
+            self.parents.append(new_parent)
+            self.bounds.append(offset + document.bounds[pre])
+            self.inscosts.append(cost)
+            self.pathcosts.append(
+                self.pathcosts[new_parent] + self.inscosts[new_parent]
+            )
+            first = document._first_child[pre]
+            self._first_child.append(-1 if first == -1 else offset + first)
+            if pre == 1:
+                self._next_sibling.append(-1)
+            else:
+                sibling = document._next_sibling[pre]
+                self._next_sibling.append(-1 if sibling == -1 else offset + sibling)
+        # link the new root as the last child of the super-root
+        last = self._first_child[0]
+        if last == -1:
+            self._first_child[0] = root_pre
+        else:
+            while self._next_sibling[last] != -1:
+                last = self._next_sibling[last]
+            self._next_sibling[last] = root_pre
+        self.bounds[0] = len(self.labels) - 1
+        return root_pre
+
+    def ungraft(self, start: int) -> None:
+        """Roll back the most recent :meth:`graft_document` (whose root
+        landed at ``start``): truncate the arrays and unlink the root
+        from the super-root's child chain.  Only valid while the grafted
+        document is still the tail of the tree — the mutation layer uses
+        this to leave the in-memory tree untouched when an index write
+        fails midway."""
+        if start <= 0 or start >= len(self.labels) or self.parents[start] != 0:
+            raise ReproError(f"pre {start} is not a graft boundary")
+        del self.labels[start:]
+        del self.types[start:]
+        del self.parents[start:]
+        del self.bounds[start:]
+        del self.inscosts[start:]
+        del self.pathcosts[start:]
+        del self._first_child[start:]
+        del self._next_sibling[start:]
+        child = self._first_child[0]
+        if child == start:
+            self._first_child[0] = -1
+        else:
+            while child != -1 and self._next_sibling[child] != start:
+                child = self._next_sibling[child]
+            if child != -1:
+                self._next_sibling[child] = -1
+        self.bounds[0] = start - 1
+
+    def mark_dead(self, root: int) -> None:
+        """Tombstone the document rooted at ``root``.
+
+        The document's nodes stay in the arrays (holes in the preorder
+        never break the interval test or the distance formula for the
+        survivors) but vanish from :meth:`document_roots` and from every
+        index and schema instance list maintained above the tree.
+        """
+        if root <= 0 or root >= len(self.labels) or self.parents[root] != 0:
+            raise ReproError(f"pre {root} is not a document root")
+        if root in self.dead_roots:
+            raise ReproError(f"document at pre {root} was already removed")
+        self.dead_roots.add(root)
+
+    def is_live(self, pre: int) -> bool:
+        """Whether ``pre`` belongs to a live document (the super-root is
+        always live)."""
+        for root in self.dead_roots:
+            if root <= pre <= self.bounds[root]:
+                return False
+        return True
+
+    def live_flags(self) -> list[bool]:
+        """Per-node liveness as a flat list (index = pre number)."""
+        flags = [True] * len(self.labels)
+        for root in self.dead_roots:
+            for pre in range(root, self.bounds[root] + 1):
+                flags[pre] = False
+        return flags
+
+    @property
+    def live_node_count(self) -> int:
+        """Number of nodes in live documents, super-root included."""
+        dead = sum(self.bounds[root] - root + 1 for root in self.dead_roots)
+        return len(self.labels) - dead
+
+    def rebuild_links(self) -> None:
+        """Recompute the first-child/next-sibling navigation arrays from
+        the parent column (used after bulk array surgery)."""
+        count = len(self.labels)
+        self._first_child = [-1] * count
+        self._next_sibling = [-1] * count
+        last_child: dict[int, int] = {}
+        for pre in range(1, count):
+            parent = self.parents[pre]
+            previous = last_child.get(parent, -1)
+            if previous == -1:
+                self._first_child[parent] = pre
+            else:
+                self._next_sibling[previous] = pre
+            last_child[parent] = pre
 
     def label_type_path(self, pre: int) -> tuple[tuple[str, NodeType], ...]:
         """The label-type path from the super-root down to ``pre``
@@ -319,3 +483,40 @@ class TreeBuilder:
     def _check_building(self) -> None:
         if self._finished:
             raise ReproError("builder already finished")
+
+
+def compact_tree(tree: DataTree) -> DataTree:
+    """Return a dense copy of ``tree`` with every tombstoned document
+    squeezed out (the original is returned unchanged when there are no
+    tombstones).
+
+    Dead documents are whole subtrees, so every live node's subtree is
+    entirely live and the renumbering is a single order-preserving pass:
+    old bounds map position-for-position, parents through the same map.
+    The insert-cost fingerprint is carried over because per-node costs are
+    copied verbatim.
+    """
+    if not tree.dead_roots:
+        return tree
+    flags = tree.live_flags()
+    new_of = [-1] * len(tree.labels)
+    count = 0
+    for pre, live in enumerate(flags):
+        if live:
+            new_of[pre] = count
+            count += 1
+    out = DataTree()
+    for pre, live in enumerate(flags):
+        if not live:
+            continue
+        out.labels.append(tree.labels[pre])
+        out.types.append(tree.types[pre])
+        parent = tree.parents[pre]
+        out.parents.append(-1 if parent == -1 else new_of[parent])
+        out.bounds.append(new_of[tree.bounds[pre]] if pre else 0)
+        out.inscosts.append(tree.inscosts[pre])
+        out.pathcosts.append(tree.pathcosts[pre])
+    out.bounds[0] = count - 1
+    out.rebuild_links()
+    out._insert_cost_fingerprint = tree._insert_cost_fingerprint
+    return out

@@ -50,6 +50,8 @@ if __package__ in (None, ""):  # running as a script: make src/ importable
     if _SRC not in sys.path:
         sys.path.insert(0, _SRC)
 
+from repro.core.database import Database
+from repro.core.persist import StoreOptions
 from repro.storage.faults import FaultInjector, SimulatedCrash
 from repro.storage.kv import FileStore
 from repro.storage.verify import verify_store
@@ -319,11 +321,196 @@ def run_matrix(
     return result
 
 
+# ----------------------------------------------------------------------
+# the document-mutation matrix
+# ----------------------------------------------------------------------
+#
+# Same experiment one layer up: the workload is a sequence of Database
+# document mutations (insert / delete / replace), each of which the
+# engine promises to journal as ONE commit frame — index posting
+# rewrites, I_sec moves, tree segment, dead-roots list, all or nothing.
+# A kill at any boundary must therefore recover to the store state after
+# a *prefix* of the mutations, and that state must reopen as a coherent,
+# queryable database.
+
+
+def _mutation_docs(scale: str) -> "list[str]":
+    count = {"tiny": 2, "full": 3}[scale]
+    return [
+        f"<cd><title>disc {i}</title><artist>artist {i % 2}</artist></cd>"
+        for i in range(count)
+    ]
+
+
+def _mutation_ops(scale: str):
+    """Pure data: ("insert", xml) / ("delete", doc_index) /
+    ("replace", doc_index, xml), indices into the live documents()
+    tuple at apply time.  The first insert introduces new label paths,
+    forcing a schema renumber (the widest I_sec rewrite)."""
+    ops = [
+        ("insert", "<cd><title>piano works</title><genre>classical</genre></cd>"),
+        ("delete", 0),
+    ]
+    if scale == "full":
+        ops.extend(
+            [
+                ("replace", 0, "<cd><title>swap</title><artist>artist 0</artist></cd>"),
+                ("insert", "<cd><title>encore</title></cd>"),
+            ]
+        )
+    return ops
+
+
+def _mutation_store_options(injector: "FaultInjector | None" = None) -> StoreOptions:
+    return StoreOptions(
+        page_cache_pages=CACHE_PAGES,
+        posting_cache_bytes=0,
+        durability="wal",
+        wal_checkpoint_bytes=4096,
+        page_size=PAGE_SIZE,
+        opener=injector.opener() if injector is not None else None,
+    )
+
+
+def _make_mutation_base(directory: str, scale: str) -> str:
+    path = os.path.join(directory, "base.apxq")
+    database = Database.from_documents(_mutation_docs(scale))
+    database.save(path, _mutation_store_options())
+    return path
+
+
+def _apply_mutation(database: Database, op) -> None:
+    if op[0] == "insert":
+        database.insert_document(op[1])
+    elif op[0] == "delete":
+        database.delete_document(database.documents()[op[1]])
+    else:
+        database.replace_document(database.documents()[op[1]], op[2])
+
+
+def _play_mutations(path: str, ops, injector: FaultInjector):
+    """Run the mutation workload through ``injector``; returns
+    (commit_ops, snapshots, doc_counts) — the op count at which each
+    mutation's commit returned, the committed KV state after each, and
+    the live document count after each."""
+    database = Database.open(path, _mutation_store_options(injector))
+    store = database._store
+    commit_ops = [0]
+    snapshots = [dict(store.scan())]
+    doc_counts = [len(database.documents())]
+    try:
+        for op in ops:
+            _apply_mutation(database, op)
+            commit_ops.append(injector.mutating_ops)
+            snapshots.append(dict(store.scan()))
+            doc_counts.append(len(database.documents()))
+        store.close()
+    except SimulatedCrash:
+        _abandon(store)
+        raise
+    return commit_ops, snapshots, doc_counts
+
+
+def _check_reopens(path: str, expected_docs: int) -> "str | None":
+    """Reopen the recovered store as a Database and query it both ways;
+    any inconsistency is a verdict string."""
+    try:
+        database = Database.open(path, _mutation_store_options())
+    except Exception as error:  # noqa: BLE001 - any failure is a verdict
+        return f"database reopen failed: {error}"
+    try:
+        if len(database.documents()) != expected_docs:
+            return (
+                f"recovered database has {len(database.documents())} documents, "
+                f"snapshot implies {expected_docs}"
+            )
+        direct = database.query("cd[title]", n=None, method="direct")
+        schema = database.query("cd[title]", n=None, method="schema")
+        if len(direct) != expected_docs or len(schema) != expected_docs:
+            return (
+                f"recovered queries disagree: direct={len(direct)} "
+                f"schema={len(schema)} documents={expected_docs}"
+            )
+    except Exception as error:  # noqa: BLE001
+        return f"recovered database failed to evaluate: {error}"
+    finally:
+        try:
+            database._store.close()
+        except Exception:
+            pass
+    return None
+
+
+def run_mutation_matrix(
+    scale: str = "full", workdir: "str | None" = None, progress=None
+) -> MatrixResult:
+    """Sweep every I/O boundary of the document-mutation workload."""
+    ops = _mutation_ops(scale)
+    result = MatrixResult(workload="mutation", scale=scale)
+
+    owned = workdir is None
+    directory = workdir or tempfile.mkdtemp(prefix="crashmatrix-mut-")
+    try:
+        base = _make_mutation_base(directory, scale)
+
+        counter = FaultInjector()
+        count_path = _clone_base(base, directory, "count")
+        commit_ops, snapshots, doc_counts = _play_mutations(count_path, ops, counter)
+        fault_free = _check_reopens(count_path, doc_counts[-1])
+        if fault_free is not None:
+            raise AssertionError(f"mutation: fault-free run is broken: {fault_free}")
+        result.boundaries = counter.mutating_ops
+
+        for boundary in range(result.boundaries):
+            path = _clone_base(base, directory, str(boundary))
+            injector = FaultInjector(kill_after_ops=boundary)
+            try:
+                _play_mutations(path, ops, injector)
+            except SimulatedCrash:
+                pass
+            else:
+                result.failures.append((boundary, "workload completed, no crash fired"))
+                continue
+
+            floor = max(i for i, count in enumerate(commit_ops) if count <= boundary)
+            try:
+                state = _recovered_state(path)
+            except Exception as error:  # noqa: BLE001
+                result.failures.append((boundary, f"reopen failed: {error}"))
+                continue
+            matches = [i for i, snap in enumerate(snapshots) if snap == state]
+            if not matches:
+                result.failures.append(
+                    (boundary, f"half mutation: {len(state)} keys match no committed generation")
+                )
+                continue
+            if matches[0] < floor:
+                result.failures.append(
+                    (boundary, f"lost durable mutation {floor}, recovered generation {matches[0]}")
+                )
+            elif matches[0] == floor:
+                result.rolled_back += 1
+            else:
+                result.committed_ahead += 1
+            verdict = _check_reopens(path, doc_counts[matches[0]])
+            if verdict is not None:
+                result.failures.append((boundary, verdict))
+            report = verify_store(path)
+            if not report.ok:
+                result.failures.append((boundary, f"verify failed: {report.format()}"))
+            if progress is not None:
+                progress(boundary, result)
+    finally:
+        if owned:
+            shutil.rmtree(directory, ignore_errors=True)
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--workload",
-        choices=(*WORKLOADS, "all"),
+        choices=(*WORKLOADS, "mutation", "all"),
         default="all",
         help="which workload to sweep (default: all)",
     )
@@ -334,10 +521,13 @@ def main(argv=None) -> int:
         help="workload size: 'tiny' for CI smoke, 'full' for the real matrix",
     )
     args = parser.parse_args(argv)
-    names = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    names = [*WORKLOADS, "mutation"] if args.workload == "all" else [args.workload]
     failed = False
     for name in names:
-        result = run_matrix(name, scale=args.scale)
+        if name == "mutation":
+            result = run_mutation_matrix(scale=args.scale)
+        else:
+            result = run_matrix(name, scale=args.scale)
         print(result.format())
         failed = failed or not result.ok
     return 1 if failed else 0
