@@ -2,25 +2,32 @@
 
 One experiment over a *stored* database built from the pattern-1
 workload collection: the same batch of best-n queries served through
-``Database.query_many`` at several thread counts (jobs 1, 2, 4).  Every
-parallel pass is verified query-by-query against the serial pass — the
-benchmark measures scheduling, never correctness drift.
+``Database.query_many`` at several worker counts (jobs 1, 2, 4) under
+**both executors** — ``"thread"`` and ``"process"``.  Every parallel
+pass is verified query-by-query against the serial pass — the benchmark
+measures scheduling, never correctness drift.
 
 Interpreting the numbers: the engine is pure Python, so CPython's global
 interpreter lock serializes the CPU-bound portions of concurrent
-queries.  Thread-count speedups therefore track the machine's free
-cores *and* the workload's I/O share; the committed baseline records
-``cpu_count`` next to every measurement so a single-core container's
-flat curve is not mistaken for a locking regression.  The correctness
-guarantees (identical per-query results, per-query telemetry
-attribution) hold at any core count.
+queries under the thread executor; the process executor sidesteps the
+GIL (workers re-open the store on their own cores) at the price of a
+pool start and per-query payload pickling.  Speedups therefore track
+the machine's free cores *and* the workload's I/O share; the committed
+baseline records ``cpu_count`` next to every measurement so a
+single-core container's flat curve is not mistaken for a locking
+regression.  Each pass additionally records the worker count actually
+used, the executor that actually served it (a sandboxed platform
+degrades ``"process"`` to threads), and whether the pass ran against a
+cold or warm posting cache.  The correctness guarantees (identical
+per-query results, per-query telemetry attribution) hold at any core
+count.
 
 Standalone usage (writes the committed ``BENCH_concurrent.json``)::
 
     PYTHONPATH=src python benchmarks/bench_concurrent.py --scale tiny --out BENCH_concurrent.json
 
-The module also exposes one pytest-benchmark point per thread count when
-collected with ``pytest benchmarks/bench_concurrent.py``.
+The module also exposes one pytest-benchmark point per worker count and
+executor when collected with ``pytest benchmarks/bench_concurrent.py``.
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ import pytest
 
 from repro import Database
 from repro.bench.workloads import SCALES, get_workload
+from repro.concurrent import resolve_jobs
+from repro.telemetry.collector import Telemetry, collecting
 
 PATTERN = 1  # Figure 7a: the path pattern
 RENAMINGS = 5
@@ -45,6 +54,7 @@ BATCH_REPEATS = 8
 PASSES = 3
 N = 10
 JOBS_SWEEP = (1, 2, 4)
+EXECUTORS = ("thread", "process")
 
 
 def build_stored_workload(scale: str, directory: str):
@@ -59,8 +69,8 @@ def build_stored_workload(scale: str, directory: str):
     return path, batch
 
 
-def run_batch(database: Database, batch, jobs: int):
-    return database.query_many(batch, n=N, jobs=jobs)
+def run_batch(database: Database, batch, jobs: int, executor: str = "thread"):
+    return database.query_many(batch, n=N, jobs=jobs, executor=executor)
 
 
 def fingerprint(result_sets) -> list[list[tuple[int, float]]]:
@@ -68,32 +78,69 @@ def fingerprint(result_sets) -> list[list[tuple[int, float]]]:
     return [[(r.root, r.cost) for r in rs] for rs in result_sets]
 
 
+def probe_executor(database: Database, batch, jobs: int, executor: str) -> str:
+    """The executor that *actually* served a batch: ``"process"`` only
+    when the process pool engaged (``concurrency.executor_process``),
+    ``"thread"`` when threads served it — requested or as the documented
+    degradation on platforms without process pools."""
+    if executor != "process" or resolve_jobs(jobs) == 1 or len(batch) < 2:
+        return "thread"
+    telemetry = Telemetry()
+    with collecting(telemetry):
+        database.query_many(batch[:2], n=N, jobs=jobs, executor=executor)
+    return "process" if telemetry.counters.get("concurrency.executor_process") else "thread"
+
+
 def measure_jobs_sweep(path: str, batch) -> list[dict]:
-    """One point per thread count over a fresh database handle; each
-    parallel pass's results are verified against the serial results."""
+    """One point per (executor, worker count) over a fresh database
+    handle; each parallel pass's results are verified against the serial
+    results.  The serial point (jobs=1) is measured once — both
+    executors serve it identically, on the calling thread.
+
+    Per pass the point records the elapsed seconds, the worker count
+    actually used (``resolve_jobs``), and the posting-cache state: the
+    first pass on a fresh handle is ``"cold"`` (every posting decoded
+    from pages), later passes are ``"warm"`` (decoded postings served
+    from the cache).
+    """
     points = []
     serial_results = None
-    for jobs in JOBS_SWEEP:
-        database = Database.open(path)
-        times = []
-        results = None
-        for _ in range(PASSES):
-            start = time.perf_counter()
-            results = fingerprint(run_batch(database, batch, jobs))
-            times.append(time.perf_counter() - start)
-        if serial_results is None:
-            serial_results = results
-        best = min(times)
-        points.append(
-            {
-                "jobs": jobs,
-                "queries": len(batch),
-                "pass_seconds": times,
-                "best_seconds": best,
-                "queries_per_second": len(batch) / best if best else float("inf"),
-                "identical_to_serial": results == serial_results,
-            }
-        )
+    for executor in EXECUTORS:
+        for jobs in JOBS_SWEEP:
+            if executor != EXECUTORS[0] and jobs == 1:
+                continue  # jobs=1 never builds a pool; one serial point suffices
+            database = Database.open(path)
+            workers = resolve_jobs(jobs)
+            passes = []
+            results = None
+            for index in range(PASSES):
+                start = time.perf_counter()
+                results = fingerprint(run_batch(database, batch, jobs, executor))
+                passes.append(
+                    {
+                        "seconds": time.perf_counter() - start,
+                        "workers_used": workers,
+                        "cache_state": "cold" if index == 0 else "warm",
+                    }
+                )
+            if serial_results is None:
+                serial_results = results
+            times = [p["seconds"] for p in passes]
+            best = min(times)
+            points.append(
+                {
+                    "executor": executor,
+                    "executor_used": probe_executor(database, batch, jobs, executor),
+                    "jobs": jobs,
+                    "workers_used": workers,
+                    "queries": len(batch),
+                    "passes": passes,
+                    "pass_seconds": times,
+                    "best_seconds": best,
+                    "queries_per_second": len(batch) / best if best else float("inf"),
+                    "identical_to_serial": results == serial_results,
+                }
+            )
     return points
 
 
@@ -108,13 +155,16 @@ def stored_workload(bench_scale, tmp_path_factory):
     return build_stored_workload(bench_scale, directory)
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("jobs", JOBS_SWEEP)
-def bench_query_many_jobs(benchmark, stored_workload, jobs):
+def bench_query_many_jobs(benchmark, stored_workload, jobs, executor):
+    if executor != EXECUTORS[0] and jobs == 1:
+        pytest.skip("jobs=1 never builds a pool; executors are identical")
     path, batch = stored_workload
     database = Database.open(path)
     benchmark.pedantic(
         run_batch,
-        args=(database, batch, jobs),
+        args=(database, batch, jobs, executor),
         rounds=2,
         iterations=1,
         warmup_rounds=1,
@@ -151,7 +201,7 @@ def main(argv: "list[str] | None" = None) -> int:
             },
             "jobs_sweep": sweep,
             "speedup_vs_serial": {
-                str(p["jobs"]): serial["best_seconds"] / p["best_seconds"]
+                f"{p['executor']}:{p['jobs']}": serial["best_seconds"] / p["best_seconds"]
                 if p["best_seconds"]
                 else float("inf")
                 for p in sweep
@@ -168,8 +218,14 @@ def main(argv: "list[str] | None" = None) -> int:
 
     for point in sweep:
         marker = "" if point["identical_to_serial"] else "  RESULTS DIVERGED"
+        degraded = (
+            f" (degraded to {point['executor_used']})"
+            if point["executor_used"] != point["executor"]
+            else ""
+        )
         print(
-            f"jobs={point['jobs']}: {point['queries_per_second']:.1f} queries/s"
+            f"executor={point['executor']}{degraded} jobs={point['jobs']}: "
+            f"{point['queries_per_second']:.1f} queries/s"
             f" (best of {PASSES}){marker}",
             file=sys.stderr,
         )

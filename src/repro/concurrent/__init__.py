@@ -1,4 +1,19 @@
-"""Thread-pool serving of independent query work.
+"""Parallel serving of independent query work.
+
+This package provides two pools behind one interface — construction
+with a worker count, ``map_ordered``, ``shutdown``, context-manager use,
+and per-task telemetry merged back in submission order:
+
+* :class:`QueryPool` (here) — threads.  Cheap to start, shares every
+  in-process cache, but GIL-bound: CPU-heavy rounds do not scale.
+* :class:`~repro.concurrent.process.ProcessQueryPool` — processes over
+  read-only shared memory.  Workers evaluate on real cores; see
+  :mod:`repro.concurrent.process` for the setup-spec machinery that
+  gives each worker its read view without pickling postings.
+
+:func:`make_query_pool` picks one from an ``executor`` name and falls
+back to threads (counting ``concurrency.process_fallback``) when
+process pools are unavailable.
 
 Two layers of the engine hand work to a :class:`QueryPool`:
 
@@ -39,10 +54,10 @@ from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
-from .errors import EvaluationError
-from .storage.overlay import SnapshotOverlay, current_overlay, using_overlay
-from .telemetry import collector as _telemetry
-from .telemetry.collector import Telemetry
+from ..errors import EvaluationError
+from ..storage.overlay import SnapshotOverlay, current_overlay, using_overlay
+from ..telemetry import collector as _telemetry
+from ..telemetry.collector import Telemetry
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -51,16 +66,48 @@ _R = TypeVar("_R")
 def resolve_jobs(jobs: "int | None") -> int:
     """Normalize a ``jobs`` request to a concrete worker count.
 
-    ``None``, ``0``, and ``1`` mean serial execution (1); a negative
-    count means "one worker per CPU" (the CLI's ``--jobs -1``); anything
-    else is taken literally.
+    The convention, shared by the CLI's ``--jobs`` and every ``jobs=``
+    keyword:
+
+    * ``None``, ``0``, and ``1`` mean serial execution (resolve to 1);
+    * any **negative** count means "one worker per CPU" — the portable
+      way to say "use the whole machine" without knowing its size.  When
+      the platform cannot report a CPU count (``os.cpu_count()`` returns
+      ``None`` on some containers and exotic builds), this falls back to
+      1 rather than guessing;
+    * anything else is taken literally.
     """
     if jobs is None:
         return 1
     jobs = int(jobs)
     if jobs < 0:
+        # cpu_count() may return None; serve serially rather than guess
         return max(1, os.cpu_count() or 1)
     return max(1, jobs)
+
+
+def make_query_pool(jobs: int, executor: str = "thread", setup=None):
+    """A pool of ``jobs`` workers behind the shared pool interface.
+
+    ``executor`` selects the backend: ``"thread"`` (the default, always
+    available) or ``"process"`` (real cores; ``setup`` is the picklable
+    worker setup spec of :mod:`repro.concurrent.process`).  When a
+    process pool cannot be built — no usable start method, a sandboxed
+    platform — this degrades to threads and counts
+    ``concurrency.process_fallback`` instead of failing the query.
+    """
+    if executor not in ("thread", "process"):
+        raise EvaluationError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
+    if executor == "process" and jobs > 1:
+        from .process import ProcessQueryPool
+
+        try:
+            return ProcessQueryPool(jobs, setup=setup)
+        except OSError:
+            _telemetry.count("concurrency.process_fallback")
+    return QueryPool(jobs)
 
 
 class QueryPool:
@@ -141,3 +188,21 @@ def _run_task(
     with _telemetry.collecting(task_telemetry), using_overlay(overlay):
         result = func(item)
     return result, task_telemetry
+
+
+from .process import (  # noqa: E402  (re-export after QueryPool exists)
+    ProcessQueryPool,
+    SharedSegmentSetup,
+    StoredDatabaseSetup,
+    worker_context,
+)
+
+__all__ = [
+    "QueryPool",
+    "ProcessQueryPool",
+    "SharedSegmentSetup",
+    "StoredDatabaseSetup",
+    "make_query_pool",
+    "resolve_jobs",
+    "worker_context",
+]

@@ -177,7 +177,7 @@ def _command_query(args: argparse.Namespace) -> int:
     collect = "timings" if args.stats else "off"
     results = database.query(
         args.query, n=n, costs=costs, method=args.method, collect=collect,
-        jobs=args.jobs,
+        jobs=args.jobs, executor=args.executor,
     )
     elapsed = time.perf_counter() - start
     for result in results:
@@ -299,7 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="run the schema-driven driver's second-level queries on N "
-        "threads (-1: one per CPU; results identical to serial)",
+        "workers (any negative value: one per CPU; results identical "
+        "to serial; see --executor for the worker kind)",
+    )
+    query.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker kind for --jobs: 'thread' (default) or 'process' "
+        "(real cores over a read-only shared-memory posting export; "
+        "falls back to threads where process pools are unavailable)",
     )
     _add_cache_options(query)
     query.set_defaults(func=_command_query)

@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from ..approxql.ast import NameSelector, count_or_operators, count_selectors
 from ..approxql.costs import CostModel
 from ..approxql.parser import parse_query
-from ..concurrent import QueryPool, resolve_jobs
+from ..concurrent import QueryPool, make_query_pool, resolve_jobs
 from ..engine.evaluator import DirectEvaluator
 from ..errors import EvaluationError
 from ..schema.dataguide import (
@@ -263,12 +263,20 @@ class Snapshot:
         max_cost: "float | None" = None,
         collect: str = "off",
         jobs: "int | None" = None,
+        executor: str = "thread",
     ) -> ResultSet:
-        """:meth:`Database.query` against the pinned generation."""
+        """:meth:`Database.query` against the pinned generation.
+
+        ``executor="process"`` works under the pin: the shared-memory
+        ``I_sec`` export is built *under* this snapshot's overlay, so
+        process workers serve exactly the pinned generation (the export
+        is query-private when the overlay is non-empty).
+        """
         self._check_open()
         with using_overlay(self._overlay):
             return self._database._query_impl(
-                self._state, text, n, costs, method, max_cost, None, collect, jobs
+                self._state, text, n, costs, method, max_cost, None, collect, jobs,
+                executor,
             )
 
     def count_results(
@@ -377,6 +385,7 @@ class Database:
         #: the file store behind an opened database (None when in-memory)
         self._store: "Store | None" = None
         self._store_options: "StoreOptions | None" = None
+        self._store_path: "str | None" = None
         # Mutation machinery.  One writer at a time (_write_lock); the
         # overlay lock orders snapshot pinning against the writer's
         # preserve-then-write steps (see _pin / _preserve).
@@ -504,6 +513,7 @@ class Database:
         durability: "str | None" = None,
         wal_checkpoint_bytes: "int | None" = None,
         page_size: "int | None" = None,
+        numpy_kernel: "bool | None" = None,
     ) -> "Database":
         """Open a saved database; posting fetches go to the file store.
 
@@ -540,8 +550,20 @@ class Database:
 
         With both cache knobs at ``0`` the read path is byte-identical
         to the uncached engine.
+
+        ``numpy_kernel`` flips the process-wide numpy fast path for
+        whole-column engine passes (see ``docs/PERFORMANCE.md``):
+        ``True`` enables it (inert without numpy installed), ``False``
+        forces the pure-python kernels, ``None`` (default) leaves the
+        ``REPRO_NUMPY`` environment setting alone.  Results are
+        bit-identical either way; the flag is forwarded to process-pool
+        workers.
         """
+        from ..engine.columns import set_numpy_kernel
         from ..storage.cache import DEFAULT_POSTING_CACHE_BYTES, PostingCache
+
+        if numpy_kernel is not None:
+            set_numpy_kernel(bool(numpy_kernel))
 
         options = (options or StoreOptions()).merged(
             page_cache_pages=page_cache_pages,
@@ -577,6 +599,7 @@ class Database:
         )
         database._store = store
         database._store_options = options
+        database._store_path = path
         return database
 
     @classmethod
@@ -888,6 +911,7 @@ class Database:
         stats: "EvaluationStats | None" = None,
         collect: str = "off",
         jobs: "int | None" = None,
+        executor: str = "thread",
     ) -> ResultSet:
         """Evaluate an approXQL query and return the best ``n`` results.
 
@@ -910,9 +934,14 @@ class Database:
         as ``.report``.
 
         ``jobs > 1`` runs the schema-driven driver's second-level queries
-        on that many threads (results identical to serial; see
-        :mod:`repro.concurrent`).  The direct algorithm ignores ``jobs``
-        — its one primary evaluation has no independent work units.
+        on that many workers (results identical to serial; see
+        :mod:`repro.concurrent`).  ``jobs`` may be negative — one worker
+        per CPU — and ``executor`` picks the backend: ``"thread"`` (the
+        default) or ``"process"``, which evaluates on real cores against
+        a read-only shared-memory export of ``I_sec`` and degrades to
+        threads where process pools are unavailable (counting
+        ``concurrency.process_fallback``).  The direct algorithm ignores
+        both — its one primary evaluation has no independent work units.
 
         ``stats`` is a deprecation shim for the pre-telemetry
         :class:`~repro.schema.evaluator.EvaluationStats` hook; prefer
@@ -922,7 +951,8 @@ class Database:
         try:
             with using_overlay(overlay):
                 return self._query_impl(
-                    state, text, n, costs, method, max_cost, stats, collect, jobs
+                    state, text, n, costs, method, max_cost, stats, collect, jobs,
+                    executor,
                 )
         finally:
             self._release(overlay)
@@ -938,6 +968,7 @@ class Database:
         stats: "EvaluationStats | None",
         collect: str,
         jobs: "int | None",
+        executor: str = "thread",
     ) -> ResultSet:
         self._check_failed()
         query, resolved_costs = self._resolve(text, costs)
@@ -954,11 +985,13 @@ class Database:
         telemetry = Telemetry(timed=collect == MODE_TIMINGS) if collect != MODE_OFF else None
         start = time.perf_counter()
         if telemetry is None:
-            results = self._evaluate(state, chosen, query, resolved_costs, n, max_cost, stats, jobs)
+            results = self._evaluate(
+                state, chosen, query, resolved_costs, n, max_cost, stats, jobs, executor
+            )
         else:
             with _telemetry.collecting(telemetry):
                 results = self._evaluate(
-                    state, chosen, query, resolved_costs, n, max_cost, stats, jobs
+                    state, chosen, query, resolved_costs, n, max_cost, stats, jobs, executor
                 )
         wall_seconds = time.perf_counter() - start
         report = QueryReport.from_telemetry(
@@ -981,18 +1014,28 @@ class Database:
         method: str = "auto",
         collect: str = "off",
         jobs: "int | None" = None,
+        executor: str = "thread",
     ) -> list[ResultSet]:
         """Evaluate a batch of independent queries; one
         :class:`~repro.core.results.ResultSet` per query, in input order.
 
         Each item of ``queries`` is query text (or a parsed selector),
         or a ``(text, cost_model)`` pair overriding ``costs`` for that
-        query.  ``jobs > 1`` serves the batch from a
-        :class:`~repro.concurrent.QueryPool` with that many threads
-        (``-1``: one per CPU); every query still collects its own
-        telemetry, so the reports are exactly what a serial run would
-        attach.  Results are identical to calling :meth:`query` in a
-        loop.
+        query.  ``jobs > 1`` serves the batch from a worker pool with
+        that many workers (``-1``: one per CPU); every query still
+        collects its own telemetry, so the reports are exactly what a
+        serial run would attach.  Results are identical to calling
+        :meth:`query` in a loop.
+
+        ``executor="process"`` serves the batch on a
+        :class:`~repro.concurrent.ProcessQueryPool` — real cores, one
+        query per task.  Each worker gets its own read view (a stored
+        database is re-opened by path; an in-memory database is
+        fork-inherited) and ships back only ``(root, cost)`` pairs plus
+        the report, which are re-bound to this process's tree.  When no
+        safe per-worker view exists (WAL-mode store, no ``fork`` start
+        method for in-memory data), the batch degrades to threads and
+        counts ``concurrency.process_fallback``.
 
         One batch, one insert-cost table: encoding a different insert
         table rewrites shared per-node cost arrays on the tree and the
@@ -1003,6 +1046,10 @@ class Database:
         counter (in every ``collect`` mode) so callers can detect the
         lost parallelism.
         """
+        if executor not in ("thread", "process"):
+            raise EvaluationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         resolved: list[tuple[NameSelector, CostModel]] = []
         for item in queries:
             if isinstance(item, tuple):
@@ -1052,8 +1099,69 @@ class Database:
                 max_cost=max_cost, collect=collect,
             )
 
+        if executor == "process":
+            setup, cleanup = self._batch_worker_setup()
+            if setup is not None:
+                try:
+                    pool = make_query_pool(jobs, "process", setup)
+                    with pool:
+                        if isinstance(pool, QueryPool):
+                            # process pool unavailable; make_query_pool
+                            # already counted the fallback
+                            return pool.map_ordered(_serve, resolved)
+                        items = [
+                            (query.unparse(), query_costs, n, max_cost, method, collect)
+                            for query, query_costs in resolved
+                        ]
+                        payloads = pool.map_ordered(_serve_process_query, items)
+                finally:
+                    cleanup()
+                tree = state.tree
+                return [
+                    ResultSet(
+                        [QueryResult(root, cost, tree) for root, cost in pairs],
+                        report,
+                    )
+                    for pairs, report in payloads
+                ]
+            _telemetry.count("concurrency.process_fallback")
         with QueryPool(jobs) as pool:
             return pool.map_ordered(_serve, resolved)
+
+    def _batch_worker_setup(self):
+        """The process-pool worker setup for :meth:`query_many`, plus a
+        cleanup callback; ``(None, ...)`` when no safe per-worker read
+        view exists and the batch must fall back to threads.
+
+        * Stored database in ``durability="none"`` mode: workers re-open
+          the file by path (own store handle, own caches) after a sync
+          flushes this handle's pending writes.  WAL mode is excluded —
+          a worker's open would run log recovery against the parent's
+          live WAL.
+        * In-memory database under the ``fork`` start method: workers
+          inherit this object through the fork snapshot (it never
+          pickles — see :mod:`repro.concurrent.process`).
+        """
+        from ..concurrent.process import (
+            ForkInheritedSetup,
+            StoredDatabaseSetup,
+            default_start_method,
+            register_fork_object,
+            unregister_fork_object,
+        )
+
+        if self._store is not None:
+            if (
+                self._store_path is not None
+                and getattr(self._store, "durability", "none") == "none"
+            ):
+                self._store.sync()
+                return StoredDatabaseSetup(self._store_path, self._store_options), _noop
+            return None, _noop
+        if default_start_method() != "fork":
+            return None, _noop
+        token = register_fork_object(self)
+        return ForkInheritedSetup(token), (lambda: unregister_fork_object(token))
 
     def stream(
         self,
@@ -1282,12 +1390,14 @@ class Database:
         max_cost: "float | None",
         stats: "EvaluationStats | None",
         jobs: "int | None" = None,
+        executor: str = "thread",
     ) -> list[QueryResult]:
         if chosen == "direct":
             raw = state.direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
         else:
             raw = state.schema_eval().evaluate(
-                query, costs, n=n, max_cost=max_cost, stats=stats, jobs=jobs
+                query, costs, n=n, max_cost=max_cost, stats=stats, jobs=jobs,
+                executor=executor,
             )
         with _telemetry.timer("core.materialize"):
             results = [QueryResult(result.root, result.cost, state.tree) for result in raw]
@@ -1301,3 +1411,23 @@ class Database:
                 "queries must use the same insert-cost table (build an in-memory "
                 "Database for per-query insert costs)"
             )
+
+
+def _noop() -> None:
+    """Cleanup placeholder for worker setups that own nothing."""
+
+
+def _serve_process_query(item):
+    """Worker body of a process-pool :meth:`Database.query_many` batch:
+    serve one query on the worker's own database (its setup spec opened
+    or fork-inherited it — see ``Database._batch_worker_setup``) and
+    return a slim picklable payload, ``(root, cost)`` pairs plus the
+    report, which the parent re-binds to its own tree."""
+    from ..concurrent.process import worker_context
+
+    text, costs, n, max_cost, method, collect = item
+    database = worker_context()
+    result = database.query(
+        text, n=n, costs=costs, method=method, max_cost=max_cost, collect=collect
+    )
+    return [(entry.root, entry.cost) for entry in result], result.report

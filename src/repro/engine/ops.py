@@ -30,7 +30,7 @@ from operator import itemgetter
 from ..telemetry.collector import count as _telemetry_count
 from ..xmltree.indexes import NodeIndexes
 from ..xmltree.model import NodeType
-from .columns import EvalColumns, as_columns, get_rmq_crossover
+from .columns import EvalColumns, _numpy_module, as_columns, get_rmq_crossover
 from .entries import INFINITE, ListEntry
 
 EvalList = list[ListEntry]
@@ -217,10 +217,23 @@ def sort_best(n: "int | None", entries) -> EvalColumns:
     entries = as_columns(entries)
     leafcost = entries.leafcost
     pre = entries.pre
-    order = sorted(
-        (i for i in range(len(pre)) if leafcost[i] != INFINITE),
-        key=lambda i: (leafcost[i], pre[i]),
-    )
+    numpy = _numpy_module()
+    if numpy is not None and len(leafcost) > 1:
+        # partition out the no-valid-embedding class, then a stable
+        # two-key lexsort — identical order to the python sort because
+        # pre values are unique (no ties to break differently)
+        leaf = numpy.asarray(leafcost, dtype=numpy.float64)
+        keep = numpy.flatnonzero(leaf != numpy.inf)
+        ranks = numpy.lexsort(
+            (numpy.asarray(pre, dtype=numpy.int64)[keep], leaf[keep])
+        )
+        order = keep[ranks].tolist()
+        _telemetry_count("kernel.numpy_sorts")
+    else:
+        order = sorted(
+            (i for i in range(len(pre)) if leafcost[i] != INFINITE),
+            key=lambda i: (leafcost[i], pre[i]),
+        )
     if n is not None:
         order = order[:n]
     return entries.take(order)
@@ -242,16 +255,36 @@ def add_edge_cost(entries, edge_cost: float) -> EvalColumns:
 # ----------------------------------------------------------------------
 
 
+def _concat(left, right) -> list:
+    """``left + right`` as one list, tolerating buffer-backed columns
+    (``array``/``memoryview``), which do not concatenate with lists."""
+    if type(left) is list and type(right) is list:
+        return left + right
+    combined = list(left)
+    combined.extend(right)
+    return combined
+
+
 def _with_added_cost(columns: EvalColumns, cost: float) -> EvalColumns:
     if cost == 0:
         return columns
+    numpy = _numpy_module()
+    if numpy is not None and len(columns.embcost) > 1:
+        # inf + finite == inf in IEEE, so the python path's INFINITE
+        # guard is a skipped addition, not a different result
+        embcost = (numpy.asarray(columns.embcost, dtype=numpy.float64) + cost).tolist()
+        leafcost = (numpy.asarray(columns.leafcost, dtype=numpy.float64) + cost).tolist()
+        _telemetry_count("kernel.numpy_cost_shifts")
+    else:
+        embcost = [emb + cost for emb in columns.embcost]
+        leafcost = [leaf + cost if leaf != INFINITE else INFINITE for leaf in columns.leafcost]
     return EvalColumns(
         columns.pre,
         columns.bound,
         columns.pathcost,
         columns.inscost,
-        [emb + cost for emb in columns.embcost],
-        [leaf + cost if leaf != INFINITE else INFINITE for leaf in columns.leafcost],
+        embcost,
+        leafcost,
     )
 
 
@@ -302,11 +335,11 @@ def _merge_columns(left: EvalColumns, right: EvalColumns) -> EvalColumns:
         def gather(column: list) -> list:
             return list(getter(column))
 
-    bound = gather(left.bound + right.bound)
-    pathcost = gather(left.pathcost + right.pathcost)
-    inscost = gather(left.inscost + right.inscost)
-    embcost = gather(left.embcost + right.embcost)
-    leafcost = gather(left.leafcost + right.leafcost)
+    bound = gather(_concat(left.bound, right.bound))
+    pathcost = gather(_concat(left.pathcost, right.pathcost))
+    inscost = gather(_concat(left.inscost, right.inscost))
+    embcost = gather(_concat(left.embcost, right.embcost))
+    leafcost = gather(_concat(left.leafcost, right.leafcost))
     left_emb = left.embcost
     right_emb = right.embcost
     left_leaf = left.leafcost

@@ -21,7 +21,7 @@ from ..approxql.ast import NameSelector
 from ..approxql.costs import CostModel
 from ..approxql.expanded import build_expanded
 from ..approxql.parser import parse_query
-from ..concurrent import QueryPool, resolve_jobs
+from ..concurrent import QueryPool, make_query_pool, resolve_jobs, worker_context
 from ..errors import EvaluationError
 from ..telemetry import collector as _telemetry
 from ..xmltree.model import DataTree
@@ -125,6 +125,7 @@ class SchemaEvaluator:
         max_cost: "float | None" = None,
         stats: "EvaluationStats | None" = None,
         jobs: "int | None" = None,
+        executor: str = "thread",
     ) -> list[SchemaResult]:
         """Best-``n`` root-cost pairs via the incremental algorithm.
 
@@ -132,7 +133,8 @@ class SchemaEvaluator:
         defaults to ``n`` (or 16); ``delta`` defaults to ``initial_k``.
         Pass an :class:`EvaluationStats` to observe the driver.
         ``jobs > 1`` executes each round's second-level queries on a
-        thread pool (see :meth:`iter_results`).
+        worker pool — ``executor`` picks threads or processes (see
+        :meth:`iter_results`).
         """
         results = list(
             self.iter_results(
@@ -146,6 +148,7 @@ class SchemaEvaluator:
                 max_cost=max_cost,
                 stats=stats,
                 jobs=jobs,
+                executor=executor,
             )
         )
         if n is not None:
@@ -164,6 +167,7 @@ class SchemaEvaluator:
         max_cost: "float | None" = None,
         stats: "EvaluationStats | None" = None,
         jobs: "int | None" = None,
+        executor: str = "thread",
     ):
         """Generator form of :meth:`evaluate` — the paper's "results can
         be sent immediately to the user" advantage: second-level queries
@@ -176,13 +180,28 @@ class SchemaEvaluator:
         matters when n is far beyond the initial guess (or infinite).
 
         ``jobs > 1`` executes each round's independent second-level
-        queries on a :class:`~repro.concurrent.QueryPool` and merges
-        their result streams back in cost order, so the emitted sequence
-        is **identical** to the serial one.  Work counters may differ:
-        the parallel driver dispatches a round's whole batch up front, so
-        skeletons the serial driver would have skipped (root class
-        saturated mid-round, n reached early) can count as executed.
+        queries on a worker pool and merges their result streams back in
+        cost order, so the emitted sequence is **identical** to the
+        serial one.  Work counters may differ: the parallel driver
+        dispatches a round's whole batch up front, so skeletons the
+        serial driver would have skipped (root class saturated mid-round,
+        n reached early) can count as executed.
+
+        ``executor="process"`` runs the round's queries on a
+        :class:`~repro.concurrent.ProcessQueryPool`: the ``I_sec``
+        postings are exported once into a read-only shared-memory
+        segment (cached per store generation) and each worker evaluates
+        zero-copy against it — only skeleton payloads and result roots
+        cross the pipe.  Falls back to threads when process pools or the
+        export are unavailable.
         """
+        if executor not in ("thread", "process"):
+            raise EvaluationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        # captured before the serial SecondaryExecutor below shadows the
+        # parameter name
+        process_requested = executor == "process"
         if isinstance(query, str):
             query = parse_query(query)
         if costs is None:
@@ -213,8 +232,11 @@ class SchemaEvaluator:
         # executor's does.  Created lazily — a query that never sees a
         # round with two fresh skeletons never starts a thread.
         jobs = resolve_jobs(jobs)
-        pool: "QueryPool | None" = None
+        pool = None
         workers: "list[SecondaryExecutor]" = []
+        process_pool = False
+        shared_segment = None
+        shared_segment_private = False
 
         # Root-class saturation (an exact early-termination rule): every
         # result is an instance of a candidate root class (the root label
@@ -277,15 +299,38 @@ class SchemaEvaluator:
                             continue
                         batch.append(entry)
                     if pool is None:
-                        pool = QueryPool(jobs)
-                        workers = [SecondaryExecutor(self._isec) for _ in range(jobs)]
-                    chunks = [
-                        (workers[i], batch[i :: len(workers)])
-                        for i in range(len(workers))
-                    ]
-                    with _telemetry.timer("schema.secondary"):
-                        chunk_results = pool.map_ordered(_execute_chunk, chunks)
-                    stride = len(workers)
+                        if process_requested:
+                            setup, shared_segment, shared_segment_private = (
+                                self._shared_secondary_setup()
+                            )
+                            if setup is not None:
+                                pool = make_query_pool(jobs, "process", setup)
+                                process_pool = not isinstance(pool, QueryPool)
+                                if not process_pool and shared_segment_private:
+                                    # thread fallback: the private export
+                                    # will never be attached
+                                    shared_segment.destroy()
+                                    shared_segment = None
+                        if pool is None:
+                            pool = QueryPool(jobs)
+                        if not process_pool:
+                            workers = [SecondaryExecutor(self._isec) for _ in range(jobs)]
+                    if process_pool:
+                        # workers run their own SecondaryExecutor over the
+                        # shared segment (set up once per worker process);
+                        # only the skeleton entries cross the pipe
+                        chunks = [batch[i::jobs] for i in range(jobs)]
+                        with _telemetry.timer("schema.secondary"):
+                            chunk_results = pool.map_ordered(_execute_chunk_shared, chunks)
+                        stride = jobs
+                    else:
+                        chunks = [
+                            (workers[i], batch[i :: len(workers)])
+                            for i in range(len(workers))
+                        ]
+                        with _telemetry.timer("schema.secondary"):
+                            chunk_results = pool.map_ordered(_execute_chunk, chunks)
+                        stride = len(workers)
                     instances_by_index: "dict[int, list]" = {}
                     for i, chunk in enumerate(chunk_results):
                         for j, instances in enumerate(chunk):
@@ -396,6 +441,35 @@ class SchemaEvaluator:
         finally:
             if pool is not None:
                 pool.shutdown()
+            if shared_segment is not None:
+                if shared_segment_private:
+                    # query-private export (overlay view / memory index)
+                    shared_segment.destroy()
+                else:
+                    # registered export: drop this query's pin so the
+                    # registry may destroy it once a generation bump
+                    # retires it (it outlives the query until then)
+                    release = getattr(self._isec, "release_segment", None)
+                    if release is not None:
+                        release(shared_segment)
+
+    def _shared_secondary_setup(self):
+        """The worker setup spec for process-pool rounds: export ``I_sec``
+        into a shared segment and hand workers its name.  Returns
+        ``(setup, segment, private)``; ``(None, None, False)`` when the
+        secondary index cannot export (process rounds then fall back to
+        threads)."""
+        shared = getattr(self._isec, "shared_segment", None)
+        if shared is not None:
+            segment, private = shared()
+            return _SharedExecutorSetup(segment.name), segment, private
+        export = getattr(self._isec, "export_postings", None)
+        if export is not None:
+            from ..storage.shm import SharedPostingSegment
+
+            segment = SharedPostingSegment.build(dict(export()))
+            return _SharedExecutorSetup(segment.name), segment, True
+        return None, None, False
 
     def _root_instance_counts(self, root) -> "dict[int, int] | None":
         """Instance counts of every candidate root class (the data nodes
@@ -426,3 +500,30 @@ def _execute_chunk(item: "tuple[SecondaryExecutor, list]") -> list:
     fetch memo is never touched by two threads)."""
     worker, entries = item
     return [worker.execute(entry) for entry in entries]
+
+
+class _SharedExecutorSetup:
+    """Process-worker setup: attach the shared ``I_sec`` segment and
+    build the worker's own :class:`SecondaryExecutor` over it.  The
+    executor (and its skeleton memo) lives for the worker's lifetime,
+    mirroring the one-executor-per-thread-worker arrangement."""
+
+    __slots__ = ("segment_name",)
+
+    def __init__(self, segment_name: str) -> None:
+        self.segment_name = segment_name
+
+    def activate(self) -> SecondaryExecutor:
+        from ..storage.shm import SharedPostingSegment
+        from .indexes import SharedSecondaryIndex
+
+        segment = SharedPostingSegment.attach(self.segment_name)
+        return SecondaryExecutor(SharedSecondaryIndex(segment))
+
+
+def _execute_chunk_shared(entries: list) -> list:
+    """Process twin of :func:`_execute_chunk`: the executor comes from
+    the worker's process-local context, not the task payload — only the
+    skeleton entries and the result instances cross the pipe."""
+    executor = worker_context()
+    return [executor.execute(entry) for entry in entries]

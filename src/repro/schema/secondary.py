@@ -55,7 +55,10 @@ class SecondaryExecutor:
             instances = semi_join(instances, child_instances, child_pres)
             self.semijoin_count += 1
             _telemetry_count("schema.semijoins")
-        cached = (instances, [pre for pre, _ in instances])
+        # a columnar posting (InstanceColumns, possibly shared-memory
+        # backed) already carries its pre column — borrow it zero-copy
+        pres = getattr(instances, "pre", None)
+        cached = (instances, pres if pres is not None else [pre for pre, _ in instances])
         self._memo[entry] = cached
         return cached
 

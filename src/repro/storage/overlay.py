@@ -77,6 +77,14 @@ class SnapshotOverlay:
         the key was never touched after the snapshot was taken."""
         return self._data.get((tag, key), MISSING)
 
+    def items(self) -> list[tuple[tuple[bytes, bytes], object]]:
+        """A point-in-time list of ``((tag, key), value)`` pairs — the
+        shared-memory segment builder applies these on top of the store's
+        current values so exported postings match the pinned generation.
+        A list copy, not a live view: the writer may add entries while
+        the caller iterates."""
+        return list(self._data.items())
+
     def __len__(self) -> int:
         return len(self._data)
 

@@ -1,0 +1,272 @@
+"""Shared-memory posting segments for multi-process query execution.
+
+A :class:`SharedPostingSegment` exports a set of decoded postings —
+``(namespace_tag, key) -> columnar posting`` — into one read-only
+``multiprocessing.shared_memory`` block, so process-pool workers attach
+by name and evaluate over the columns **zero-copy**: only the segment
+name and the tiny query payload ever cross the pipe, never a posting.
+
+Layout (one flat block)::
+
+    [ 8 bytes magic | 8 bytes data length | 8 bytes directory length ]
+    [ data region: flat little-endian int64 columns, concatenated     ]
+    [ directory: pickled {(tag, key): (word_offset, rows, columns)}   ]
+
+Each posting's columns are stored consecutively (all ``pre`` values,
+then all ``bound`` values, ...), so a fetch is ``columns`` memoryview
+casts — no parsing, no copying.  Four columns rebuild a
+:class:`~repro.storage.postings.PostingColumns`, two an
+:class:`~repro.storage.postings.InstanceColumns`; both duck-type the
+historical list-of-tuples shape, so the evaluation path is unchanged.
+
+Lifecycle contract
+------------------
+The **builder** (the querying parent) owns the segment: it creates the
+block, registers it in the :class:`~repro.storage.cache.PostingCache`
+keyed by store generation, and destroys it (close + unlink) when the
+generation moves or at interpreter exit.  **Workers** only ever attach
+and close — never unlink.  On Linux, unlinking while workers still hold
+the mapping is safe: the memory stays valid until the last map drops,
+which gives generation snapshots for free — a worker mid-query keeps
+reading the generation it attached, even if the parent has already
+invalidated the segment for new queries.
+
+Attaching on Python 3.11/3.12 re-registers the block with the
+``resource_tracker``, which then warns (and double-unlinks) at exit for
+segments the attacher does not own; :func:`attach_shared_memory` uses
+``track=False`` where available (3.13+) and explicitly unregisters
+otherwise, so the tracker stays clean (the lifecycle test asserts this).
+
+Telemetry: ``shm.segments_built``, ``shm.bytes_exported``,
+``shm.postings_exported``, ``shm.attaches``, and (from the cache
+registry) ``shm.segment_invalidations``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+
+from ..errors import StorageError
+from ..telemetry.collector import count as _telemetry_count
+from .postings import InstanceColumns, PostingColumns, _Columns
+
+_MAGIC = b"APXQSEG1"
+_HEADER = struct.Struct("<8sQQ")
+
+
+def _finalize_owned(shm) -> None:
+    """Last-resort teardown of an *owned* block whose segment was
+    garbage-collected (or is still alive at interpreter exit) without an
+    explicit :meth:`SharedPostingSegment.destroy` — e.g. the registry
+    that held it died with its database handle.  Unlink first: that is
+    what unregisters the block from the resource tracker (no "leaked
+    shared_memory objects" warning, no tracker-side double cleanup);
+    the unmap may legitimately fail with outstanding buffer exports, in
+    which case the mapping is reclaimed with the process."""
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    try:
+        shm.close()
+    except BufferError:  # views still exported; process teardown reclaims
+        pass
+
+
+def _register_noop(name, rtype) -> None:  # pragma: no cover - trivial
+    pass
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker registration.
+
+    Python 3.13 grew ``track=False`` for exactly this; on 3.11/3.12 the
+    attach registers the segment as if this process owned it, so we
+    suppress the registration for the duration of the attach.  An
+    unregister-after-attach would be wrong, not just noisy: a forked
+    worker shares the parent's tracker process, so its unregister would
+    erase the *owner's* registration and the owner's eventual unlink
+    would hit an unknown name (tracker KeyError tracebacks at exit) —
+    while under spawn the worker's own fresh tracker would double-unlink
+    a segment it does not own unless the registration never happens.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        register = resource_tracker.register
+        resource_tracker.register = _register_noop
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
+
+
+def _as_columns(posting) -> _Columns:
+    """Any decoded posting shape as a columnar object (zero-copy when it
+    already is one; empty postings export as zero-column entries)."""
+    if isinstance(posting, _Columns):
+        return posting
+    rows = list(posting)
+    if not rows:
+        return InstanceColumns.from_rows([])
+    if len(rows[0]) == 4:
+        return PostingColumns.from_rows(rows)
+    return InstanceColumns.from_rows(rows)
+
+
+def _column_bytes(column) -> bytes:
+    view = memoryview(column)
+    try:
+        return view.cast("B").tobytes()
+    finally:
+        view.release()
+
+
+class SharedPostingSegment:
+    """One read-only shared-memory block of exported posting columns.
+
+    Built by the parent with :meth:`build`, attached by name in workers
+    with :meth:`attach`.  :meth:`fetch` returns columnar postings whose
+    buffers are memoryview casts straight into the block.
+    """
+
+    __slots__ = (
+        "_shm",
+        "_directory",
+        "_data_offset",
+        "_owner",
+        "_views",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(self, shm, directory, data_offset: int, owner: bool) -> None:
+        self._shm = shm
+        self._directory = directory
+        self._data_offset = data_offset
+        self._owner = owner
+        # memoryviews handed out by fetch(); released before close so the
+        # underlying mmap can actually unmap (BufferError otherwise)
+        self._views: list = []
+        # owned blocks must be unlinked exactly once no matter how the
+        # segment dies: destroy() detaches this, GC and interpreter exit
+        # both trigger it otherwise
+        self._finalizer = (
+            weakref.finalize(self, _finalize_owned, shm) if owner else None
+        )
+
+    @classmethod
+    def build(cls, postings: dict) -> "SharedPostingSegment":
+        """Export ``{(tag, key): posting}`` into a fresh owned block."""
+        directory: dict = {}
+        blobs: list[bytes] = []
+        word_offset = 0
+        posting_count = 0
+        for composite, posting in postings.items():
+            columns = _as_columns(posting)
+            names = columns.__slots__
+            rows = len(columns)
+            directory[composite] = (word_offset, rows, len(names))
+            for name in names:
+                blobs.append(_column_bytes(getattr(columns, name)))
+            word_offset += len(names) * rows
+            posting_count += 1
+        directory_blob = pickle.dumps(directory, protocol=pickle.HIGHEST_PROTOCOL)
+        data_length = word_offset * 8
+        total = _HEADER.size + data_length + len(directory_blob)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        buffer = shm.buf
+        _HEADER.pack_into(buffer, 0, _MAGIC, data_length, len(directory_blob))
+        position = _HEADER.size
+        for blob in blobs:
+            buffer[position : position + len(blob)] = blob
+            position += len(blob)
+        buffer[position : position + len(directory_blob)] = directory_blob
+        _telemetry_count("shm.segments_built")
+        _telemetry_count("shm.bytes_exported", total)
+        _telemetry_count("shm.postings_exported", posting_count)
+        return cls(shm, directory, _HEADER.size, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedPostingSegment":
+        """Map an existing segment by name (worker side, never unlinks)."""
+        shm = attach_shared_memory(name)
+        magic, data_length, directory_length = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise StorageError(f"shared segment {name!r} has bad magic {magic!r}")
+        directory_offset = _HEADER.size + data_length
+        directory = pickle.loads(
+            bytes(shm.buf[directory_offset : directory_offset + directory_length])
+        )
+        _telemetry_count("shm.attaches")
+        return cls(shm, directory, _HEADER.size, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The block name workers attach by."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, composite: tuple) -> bool:
+        return composite in self._directory
+
+    def fetch(self, tag: bytes, key: bytes):
+        """The exported posting under ``(tag, key)`` as a columnar object
+        backed by the block, or ``None`` when it was not exported."""
+        entry = self._directory.get((tag, key))
+        if entry is None:
+            return None
+        word_offset, rows, column_count = entry
+        if self._shm is None:
+            raise StorageError("shared segment is closed")
+        start = self._data_offset + word_offset * 8
+        columns = []
+        for index in range(column_count):
+            begin = start + index * rows * 8
+            view = self._shm.buf[begin : begin + rows * 8].cast("q")
+            self._views.append(view)
+            columns.append(view)
+        if column_count == 4:
+            return PostingColumns(*columns)
+        return InstanceColumns(*columns)
+
+    def close(self) -> None:
+        """Release every handed-out view and unmap the block.  Columns
+        fetched earlier become invalid (ValueError on access)."""
+        if self._shm is None:
+            return
+        for view in self._views:
+            try:
+                view.release()
+            except BufferError:  # pragma: no cover - still exported elsewhere
+                pass
+        self._views.clear()
+        self._shm.close()
+        self._shm = None
+
+    def destroy(self) -> None:
+        """Owner-side teardown: unmap and unlink the block.  Safe while
+        workers still hold mappings (their memory stays valid)."""
+        shm = self._shm
+        self.close()
+        if self._owner and shm is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._shm is None else self._shm.name
+        return f"SharedPostingSegment({state}, postings={len(self._directory)})"

@@ -23,7 +23,7 @@ from ..storage.kv import Namespace, Store
 from ..storage.overlay import MISSING, current_overlay
 from ..storage.postings import (
     NodePosting,
-    decode_node_postings,
+    decode_node_posting_columns,
     encode_node_postings,
 )
 from ..telemetry.collector import current as _telemetry_current
@@ -260,7 +260,9 @@ class StoredNodeIndexes(NodeIndexes):
                 telemetry.count("index.data_fetches")
                 telemetry.count("index.data_postings", 0)
             return []
-        posting = decode_node_postings(data)
+        # columnar decode: flat array('q') buffers the evaluation kernel
+        # borrows zero-copy (rows still read as tuples everywhere else)
+        posting = decode_node_posting_columns(data)
         if cache is not None:
             cache.put(tag, key, generation, posting)
         if telemetry is not None:

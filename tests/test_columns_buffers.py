@@ -1,0 +1,439 @@
+"""Array-backed posting columns must be indistinguishable from lists.
+
+The columnar decode path re-backs postings with flat ``array('q')``
+buffers (and, through the shared-memory exporter, with memoryview casts
+into one block).  Everything downstream — the Section 6.4 list algebra,
+the semi-joins, pickling across a process pipe — was written against
+lists of tuples, so these property tests drive every operation in
+:mod:`repro.engine.ops` with both backings and demand identical rows,
+under both RMQ-crossover pins (always-sparse-table and always-linear)
+and with the numpy kernel both off and on.
+
+The second half covers the shared-memory segment lifecycle: build,
+attach, fetch, close, destroy — no leaked ``/dev/shm`` blocks, and a
+worker-style attach in a child process leaves the resource tracker
+silent (no unregister of the owner's registration, no double unlink).
+"""
+
+import math
+import pickle
+import subprocess
+import sys
+from array import array
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.columns import (
+    EvalColumns,
+    numpy_kernel_active,
+    set_numpy_kernel,
+    set_rmq_crossover,
+)
+from repro.engine.ops import (
+    add_edge_cost,
+    intersect,
+    join,
+    merge,
+    outerjoin,
+    sort_best,
+    union,
+)
+from repro.schema.secondary import semi_join
+from repro.storage.postings import (
+    InstanceColumns,
+    PostingColumns,
+    decode_instance_posting_columns,
+    decode_node_posting_columns,
+    encode_instance_postings,
+    encode_node_postings,
+)
+from repro.storage.shm import SharedPostingSegment, attach_shared_memory
+
+# ----------------------------------------------------------------------
+# strategies: legal sorted-unique-pre postings
+# ----------------------------------------------------------------------
+
+node_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=14,
+).map(
+    lambda rows: [
+        (pre, pre + span, pathcost, inscost)
+        for pre, (span, pathcost, inscost) in sorted(
+            {pre: rest for pre, *rest in rows}.items()
+        )
+    ]
+)
+
+instance_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=14,
+).map(
+    lambda rows: [
+        (pre, pre + span)
+        for pre, span in sorted(dict(rows).items())
+    ]
+)
+
+
+@pytest.fixture(params=["rmq-always", "rmq-never"])
+def rmq_pin(request):
+    crossover = 0 if request.param == "rmq-always" else math.inf
+    previous = set_rmq_crossover(crossover)
+    yield request.param
+    set_rmq_crossover(previous)
+
+
+@pytest.fixture(params=["python", "numpy"])
+def kernel(request):
+    want_numpy = request.param == "numpy"
+    previous = set_numpy_kernel(want_numpy)
+    if want_numpy and not numpy_kernel_active():
+        set_numpy_kernel(previous)
+        pytest.skip("numpy not installed")
+    yield request.param
+    set_numpy_kernel(previous)
+
+
+def columns_pair(posting):
+    """The same node posting with both backings: the block-varint decode
+    (flat int64 arrays) and the historical list of tuples."""
+    decoded = decode_node_posting_columns(encode_node_postings(posting))
+    assert isinstance(decoded.pre, (array, memoryview))
+    return decoded, list(posting)
+
+
+def eval_pair(posting, is_text=False, as_leaf=False):
+    arrays, lists = columns_pair(posting)
+    return (
+        EvalColumns.from_postings(arrays, is_text, as_leaf),
+        EvalColumns.from_postings(lists, is_text, as_leaf),
+    )
+
+
+# ----------------------------------------------------------------------
+# decoded equality and duck-typing
+# ----------------------------------------------------------------------
+
+
+class TestColumnarDecode:
+    @settings(max_examples=60, deadline=None)
+    @given(posting=node_rows)
+    def test_node_decode_equals_rows(self, posting):
+        decoded, rows = columns_pair(posting)
+        assert decoded == rows
+        assert list(decoded) == rows
+        assert len(decoded) == len(rows)
+        for index, row in enumerate(rows):
+            assert decoded[index] == row
+        assert decoded[1:3] == rows[1:3]
+
+    @settings(max_examples=60, deadline=None)
+    @given(posting=instance_rows)
+    def test_instance_decode_equals_rows(self, posting):
+        decoded = decode_instance_posting_columns(encode_instance_postings(posting))
+        assert decoded == list(posting)
+        assert list(decoded) == list(posting)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(posting=node_rows)
+    def test_pickle_rematerializes_as_plain_arrays(self, posting):
+        decoded, rows = columns_pair(posting)
+        clone = pickle.loads(pickle.dumps(decoded))
+        assert isinstance(clone, PostingColumns)
+        assert clone == rows
+        assert isinstance(clone.pre, array)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(posting=instance_rows)
+    def test_instance_pickle_roundtrip(self, posting):
+        decoded = decode_instance_posting_columns(encode_instance_postings(posting))
+        clone = pickle.loads(pickle.dumps(decoded))
+        assert isinstance(clone, InstanceColumns)
+        assert clone == list(posting)
+
+
+# ----------------------------------------------------------------------
+# every op in engine/ops.py, array backing vs list backing
+# ----------------------------------------------------------------------
+
+
+class TestOpsBackingEquivalence:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(posting=node_rows, is_text=st.booleans(), as_leaf=st.booleans())
+    def test_fetch_shape(self, rmq_pin, kernel, posting, is_text, as_leaf):
+        from_arrays, from_lists = eval_pair(posting, is_text, as_leaf)
+        assert from_arrays.rows() == from_lists.rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        left=node_rows,
+        right=node_rows,
+        cost=st.integers(min_value=0, max_value=5),
+    )
+    def test_merge(self, rmq_pin, kernel, left, right, cost):
+        left_a, left_l = eval_pair(left)
+        right_a, right_l = eval_pair(right)
+        assert merge(left_a, right_a, float(cost)).rows() == merge(
+            left_l, right_l, float(cost)
+        ).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ancestors=node_rows,
+        descendants=node_rows,
+        edge=st.integers(min_value=0, max_value=5),
+    )
+    def test_join(self, rmq_pin, kernel, ancestors, descendants, edge):
+        anc_a, anc_l = eval_pair(ancestors)
+        desc_a, desc_l = eval_pair(descendants, as_leaf=True)
+        assert join(anc_a, desc_a, float(edge)).rows() == join(
+            anc_l, desc_l, float(edge)
+        ).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ancestors=node_rows,
+        descendants=node_rows,
+        edge=st.integers(min_value=0, max_value=5),
+        delete=st.integers(min_value=0, max_value=9),
+    )
+    def test_outerjoin(self, rmq_pin, kernel, ancestors, descendants, edge, delete):
+        anc_a, anc_l = eval_pair(ancestors)
+        desc_a, desc_l = eval_pair(descendants, as_leaf=True)
+        assert outerjoin(anc_a, desc_a, float(edge), float(delete)).rows() == outerjoin(
+            anc_l, desc_l, float(edge), float(delete)
+        ).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        left=node_rows,
+        right=node_rows,
+        edge=st.integers(min_value=0, max_value=5),
+    )
+    def test_intersect(self, rmq_pin, kernel, left, right, edge):
+        left_a, left_l = eval_pair(left, as_leaf=True)
+        right_a, right_l = eval_pair(right, as_leaf=True)
+        assert intersect(left_a, right_a, float(edge)).rows() == intersect(
+            left_l, right_l, float(edge)
+        ).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        left=node_rows,
+        right=node_rows,
+        edge=st.integers(min_value=0, max_value=5),
+    )
+    def test_union(self, rmq_pin, kernel, left, right, edge):
+        left_a, left_l = eval_pair(left, as_leaf=True)
+        right_a, right_l = eval_pair(right, as_leaf=True)
+        assert union(left_a, right_a, float(edge)).rows() == union(
+            left_l, right_l, float(edge)
+        ).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(posting=node_rows, n=st.one_of(st.none(), st.integers(min_value=1, max_value=6)))
+    def test_sort_best(self, rmq_pin, kernel, posting, n):
+        from_arrays, from_lists = eval_pair(posting, as_leaf=True)
+        assert sort_best(n, from_arrays).rows() == sort_best(n, from_lists).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(posting=node_rows, edge=st.integers(min_value=0, max_value=5))
+    def test_add_edge_cost(self, rmq_pin, kernel, posting, edge):
+        from_arrays, from_lists = eval_pair(posting, as_leaf=True)
+        assert add_edge_cost(from_arrays, float(edge)).rows() == add_edge_cost(
+            from_lists, float(edge)
+        ).rows()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(posting=node_rows, edge=st.integers(min_value=0, max_value=5))
+    def test_costs_stay_plain_floats(self, rmq_pin, kernel, posting, edge):
+        """The numpy pass must not leak numpy scalars into the cost
+        columns — downstream code (reports, JSON, result equality)
+        assumes builtin floats."""
+        from_arrays, _ = eval_pair(posting, as_leaf=True)
+        shifted = add_edge_cost(from_arrays, float(edge))
+        for value in list(shifted.embcost) + list(shifted.leafcost):
+            assert type(value) is float or value == math.inf
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ancestors=instance_rows, descendants=instance_rows)
+    def test_semi_join(self, ancestors, descendants):
+        anc_cols = decode_instance_posting_columns(
+            encode_instance_postings(ancestors)
+        )
+        desc_cols = decode_instance_posting_columns(
+            encode_instance_postings(descendants)
+        )
+        assert semi_join(anc_cols, desc_cols) == semi_join(
+            list(ancestors), list(descendants)
+        )
+
+
+# ----------------------------------------------------------------------
+# shared-memory segment lifecycle
+# ----------------------------------------------------------------------
+
+POSTINGS = {
+    (b"Isec", b"0#alpha"): [(1, 4, 0, 0), (6, 6, 2, 1)],
+    (b"Isec", b"1#beta"): [(2, 3), (8, 12)],
+    (b"Isec", b"2#empty"): [],
+}
+
+
+class TestSharedSegmentLifecycle:
+    def test_build_fetch_attach_destroy(self):
+        segment = SharedPostingSegment.build(dict(POSTINGS))
+        name = segment.name
+        try:
+            assert len(segment) == len(POSTINGS)
+            assert (b"Isec", b"0#alpha") in segment
+            assert segment.fetch(b"Isec", b"0#alpha") == POSTINGS[(b"Isec", b"0#alpha")]
+            assert segment.fetch(b"Isec", b"9#nope") is None
+
+            attached = SharedPostingSegment.attach(name)
+            try:
+                for key, rows in POSTINGS.items():
+                    fetched = attached.fetch(*key)
+                    assert fetched == rows
+                    if rows:
+                        # zero-copy: the columns are views into the block
+                        assert isinstance(fetched.pre, memoryview)
+            finally:
+                attached.close()
+        finally:
+            segment.destroy()
+        with pytest.raises(FileNotFoundError):
+            attach_shared_memory(name)
+
+    def test_fetched_columns_pickle_to_local_arrays(self):
+        segment = SharedPostingSegment.build(dict(POSTINGS))
+        try:
+            attached = SharedPostingSegment.attach(segment.name)
+            try:
+                posting = attached.fetch(b"Isec", b"0#alpha")
+                clone = pickle.loads(pickle.dumps(posting))
+                assert clone == POSTINGS[(b"Isec", b"0#alpha")]
+                assert isinstance(clone.pre, array)
+            finally:
+                attached.close()
+        finally:
+            segment.destroy()
+
+    def test_close_releases_views_before_unmap(self):
+        segment = SharedPostingSegment.build(dict(POSTINGS))
+        attached = SharedPostingSegment.attach(segment.name)
+        attached.fetch(b"Isec", b"0#alpha")
+        attached.fetch(b"Isec", b"1#beta")
+        # with fetched views outstanding, close must not raise BufferError
+        attached.close()
+        segment.destroy()
+
+    def test_collected_owner_segment_unlinks_itself(self):
+        """An owned segment that is garbage-collected without destroy()
+        (its registry died with the database handle) must still unlink
+        the block — otherwise the name leaks until the resource tracker
+        complains at interpreter shutdown."""
+        import gc
+
+        segment = SharedPostingSegment.build(dict(POSTINGS))
+        name = segment.name
+        del segment
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            attach_shared_memory(name)
+
+    def test_destroy_is_idempotent_and_close_safe_after(self):
+        segment = SharedPostingSegment.build(dict(POSTINGS))
+        segment.destroy()
+        segment.destroy()
+        segment.close()
+
+    def test_child_process_attach_leaves_tracker_silent(self):
+        """A worker-style attach-fetch-close in a separate interpreter
+        must neither unlink the owner's block nor unbalance the resource
+        tracker (no tracker tracebacks on either side's stderr)."""
+        segment = SharedPostingSegment.build(dict(POSTINGS))
+        try:
+            child = subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    (
+                        "import sys; sys.path.insert(0, 'src')\n"
+                        "from repro.storage.shm import SharedPostingSegment\n"
+                        f"segment = SharedPostingSegment.attach({segment.name!r})\n"
+                        "assert segment.fetch(b'Isec', b'0#alpha') is not None\n"
+                        "segment.close()\n"
+                    ),
+                ],
+                capture_output=True,
+                text=True,
+                cwd="/root/repo",
+                timeout=60,
+            )
+            assert child.returncode == 0, child.stderr
+            assert "resource_tracker" not in child.stderr, child.stderr
+            # the owner's block survived the child's exit
+            reattached = attach_shared_memory(segment.name)
+            reattached.close()
+        finally:
+            segment.destroy()

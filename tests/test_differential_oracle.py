@@ -82,3 +82,50 @@ def test_parallel_schema_matches_naive(seed):
         parallel = evaluator.evaluate(generated.query, generated.costs, jobs=3)
         assert parallel == serial, case.describe()
         assert {r.root: r.cost for r in parallel} == naive, case.describe()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_process_parallel_schema_matches_naive(seed):
+    """The process-pooled second-level execution — workers attached to
+    the shared-memory ``I_sec`` export — must likewise reproduce the
+    oracle's mapping and the serial driver's emission order exactly
+    (including on platforms where it degrades to threads)."""
+    case = generated_case(1000 + seed)
+    evaluator = SchemaEvaluator(case.tree)
+    for generated in case.queries:
+        naive = _oracle(case.tree, generated.query, generated.costs)
+        serial = evaluator.evaluate(generated.query, generated.costs)
+        parallel = evaluator.evaluate(
+            generated.query, generated.costs, jobs=2, executor="process"
+        )
+        assert parallel == serial, case.describe()
+        assert {r.root: r.cost for r in parallel} == naive, case.describe()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_numpy_kernel_matches_naive(seed):
+    """The vectorized kernel is bit-identical to the pure-Python list
+    algebra: with the flag on, both the direct and schema evaluators
+    must still reproduce the naive oracle exactly.  (Without numpy
+    installed the flag is inert and this repeats the plain legs.)"""
+    from repro.engine.columns import set_numpy_kernel
+
+    case = generated_case(1100 + seed)
+    previous = set_numpy_kernel(True)
+    try:
+        direct_eval = DirectEvaluator(case.tree)
+        schema_eval = SchemaEvaluator(case.tree)
+        for generated in case.queries:
+            naive = _oracle(case.tree, generated.query, generated.costs)
+            direct = {
+                r.root: r.cost
+                for r in direct_eval.evaluate(generated.query, generated.costs)
+            }
+            schema = {
+                r.root: r.cost
+                for r in schema_eval.evaluate(generated.query, generated.costs)
+            }
+            assert direct == naive, case.describe()
+            assert schema == naive, case.describe()
+    finally:
+        set_numpy_kernel(previous)
