@@ -26,12 +26,15 @@ Quickstart::
 
 from .approxql import CostModel, parse_query
 from .errors import (
+    AdmissionError,
     CostModelError,
     EvaluationError,
     GenerationError,
     QuerySyntaxError,
     ReproError,
     SchemaError,
+    ServerError,
+    ShardError,
     StorageError,
     XMLSyntaxError,
 )
@@ -40,6 +43,7 @@ from .xmltree import DataTree, NodeType, tree_from_xml
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "CostModel",
     "CostModelError",
     "DataTree",
@@ -51,11 +55,17 @@ __all__ = [
     "QueryPool",
     "QueryReport",
     "QueryResult",
+    "QueryServer",
     "QuerySyntaxError",
     "ReproError",
     "ResultSet",
     "ResultStream",
     "SchemaError",
+    "ServeClient",
+    "ServerError",
+    "ServerThread",
+    "ShardError",
+    "ShardedDatabase",
     "StorageError",
     "Telemetry",
     "XMLSyntaxError",
@@ -75,6 +85,10 @@ _LAZY = {
     "Telemetry": "telemetry",
     "QueryPool": "concurrent",
     "resolve_jobs": "concurrent",
+    "ShardedDatabase": "shard",
+    "QueryServer": "server",
+    "ServerThread": "server",
+    "ServeClient": "server",
 }
 
 

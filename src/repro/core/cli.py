@@ -15,6 +15,8 @@ Examples::
     python -m repro delete catalog.apxq 42
     python -m repro replace catalog.apxq 42 fixed-disc.xml
     python -m repro verify catalog.apxq
+    python -m repro build catalog.d docs/*.xml --shards 4
+    python -m repro serve catalog.apxq --port 7733
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ import time
 
 from ..approxql.costs import CostModel
 from ..errors import ReproError
+from ..shard import ShardedDatabase, is_sharded_directory
 from .database import Database
 from .persist import StoreOptions
 
@@ -43,10 +46,14 @@ def _store_options(args: argparse.Namespace) -> StoreOptions:
     )
 
 
-def _open_database(args: argparse.Namespace) -> Database:
-    """A single ``.apxq`` path opens a saved database (honoring the
-    cache and durability knobs); anything else is read as XML documents."""
+def _open_database(args: argparse.Namespace):
+    """A single ``.apxq`` path opens a saved database, a sharded
+    directory (one holding a ``MANIFEST.json``) opens a
+    :class:`~repro.shard.ShardedDatabase` (both honoring the cache and
+    durability knobs); anything else is read as XML documents."""
     sources = args.sources
+    if len(sources) == 1 and is_sharded_directory(sources[0]):
+        return ShardedDatabase.open(sources[0], _store_options(args))
     if len(sources) == 1 and sources[0].endswith(_DB_SUFFIX):
         return Database.open(sources[0], _store_options(args))
     documents = []
@@ -56,11 +63,15 @@ def _open_database(args: argparse.Namespace) -> Database:
     return Database.from_xml(*documents)
 
 
-def _open_stored(args: argparse.Namespace) -> Database:
-    """Open the saved database a mutation command targets."""
+def _open_stored(args: argparse.Namespace):
+    """Open the saved database (file or sharded directory) a mutation
+    command targets."""
+    if is_sharded_directory(args.database):
+        return ShardedDatabase.open(args.database, _store_options(args))
     if not args.database.endswith(_DB_SUFFIX):
         raise ReproError(
-            f"mutation commands need a saved {_DB_SUFFIX} database, got {args.database!r}"
+            f"mutation commands need a saved {_DB_SUFFIX} database or a "
+            f"sharded directory, got {args.database!r}"
         )
     return Database.open(args.database, _store_options(args))
 
@@ -110,9 +121,19 @@ def _load_costs(path: "str | None") -> "CostModel | None":
 
 
 def _command_build(args: argparse.Namespace) -> int:
-    database = _open_database(args)
     start = time.perf_counter()
-    database.save(args.output, _store_options(args))
+    if args.shards is not None:
+        documents = []
+        for path in args.sources:
+            with open(path, encoding="utf-8") as handle:
+                documents.append(handle.read())
+        database = ShardedDatabase.from_documents(
+            documents, shards=args.shards, partitioner=args.partitioner
+        )
+        database.save(args.output, _store_options(args))
+    else:
+        database = _open_database(args)
+        database.save(args.output, _store_options(args))
     elapsed = time.perf_counter() - start
     print(f"built {args.output}: {database.describe()} ({elapsed:.1f}s)")
     return 0
@@ -122,16 +143,16 @@ def _command_insert(args: argparse.Namespace) -> int:
     database = _open_stored(args)
     with open(args.document, encoding="utf-8") as handle:
         xml = handle.read()
-    report = database.insert_document(xml)
-    database._store.close()
+    with database:
+        report = database.insert_document(xml)
     print(report.format())
     return 0
 
 
 def _command_delete(args: argparse.Namespace) -> int:
     database = _open_stored(args)
-    report = database.delete_document(args.root)
-    database._store.close()
+    with database:
+        report = database.delete_document(args.root)
     print(report.format())
     return 0
 
@@ -140,14 +161,18 @@ def _command_replace(args: argparse.Namespace) -> int:
     database = _open_stored(args)
     with open(args.document, encoding="utf-8") as handle:
         xml = handle.read()
-    report = database.replace_document(args.root, xml)
-    database._store.close()
+    with database:
+        report = database.replace_document(args.root, xml)
     print(report.format())
     return 0
 
 
 def _command_documents(args: argparse.Namespace) -> int:
     database = _open_database(args)
+    if isinstance(database, ShardedDatabase):
+        for entry in database.manifest.live_documents():
+            print(f"{entry.global_root}\tshard {entry.shard}\t{entry.nodes} nodes")
+        return 0
     tree = database.tree
     for root in database.documents():
         print(f"{root}\t{tree.label(root)}\t{tree.bounds[root] - root + 1} nodes")
@@ -204,9 +229,13 @@ def _command_plan(args: argparse.Namespace) -> int:
 def _command_info(args: argparse.Namespace) -> int:
     database = _open_database(args)
     print(database.describe())
-    tree = database.tree
     from ..xmltree.model import NodeType
 
+    if isinstance(database, ShardedDatabase):
+        for index, shard in enumerate(database.shard_databases()):
+            print(f"  shard {index}: {shard.describe()}")
+        return 0
+    tree = database.tree
     struct_count = sum(1 for t in tree.types if t == NodeType.STRUCT)
     text_count = len(tree) - struct_count
     print(f"  struct nodes: {struct_count}")
@@ -218,7 +247,53 @@ def _command_info(args: argparse.Namespace) -> int:
 
 def _command_schema(args: argparse.Namespace) -> int:
     database = _open_database(args)
+    if isinstance(database, ShardedDatabase):
+        for index, shard in enumerate(database.shard_databases()):
+            print(f"-- shard {index}")
+            print(shard.schema.format(max_depth=args.depth))
+        return 0
     print(database.schema.format(max_depth=args.depth))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from ..server import QueryServer
+
+    database = _open_database(args)
+    server = QueryServer(
+        database,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        batch_max=args.batch_max,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving {database.describe()}")
+        print(f"listening on {server.host}:{server.port} (Ctrl-C to stop)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            stats = server.stats()
+            print(
+                f"stopped after {stats['server.requests']} request(s), "
+                f"{stats['server.rejections']} rejection(s)"
+            )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        database.close()
     return 0
 
 
@@ -232,8 +307,27 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     build = commands.add_parser("build", help="build and save a database file")
-    build.add_argument("output", help=f"output path (conventionally {_DB_SUFFIX})")
+    build.add_argument(
+        "output",
+        help=f"output path (conventionally {_DB_SUFFIX}; a directory with --shards)",
+    )
     build.add_argument("sources", nargs="+", help="XML document files")
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the collection across N shards and save a "
+        "sharded directory instead of a single file",
+    )
+    build.add_argument(
+        "--partitioner",
+        choices=("hash", "range"),
+        default="hash",
+        help="document placement with --shards: 'hash' (default) "
+        "scatters by document ordinal, 'range' keeps contiguous "
+        "node-balanced runs together",
+    )
     _add_durability_options(build)
     build.set_defaults(func=_command_build)
 
@@ -335,6 +429,49 @@ def build_parser() -> argparse.ArgumentParser:
     schema.add_argument("--depth", type=int, default=12)
     _add_cache_options(schema)
     schema.set_defaults(func=_command_schema)
+
+    serve = commands.add_parser(
+        "serve", help="serve queries over TCP (JSON lines; see docs/SERVING.md)"
+    )
+    serve.add_argument(
+        "sources",
+        nargs=1,
+        help=f"a saved {_DB_SUFFIX} file or a sharded directory",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7733, help="TCP port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control bound: requests queued beyond N are "
+        "rejected with AdmissionError (default 64)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="largest query batch handed to query_many at once (default 16)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for batched query execution (default: batch size, "
+        "capped at 8)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker kind for batched execution (see 'query --executor')",
+    )
+    serve.set_defaults(func=_command_serve)
 
     return parser
 

@@ -386,6 +386,8 @@ class Database:
         self._store: "Store | None" = None
         self._store_options: "StoreOptions | None" = None
         self._store_path: "str | None" = None
+        self._posting_cache = None
+        self._closed = False
         # Mutation machinery.  One writer at a time (_write_lock); the
         # overlay lock orders snapshot pinning against the writer's
         # preserve-then-write steps (see _pin / _preserve).
@@ -600,6 +602,7 @@ class Database:
         database._store = store
         database._store_options = options
         database._store_path = path
+        database._posting_cache = posting_cache
         return database
 
     @classmethod
@@ -662,6 +665,36 @@ class Database:
         if store is not None and getattr(store, "durability", "none") == "wal":
             summary += ", wal durability"
         return summary
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the database's storage resources (idempotent).
+
+        The posting cache is shut down first — its shared-memory segment
+        registry destroys every ``/dev/shm`` segment it still holds,
+        pinned or retired, so open/close cycles in a long-running process
+        never leak kernel memory — then the file store handle is closed.
+        For an in-memory database this is a no-op.  Queries issued after
+        close fail from the closed store; don't close a database other
+        threads are still querying.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        cache = self._posting_cache
+        if cache is not None:
+            cache.shutdown()
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # snapshot pinning (MVCC-lite)

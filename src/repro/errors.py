@@ -58,3 +58,17 @@ class SchemaError(ReproError):
 
 class GenerationError(ReproError):
     """The synthetic data or query generator received invalid parameters."""
+
+
+class ShardError(StorageError):
+    """A sharded database's manifest and its shard stores disagree, or a
+    shard-level operation could not be routed."""
+
+
+class ServerError(ReproError):
+    """A failure inside the query server (protocol, lifecycle)."""
+
+
+class AdmissionError(ServerError):
+    """The server's bounded admission queue is full; the request was
+    rejected without being enqueued.  Clients should back off and retry."""

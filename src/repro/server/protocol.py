@@ -1,0 +1,95 @@
+"""The query server's wire protocol: JSON objects, one per line.
+
+Requests and responses are UTF-8 JSON documents terminated by ``\\n`` —
+trivially speakable from any language, ``netcat`` included.  A request
+carries an ``op`` plus op-specific fields and an optional ``id`` the
+response echoes verbatim (clients that pipeline match responses by it):
+
+    {"id": 1, "op": "query", "query": "cd[title[\\"piano\\"]]", "n": 5}
+
+Ops
+---
+``query``
+    Fields: ``query`` (required), ``n`` (default 10, ``null`` = all),
+    ``method`` (default ``"auto"``), ``max_cost``, ``collect`` (default
+    ``"off"``).  Response: ``results`` — a list of
+    ``{"root", "cost", "label"}`` objects in rank order (plus ``"shard"``
+    against a sharded database) — and ``report`` (the
+    :meth:`~repro.telemetry.report.QueryReport.to_dict` rendering, with
+    the ``server.*`` counters injected).
+``count``
+    Fields: ``query``.  Response: ``count``.
+``insert`` / ``delete`` / ``replace``
+    Fields: ``xml`` and/or ``root``.  Response: ``root`` (the new
+    document's root for insert/replace), ``generation``.
+``describe`` / ``stats`` / ``ping``
+    No fields.  ``describe`` returns the database summary, ``stats`` the
+    server's lifetime counters, ``ping`` just answers (liveness).
+
+Every response carries ``ok``: ``true`` with the op's payload, or
+``false`` with ``error = {"type", "message"}`` where ``type`` is the
+:mod:`repro.errors` class name (``AdmissionError`` for queue-full
+rejections — clients should back off and retry).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .. import errors as _errors
+from ..errors import ReproError, ServerError
+
+#: longest accepted request/response line (bytes, newline included)
+MAX_LINE = 4 * 1024 * 1024
+
+#: ops the server accepts
+OPS = ("query", "count", "insert", "delete", "replace", "describe", "stats", "ping")
+
+
+def encode_message(payload: dict) -> bytes:
+    """One protocol line: compact JSON plus the terminating newline."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one protocol line into a message dict (typed error on
+    anything that is not a JSON object)."""
+    if len(line) > MAX_LINE:
+        raise ServerError(f"protocol line exceeds {MAX_LINE} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServerError(f"malformed protocol line ({error})") from error
+    if not isinstance(message, dict):
+        raise ServerError("protocol line must be a JSON object")
+    return message
+
+
+def error_response(request_id, error: BaseException) -> dict:
+    """The failure response for ``error``, typed by class name."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+def ok_response(request_id, **payload) -> dict:
+    """A success response carrying ``payload``."""
+    response = {"id": request_id, "ok": True}
+    response.update(payload)
+    return response
+
+
+def raise_error_payload(error: dict) -> None:
+    """Client side: re-raise a response's error as the library exception
+    it was on the server (unknown names degrade to
+    :class:`~repro.errors.ServerError`)."""
+    name = str(error.get("type", "ServerError"))
+    message = str(error.get("message", "server error"))
+    exception_type = getattr(_errors, name, None)
+    if not (
+        isinstance(exception_type, type) and issubclass(exception_type, ReproError)
+    ):
+        exception_type = ServerError
+    raise exception_type(message)

@@ -1,0 +1,1017 @@
+"""A collection partitioned across N independent single-store shards.
+
+:class:`ShardedDatabase` presents the :class:`~repro.core.database.Database`
+query surface over N shards, each a full ``Database`` of its own — its own
+pager, WAL, page cache, and posting cache when stored.  Queries fan out to
+every shard and merge; mutations route to the one shard that owns the
+document.  The paper's best-n contract survives the split because an
+embedding cost depends only on the result's document subtree (renamings,
+deletions, and insertions all happen inside one document), so the union of
+per-shard answers *is* the whole-collection answer set, shard layout
+notwithstanding.
+
+Global numbering
+----------------
+Results and mutation routing speak *global* pre numbers — the numbering
+the equivalent unsharded ``Database`` would use: documents take
+consecutive preorder blocks in insertion order starting at 1, deletions
+leave holes, inserts append at the global tail.  The manifest records each
+document's (shard, local root, global root) triple; every merged result is
+translated local→global before the caller sees it, so a sharded and an
+unsharded build of the same collection return identical ``(root, cost)``
+pairs.
+
+The merge
+---------
+Each shard serves a cost-ordered stream (the Section 7.4 incremental
+driver).  A k-way heap over the per-shard frontiers drains one *cost
+class* at a time — all results of the currently cheapest cost, from every
+shard whose frontier sits at that cost — sorts the class by global root,
+and emits it.  Termination is early in the best-n sense: once n results
+are out, no shard is asked past its frontier (plus the one-result
+lookahead each iterator holds).  Within a cost class the single-store
+driver's emission order is an implementation accident (skeleton order);
+the merge's (cost, global root) order is deterministic and is the order
+this module also uses as the reference in its differential tests.
+
+Document-rooted contract
+------------------------
+A sharded collection serves **document-rooted** results only (global
+pre >= 1).  The single store can additionally emit a result rooted at
+the collection super-root (pre 0) when the query's root label is — or
+renames to — ``#root``: an embedding whose witnesses span the *whole
+collection*.  That one pseudo-result is not decomposable by document
+partition (a conjunctive query may take its witnesses from different
+shards, so no shard computes its true cost), and it names the entire
+collection rather than a retrievable document, so the sharded surface
+excludes it — from :meth:`ShardedDatabase.query`,
+:meth:`~ShardedDatabase.stream`, :meth:`~ShardedDatabase.count_results`,
+and :meth:`~ShardedDatabase.explain` alike.  Every document-rooted
+result is byte-identical to the unsharded collection's.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import os
+import threading
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
+
+from ..approxql.ast import NameSelector
+from ..approxql.costs import CostModel
+from ..approxql.parser import parse_query
+from ..concurrent import QueryPool, resolve_jobs
+from ..errors import EvaluationError, ShardError
+from ..telemetry import collector as _telemetry
+from ..telemetry.collector import MODES
+from ..telemetry.report import QueryReport
+from ..xmltree.builder import BuildOptions, CollectionBuilder
+from ..xmltree.model import (
+    ROOT_LABEL,
+    DataTree,
+    NodeType,
+    extract_document,
+)
+from ..core.database import _METHODS, Database, QueryPlan
+from ..core.explain import Explanation
+from ..core.persist import StoreOptions
+from ..core.results import QueryResult, ResultSet, ResultStream
+from .manifest import DocumentEntry, ShardManifest, shard_file_name
+from .partition import assign_insert, check_partitioner, hash_assign, range_assign
+
+
+def _empty_collection_tree() -> DataTree:
+    """A tree holding only the super-root — the zero-document collection
+    every shard starts from before documents are grafted in."""
+    tree = DataTree()
+    tree.labels.append(ROOT_LABEL)
+    tree.types.append(NodeType.STRUCT)
+    tree.parents.append(-1)
+    tree.bounds.append(0)
+    tree.inscosts.append(0.0)
+    tree.pathcosts.append(0.0)
+    tree.rebuild_links()
+    return tree
+
+
+class ShardResult(QueryResult):
+    """A merged result: global root for identity, shard-local root for
+    content access.
+
+    ``root`` and ``cost`` — the pair equality and ranking are defined
+    over — are global, byte-identical to the unsharded collection's.
+    The content accessors (label, path, words, xml, ...) read the owning
+    shard's tree through the local root, which names the same subtree.
+    """
+
+    __slots__ = ("shard", "local_root")
+
+    def __init__(
+        self, root: int, cost: float, tree: DataTree, local_root: int, shard: int
+    ) -> None:
+        super().__init__(root, cost, tree)
+        self.local_root = local_root
+        self.shard = shard
+
+    @property
+    def label(self) -> str:
+        return self._tree.label(self.local_root)
+
+    @property
+    def path(self) -> str:
+        parts = [label for label, _ in self._tree.label_type_path(self.local_root)]
+        return "/" + "/".join(parts)
+
+    def words(self) -> list[str]:
+        tree = self._tree
+        return [
+            tree.label(pre)
+            for pre in tree.subtree(self.local_root)
+            if tree.node_type(pre) == NodeType.TEXT
+        ]
+
+    def outline(self, max_depth: int = 6) -> str:
+        return self._tree.format_subtree(self.local_root, max_depth=max_depth)
+
+    def xml(self, indent: "int | None" = None) -> str:
+        from ..xmltree.serialize import subtree_to_xml
+
+        return subtree_to_xml(self._tree, self.local_root, indent=indent)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardResult(root={self.root}, cost={self.cost}, "
+            f"shard={self.shard}, local_root={self.local_root})"
+        )
+
+
+@dataclass(frozen=True)
+class ShardMutationReport:
+    """What one routed mutation did: the owning shard, the global pre
+    numbers the caller speaks, and the shard-level
+    :class:`~repro.core.mutation.MutationReport` underneath."""
+
+    action: str
+    shard: int
+    generation: int
+    root: "int | None"
+    removed_root: "int | None"
+    local_root: "int | None"
+    nodes_added: int
+    nodes_removed: int
+    wall_seconds: float
+
+    def format(self) -> str:
+        lines = [
+            f"{self.action}: shard {self.shard}, generation {self.generation}, "
+            f"{self.wall_seconds * 1000:.1f} ms"
+        ]
+        if self.root is not None:
+            lines.append(
+                f"  new document root: {self.root} (global) = "
+                f"{self.local_root} (shard-local), {self.nodes_added} nodes"
+            )
+        if self.removed_root is not None:
+            lines.append(
+                f"  removed document root: {self.removed_root} (global), "
+                f"{self.nodes_removed} nodes"
+            )
+        return "\n".join(lines)
+
+
+class ShardedDatabase:
+    """N independent shards behind the one-database query surface.
+
+    Create instances through :meth:`from_tree`, :meth:`from_documents`,
+    or :meth:`open`; see the module docstring for the contract.
+    """
+
+    def __init__(
+        self,
+        shards: "list[Database]",
+        manifest: ShardManifest,
+        default_costs: "CostModel | None" = None,
+        directory: "str | None" = None,
+    ) -> None:
+        if not shards:
+            raise EvaluationError("a sharded database needs at least one shard")
+        if len(shards) != manifest.shards:
+            raise ShardError(
+                f"manifest says {manifest.shards} shards, got {len(shards)}"
+            )
+        self._shards = list(shards)
+        self._manifest = manifest
+        self._directory = directory
+        self._default_costs = (
+            default_costs if default_costs is not None else CostModel()
+        )
+        self._write_lock = threading.Lock()
+        self._closed = False
+        self._generation = 0
+        # immutable local→global translation tables; swapped whole on
+        # every mutation so readers never see a half-updated map
+        self._maps: "tuple[tuple[list[int], list[DocumentEntry]], ...]" = ()
+        self._rebuild_maps()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: DataTree,
+        shards: int = 2,
+        partitioner: str = "hash",
+        default_costs: "CostModel | None" = None,
+    ) -> "ShardedDatabase":
+        """Partition an already-built collection tree across ``shards``.
+
+        The tree's own preorder becomes the global numbering, so the
+        sharded build answers with exactly the roots an unsharded
+        ``Database.from_tree(tree)`` would.
+        """
+        check_partitioner(partitioner)
+        if shards < 1:
+            raise EvaluationError(f"shard count must be >= 1, got {shards}")
+        costs = default_costs if default_costs is not None else CostModel()
+        roots = tree.document_roots()
+        sizes = [tree.bounds[root] - root + 1 for root in roots]
+        if partitioner == "hash":
+            assignment = [hash_assign(ordinal, shards) for ordinal in range(len(roots))]
+        else:
+            assignment = range_assign(sizes, shards)
+        shard_trees = [_empty_collection_tree() for _ in range(shards)]
+        manifest = ShardManifest(shards=shards, partitioner=partitioner)
+        for ordinal, root in enumerate(roots):
+            owner = assignment[ordinal]
+            document = extract_document(tree, root)
+            local_root = shard_trees[owner].graft_document(document, costs.insert_cost)
+            manifest.add_document(
+                shard=owner,
+                local_root=local_root,
+                global_root=root,
+                nodes=sizes[ordinal],
+            )
+        # trailing tombstones in the source tree still occupy global pres
+        manifest.global_nodes = max(manifest.global_nodes, len(tree))
+        databases = [Database.from_tree(t, costs) for t in shard_trees]
+        return cls(databases, manifest, default_costs=costs)
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[str],
+        shards: int = 2,
+        partitioner: str = "hash",
+        options: "BuildOptions | None" = None,
+        default_costs: "CostModel | None" = None,
+    ) -> "ShardedDatabase":
+        """Build from XML document strings (the
+        :meth:`Database.from_documents` counterpart)."""
+        builder = CollectionBuilder(options)
+        for document in documents:
+            builder.add_xml(document)
+        return cls.from_tree(
+            builder.finish(), shards=shards, partitioner=partitioner,
+            default_costs=default_costs,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str, options: "StoreOptions | None" = None) -> None:
+        """Persist every shard plus the manifest into ``directory``.
+
+        Each shard becomes its own single-file store (``shard-NNNN.apxq``)
+        next to ``MANIFEST.json``.  Shard saves compact tombstones away,
+        so the saved manifest re-derives each live document's local root
+        for the compacted layout; global numbering is left untouched — it
+        stays stable across save/open cycles.
+        """
+        with self._write_lock:
+            self._check_open()
+            os.makedirs(directory, exist_ok=True)
+            for index, shard in enumerate(self._shards):
+                shard.save(os.path.join(directory, shard_file_name(index)), options)
+            saved = ShardManifest(
+                shards=self._manifest.shards,
+                partitioner=self._manifest.partitioner,
+                global_nodes=self._manifest.global_nodes,
+                next_doc_id=self._manifest.next_doc_id,
+            )
+            for index in range(self._manifest.shards):
+                compacted_root = 1
+                for entry in self._manifest.shard_documents(index):
+                    saved.documents.append(
+                        DocumentEntry(
+                            doc_id=entry.doc_id,
+                            shard=index,
+                            local_root=compacted_root,
+                            global_root=entry.global_root,
+                            nodes=entry.nodes,
+                        )
+                    )
+                    compacted_root += entry.nodes
+            saved.documents.sort(key=lambda entry: entry.doc_id)
+            saved.save(directory)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        options: "StoreOptions | None" = None,
+        **open_keywords: object,
+    ) -> "ShardedDatabase":
+        """Open a saved sharded database directory.
+
+        ``options`` and the keyword knobs are the
+        :meth:`Database.open` surface, applied to every shard.  Each
+        shard's document roots are cross-checked against the manifest —
+        a disagreement (say, a crash between a shard's WAL commit and
+        the manifest replace) raises a :class:`~repro.errors.ShardError`
+        naming the shard instead of serving a torn view.
+        """
+        manifest = ShardManifest.load(directory)
+        check_partitioner(manifest.partitioner)
+        shards: "list[Database]" = []
+        try:
+            for index in range(manifest.shards):
+                path = os.path.join(directory, shard_file_name(index))
+                shard = Database.open(path, options, **open_keywords)
+                shards.append(shard)
+                expected = [e.local_root for e in manifest.shard_documents(index)]
+                actual = list(shard.documents())
+                if actual != expected:
+                    raise ShardError(
+                        f"shard {index} of {directory!r} disagrees with the "
+                        f"manifest: store holds document roots {actual}, "
+                        f"manifest expects {expected} (crash between a shard "
+                        "commit and the manifest write?)"
+                    )
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            raise
+        return cls(
+            shards,
+            manifest,
+            default_costs=shards[0]._default_costs,
+            directory=directory,
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """Number of shards (fixed at build time)."""
+        return self._manifest.shards
+
+    @property
+    def partitioner(self) -> str:
+        return self._manifest.partitioner
+
+    @property
+    def manifest(self) -> ShardManifest:
+        """The live manifest (read-only introspection; mutating it
+        directly desynchronizes routing)."""
+        return self._manifest
+
+    @property
+    def generation(self) -> int:
+        """Number of routed mutations published so far."""
+        return self._generation
+
+    def shard_databases(self) -> "tuple[Database, ...]":
+        """The underlying per-shard databases (read-only introspection)."""
+        return tuple(self._shards)
+
+    def documents(self) -> tuple[int, ...]:
+        """Global root pre numbers of the live documents, in insertion
+        order — exactly :meth:`Database.documents` of the equivalent
+        unsharded collection."""
+        return tuple(e.global_root for e in self._manifest.live_documents())
+
+    def describe(self) -> str:
+        """One-paragraph summary of the sharded collection."""
+        manifest = self._manifest
+        live = manifest.live_documents()
+        nodes = sum(shard.live_node_count - 1 for shard in self._shards) + 1
+        summary = (
+            f"ShardedDatabase: {manifest.shards} shards "
+            f"({manifest.partitioner} partitioning), {len(live)} documents, "
+            f"{nodes} live data nodes, {manifest.global_nodes} global pres"
+        )
+        if self._generation:
+            summary += f", generation {self._generation}"
+        per_shard = ", ".join(
+            f"#{index}: {len(manifest.shard_documents(index))} docs"
+            for index in range(manifest.shards)
+        )
+        return summary + f" [{per_shard}]"
+
+    # ------------------------------------------------------------------
+    # local → global translation
+    # ------------------------------------------------------------------
+
+    def _rebuild_maps(self) -> None:
+        """Recompute the per-shard translation tables (called under the
+        write lock; readers grab the tuple once, atomically)."""
+        maps = []
+        for index in range(self._manifest.shards):
+            # dead entries stay translatable: a pinned reader may still
+            # return results from a document deleted after it started
+            entries = sorted(
+                (e for e in self._manifest.documents if e.shard == index),
+                key=lambda e: e.local_root,
+            )
+            maps.append(([e.local_root for e in entries], entries))
+        self._maps = tuple(maps)
+
+    def _to_global(
+        self,
+        shard: int,
+        local_pre: int,
+        maps: "tuple[tuple[list[int], list[DocumentEntry]], ...] | None" = None,
+    ) -> int:
+        """Translate a shard-local pre number to the global numbering."""
+        current = self._maps if maps is None else maps
+        locals_, entries = current[shard]
+        position = bisect.bisect_right(locals_, local_pre) - 1
+        if position >= 0:
+            entry = entries[position]
+            if local_pre <= entry.local_root + entry.nodes - 1:
+                return entry.global_root + (local_pre - entry.local_root)
+        if maps is not None and maps is not self._maps:
+            # the captured table predates a concurrent insert; retry on
+            # the current one before declaring the manifest inconsistent
+            return self._to_global(shard, local_pre, None)
+        raise ShardError(
+            f"shard {shard} returned pre {local_pre}, which the manifest "
+            "maps to no document"
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 10,
+        costs: "CostModel | None" = None,
+        method: str = "auto",
+        max_cost: "float | None" = None,
+        collect: str = "off",
+        jobs: "int | None" = None,
+        executor: str = "thread",
+    ) -> ResultSet:
+        """Fan the query out to every shard and merge — the
+        :meth:`Database.query` signature and contract, answered
+        scatter-gather.
+
+        The returned prefix is the canonical (cost, global root) order:
+        the same result *set* the unsharded collection returns, with ties
+        broken deterministically by global root (the single-store driver
+        leaves tie order unspecified).  ``jobs > 1`` queries shards on
+        that many worker threads; ``executor`` is accepted for signature
+        parity (per-shard process pools would nest — shard-level
+        parallelism comes from the fan-out itself).
+        """
+        self._check_open()
+        chosen = self._choose_method(method, n)
+        if collect not in MODES:
+            raise EvaluationError(
+                f"unknown collect mode {collect!r}; expected one of {MODES}"
+            )
+        query_text = text if isinstance(text, str) else text.unparse()
+        jobs = resolve_jobs(jobs)
+        started = time.perf_counter()
+        maps = self._maps
+        if chosen == "schema" and n is not None:
+            results, shard_reports = self._scatter_best_n(
+                text, n, costs, max_cost, collect, jobs, maps
+            )
+        else:
+            results, shard_reports = self._scatter_full(
+                text, n, costs, chosen, max_cost, collect, jobs, maps
+            )
+        wall = time.perf_counter() - started
+        report = self._merged_report(
+            query_text, chosen, collect, n, wall, results, shard_reports, jobs
+        )
+        _telemetry.count("shard.fanout", len(self._shards))
+        _telemetry.count("shard.queries")
+        return ResultSet(results, report)
+
+    def _scatter_best_n(self, text, n, costs, max_cost, collect, jobs, maps):
+        """Best-n retrieval: per-shard cost-ordered streams, merged.
+
+        Serial (``jobs <= 1``): the lazy k-way cost-class merge — shards
+        are pulled only as far as the global prefix needs.  Parallel:
+        each worker drains its shard's stream through the n-th cost's
+        tie class (the *tie-extended prefix*: every global top-n result
+        ranks within its own shard's top n, ties included), then one
+        canonical sort merges the unions — same answer, shards in
+        parallel.
+        """
+        if jobs > 1 and len(self._shards) > 1:
+            def fetch(index: int):
+                shard = self._shards[index]
+                stream = shard.stream(text, costs=costs, collect=collect)
+                out = []
+                try:
+                    for result in stream:
+                        if max_cost is not None and result.cost > max_cost:
+                            break
+                        if result.root == 0:
+                            continue  # collection-rooted pseudo-result
+                        if len(out) >= n and result.cost > out[n - 1].cost:
+                            break
+                        out.append(result)
+                finally:
+                    stream.close()
+                return index, out, stream.report
+
+            with QueryPool(min(jobs, len(self._shards))) as pool:
+                fetched = pool.map_ordered(fetch, range(len(self._shards)))
+            merged = []
+            reports = []
+            for index, batch, shard_report in fetched:
+                reports.append(shard_report)
+                for result in batch:
+                    merged.append(
+                        ShardResult(
+                            self._to_global(index, result.root, maps),
+                            result.cost,
+                            result._tree,
+                            result.root,
+                            index,
+                        )
+                    )
+            merged.sort(key=lambda r: (r.cost, r.root))
+            return merged[:n], reports
+        streams = [
+            shard.stream(text, costs=costs, collect=collect)
+            for shard in self._shards
+        ]
+        results: "list[ShardResult]" = []
+        try:
+            for result in self._merge_streams(streams, maps):
+                if max_cost is not None and result.cost > max_cost:
+                    break
+                results.append(result)
+                if len(results) >= n:
+                    break
+        finally:
+            for stream in streams:
+                stream.close()
+        return results, [stream.report for stream in streams]
+
+    def _scatter_full(self, text, n, costs, chosen, max_cost, collect, jobs, maps):
+        """Full retrieval (or an explicit direct-method best-n): every
+        shard computes its complete (cost-bounded) answer set, the union
+        is sorted canonically, and ``n`` truncates.  Per-shard full sets
+        sidestep tie-cut truncation entirely."""
+        def fetch(index: int):
+            shard = self._shards[index]
+            result_set = shard.query(
+                text, n=None, costs=costs, method=chosen,
+                max_cost=max_cost, collect=collect,
+            )
+            return index, result_set
+
+        indexes = range(len(self._shards))
+        if jobs > 1 and len(self._shards) > 1:
+            with QueryPool(min(jobs, len(self._shards))) as pool:
+                fetched = pool.map_ordered(fetch, indexes)
+        else:
+            fetched = [fetch(index) for index in indexes]
+        merged = []
+        reports = []
+        for index, result_set in fetched:
+            reports.append(result_set.report)
+            for result in result_set:
+                if result.root == 0:
+                    continue  # collection-rooted pseudo-result
+                merged.append(
+                    ShardResult(
+                        self._to_global(index, result.root, maps),
+                        result.cost,
+                        result._tree,
+                        result.root,
+                        index,
+                    )
+                )
+        merged.sort(key=lambda r: (r.cost, r.root))
+        if n is not None:
+            merged = merged[:n]
+        return merged, reports
+
+    def _merge_streams(
+        self,
+        streams: "list[ResultStream]",
+        maps,
+    ) -> Iterator[ShardResult]:
+        """The k-way cost-class merge (see the module docstring).
+
+        Each shard stream holds one result of lookahead; a heap over the
+        frontier costs picks the cheapest class, every stream sitting at
+        that cost is drained through it, and the class is emitted sorted
+        by global root.  Nondecreasing per-shard order (the Section 7.4
+        stream contract) makes the emitted order globally nondecreasing.
+        """
+        lookahead: "list[QueryResult | None]" = []
+        frontier: "list[tuple[float, int]]" = []
+        for index, stream in enumerate(streams):
+            result = next(stream, None)
+            lookahead.append(result)
+            if result is not None:
+                heapq.heappush(frontier, (result.cost, index))
+        while frontier:
+            cost = frontier[0][0]
+            bucket: "list[ShardResult]" = []
+            while frontier and frontier[0][0] == cost:
+                _, index = heapq.heappop(frontier)
+                result = lookahead[index]
+                while result is not None and result.cost == cost:
+                    if result.root != 0:  # skip the collection-rooted pseudo-result
+                        bucket.append(
+                            ShardResult(
+                                self._to_global(index, result.root, maps),
+                                result.cost,
+                                result._tree,
+                                result.root,
+                                index,
+                            )
+                        )
+                    result = next(streams[index], None)
+                lookahead[index] = result
+                if result is not None:
+                    heapq.heappush(frontier, (result.cost, index))
+            bucket.sort(key=lambda r: r.root)
+            yield from bucket
+
+    def _merged_report(
+        self, query_text, chosen, collect, n, wall, results, shard_reports, jobs
+    ) -> QueryReport:
+        counters: "dict[str, float]" = {}
+        timings: "dict[str, float]" = {}
+        for shard_report in shard_reports:
+            for name, value in shard_report.counters.items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in shard_report.timings.items():
+                timings[name] = timings.get(name, 0.0) + value
+        counters["shard.fanout"] = len(self._shards)
+        counters["shard.results_merged"] = sum(
+            shard_report.results for shard_report in shard_reports
+        )
+        if jobs > 1:
+            counters["shard.parallel_jobs"] = min(jobs, len(self._shards))
+        return QueryReport(
+            query=query_text,
+            method=chosen,
+            collect=collect,
+            n=n,
+            wall_seconds=wall,
+            results=len(results),
+            counters=counters,
+            timings=timings,
+        )
+
+    def stream(
+        self,
+        text: "str | NameSelector",
+        costs: "CostModel | None" = None,
+        collect: str = "off",
+    ) -> ResultStream:
+        """Incrementally stream merged results in canonical
+        (cost, global root) order — per-shard streams are pulled only as
+        far as the consumer asks (plus one lookahead per shard)."""
+        self._check_open()
+        if collect not in MODES:
+            raise EvaluationError(
+                f"unknown collect mode {collect!r}; expected one of {MODES}"
+            )
+        query = parse_query(text) if isinstance(text, str) else text
+        maps = self._maps
+        streams = [
+            shard.stream(query, costs=costs, collect=collect)
+            for shard in self._shards
+        ]
+        report = QueryReport(
+            query=query.unparse(),
+            method="schema",
+            collect=collect,
+            n=None,
+            counters={"shard.fanout": len(self._shards)},
+            timings={},
+        )
+
+        def on_close() -> None:
+            for stream in streams:
+                stream.close()
+            # fold what the shard streams actually did into the merged
+            # report (their reports are live; this runs at exhaustion or
+            # explicit close, so early stops show early numbers)
+            for stream in streams:
+                for name, value in stream.report.counters.items():
+                    report.counters[name] = report.counters.get(name, 0) + value
+                for name, value in stream.report.timings.items():
+                    report.timings[name] = report.timings.get(name, 0.0) + value
+
+        return ResultStream(
+            self._merge_streams(streams, maps), report, on_close=on_close
+        )
+
+    def count_results(
+        self, text: "str | NameSelector", costs: "CostModel | None" = None
+    ) -> int:
+        """Total document-rooted results across all shards.
+
+        When the query's root cannot embed at the collection super-root
+        (its label neither is nor renames to ``#root`` — every realistic
+        query), this is the sum of the per-shard counting fast paths.
+        Otherwise each shard retrieves and the per-shard pseudo-results
+        are filtered out (see the module docstring's document-rooted
+        contract).
+        """
+        self._check_open()
+        query = parse_query(text) if isinstance(text, str) else text
+        resolved = costs if costs is not None else self._default_costs
+        if not self._may_match_super_root(query, resolved):
+            return sum(shard.count_results(query, costs) for shard in self._shards)
+        total = 0
+        for shard in self._shards:
+            results = shard.query(query, n=None, costs=costs, method="direct")
+            total += sum(1 for result in results if result.root != 0)
+        return total
+
+    @staticmethod
+    def _may_match_super_root(query: NameSelector, costs: CostModel) -> bool:
+        """Whether an embedding rooted at the super-root is possible at
+        all: the query root's label is ``#root`` or finitely renames to
+        it.  A conservative static test — the counting fast path is only
+        taken when this is False."""
+        if query.label == ROOT_LABEL:
+            return True
+        return any(
+            to == ROOT_LABEL
+            for to, _ in costs.renamings(query.label, NodeType.STRUCT)
+        )
+
+    def explain(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 5,
+        costs: "CostModel | None" = None,
+    ) -> list[Explanation]:
+        """Best-``n`` merged results with their derivations, roots in the
+        global numbering."""
+        self._check_open()
+        maps = self._maps
+        merged: "list[Explanation]" = []
+        # one extra per shard: at most one pseudo-result gets filtered
+        per_shard = None if n is None else n + 1
+        for index, shard in enumerate(self._shards):
+            for explanation in shard.explain(text, n=per_shard, costs=costs):
+                if explanation.root == 0:
+                    continue  # collection-rooted pseudo-result
+                merged.append(
+                    replace(
+                        explanation,
+                        root=self._to_global(index, explanation.root, maps),
+                    )
+                )
+        merged.sort(key=lambda e: (e.cost, e.root))
+        if n is not None:
+            merged = merged[:n]
+        return merged
+
+    def plan(
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 10,
+        method: str = "auto",
+    ) -> QueryPlan:
+        """The method-selection decision (generation- and
+        shard-independent; answered by the first shard)."""
+        self._check_open()
+        return self._shards[0].plan(text, n=n, method=method)
+
+    def query_many(
+        self,
+        queries: Iterable,
+        n: "int | None" = 10,
+        costs: "CostModel | None" = None,
+        max_cost: "float | None" = None,
+        method: str = "auto",
+        collect: str = "off",
+        jobs: "int | None" = None,
+        executor: str = "thread",
+    ) -> list[ResultSet]:
+        """Evaluate a batch of independent queries, one merged
+        :class:`~repro.core.results.ResultSet` per query, in input order.
+
+        ``jobs > 1`` serves whole queries from a thread pool (each query
+        then fans out to shards serially — queries × shards both
+        parallel would oversubscribe).  ``executor="process"`` degrades
+        to threads with a ``concurrency.process_fallback`` count: shard
+        results need local→global translation against the live manifest,
+        which has no cross-process story yet.
+        """
+        self._check_open()
+        items = list(queries)
+        jobs = resolve_jobs(jobs)
+        if executor not in ("thread", "process"):
+            raise EvaluationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if executor == "process" and jobs > 1:
+            _telemetry.count("concurrency.process_fallback")
+
+        def serve(item) -> ResultSet:
+            if isinstance(item, tuple):
+                text, item_costs = item
+                effective = item_costs if item_costs is not None else costs
+            else:
+                text, effective = item, costs
+            return self.query(
+                text, n=n, costs=effective, method=method,
+                max_cost=max_cost, collect=collect,
+            )
+
+        if jobs > 1 and len(items) > 1:
+            with QueryPool(jobs) as pool:
+                return pool.map_ordered(serve, items)
+        return [serve(item) for item in items]
+
+    # ------------------------------------------------------------------
+    # mutation (routed to the owning shard)
+    # ------------------------------------------------------------------
+
+    def insert_document(
+        self, xml: str, options: "BuildOptions | None" = None
+    ) -> ShardMutationReport:
+        """Add one document: the partitioner picks the owning shard, the
+        shard commits (its own WAL frame when stored), the manifest is
+        rewritten last.  The new document's global root is the global
+        tail — exactly where the unsharded collection would graft it."""
+        started = time.perf_counter()
+        with self._write_lock:
+            self._check_open()
+            manifest = self._manifest
+            owner = assign_insert(
+                manifest.partitioner, manifest.next_doc_id, manifest.shards
+            )
+            global_root = manifest.global_nodes
+            report = self._shards[owner].insert_document(xml, options)
+            manifest.add_document(
+                shard=owner,
+                local_root=report.root,
+                global_root=global_root,
+                nodes=report.nodes_added,
+            )
+            self._publish()
+            _telemetry.count("shard.routed_inserts")
+            return ShardMutationReport(
+                action="insert",
+                shard=owner,
+                generation=self._generation,
+                root=global_root,
+                removed_root=None,
+                local_root=report.root,
+                nodes_added=report.nodes_added,
+                nodes_removed=0,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+    def delete_document(self, root: int) -> ShardMutationReport:
+        """Remove the document whose *global* root is ``root`` (see
+        :meth:`documents`); routed to the owning shard."""
+        started = time.perf_counter()
+        with self._write_lock:
+            self._check_open()
+            entry = self._manifest.find_by_global_root(root)
+            if entry is None:
+                raise EvaluationError(
+                    f"global pre {root} is not a live document root "
+                    "(see ShardedDatabase.documents())"
+                )
+            self._shards[entry.shard].delete_document(entry.local_root)
+            entry.alive = False
+            self._publish()
+            _telemetry.count("shard.routed_deletes")
+            return ShardMutationReport(
+                action="delete",
+                shard=entry.shard,
+                generation=self._generation,
+                root=None,
+                removed_root=root,
+                local_root=None,
+                nodes_added=0,
+                nodes_removed=entry.nodes,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+    def replace_document(
+        self, root: int, xml: str, options: "BuildOptions | None" = None
+    ) -> ShardMutationReport:
+        """Atomically replace the document at global root ``root`` — one
+        shard-level replace (one generation, one WAL frame on a stored
+        shard).  The replacement stays on the owning shard; its global
+        root moves to the global tail, as an unsharded replace would."""
+        started = time.perf_counter()
+        with self._write_lock:
+            self._check_open()
+            manifest = self._manifest
+            entry = manifest.find_by_global_root(root)
+            if entry is None:
+                raise EvaluationError(
+                    f"global pre {root} is not a live document root "
+                    "(see ShardedDatabase.documents())"
+                )
+            global_root = manifest.global_nodes
+            report = self._shards[entry.shard].replace_document(
+                entry.local_root, xml, options
+            )
+            entry.alive = False
+            manifest.add_document(
+                shard=entry.shard,
+                local_root=report.root,
+                global_root=global_root,
+                nodes=report.nodes_added,
+            )
+            self._publish()
+            _telemetry.count("shard.routed_replaces")
+            return ShardMutationReport(
+                action="replace",
+                shard=entry.shard,
+                generation=self._generation,
+                root=global_root,
+                removed_root=root,
+                local_root=report.root,
+                nodes_added=report.nodes_added,
+                nodes_removed=entry.nodes,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+    def _publish(self) -> None:
+        """Make a routed mutation visible: refresh the translation
+        tables and, for an opened directory, rewrite the manifest (the
+        shard's WAL frame committed first; see the manifest module on
+        the crash window between the two)."""
+        self._generation += 1
+        self._rebuild_maps()
+        if self._directory is not None:
+            self._manifest.save(self._directory)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every shard (idempotent) — each shard's store handle
+        and posting-cache shared-memory registry are released."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EvaluationError("sharded database is closed")
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else "open"
+        return (
+            f"ShardedDatabase(shards={self.shards}, "
+            f"partitioner={self.partitioner!r}, {status})"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _choose_method(method: str, n: "int | None") -> str:
+        if method not in _METHODS:
+            raise EvaluationError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
+        if method != "auto":
+            return method
+        return "direct" if n is None else "schema"

@@ -1,0 +1,87 @@
+"""Document-to-shard assignment policies.
+
+A sharded collection routes every document to exactly one shard; the
+policy only decides *placement*, never correctness — queries fan out to
+every shard and merge, so any assignment yields the same answers.  Two
+policies are provided:
+
+* ``"hash"`` — per-document hashing of the document ordinal (its
+  insertion sequence number).  Spreads documents evenly regardless of
+  arrival order and keeps the assignment deterministic: rebuilding the
+  same collection with the same shard count reproduces the same layout.
+* ``"range"`` — pre-range partitioning: the collection's preorder is cut
+  into one contiguous run of documents per shard, balanced by node
+  count.  Keeps preorder locality (neighboring documents share a shard)
+  at the price of skew under churn; documents inserted *after* the
+  initial build append to the last shard, because the global preorder
+  grows at the tail.
+
+Both policies are recorded in the shard manifest, so reopening a stored
+sharded database routes new inserts the same way the build did.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..errors import EvaluationError
+
+#: the policies :class:`~repro.shard.database.ShardedDatabase` accepts
+PARTITIONERS = ("hash", "range")
+
+
+def check_partitioner(name: str) -> str:
+    """Validate a partitioner name (typed error on anything unknown)."""
+    if name not in PARTITIONERS:
+        raise EvaluationError(
+            f"unknown partitioner {name!r}; expected one of {PARTITIONERS}"
+        )
+    return name
+
+
+def hash_assign(ordinal: int, shards: int) -> int:
+    """Shard index for the ``ordinal``-th document ever inserted.
+
+    CRC-32 of the ordinal's decimal rendering: stable across runs,
+    platforms, and Python versions (``hash()`` is none of those), and
+    well-mixed enough that consecutive ordinals spread across shards.
+    """
+    return zlib.crc32(b"%d" % ordinal) % shards
+
+
+def range_assign(sizes: "list[int]", shards: int) -> "list[int]":
+    """Cut a document sequence into ``shards`` contiguous runs balanced
+    by node count; returns one shard index per document, nondecreasing.
+
+    Greedy by cumulative size against the ideal per-shard share.  Later
+    shards may stay empty when there are fewer documents than shards —
+    an empty shard serves every query with zero results, which the merge
+    treats like any other exhausted stream.
+    """
+    if not sizes:
+        return []
+    total = sum(sizes)
+    assignments: "list[int]" = []
+    shard = 0
+    filled = 0
+    for size in sizes:
+        # advance while this shard has met its share and a later one exists
+        while (
+            shard < shards - 1
+            and filled >= (shard + 1) * total / shards
+        ):
+            shard += 1
+        assignments.append(shard)
+        filled += size
+    return assignments
+
+
+def assign_insert(partitioner: str, ordinal: int, shards: int) -> int:
+    """Shard for a document inserted *online* (after the initial build).
+
+    Hash placement keeps spreading; range placement appends to the last
+    shard because the global preorder grows at the tail.
+    """
+    if partitioner == "hash":
+        return hash_assign(ordinal, shards)
+    return shards - 1

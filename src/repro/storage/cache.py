@@ -317,6 +317,28 @@ class PostingCache:
             self._used_bytes = 0
         self.drop_segment()
 
+    def shutdown(self) -> None:
+        """Release everything unconditionally — the database close path.
+
+        Unlike :meth:`drop_segment`, outstanding pins do not park a
+        segment: the owner is asserting no query is in flight, so the
+        registered segment and every retired one are destroyed (close +
+        unlink) right now.  A pin held past close is a caller bug; a
+        ``/dev/shm`` segment surviving the database is worse — a
+        long-running server opening and closing shards would leak kernel
+        memory until reboot."""
+        doomed = []
+        with self._lock:
+            self._entries.clear()
+            self._used_bytes = 0
+            entry, self._segment = self._segment, None
+            if entry is not None:
+                doomed.append(entry[1])
+            doomed.extend(retired[0] for retired in self._retired_segments)
+            self._retired_segments.clear()
+        for segment in doomed:
+            segment.destroy()
+
 
 class FetchMemo:
     """Per-evaluation memo of derived fetch results.

@@ -181,6 +181,23 @@ class QueryReport:
                 f"  wal: {self.wal_frames_written} frame(s) written / "
                 f"{self.wal_recoveries} recovery(ies)"
             )
+        if self.batch_fallback:
+            lines.append(
+                "  concurrency: batch fell back to serial execution "
+                "(mixed insert-cost fingerprints)"
+            )
+        if self.get("shard.fanout"):
+            lines.append(
+                f"  shard: fanout {int(self.get('shard.fanout'))} | "
+                f"merged {int(self.get('shard.results_merged'))} result(s) | "
+                f"parallel jobs {int(self.get('shard.parallel_jobs'))}"
+            )
+        if self.get("server.rejections") or self.get("server.queue_seconds"):
+            lines.append(
+                f"  server: queued {self.get('server.queue_seconds') * 1000:.1f} ms | "
+                f"batch size {int(self.get('server.batch_size'))} | "
+                f"queue-full rejections {int(self.get('server.rejections'))}"
+            )
         if self.collect == "off":
             lines.append("  (collection off; pass collect='counters' or --stats)")
             return "\n".join(lines)

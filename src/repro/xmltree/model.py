@@ -485,6 +485,43 @@ class TreeBuilder:
             raise ReproError("builder already finished")
 
 
+def extract_document(tree: DataTree, root: int) -> DataTree:
+    """Copy the document rooted at ``root`` into a standalone tree — a
+    fresh super-root with the document as its only child, exactly the
+    shape :func:`~repro.xmltree.builder.tree_from_xml` produces and
+    :meth:`DataTree.graft_document` consumes.
+
+    This is how a collection is re-partitioned without round-tripping
+    through XML: the sharding layer splits a built tree document by
+    document and grafts each copy into the owning shard's tree, so the
+    per-document preorder (and therefore every per-document query
+    answer) is preserved bit for bit.
+    """
+    if root <= 0 or root >= len(tree.labels) or tree.parents[root] != 0:
+        raise ReproError(f"pre {root} is not a document root")
+    out = DataTree()
+    bound = tree.bounds[root]
+    offset = root - 1  # original pre p maps to p - offset; the root lands at 1
+    out.labels.append(ROOT_LABEL)
+    out.types.append(NodeType.STRUCT)
+    out.parents.append(-1)
+    out.bounds.append(bound - offset)
+    out.inscosts.append(0.0)
+    out.pathcosts.append(0.0)
+    for pre in range(root, bound + 1):
+        out.labels.append(tree.labels[pre])
+        out.types.append(tree.types[pre])
+        parent = tree.parents[pre]
+        out.parents.append(0 if parent == 0 else parent - offset)
+        out.bounds.append(tree.bounds[pre] - offset)
+        # grafting re-derives both cost columns from the target tree's
+        # insert-cost table; zeros keep the copy honest until then
+        out.inscosts.append(0.0)
+        out.pathcosts.append(0.0)
+    out.rebuild_links()
+    return out
+
+
 def compact_tree(tree: DataTree) -> DataTree:
     """Return a dense copy of ``tree`` with every tombstoned document
     squeezed out (the original is returned unchanged when there are no

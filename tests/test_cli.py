@@ -144,3 +144,64 @@ class TestDurabilityAndVerify:
         path.write_bytes(b"hello, definitely not a page store")
         assert main(["query", str(path), "cd"]) == 1
         assert "not a database file" in capsys.readouterr().err
+
+
+class TestShardedCommands:
+    def test_build_sharded_then_query(self, catalog_file, tmp_path, capsys):
+        directory = str(tmp_path / "catalog.d")
+        assert (
+            main(["build", directory, catalog_file, "--shards", "2"]) == 0
+        )
+        assert "2 shards" in capsys.readouterr().out
+        assert main(["query", directory, 'cd[title["piano"]]', "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "1 result(s)" in output
+        assert "shard: fanout 2" in output
+
+    def test_build_range_partitioner(self, catalog_file, tmp_path, capsys):
+        directory = str(tmp_path / "catalog.d")
+        assert (
+            main(
+                [
+                    "build",
+                    directory,
+                    catalog_file,
+                    "--shards",
+                    "3",
+                    "--partitioner",
+                    "range",
+                ]
+            )
+            == 0
+        )
+        assert "range partitioning" in capsys.readouterr().out
+
+    def test_sharded_mutations_and_documents(self, catalog_file, tmp_path, capsys):
+        directory = str(tmp_path / "catalog.d")
+        assert main(["build", directory, catalog_file, "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["documents", directory]) == 0
+        before = capsys.readouterr().out.strip().splitlines()
+        assert main(["insert", directory, catalog_file]) == 0
+        assert "insert: shard" in capsys.readouterr().out
+        assert main(["documents", directory]) == 0
+        after = capsys.readouterr().out.strip().splitlines()
+        assert len(after) == len(before) + 1
+
+    def test_sharded_info_and_schema(self, catalog_file, tmp_path, capsys):
+        directory = str(tmp_path / "catalog.d")
+        assert main(["build", directory, catalog_file, "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["info", directory]) == 0
+        assert "shard 0:" in capsys.readouterr().out
+        assert main(["schema", directory]) == 0
+        assert "-- shard 1" in capsys.readouterr().out
+
+    def test_serve_parser_defaults(self):
+        from repro.core.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "catalog.apxq"])
+        assert args.port == 7733
+        assert args.max_pending == 64
+        assert args.batch_max == 16
+        assert args.executor == "thread"

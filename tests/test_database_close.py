@@ -1,0 +1,69 @@
+"""Regression tests for :meth:`Database.close` resource teardown.
+
+The leak under test: a process-pool query pins a shared-memory posting
+segment in the :class:`~repro.storage.cache.PostingCache` registry; if
+the pin is still outstanding when the database goes away, ``clear()``
+parks the segment on the retired list forever and the shm name leaks
+until interpreter exit.  ``close()`` must tear the registry down
+unconditionally — pins included — because no worker can legitimately
+attach after the owning database is gone.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.storage.cache import PostingCache
+from repro.storage.shm import SharedPostingSegment, attach_shared_memory
+
+CATALOG = """
+<catalog>
+  <cd><title>piano concerto</title><composer>rachmaninov</composer></cd>
+</catalog>
+"""
+
+
+def _segment():
+    return SharedPostingSegment.build({(b"T", b"k"): [(1, 2), (4, 7)]})
+
+
+def test_shutdown_destroys_pinned_segments():
+    cache = PostingCache()
+    pinned = _segment()
+    cache.put_segment(1, pinned)  # pin held by a (dead) query
+    retired = _segment()
+    cache.put_segment(2, retired)
+    assert cache.get_segment(3) is None  # generation bump retires #2
+    names = [pinned.name, retired.name]
+
+    cache.shutdown()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            attach_shared_memory(name)
+    # idempotent, and the registry is empty afterwards
+    cache.shutdown()
+    assert cache.get_segment(3) is None
+
+
+def test_database_close_shuts_posting_cache_down(tmp_path):
+    path = str(tmp_path / "catalog.apxq")
+    Database.from_xml(CATALOG).save(path)
+    database = Database.open(path)
+    cache = database._posting_cache
+    assert cache is not None
+
+    segment = _segment()
+    cache.put_segment(1, segment)  # simulate an outstanding query pin
+    name = segment.name
+
+    database.close()
+    with pytest.raises(FileNotFoundError):
+        attach_shared_memory(name)
+    database.close()  # idempotent
+
+
+def test_database_is_a_context_manager(tmp_path):
+    path = str(tmp_path / "catalog.apxq")
+    Database.from_xml(CATALOG).save(path)
+    with Database.open(path) as database:
+        assert len(database.query("title", n=1)) == 1
+    assert database._closed

@@ -1,0 +1,285 @@
+"""Tests for the asyncio query front door.
+
+The server is driven end to end over real TCP sockets via
+:class:`~repro.server.ServerThread` (its own event loop on a background
+thread) and :class:`~repro.server.ServeClient`.  The load test is the
+acceptance gate: at least 8 concurrent reader clients against a sharded
+database with a live mutating writer, zero divergences after quiesce,
+and a clean graceful shutdown.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import AdmissionError, EvaluationError, QuerySyntaxError, ServerError
+from repro.server import MAX_LINE, ServeClient, ServerThread
+from repro.shard import ShardedDatabase
+
+CATALOG = """
+<catalog>
+  <cd><title>piano concerto</title><composer>rachmaninov</composer></cd>
+  <cd><title>cello sonata</title><composer>chopin</composer></cd>
+</catalog>
+"""
+
+LIBRARY = """
+<library>
+  <book><title>piano technique</title><author>neuhaus</author></book>
+</library>
+"""
+
+NEW_DOC = "<catalog><cd><title>nocturnes</title><composer>field</composer></cd></catalog>"
+
+QUERIES = ["title", 'cd[title["piano"]]', "book", "composer"]
+
+
+def _sharded():
+    return ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+
+
+# ----------------------------------------------------------------------
+# basics
+# ----------------------------------------------------------------------
+
+
+def test_round_trip_over_the_wire():
+    database = _sharded()
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            assert client.ping()
+            assert "2 shards" in client.describe()
+            response = client.query('cd[title["piano"]]', n=5)
+            expected = [
+                (r.cost, r.root) for r in database.query('cd[title["piano"]]', n=5)
+            ]
+            got = [(r["cost"], r["root"]) for r in response["results"]]
+            assert got == expected
+            assert all("shard" in r for r in response["results"])
+            report = response["report"]
+            assert "server.queue_seconds" in report["counters"]
+            assert report["counters"]["server.batch_size"] >= 1
+            assert report["counters"]["shard.fanout"] == 2
+    database.close()
+
+
+def test_works_over_plain_database_too():
+    database = Database.from_xml(CATALOG)
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            response = client.query("title", n=3)
+            expected = [(r.cost, r.root) for r in database.query("title", n=3)]
+            assert [(r["cost"], r["root"]) for r in response["results"]] == expected
+            assert client.count("title") == database.count_results("title")
+
+
+def test_mutations_over_the_wire():
+    database = _sharded()
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            before = database.documents()
+            inserted = client.insert(NEW_DOC)
+            assert inserted["root"] not in before
+            assert inserted["root"] in database.documents()
+            client.delete(inserted["root"])
+            assert database.documents() == before
+    database.close()
+
+
+def test_typed_errors_cross_the_wire():
+    database = _sharded()
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            with pytest.raises(QuerySyntaxError):
+                client.query("cd[")
+            with pytest.raises(EvaluationError):
+                client.delete(99999)
+            with pytest.raises(ServerError):
+                client.request("frobnicate")
+    database.close()
+
+
+def test_malformed_line_gets_protocol_error():
+    database = Database.from_xml(CATALOG)
+    with ServerThread(database) as (host, port):
+        with socket.create_connection((host, port), timeout=10) as raw:
+            handle = raw.makefile("rwb")
+            handle.write(b"this is not json\n")
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ServerError"
+        stats_client = ServeClient(host, port)
+        assert stats_client.stats()["server.protocol_errors"] >= 1
+        stats_client.close()
+
+
+def test_stats_counters_accumulate():
+    database = _sharded()
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            for query in QUERIES:
+                client.query(query, n=3)
+            counters = client.stats()
+            assert counters["server.queries"] == len(QUERIES)
+            assert counters["server.batches"] >= 1
+            assert counters["server.batched_requests"] == len(QUERIES)
+            assert counters["server.rejections"] == 0
+    database.close()
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+
+
+def test_queue_full_rejects_with_admission_error():
+    database = Database.from_xml(CATALOG)
+    gate = threading.Event()
+    entered = threading.Event()
+    original = database.query_many
+
+    def slow_query_many(*args, **kwargs):
+        entered.set()
+        assert gate.wait(30), "test gate never opened"
+        return original(*args, **kwargs)
+
+    database.query_many = slow_query_many
+    server_thread = ServerThread(database, max_pending=1, batch_max=1)
+    with server_thread as (host, port):
+        outcomes = []
+
+        def blocked_query():
+            with ServeClient(host, port) as client:
+                outcomes.append(client.query("title", n=1)["results"])
+
+        # A is admitted and picked up by the dispatcher (it blocks on
+        # the gate inside query_many), B fills the one queue slot, C
+        # must then bounce with a typed AdmissionError.
+        worker_a = threading.Thread(target=blocked_query)
+        worker_a.start()
+        assert entered.wait(30)
+        worker_b = threading.Thread(target=blocked_query)
+        worker_b.start()
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if server_thread.server._queue.qsize() >= 1:
+                break
+            time.sleep(0.01)
+        with ServeClient(host, port) as client:
+            with pytest.raises(AdmissionError):
+                client.query("title", n=1)
+            counters = client.stats()
+            assert counters["server.rejections"] == 1
+        gate.set()
+        worker_a.join(timeout=30)
+        worker_b.join(timeout=30)
+        assert len(outcomes) == 2
+        # served queries record the lifetime rejection count (satellite
+        # telemetry for `query --stats` via the server)
+        with ServeClient(host, port) as client:
+            report = client.query("title", n=1)["report"]
+            assert report["counters"]["server.rejections"] == 1
+
+
+# ----------------------------------------------------------------------
+# concurrent load with a live writer (acceptance gate)
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_clients_with_live_writer():
+    database = _sharded()
+    errors = []
+    divergences = []
+    stop_writer = threading.Event()
+
+    def reader(worker: int):
+        try:
+            with ServeClient(*address) as client:
+                for round_number in range(12):
+                    query = QUERIES[(worker + round_number) % len(QUERIES)]
+                    response = client.query(query, n=5)
+                    costs = [r["cost"] for r in response["results"]]
+                    if costs != sorted(costs):
+                        divergences.append((query, costs))
+        except Exception as error:  # noqa: BLE001 - collected for the assert
+            errors.append(error)
+
+    def writer():
+        try:
+            with ServeClient(*address) as client:
+                inserted = []
+                while not stop_writer.is_set():
+                    inserted.append(client.insert(NEW_DOC)["root"])
+                    if len(inserted) >= 3:
+                        client.delete(inserted.pop(0))
+                    time.sleep(0.002)
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    with ServerThread(database, max_pending=256) as address:
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [
+            threading.Thread(target=reader, args=(worker,)) for worker in range(8)
+        ]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join(timeout=120)
+        stop_writer.set()
+        writer_thread.join(timeout=60)
+
+        assert not errors, errors
+        assert not divergences, divergences
+
+        # quiesced: the server's answers must now equal direct queries
+        with ServeClient(*address) as client:
+            for query in QUERIES:
+                response = client.query(query, n=None)
+                expected = [
+                    (r.cost, r.root) for r in database.query(query, n=None)
+                ]
+                got = [(r["cost"], r["root"]) for r in response["results"]]
+                assert got == expected, query
+            counters = client.stats()
+            assert counters["server.queries"] >= 8 * 12
+            assert counters["server.mutations"] >= 3
+    database.close()
+
+
+# ----------------------------------------------------------------------
+# shutdown
+# ----------------------------------------------------------------------
+
+
+def test_graceful_shutdown_drains_and_rejects_new_work():
+    database = _sharded()
+    server_thread = ServerThread(database)
+    host, port = server_thread.start()
+    with ServeClient(host, port) as client:
+        assert client.ping()
+    server_thread.stop()
+    with pytest.raises(OSError):
+        socket.create_connection((host, port), timeout=2)
+    # idempotent
+    server_thread.stop()
+    database.close()
+
+
+def test_oversize_line_is_refused():
+    database = Database.from_xml(CATALOG)
+    with ServerThread(database) as (host, port):
+        with socket.create_connection((host, port), timeout=10) as raw:
+            handle = raw.makefile("rwb")
+            handle.write(b'{"op": "ping", "pad": "' + b"x" * MAX_LINE + b'"}\n')
+            handle.flush()
+            line = handle.readline()
+            # the server either answers with a typed error or drops the
+            # connection at the transport limit; both refuse the line
+            if line:
+                assert json.loads(line)["ok"] is False
