@@ -54,6 +54,7 @@ from .protocol import (
     encode_message,
     error_response,
     ok_response,
+    validate_request,
 )
 
 #: dispatcher sentinel: drain is complete, exit
@@ -211,7 +212,23 @@ class QueryServer:
             while True:
                 try:
                     line = await reader.readline()
-                except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except ValueError:
+                    # StreamReader.readline re-raises its internal
+                    # LimitOverrunError as ValueError when a line
+                    # exceeds the transport limit (MAX_LINE): answer
+                    # with the typed refusal, then drop the connection
+                    # — the rest of the oversized line is unframeable.
+                    self._count("server.protocol_errors")
+                    too_long = ServerError(
+                        f"protocol line exceeds {MAX_LINE} bytes"
+                    )
+                    writer.write(encode_message(error_response(None, too_long)))
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
                     break
                 if not line:
                     break
@@ -239,6 +256,7 @@ class QueryServer:
             op = message.get("op")
             if op not in OPS:
                 raise ServerError(f"unknown op {op!r}; expected one of {OPS}")
+            validate_request(message)
             self._count("server.requests")
             if op == "ping":
                 return ok_response(request_id, pong=True)
@@ -280,6 +298,7 @@ class QueryServer:
                 queue.task_done()
                 return
             batch = [job]
+            stopping = False
             while len(batch) < self._batch_max:
                 try:
                     extra = queue.get_nowait()
@@ -287,14 +306,31 @@ class QueryServer:
                     break
                 if extra is _STOP:
                     queue.task_done()
-                    await self._run_batch(batch)
-                    for item in batch:
-                        queue.task_done()
-                    return
+                    stopping = True
+                    break
                 batch.append(extra)
-            await self._run_batch(batch)
-            for item in batch:
-                queue.task_done()
+            # exception barrier: the dispatcher is the server's single
+            # point of progress — anything escaping a batch must resolve
+            # that batch's futures and mark the queue entries done, or
+            # every subsequent request hangs and stop() deadlocks
+            try:
+                await self._run_batch(batch)
+            except Exception as error:
+                self._count("server.dispatch_errors")
+                failure = ServerError(
+                    f"internal dispatch error "
+                    f"({type(error).__name__}: {error})"
+                )
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_result(
+                            error_response(item.message.get("id"), failure)
+                        )
+            finally:
+                for item in batch:
+                    queue.task_done()
+            if stopping:
+                return
 
     async def _run_batch(self, batch: "list[_Job]") -> None:
         """Serve one drained batch: group adjacent compatible queries,
@@ -447,6 +483,7 @@ class ServerThread:
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self._started = threading.Event()
+        self._startup_error: "BaseException | None" = None
 
     @property
     def server(self) -> QueryServer:
@@ -461,14 +498,29 @@ class ServerThread:
         self._thread.start()
         if not self._started.wait(timeout=30):
             raise ServerError("server thread failed to start")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+            error = self._startup_error
+            if isinstance(error, ReproError):
+                raise error
+            raise ServerError(f"server failed to start: {error}") from error
         return self.address
 
     def _run(self) -> None:
         self._loop = asyncio.new_event_loop()
         asyncio.set_event_loop(self._loop)
         try:
-            self._loop.run_until_complete(self._server.start())
-            self._started.set()
+            try:
+                self._loop.run_until_complete(self._server.start())
+            except BaseException as error:
+                # surfaced by start() on the launching thread — without
+                # this the caller waits the full timeout and the real
+                # failure (port in use, ...) goes to the excepthook
+                self._startup_error = error
+                return
+            finally:
+                self._started.set()
             self._loop.run_forever()
             # stop() was requested: drain gracefully on this loop
             self._loop.run_until_complete(self._server.stop())
@@ -479,7 +531,10 @@ class ServerThread:
         """Graceful shutdown, blocking until the drain completes."""
         if self._loop is None or self._thread is None:
             return
-        self._loop.call_soon_threadsafe(self._loop.stop)
+        try:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        except RuntimeError:
+            pass  # loop already closed (startup failed)
         self._thread.join(timeout=60)
         self._thread = None
 

@@ -65,6 +65,44 @@ def decode_message(line: bytes) -> dict:
     return message
 
 
+def validate_request(message: dict) -> None:
+    """Check a request's op-specific field types before it is admitted
+    (typed :class:`~repro.errors.ServerError` on the first mismatch).
+
+    A malformed field must be refused at the door: past admission the
+    request is inside the dispatcher, where a surprise ``TypeError``
+    would cost far more than one rejected message.
+    """
+    op = message.get("op")
+    if op in ("query", "count"):
+        query = message.get("query")
+        if not isinstance(query, str):
+            raise ServerError(
+                f"'query' must be a string, got {type(query).__name__}"
+            )
+    if op == "query":
+        n = message.get("n", 10)
+        if n is not None and (isinstance(n, bool) or not isinstance(n, int)):
+            raise ServerError(f"'n' must be an integer or null, got {n!r}")
+        max_cost = message.get("max_cost")
+        if max_cost is not None and (
+            isinstance(max_cost, bool) or not isinstance(max_cost, (int, float))
+        ):
+            raise ServerError(f"'max_cost' must be a number or null, got {max_cost!r}")
+        for field in ("method", "collect"):
+            value = message.get(field)
+            if value is not None and not isinstance(value, str):
+                raise ServerError(f"'{field}' must be a string, got {value!r}")
+    if op in ("insert", "replace"):
+        xml = message.get("xml")
+        if not isinstance(xml, str):
+            raise ServerError(f"'xml' must be a string, got {type(xml).__name__}")
+    if op in ("delete", "replace"):
+        root = message.get("root")
+        if isinstance(root, bool) or not isinstance(root, int):
+            raise ServerError(f"'root' must be an integer, got {root!r}")
+
+
 def error_response(request_id, error: BaseException) -> dict:
     """The failure response for ``error``, typed by class name."""
     return {

@@ -292,9 +292,27 @@ class ShardedDatabase:
         so the saved manifest re-derives each live document's local root
         for the compacted layout; global numbering is left untouched — it
         stays stable across save/open cycles.
+
+        Saving back into the directory this instance was ``open()``-ed
+        from is refused: the live in-memory shards keep their uncompacted
+        local numbering, so a later mutation would republish the stale
+        manifest over the compacted stores and the next ``open()`` would
+        find a torn directory.  Mutations against an opened directory
+        already persist through the shard WALs and the manifest rewrite —
+        an explicit save is only for exporting to a *new* directory.
         """
         with self._write_lock:
             self._check_open()
+            if self._directory is not None and os.path.realpath(
+                directory
+            ) == os.path.realpath(self._directory):
+                raise ShardError(
+                    f"cannot save() into the currently open directory "
+                    f"{self._directory!r}: the compacted stores would "
+                    "disagree with the live manifest after the next "
+                    "mutation; save to a fresh directory instead "
+                    "(mutations already persist through the shard WALs)"
+                )
             os.makedirs(directory, exist_ok=True)
             for index, shard in enumerate(self._shards):
                 shard.save(os.path.join(directory, shard_file_name(index)), options)

@@ -278,8 +278,91 @@ def test_oversize_line_is_refused():
             handle = raw.makefile("rwb")
             handle.write(b'{"op": "ping", "pad": "' + b"x" * MAX_LINE + b'"}\n')
             handle.flush()
-            line = handle.readline()
-            # the server either answers with a typed error or drops the
-            # connection at the transport limit; both refuse the line
-            if line:
-                assert json.loads(line)["ok"] is False
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ServerError"
+            assert "exceeds" in response["error"]["message"]
+            # the oversized line poisons the framing: connection closes
+            assert handle.readline() == b""
+        with ServeClient(host, port) as client:
+            assert client.stats()["server.protocol_errors"] >= 1
+
+
+def test_malformed_fields_rejected_at_admission():
+    # regression: a non-numeric max_cost used to blow up inside the
+    # dispatcher (float("abc") in the batch key) instead of being
+    # refused at the door with a typed error
+    database = Database.from_xml(CATALOG)
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            with pytest.raises(ServerError, match="max_cost"):
+                client.request("query", query="title", max_cost="abc")
+            with pytest.raises(ServerError, match="'n'"):
+                client.request("query", query="title", n="five")
+            with pytest.raises(ServerError, match="'query'"):
+                client.request("query", query=42)
+            with pytest.raises(ServerError, match="'root'"):
+                client.request("delete", root="1")
+            with pytest.raises(ServerError, match="'xml'"):
+                client.request("insert", xml=7)
+            # the server is still healthy after every rejection
+            assert client.ping()
+            assert client.query("title", n=3)["results"]
+
+
+class _HostileDatabase:
+    """Delegates to a real database, but raises a non-ReproError from
+    the query paths when armed — an unexpected engine crash."""
+
+    def __init__(self, database):
+        self._database = database
+        self.explode = False
+
+    def __getattr__(self, name):
+        return getattr(self._database, name)
+
+    def query_many(self, *args, **kwargs):
+        if self.explode:
+            raise RuntimeError("simulated engine crash")
+        return self._database.query_many(*args, **kwargs)
+
+    def query(self, *args, **kwargs):
+        if self.explode:
+            raise RuntimeError("simulated engine crash")
+        return self._database.query(*args, **kwargs)
+
+
+def test_dispatcher_survives_non_repro_errors():
+    # regression: an exception that is not a ReproError escaping a batch
+    # used to kill the dispatcher task — every later request hung and
+    # stop() deadlocked on the unfinished queue
+    database = _HostileDatabase(Database.from_xml(CATALOG))
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            database.explode = True
+            with pytest.raises(ServerError, match="internal dispatch error"):
+                client.query("title")
+            database.explode = False
+            assert client.ping()
+            assert client.query("title", n=3)["results"]
+            assert client.stats()["server.dispatch_errors"] == 1
+    # the context manager exiting cleanly is the drain/deadlock check
+
+
+def test_server_thread_start_failure_surfaces_cause():
+    # regression: a bind failure used to block start() for the full 30 s
+    # timeout and discard the real exception to the thread excepthook
+    blocker = socket.socket()
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        database = Database.from_xml(CATALOG)
+        server_thread = ServerThread(database, port=port)
+        started = time.perf_counter()
+        with pytest.raises(ServerError, match="failed to start"):
+            server_thread.start()
+        assert time.perf_counter() - started < 10
+        server_thread.stop()  # no-op after a failed start, must not raise
+    finally:
+        blocker.close()

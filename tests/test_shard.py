@@ -322,6 +322,28 @@ def test_mutations_persist_across_reopen(tmp_path):
         assert new_root + 1 in [r.root for r in results]
 
 
+def test_save_into_open_directory_is_refused(tmp_path):
+    # regression: saving compacts the on-disk shard stores, but the live
+    # in-memory shards keep their uncompacted numbering — a later
+    # mutation would republish the stale manifest over the compacted
+    # stores and the next open() would find a torn directory
+    directory = str(tmp_path / "shop.d")
+    ShardedDatabase.from_documents(DOCUMENTS, shards=2).save(directory)
+    exported = str(tmp_path / "export.d")
+    with ShardedDatabase.open(directory) as database:
+        database.delete_document(database.documents()[0])
+        with pytest.raises(ShardError, match="currently open directory"):
+            database.save(directory)
+        with pytest.raises(ShardError, match="currently open directory"):
+            database.save(os.path.join(str(tmp_path), "shop.d"))
+        database.save(exported)  # exporting elsewhere still works
+        expected = database.documents()
+    with ShardedDatabase.open(exported) as reopened:
+        assert reopened.documents() == expected
+    with ShardedDatabase.open(directory) as original:
+        assert original.documents() == expected
+
+
 def test_open_detects_manifest_shard_mismatch(tmp_path):
     directory = str(tmp_path / "shop.d")
     ShardedDatabase.from_documents(DOCUMENTS, shards=2).save(directory)
