@@ -1,0 +1,249 @@
+"""Planner benchmarks: ``method="auto"`` vs. always-direct vs. always-schema.
+
+The cost-based planner (``repro.planner``) replaces the old static rule
+("best-n runs the schema-driven driver, full retrieval runs direct")
+with a per-query decision made from persisted collection statistics.
+This benchmark measures what that buys on three workload shapes chosen
+to have different correct answers:
+
+* **uniform** — a homogeneous catalog where every root label matches
+  most documents: candidate sets are wide, best-n favors the
+  schema-driven driver.
+* **skewed** — a large collection in which the queried label is rare:
+  statistics predict a candidate set no larger than ``n``, so running
+  the direct evaluator once beats the schema driver's k-growth rounds
+  (the case the static rule always got wrong).
+* **wide-renaming** — a cost model with cheap renamings widens the
+  closure; the planner must price the widened posting unions rather
+  than count selectors.
+
+Every timed query shape runs three ways (auto / forced direct / forced
+schema), and every auto answer is verified: byte-identical to the
+forced run of the method the planner chose, cost-multiset-equal to the
+forced run of the other.  A benchmark that returned wrong answers
+quickly would be worse than useless.
+
+Standalone usage (writes the committed ``BENCH_planner.json`` baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py --out BENCH_planner.json
+
+``--quick`` shrinks the collections for the CI smoke run.  The module
+also exposes pytest-benchmark points when collected with
+``pytest benchmarks/bench_planner.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import Database
+from repro.approxql.costs import CostModel
+from repro.xmltree.model import NodeType
+
+PASSES = 3
+#: documents per shape, per profile
+PROFILES = {"quick": 40, "full": 150}
+
+
+def _timed(fn) -> "tuple[float, object]":
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+# ----------------------------------------------------------------------
+# workload shapes
+# ----------------------------------------------------------------------
+
+
+def _uniform_documents(count: int) -> list[str]:
+    return [
+        f"<cd><title>album {i}</title><artist>artist {i % 7}</artist>"
+        f"<genre>genre {i % 5}</genre></cd>"
+        for i in range(count)
+    ]
+
+
+def _skewed_documents(count: int) -> list[str]:
+    documents = _uniform_documents(count - 3)
+    documents.extend(
+        f"<vinyl><title>pressing {i}</title><artist>artist {i}</artist></vinyl>"
+        for i in range(3)
+    )
+    return documents
+
+
+def _renaming_costs() -> CostModel:
+    costs = CostModel()
+    for from_label, to_label in (
+        ("cd", "dvd"),
+        ("cd", "tape"),
+        ("dvd", "cd"),
+        ("tape", "cd"),
+    ):
+        costs.add_renaming(from_label, to_label, NodeType.STRUCT, 1.0)
+    return costs
+
+
+def _renaming_documents(count: int) -> list[str]:
+    labels = ("cd", "dvd", "tape")
+    return [
+        f"<{labels[i % 3]}><title>media {i}</title>"
+        f"<artist>artist {i % 7}</artist></{labels[i % 3]}>"
+        for i in range(count)
+    ]
+
+
+#: (shape, query, n, costs factory) — one benchmark point each
+SHAPES = (
+    ("uniform", _uniform_documents, "cd[title and artist]", 10, None),
+    ("skewed", _skewed_documents, "vinyl[title]", 5, None),
+    ("wide-renaming", _renaming_documents, 'cd[title and artist]', 5, _renaming_costs),
+)
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+
+
+def _pairs(results) -> list[tuple[int, float]]:
+    return [(r.root, r.cost) for r in results]
+
+
+def verify_answers(database: Database, query: str, n: "int | None", costs) -> str:
+    """Run auto and both forced methods; raise if they disagree.
+    Returns the method auto chose."""
+    auto = database.query(query, n=n, costs=costs)
+    chosen = auto.report.method
+    forced_same = database.query(query, n=n, costs=costs, method=chosen)
+    if _pairs(auto) != _pairs(forced_same):
+        raise AssertionError(
+            f"auto diverged from forced {chosen} on {query!r}: "
+            f"{_pairs(auto)} != {_pairs(forced_same)}"
+        )
+    other = "schema" if chosen == "direct" else "direct"
+    forced_other = database.query(query, n=n, costs=costs, method=other)
+    if sorted(r.cost for r in auto) != sorted(r.cost for r in forced_other):
+        raise AssertionError(
+            f"auto and forced {other} retrieved different cost multisets "
+            f"on {query!r}"
+        )
+    return chosen
+
+
+def measure_shape(name: str, builder, query: str, n: "int | None", costs_factory, count: int) -> dict:
+    database = Database.from_documents(builder(count))
+    costs = costs_factory() if costs_factory is not None else None
+    chosen = verify_answers(database, query, n, costs)
+    plan = database.plan(query, n=n, costs=costs)
+
+    times: dict[str, list[float]] = {"auto": [], "direct": [], "schema": []}
+    for _ in range(PASSES):
+        for method in ("auto", "direct", "schema"):
+            kwargs = {} if method == "auto" else {"method": method}
+            seconds, _ = _timed(
+                lambda kw=kwargs: database.query(query, n=n, costs=costs, **kw)
+            )
+            times[method].append(seconds)
+
+    best = {method: min(passes) for method, passes in times.items()}
+    slowest_forced = max(best["direct"], best["schema"])
+    estimates = plan.estimates
+    return {
+        "query": query,
+        "n": n,
+        "documents": count,
+        "chosen_method": chosen,
+        "reason": plan.reason,
+        "predicted_candidates": estimates.candidate_roots if estimates else None,
+        "predicted_entries": estimates.posting_entries if estimates else None,
+        "auto_best_ms": best["auto"] * 1000,
+        "direct_best_ms": best["direct"] * 1000,
+        "schema_best_ms": best["schema"] * 1000,
+        "auto_vs_worst_speedup": slowest_forced / best["auto"] if best["auto"] else float("inf"),
+        "pass_seconds": times,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark points
+# ----------------------------------------------------------------------
+
+
+def _bench_point(benchmark, shape_index: int) -> None:
+    name, builder, query, n, costs_factory = SHAPES[shape_index]
+    database = Database.from_documents(builder(PROFILES["quick"]))
+    costs = costs_factory() if costs_factory is not None else None
+    verify_answers(database, query, n, costs)
+    benchmark.pedantic(
+        lambda: database.query(query, n=n, costs=costs),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def bench_planner_uniform(benchmark):
+    _bench_point(benchmark, 0)
+
+
+def bench_planner_skewed(benchmark):
+    _bench_point(benchmark, 1)
+
+
+def bench_planner_wide_renaming(benchmark):
+    _bench_point(benchmark, 2)
+
+
+# ----------------------------------------------------------------------
+# standalone baseline writer
+# ----------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the collections (the CI smoke profile)",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    count = PROFILES["quick" if args.quick else "full"]
+    record = {
+        "workload": {
+            "profile": "quick" if args.quick else "full",
+            "documents_per_shape": count,
+            "passes": PASSES,
+        }
+    }
+    for name, builder, query, n, costs_factory in SHAPES:
+        record[name] = measure_shape(name, builder, query, n, costs_factory, count)
+
+    rendered = json.dumps(record, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"baseline written to {args.out}")
+    else:
+        print(rendered, end="")
+
+    for name, *_ in SHAPES:
+        point = record[name]
+        print(
+            f"{name}: auto chose {point['chosen_method']} "
+            f"({point['auto_best_ms']:.2f} ms; direct "
+            f"{point['direct_best_ms']:.2f} ms, schema "
+            f"{point['schema_best_ms']:.2f} ms)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

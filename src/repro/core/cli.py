@@ -222,7 +222,7 @@ def _command_plan(args: argparse.Namespace) -> int:
     database = _open_database(args)
     n = None if args.n == 0 else args.n
     plan = database.plan(args.query, n=n, method=args.method)
-    print(plan.format())
+    print(plan.format(verbose=args.verbose))
     return 0
 
 
@@ -415,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("-n", type=int, default=10, help="result count (0 = all)")
     plan.add_argument(
         "--method", choices=("auto", "direct", "schema"), default="auto"
+    )
+    plan.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print the planner's cost estimates (candidates, posting "
+        "entries, direct-vs-schema scores, k schedule)",
     )
     _add_cache_options(plan)
     plan.set_defaults(func=_command_plan)

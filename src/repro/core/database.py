@@ -9,9 +9,12 @@ This is the public entry point a downstream user adopts::
     db.delete_document(root)
 
 Both of the paper's algorithms are available per query (``method="direct"``
-or ``"schema"``); the default ``"auto"`` follows the paper's conclusion —
-schema-driven evaluation for best-n retrieval, direct evaluation when all
-results are wanted.  :meth:`Database.plan` exposes that decision without
+or ``"schema"``); the default ``"auto"`` chooses through the cost-based
+planner (:mod:`repro.planner`): selectivity estimates over persisted
+collection statistics score direct vs schema-driven evaluation per query,
+falling out of the paper's conclusion — schema-driven for best-n, direct
+for full retrieval — wherever the statistics agree with it.
+:meth:`Database.plan` exposes that decision without
 running the query; ``collect="counters"`` (or ``"timings"``) makes
 :meth:`Database.query` return a :class:`~repro.core.results.ResultSet`
 whose :class:`~repro.telemetry.report.QueryReport` accounts for every
@@ -46,6 +49,8 @@ from ..approxql.parser import parse_query
 from ..concurrent import QueryPool, make_query_pool, resolve_jobs
 from ..engine.evaluator import DirectEvaluator
 from ..errors import EvaluationError
+from ..planner.cost import PlanEstimates, Planner
+from ..planner.stats import CollectionStats, compute_stats
 from ..schema.dataguide import (
     Schema,
     build_schema,
@@ -56,6 +61,7 @@ from ..schema.evaluator import EvaluationStats, SchemaEvaluator
 from ..schema.indexes import StoredSecondaryIndex
 from ..storage.kv import MemoryStore, Store
 from ..storage.overlay import SnapshotOverlay, using_overlay
+from ..storage.statcodec import load_stats, save_stats
 from ..telemetry import collector as _telemetry
 from ..telemetry.collector import MODE_OFF, MODE_TIMINGS, MODES, Telemetry
 from ..telemetry.report import QueryReport
@@ -96,9 +102,13 @@ class QueryPlan:
     selectors: int
     or_decisions: int
     conjunctive_queries: int
+    #: the cost model's numbers behind the decision (predicted candidate
+    #: roots, posting bytes, the chosen k-growth schedule, confidence)
+    estimates: "PlanEstimates | None" = None
 
-    def format(self) -> str:
-        """Human-readable rendering for the CLI's ``plan`` command."""
+    def format(self, verbose: bool = False) -> str:
+        """Human-readable rendering for the CLI's ``plan`` command;
+        ``verbose`` appends the estimates block."""
         n_label = "all" if self.n is None else str(self.n)
         lines = [
             f"plan: {self.query}",
@@ -107,7 +117,35 @@ class QueryPlan:
             f"  selectors: {self.selectors}  or-decisions: {self.or_decisions}  "
             f"conjunctive queries: {self.conjunctive_queries}",
         ]
+        if verbose and self.estimates is not None:
+            lines.append(self.estimates.format())
         return "\n".join(lines)
+
+
+def build_query_plan(
+    query: NameSelector,
+    n: "int | None",
+    requested: str,
+    chosen: str,
+    reason: str,
+    estimates: "PlanEstimates | None",
+) -> QueryPlan:
+    """Assemble a :class:`QueryPlan` from one planner decision — shared
+    by :meth:`Database.plan` and the sharded façade so both render the
+    identical plan for identical data."""
+    or_decisions = count_or_operators(query)
+    return QueryPlan(
+        query=query.unparse(),
+        method=chosen,
+        requested=requested,
+        reason=reason,
+        n=n,
+        root_label=query.label,
+        selectors=count_selectors(query),
+        or_decisions=or_decisions,
+        conjunctive_queries=2**or_decisions,
+        estimates=estimates,
+    )
 
 
 class _EngineState:
@@ -137,6 +175,7 @@ class _EngineState:
         "secondary",
         "direct",
         "schema_evaluator",
+        "stats",
         "_lock",
     )
 
@@ -149,6 +188,7 @@ class _EngineState:
         secondary: "StoredSecondaryIndex | None" = None,
         direct: "DirectEvaluator | None" = None,
         schema_evaluator: "SchemaEvaluator | None" = None,
+        stats: "CollectionStats | None" = None,
     ) -> None:
         self.generation = generation
         self.tree = tree
@@ -159,6 +199,7 @@ class _EngineState:
         self.secondary = secondary
         self.direct = direct
         self.schema_evaluator = schema_evaluator
+        self.stats = stats
         self._lock = threading.Lock()
 
     # Lazy accessors use double-checked locking: slot reads are atomic
@@ -204,6 +245,19 @@ class _EngineState:
                     )
         return self.schema_evaluator
 
+    def ensure_stats(self) -> CollectionStats:
+        """The planner statistics of *this* generation (computed lazily
+        for a fresh in-memory build, preloaded from the stats segment
+        for an opened store, maintained incrementally by mutations)."""
+        if self.stats is None:
+            schema = self.ensure_schema()
+            with self._lock:
+                if self.stats is None:
+                    self.stats = compute_stats(
+                        self.tree, schema, generation=self.generation
+                    )
+        return self.stats
+
     def materialize(self) -> None:
         """Build every lazy component now (the writer calls this before
         mutating the shared tree)."""
@@ -211,6 +265,7 @@ class _EngineState:
         self.ensure_schema()
         self.direct_evaluator()
         self.schema_eval()
+        self.ensure_stats()
 
 
 class Snapshot:
@@ -317,11 +372,17 @@ class Snapshot:
             return self._database._explain_impl(self._state, text, n, costs)
 
     def plan(
-        self, text: "str | NameSelector", n: "int | None" = 10, method: str = "auto"
+        self,
+        text: "str | NameSelector",
+        n: "int | None" = 10,
+        method: str = "auto",
+        costs: "CostModel | None" = None,
     ) -> QueryPlan:
-        """:meth:`Database.plan` (the decision is generation-independent)."""
+        """:meth:`Database.plan`, answered with the *current* generation's
+        statistics (the planner decides per generation; a pinned snapshot
+        still evaluates whatever the plan says against its own view)."""
         self._check_open()
-        return self._database.plan(text, n=n, method=method)
+        return self._database.plan(text, n=n, method=method, costs=costs)
 
     def describe(self) -> str:
         """One-line summary of the collection at the pinned generation."""
@@ -380,6 +441,7 @@ class Database:
             0, tree, schema=schema, direct=_direct, schema_evaluator=_schema_evaluator
         )
         self._default_costs = default_costs if default_costs is not None else CostModel()
+        self._planner = Planner()
         self._stored = _stored
         self._frozen_fingerprint = _frozen_fingerprint
         #: the file store behind an opened database (None when in-memory)
@@ -500,6 +562,7 @@ class Database:
             save_tree(tree, staging, costs)
             StoredNodeIndexes.build(tree, staging)
             StoredSecondaryIndex.build(schema, staging)
+            save_stats(staging, compute_stats(tree, schema, generation=0))
             with open_file_store(path, options) as store:
                 store.bulk_load(list(staging.scan()))
                 store.sync()
@@ -590,6 +653,15 @@ class Database:
             _stored=True,
             _frozen_fingerprint=fingerprint,
         )
+        # Trust the persisted stats segment only when its node counts
+        # match the loaded tree (a mismatched segment means it went
+        # stale somehow — recompute lazily instead of planning on it).
+        stats = load_stats(store)
+        if stats is not None and not (
+            stats.node_count == len(tree)
+            and stats.live_node_count == tree.live_node_count
+        ):
+            stats = None
         database._state = _EngineState(
             0,
             tree,
@@ -598,6 +670,7 @@ class Database:
             secondary=secondary,
             direct=DirectEvaluator(tree, node_indexes),
             schema_evaluator=SchemaEvaluator(tree, schema, secondary_index=secondary),
+            stats=stats.with_generation(0) if stats is not None else None,
         )
         database._store = store
         database._store_options = options
@@ -841,6 +914,12 @@ class Database:
                     if remove_root is not None
                     else None
                 )
+                # planner statistics move with the same deltas the index
+                # maintenance consumes; materialize() above guaranteed
+                # the superseded state's stats exist
+                new_stats = state.stats.apply_mutation(
+                    tree, added, removed, schema, state.generation + 1
+                )
                 if stored:
                     if added is not None:
                         # integer-cost check before the first store write
@@ -861,6 +940,7 @@ class Database:
                         append_tree_segment(tree, self._store, start)
                     if removed is not None:
                         save_dead_roots(tree, self._store)
+                    mutator.update_stats(new_stats)
                     # THE commit point: everything above is one WAL frame.
                     self._store.commit()
                     keys_rewritten = mutator.keys_rewritten
@@ -898,6 +978,7 @@ class Database:
                 schema_evaluator=SchemaEvaluator(
                     tree, schema, secondary_index=secondary
                 ),
+                stats=new_stats,
             )
             with self._overlay_lock:
                 self._state = new_state
@@ -951,7 +1032,8 @@ class Database:
         ``n=None`` retrieves every approximate result; ``max_cost`` drops
         results costlier than the bound.  ``method`` picks the algorithm:
         ``"direct"`` (Section 6), ``"schema"`` (Section 7), or ``"auto"``
-        (schema for best-n, direct for all).
+        (the cost-based planner decides from collection statistics; see
+        :meth:`plan` and ``docs/PLANNER.md``).
 
         The query runs against the generation current at its start: a
         concurrent mutation neither blocks it nor leaks half-applied
@@ -1005,7 +1087,7 @@ class Database:
     ) -> ResultSet:
         self._check_failed()
         query, resolved_costs = self._resolve(text, costs)
-        chosen, _ = self._choose_method(method, n)
+        chosen, _, estimates = self._plan_choice(state, method, n, query, resolved_costs)
         if collect not in MODES:
             raise EvaluationError(f"unknown collect mode {collect!r}; expected one of {MODES}")
         if stats is not None:
@@ -1016,15 +1098,22 @@ class Database:
                 stacklevel=3,
             )
         telemetry = Telemetry(timed=collect == MODE_TIMINGS) if collect != MODE_OFF else None
+        schedule = (
+            (estimates.initial_k, estimates.delta)
+            if chosen == "schema" and estimates is not None
+            else (None, None)
+        )
         start = time.perf_counter()
         if telemetry is None:
             results = self._evaluate(
-                state, chosen, query, resolved_costs, n, max_cost, stats, jobs, executor
+                state, chosen, query, resolved_costs, n, max_cost, stats, jobs,
+                executor, initial_k=schedule[0], delta=schedule[1],
             )
         else:
             with _telemetry.collecting(telemetry):
                 results = self._evaluate(
-                    state, chosen, query, resolved_costs, n, max_cost, stats, jobs, executor
+                    state, chosen, query, resolved_costs, n, max_cost, stats, jobs,
+                    executor, initial_k=schedule[0], delta=schedule[1],
                 )
         wall_seconds = time.perf_counter() - start
         report = QueryReport.from_telemetry(
@@ -1036,6 +1125,11 @@ class Database:
             wall_seconds=wall_seconds,
             results=len(results),
         )
+        if estimates is not None:
+            corrected = self._planner.observe(estimates, len(results), n)
+            _attach_planner_counters(
+                report, estimates, len(results), corrected, self._planner
+            )
         return ResultSet(results, report)
 
     def query_many(
@@ -1275,24 +1369,19 @@ class Database:
         text: "str | NameSelector",
         n: "int | None" = 10,
         method: str = "auto",
+        costs: "CostModel | None" = None,
     ) -> QueryPlan:
         """Explain which algorithm :meth:`query` would run — the
         ``"auto"`` selection decision, public instead of buried — plus a
-        summary of the parsed query."""
-        query, _ = self._resolve(text, None)
-        chosen, reason = self._choose_method(method, n)
-        or_decisions = count_or_operators(query)
-        return QueryPlan(
-            query=query.unparse(),
-            method=chosen,
-            requested=method,
-            reason=reason,
-            n=n,
-            root_label=query.label,
-            selectors=count_selectors(query),
-            or_decisions=or_decisions,
-            conjunctive_queries=2**or_decisions,
+        summary of the parsed query and the cost model's ``estimates``
+        block (predicted candidates, posting bytes, chosen schedule).
+        ``costs`` matters: renamings widen the selector closures the
+        estimates are computed from."""
+        query, resolved_costs = self._resolve(text, costs)
+        chosen, reason, estimates = self._plan_choice(
+            self._state, method, n, query, resolved_costs, want_estimates=True
         )
+        return build_query_plan(query, n, method, chosen, reason, estimates)
 
     def count_results(self, text: "str | NameSelector", costs: "CostModel | None" = None) -> int:
         """Total number of approximate results for the query.
@@ -1396,9 +1485,11 @@ class Database:
         return query, resolved_costs
 
     def _choose_method(self, method: str, n: "int | None") -> tuple[str, str]:
-        """Resolve ``method`` to a concrete algorithm plus the reason —
-        the paper's conclusion, applied: schema-driven evaluation for
-        best-n retrieval, direct evaluation for full retrieval."""
+        """Query-independent method resolution — the paper's coarse
+        conclusion, kept only where no parsed query is in hand yet (the
+        :meth:`query_many` evaluator pre-warm); every real evaluation
+        decides through :meth:`_plan_choice` and the statistics-driven
+        cost model instead."""
         if method not in _METHODS:
             raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
         if method != "auto":
@@ -1413,6 +1504,50 @@ class Database:
             f"auto: best-n retrieval (n={n}) favors the schema-driven algorithm (Section 7)",
         )
 
+    def _plan_choice(
+        self,
+        state: _EngineState,
+        method: str,
+        n: "int | None",
+        query: NameSelector,
+        costs: CostModel,
+        want_estimates: bool = False,
+    ) -> "tuple[str, str, PlanEstimates | None]":
+        """The planner-backed method decision for one parsed query.
+
+        An explicit method skips estimation unless ``want_estimates``
+        asks for the numbers anyway (:meth:`plan` does, so ``plan
+        --verbose`` shows them for every method)."""
+        if method not in _METHODS:
+            raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
+        if method != "auto" and not want_estimates:
+            return method, f"explicitly requested method={method!r}", None
+        return self._planner.choose(
+            query, costs, state.ensure_stats(), n, method=method
+        )
+
+    def collection_stats(self) -> CollectionStats:
+        """The planner statistics of the current generation (see
+        ``docs/PLANNER.md``): per-label/term posting lengths, DataGuide
+        shape, document count and depth histogram."""
+        return self._state.ensure_stats()
+
+    def autotune_kernel(self) -> int:
+        """Apply the planner's RMQ-crossover suggestion for this
+        collection to the process-wide kernel setting and return it.
+
+        The crossover is a correctness-neutral performance knob (results
+        are identical either side of it), but the setting is process
+        global — it is applied here, explicitly, rather than per query,
+        where concurrent evaluations on other collections would race the
+        flip.  Returns the value now in force; restore with
+        :func:`repro.engine.columns.set_rmq_crossover` if needed."""
+        from ..engine.columns import set_rmq_crossover
+
+        suggested = self._planner.suggested_rmq_crossover(self._state.ensure_stats())
+        set_rmq_crossover(suggested)
+        return suggested
+
     def _evaluate(
         self,
         state: _EngineState,
@@ -1424,13 +1559,15 @@ class Database:
         stats: "EvaluationStats | None",
         jobs: "int | None" = None,
         executor: str = "thread",
+        initial_k: "int | None" = None,
+        delta: "int | None" = None,
     ) -> list[QueryResult]:
         if chosen == "direct":
             raw = state.direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
         else:
             raw = state.schema_eval().evaluate(
                 query, costs, n=n, max_cost=max_cost, stats=stats, jobs=jobs,
-                executor=executor,
+                executor=executor, initial_k=initial_k, delta=delta,
             )
         with _telemetry.timer("core.materialize"):
             results = [QueryResult(result.root, result.cost, state.tree) for result in raw]
@@ -1444,6 +1581,32 @@ class Database:
                 "queries must use the same insert-cost table (build an in-memory "
                 "Database for per-query insert costs)"
             )
+
+
+def _attach_planner_counters(
+    report: QueryReport,
+    estimates: PlanEstimates,
+    observed: int,
+    corrected_now: bool,
+    planner: Planner,
+) -> None:
+    """Write the predicted-vs-observed ``planner.*`` family directly on
+    the report whenever collection is active (``collect="off"`` keeps
+    its documented empty-counters contract)."""
+    if report.collect == "off":
+        return
+    counters = report.counters
+    counters["planner.predicted_candidates"] = estimates.candidate_roots
+    counters["planner.predicted_entries"] = estimates.posting_entries
+    counters["planner.observed_results"] = observed
+    counters["planner.closure_width"] = estimates.mean_closure_width
+    counters["planner.stats_generation"] = estimates.stats_generation
+    if estimates.corrected:
+        counters["planner.estimate_corrected"] = 1
+    if corrected_now:
+        counters["planner.mispredictions"] = 1
+    if planner.corrections:
+        counters["planner.corrections"] = planner.corrections
 
 
 def _noop() -> None:

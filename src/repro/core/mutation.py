@@ -186,6 +186,24 @@ class StoreMutator:
                 self._rewrite_sec(namespace, _sec_key(node, term), by_term.get(term, []))
 
     # ------------------------------------------------------------------
+    # planner statistics
+    # ------------------------------------------------------------------
+
+    def update_stats(self, stats) -> None:
+        """Persist the mutated generation's planner statistics segment
+        (see :mod:`repro.storage.statcodec`).
+
+        Rides the same commit frame as the index rewrites — the caller's
+        single ``store.commit()`` makes tree, indexes, and statistics
+        land or roll back together, so the segment is never half a
+        generation ahead of the postings it describes.  No ``preserve``
+        call: snapshot overlays never read statistics (each pinned
+        engine state carries its own in-memory copy)."""
+        from ..storage.statcodec import STATS_KEY, STATS_NAMESPACE, encode_stats
+
+        Namespace(self._store, STATS_NAMESPACE).put(STATS_KEY, encode_stats(stats))
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 

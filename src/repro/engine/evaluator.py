@@ -78,6 +78,14 @@ class DirectEvaluator:
         telemetry collector and read the ``direct.*`` counters).
         """
         entries, evaluator = self._run_primary(query, costs)
+        if n is not None and max_cost is None:
+            # Best-n fast path: bounded heap selection instead of the
+            # full sort.  ``results_total`` still reports every valid
+            # root (the pre-truncation count), matching the slow path.
+            total = sum(1 for leaf in entries.leafcost if leaf != INFINITE)
+            pairs = root_cost_pairs(entries, n=n)
+            self._publish(evaluator, total, stats)
+            return [DirectResult(root, cost) for root, cost in pairs]
         pairs = root_cost_pairs(entries)
         if max_cost is not None:
             pairs = [(root, cost) for root, cost in pairs if cost <= max_cost]

@@ -16,6 +16,8 @@ optimizations:
 
 from __future__ import annotations
 
+import heapq
+
 from ..approxql.expanded import ExpandedNode, ExpandedQuery, RepType
 from ..errors import EvaluationError
 from ..storage.cache import FetchMemo
@@ -156,13 +158,18 @@ class PrimaryEvaluator:
         return result
 
 
-def root_cost_pairs(entries: "EvalColumns | list[ListEntry]") -> list[tuple[int, float]]:
+def root_cost_pairs(
+    entries: "EvalColumns | list[ListEntry]", n: "int | None" = None
+) -> list[tuple[int, float]]:
     """Convert a root evaluation list into (root, cost) result pairs,
     keeping only roots with a valid embedding and sorting by (cost, pre).
 
     Accepts the kernel's columnar lists (the fast path: two column reads,
     no entry views) and plain ``ListEntry`` lists alike; infinity checks
-    use the shared ``INFINITE`` sentinel."""
+    use the shared ``INFINITE`` sentinel.  ``n`` keeps only the ``n``
+    cheapest pairs via a bounded heap selection — O(R log n) instead of
+    the O(R log R) full sort, identical output to ``sorted(...)[:n]``
+    (the (cost, pre) key is a total order, so ties cut identically)."""
     if isinstance(entries, EvalColumns):
         pairs = [
             (pre, leaf)
@@ -175,5 +182,7 @@ def root_cost_pairs(entries: "EvalColumns | list[ListEntry]") -> list[tuple[int,
             for entry in entries
             if entry.leafcost != INFINITE
         ]
+    if n is not None and n < len(pairs):
+        return heapq.nsmallest(n, pairs, key=lambda pair: (pair[1], pair[0]))
     pairs.sort(key=lambda pair: (pair[1], pair[0]))
     return pairs

@@ -1,0 +1,29 @@
+"""Cost-based adaptive query planning (statistics + cost model).
+
+``repro.planner`` decides, per query, which of the paper's two
+algorithms to run — replacing the static best-n/full-retrieval rule
+with selectivity estimates over persisted collection statistics.  See
+``docs/PLANNER.md`` for the full story.
+"""
+
+from .cost import (
+    DIRECT_BIAS,
+    GROSS_MISPREDICTION,
+    MAX_INITIAL_K,
+    SCHEMA_BASE_COST,
+    PlanEstimates,
+    Planner,
+)
+from .stats import CollectionStats, compute_stats, merge_stats
+
+__all__ = [
+    "CollectionStats",
+    "DIRECT_BIAS",
+    "GROSS_MISPREDICTION",
+    "MAX_INITIAL_K",
+    "PlanEstimates",
+    "Planner",
+    "SCHEMA_BASE_COST",
+    "compute_stats",
+    "merge_stats",
+]

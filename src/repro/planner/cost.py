@@ -1,0 +1,345 @@
+"""The cost model: statistics in, algorithm choice and schedule out.
+
+The paper's conclusion is a coarse rule — schema-driven for best-n,
+direct for full retrieval — and until this module existed,
+``Database._choose_method`` hardcoded exactly that.  The
+:class:`Planner` replaces the static branch with selectivity estimates
+read off a generation's :class:`~repro.planner.stats.CollectionStats`:
+
+*   every selector of the query contributes its *renaming closure* —
+    the label itself plus every rename target the cost table offers —
+    and the closure's posting lengths sum to the work a direct scan
+    must fetch (``posting_entries``);
+*   the root selector's closure alone bounds how many root instances
+    can match at any cost (``candidate_roots``);
+*   the best-n driver's cost scales with how many skeletons it must
+    execute to surface ``n`` winners, which grows with the mean closure
+    width (wide renaming tables mean many low-yield skeletons).
+
+Three decision rules fall out, each with the statistics in its reason
+string: full retrieval always scans directly; a best-n whose candidate
+population already fits in ``n`` scans directly too (the scan touches
+nothing the driver wouldn't); otherwise the direct and schema estimates
+compete, with :data:`DIRECT_BIAS` as the documented tolerance knob.
+
+The same estimates pick the driver's ``k``-growth schedule (a wider
+closure starts with a larger ``initial_k`` so fewer rounds re-fetch the
+primary posting) and suggest the RMQ crossover for the kernel's
+range-min joins.  :meth:`Planner.observe` closes the loop: when a query
+returns grossly more results than the candidate estimate predicted
+(stale or doctored statistics), a session-scoped correction factor
+inflates subsequent candidate estimates until re-computation catches up
+— mis-estimates are visible as ``planner.*`` counters either way.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from ..approxql.ast import AndExpr, NameSelector, OrExpr, QueryExpr, TextSelector
+from ..approxql.costs import CostModel
+from ..engine.columns import DEFAULT_RMQ_CROSSOVER
+from ..errors import EvaluationError
+from ..xmltree.model import NodeType
+from .stats import CollectionStats
+
+#: fixed overhead charged to the schema-driven driver (schema traversal,
+#: skeleton enumeration, round bookkeeping) before any posting is read
+SCHEMA_BASE_COST = 64.0
+
+#: tolerance knob: the schema estimate must beat ``direct * DIRECT_BIAS``
+#: to win — 1.0 is a straight comparison, < 1.0 demands a clear margin
+DIRECT_BIAS = 1.0
+
+#: ceiling for the planner-picked ``initial_k`` (the driver's own
+#: ``max_k`` still bounds growth)
+MAX_INITIAL_K = 4096
+
+#: observed/predicted ratio that counts as gross mis-calibration
+GROSS_MISPREDICTION = 4.0
+
+#: cap on the session correction factor (one bad estimate must not
+#: permanently force every plan to direct)
+MAX_CORRECTION = 64.0
+
+#: coarse on-disk bytes per posting entry (four varints, typical widths)
+_BYTES_PER_ENTRY = 12
+
+#: posting length above which sparse-table range-min joins pay off
+#: earlier than the default crossover assumes
+_LARGE_POSTING = 2048
+_TUNED_RMQ_CROSSOVER = 16
+
+
+@dataclass(frozen=True)
+class PlanEstimates:
+    """The numbers behind one plan decision — ``Database.plan()``'s
+    ``estimates`` block and the source of the ``planner.*`` counters.
+
+    ``schema_cost`` / ``initial_k`` / ``delta`` are ``None`` for full
+    retrieval (no best-n driver runs).  ``confidence`` is ``"high"``
+    when the estimate came straight off the generation's statistics and
+    ``"corrected"`` when the session feedback loop inflated it.
+    """
+
+    candidate_roots: int
+    posting_entries: int
+    posting_bytes: int
+    selectors: int
+    root_closure_width: int
+    mean_closure_width: float
+    direct_cost: float
+    schema_cost: "float | None"
+    initial_k: "int | None"
+    delta: "int | None"
+    rmq_crossover: int
+    stats_generation: int
+    corrected: bool
+
+    @property
+    def confidence(self) -> str:
+        return "corrected" if self.corrected else "high"
+
+    def format(self) -> str:
+        """Indented rendering for ``plan --verbose``."""
+        lines = [
+            f"  estimates ({self.confidence}, statistics generation "
+            f"{self.stats_generation}):",
+            f"    candidate roots: ~{self.candidate_roots}  "
+            f"posting entries: ~{self.posting_entries}  "
+            f"(~{self.posting_bytes} bytes)",
+            f"    closure width: root {self.root_closure_width}, "
+            f"mean {self.mean_closure_width:.1f} over {self.selectors} selector(s)",
+            f"    direct cost: {self.direct_cost:.0f}"
+            + (
+                f"  schema cost: {self.schema_cost:.0f}"
+                if self.schema_cost is not None
+                else ""
+            ),
+        ]
+        if self.initial_k is not None:
+            lines.append(
+                f"    schedule: initial_k={self.initial_k} delta={self.delta} "
+                f"(geometric growth)  rmq crossover: {self.rmq_crossover}"
+            )
+        else:
+            lines.append(f"    rmq crossover: {self.rmq_crossover}")
+        return "\n".join(lines)
+
+
+class Planner:
+    """One database's (or sharded database's) plan chooser.
+
+    Stateless with respect to the collection — every call takes the
+    generation's statistics — but stateful across a session: the
+    correction factor :meth:`observe` maintains survives until the
+    process (or database handle) goes away, which is exactly the
+    lifetime of the mis-calibration it compensates for.
+    """
+
+    def __init__(self, bias: float = DIRECT_BIAS) -> None:
+        self.bias = bias
+        self._lock = threading.Lock()
+        self._correction = 1.0
+        self.corrections = 0
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        query: NameSelector,
+        costs: CostModel,
+        stats: CollectionStats,
+        n: "int | None",
+    ) -> PlanEstimates:
+        """Score both algorithms for one query against one generation's
+        statistics (no choice made yet)."""
+        selectors = _collect_selectors(query)
+        entries = 0
+        width_total = 0
+        for label, node_type in selectors:
+            size, width = _closure(label, node_type, costs, stats)
+            entries += size
+            width_total += width
+        candidates, root_width = _closure(query.label, NodeType.STRUCT, costs, stats)
+        correction = self._correction
+        corrected = correction > 1.0
+        if corrected:
+            candidates = min(
+                stats.live_node_count, int(math.ceil(candidates * correction))
+            )
+        mean_width = width_total / len(selectors) if selectors else 1.0
+        direct_cost = float(entries + candidates)
+        schema_cost = initial_k = delta = None
+        if n is not None:
+            per_skeleton = entries / candidates if candidates else 0.0
+            schema_cost = (
+                SCHEMA_BASE_COST + min(n, candidates) * mean_width * per_skeleton
+            )
+            initial_k = min(MAX_INITIAL_K, max(n, int(math.ceil(n * mean_width))))
+            delta = initial_k
+        return PlanEstimates(
+            candidate_roots=candidates,
+            posting_entries=entries,
+            posting_bytes=entries * _BYTES_PER_ENTRY,
+            selectors=len(selectors),
+            root_closure_width=root_width,
+            mean_closure_width=mean_width,
+            direct_cost=direct_cost,
+            schema_cost=schema_cost,
+            initial_k=initial_k,
+            delta=delta,
+            rmq_crossover=self.suggested_rmq_crossover(stats),
+            stats_generation=stats.generation,
+            corrected=corrected,
+        )
+
+    def choose(
+        self,
+        query: NameSelector,
+        costs: CostModel,
+        stats: CollectionStats,
+        n: "int | None",
+        method: str = "auto",
+    ) -> tuple[str, str, PlanEstimates]:
+        """Resolve ``method`` to a concrete algorithm, with the reason
+        and the estimates that justified it."""
+        estimates = self.estimate(query, costs, stats, n)
+        if method != "auto":
+            return method, f"explicitly requested method={method!r}", estimates
+        if n is None:
+            return (
+                "direct",
+                "auto: full retrieval scans every posting once — statistics "
+                f"predict ~{estimates.posting_entries} posting entries across "
+                f"{estimates.selectors} selector closure(s) (direct, Section 6)",
+                estimates,
+            )
+        if estimates.candidate_roots <= n:
+            return (
+                "direct",
+                f"auto: statistics predict ~{estimates.candidate_roots} candidate "
+                f"root(s) <= n={n}; a direct scan already touches every "
+                "candidate the best-n driver could surface (Section 6)",
+                estimates,
+            )
+        assert estimates.schema_cost is not None
+        if estimates.schema_cost < estimates.direct_cost * self.bias:
+            return (
+                "schema",
+                f"auto: statistics favor the schema-driven driver for n={n} "
+                f"(~{estimates.candidate_roots} candidates over "
+                f"~{estimates.posting_entries} posting entries, mean "
+                f"renaming-closure width {estimates.mean_closure_width:.1f}; "
+                f"schedule initial_k={estimates.initial_k}; Section 7)",
+                estimates,
+            )
+        return (
+            "direct",
+            f"auto: statistics favor a direct scan for n={n} (schema estimate "
+            f"{estimates.schema_cost:.0f} >= direct estimate "
+            f"{estimates.direct_cost:.0f})",
+            estimates,
+        )
+
+    @staticmethod
+    def suggested_rmq_crossover(stats: CollectionStats) -> int:
+        """Kernel crossover for this collection's posting lengths: long
+        postings amortize sparse-table builds earlier, so the threshold
+        drops below the process default."""
+        if stats.max_posting_size() >= _LARGE_POSTING:
+            return _TUNED_RMQ_CROSSOVER
+        return DEFAULT_RMQ_CROSSOVER
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, estimates: PlanEstimates, observed_results: int, n: "int | None"
+    ) -> bool:
+        """Compare a finished query against its estimates; returns True
+        when the session correction factor was raised.
+
+        ``observed_results`` is a *lower* bound on the true candidate
+        population (best-n truncates, ``max_cost`` filters), so only the
+        under-estimation direction is actionable: seeing grossly more
+        results than predicted candidates proves the statistics wrong.
+        """
+        with self._lock:
+            self.observations += 1
+            predicted = max(1, estimates.candidate_roots)
+            if (
+                observed_results > predicted * GROSS_MISPREDICTION
+                and observed_results - predicted > 2
+            ):
+                factor = min(MAX_CORRECTION, observed_results / predicted)
+                if factor > self._correction:
+                    self._correction = factor
+                    self.corrections += 1
+                    return True
+        return False
+
+    @property
+    def correction(self) -> float:
+        """The live session correction factor (1.0 = none)."""
+        return self._correction
+
+
+def check_method(method: str, methods: tuple) -> None:
+    """Shared method-name validation for every plan entry point."""
+    if method not in methods:
+        raise EvaluationError(f"unknown method {method!r}; expected one of {methods}")
+
+
+def _collect_selectors(query: QueryExpr) -> list[tuple[str, NodeType]]:
+    """Every (label, node type) selector of the query, in AST order
+    (duplicates kept — each fetches its posting independently)."""
+    out: list[tuple[str, NodeType]] = []
+    _walk(query, out)
+    return out
+
+
+def _walk(expr: QueryExpr, out: list) -> None:
+    if isinstance(expr, NameSelector):
+        out.append((expr.label, NodeType.STRUCT))
+        if expr.content is not None:
+            _walk(expr.content, out)
+    elif isinstance(expr, TextSelector):
+        out.append((expr.word, NodeType.TEXT))
+    elif isinstance(expr, (AndExpr, OrExpr)):
+        for item in expr.items:
+            _walk(item, out)
+
+
+def _closure(
+    label: str, node_type: NodeType, costs: CostModel, stats: CollectionStats
+) -> tuple[int, int]:
+    """(total posting length, present-label count) of a selector's
+    renaming closure — the label itself plus every finite-cost rename
+    target, counting only labels the collection actually contains."""
+    size = stats.posting_size(label, node_type)
+    width = 1 if size else 0
+    for target, cost in costs.renamings(label, node_type):
+        if target == label or cost == math.inf:
+            continue
+        target_size = stats.posting_size(target, node_type)
+        if target_size:
+            size += target_size
+            width += 1
+    return size, max(width, 1)
+
+
+__all__ = [
+    "DIRECT_BIAS",
+    "GROSS_MISPREDICTION",
+    "MAX_INITIAL_K",
+    "PlanEstimates",
+    "Planner",
+    "SCHEMA_BASE_COST",
+]

@@ -161,33 +161,43 @@ def intersect_k(
         left_segment = left_segments.get(pre)
         if left_segment is None:
             continue
-        valid_kept = invalid_kept = 0
+        seen_valid: set = set()
+        seen_invalid: set = set()
         pair_count = 0
         total_pairs = len(left_segment) * len(right_segment)
         for left_entry, right_entry, total in _pairs_by_cost(left_segment, right_segment):
             pair_count += 1
             is_valid = left_entry.has_leaf or right_entry.has_leaf
-            if is_valid:
-                if valid_kept >= k:
-                    continue
-                valid_kept += 1
-            else:
-                if invalid_kept >= k:
-                    continue
-                invalid_kept += 1
-            result.append(
-                SchemaEntry(
-                    left_entry.pre,
-                    left_entry.bound,
-                    left_entry.pathcost,
-                    left_entry.inscost,
-                    total + edge_cost,
-                    left_entry.label,
-                    _union_pointers(left_entry.pointers, right_entry.pointers),
-                    is_valid,
-                )
+            entry = SchemaEntry(
+                left_entry.pre,
+                left_entry.bound,
+                left_entry.pathcost,
+                left_entry.inscost,
+                total + edge_cost,
+                left_entry.label,
+                _union_pointers(left_entry.pointers, right_entry.pointers),
+                is_valid,
             )
-            if valid_kept >= k and invalid_kept >= k:
+            # Quota counts *distinct* skeletons, exactly like _rebuild:
+            # different pairs can union to the same skeleton signature,
+            # and letting duplicates consume the quota evicts distinct
+            # cheap skeletons — breaking the top-k survival invariant the
+            # driver's best-n early return relies on.
+            seen = seen_valid if is_valid else seen_invalid
+            signature = entry.signature
+            if signature in seen:
+                # same skeleton at equal or higher cost: drop, no loss
+                continue
+            if len(seen) >= k:
+                # a quota discard is a truncation even when the pair
+                # enumeration later runs to exhaustion (the final
+                # pair_count check below only covers the break path)
+                if monitor is not None:
+                    monitor.flag()
+                continue
+            seen.add(signature)
+            result.append(entry)
+            if len(seen_valid) >= k and len(seen_invalid) >= k:
                 break
         if monitor is not None and pair_count < total_pairs:
             monitor.flag()

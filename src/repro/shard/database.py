@@ -75,7 +75,15 @@ from ..xmltree.model import (
     NodeType,
     extract_document,
 )
-from ..core.database import _METHODS, Database, QueryPlan
+from ..core.database import (
+    _METHODS,
+    Database,
+    QueryPlan,
+    _attach_planner_counters,
+    build_query_plan,
+)
+from ..planner.cost import PlanEstimates, Planner, check_method
+from ..planner.stats import CollectionStats, merge_stats
 from ..core.explain import Explanation
 from ..core.persist import StoreOptions
 from ..core.results import QueryResult, ResultSet, ResultStream
@@ -211,6 +219,10 @@ class ShardedDatabase:
         self._write_lock = threading.Lock()
         self._closed = False
         self._generation = 0
+        self._planner = Planner()
+        # merged planner statistics, keyed by generation (mutations bump
+        # the generation, so a stale merge is never served)
+        self._stats_cache: "tuple[int, CollectionStats] | None" = None
         # immutable local→global translation tables; swapped whole on
         # every mutation so readers never see a half-updated map
         self._maps: "tuple[tuple[list[int], list[DocumentEntry]], ...]" = ()
@@ -503,7 +515,7 @@ class ShardedDatabase:
         parallelism comes from the fan-out itself).
         """
         self._check_open()
-        chosen = self._choose_method(method, n)
+        chosen, _, estimates = self._choose_method(method, n, text, costs)
         if collect not in MODES:
             raise EvaluationError(
                 f"unknown collect mode {collect!r}; expected one of {MODES}"
@@ -524,6 +536,14 @@ class ShardedDatabase:
         report = self._merged_report(
             query_text, chosen, collect, n, wall, results, shard_reports, jobs
         )
+        if estimates is not None:
+            # per-shard reports carry no planner family (shards ran with
+            # an explicit method), so the merged counters are this
+            # fan-out's own prediction vs the merged outcome
+            corrected = self._planner.observe(estimates, len(results), n)
+            _attach_planner_counters(
+                report, estimates, len(results), corrected, self._planner
+            )
         _telemetry.count("shard.fanout", len(self._shards))
         _telemetry.count("shard.queries")
         return ResultSet(results, report)
@@ -817,11 +837,21 @@ class ShardedDatabase:
         text: "str | NameSelector",
         n: "int | None" = 10,
         method: str = "auto",
+        costs: "CostModel | None" = None,
     ) -> QueryPlan:
-        """The method-selection decision (generation- and
-        shard-independent; answered by the first shard)."""
+        """The method-selection decision over the *merged* per-shard
+        statistics — identical data yields the identical
+        :class:`~repro.core.database.QueryPlan` an unsharded database
+        returns (the shared planner sees the same posting lengths either
+        way)."""
         self._check_open()
-        return self._shards[0].plan(text, n=n, method=method)
+        query = parse_query(text) if isinstance(text, str) else text
+        check_method(method, _METHODS)
+        resolved = costs if costs is not None else self._default_costs
+        chosen, reason, estimates = self._planner.choose(
+            query, resolved, self.collection_stats(), n, method=method
+        )
+        return build_query_plan(query, n, method, chosen, reason, estimates)
 
     def query_many(
         self,
@@ -1024,12 +1054,46 @@ class ShardedDatabase:
     # internals
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _choose_method(method: str, n: "int | None") -> str:
-        if method not in _METHODS:
-            raise EvaluationError(
-                f"unknown method {method!r}; expected one of {_METHODS}"
-            )
+    def collection_stats(self) -> CollectionStats:
+        """Planner statistics of the whole collection: every shard's
+        stats merged additively (the duplicated per-shard super-roots
+        collapsed back to one), with the manifest's global pre count.
+        Cached per generation; mutations invalidate by bumping it."""
+        cached = self._stats_cache
+        generation = self._generation
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        merged = merge_stats(
+            [shard.collection_stats() for shard in self._shards],
+            generation=generation,
+            node_count=self._manifest.global_nodes,
+        )
+        self._stats_cache = (generation, merged)
+        return merged
+
+    def _choose_method(
+        self,
+        method: str,
+        n: "int | None",
+        text: "str | NameSelector | None" = None,
+        costs: "CostModel | None" = None,
+    ) -> "tuple[str, str, PlanEstimates | None]":
+        """Delegates to the shared cost-based planner over the merged
+        statistics — the same :class:`~repro.planner.cost.Planner`
+        decision the single-store database makes, so sharded and
+        unsharded plans agree on identical data.  (This replaces the
+        drifted static duplicate of core's pre-planner rule.)"""
+        check_method(method, _METHODS)
+        if text is None:
+            # no parsed query in hand: core's coarse pre-planner fallback
+            if method != "auto":
+                return method, f"explicitly requested method={method!r}", None
+            chosen = "direct" if n is None else "schema"
+            return chosen, "auto: coarse rule (no query context)", None
         if method != "auto":
-            return method
-        return "direct" if n is None else "schema"
+            return method, f"explicitly requested method={method!r}", None
+        query = parse_query(text) if isinstance(text, str) else text
+        resolved = costs if costs is not None else self._default_costs
+        return self._planner.choose(
+            query, resolved, self.collection_stats(), n, method=method
+        )

@@ -158,6 +158,19 @@ class QueryReport:
         generation (see :meth:`~repro.core.database.Database.snapshot`)."""
         return int(self.get("mutation.overlay_hits"))
 
+    @property
+    def predicted_candidates(self) -> int:
+        """The planner's candidate-root estimate for this query (0 when
+        the query ran with an explicit method and no estimate was made);
+        compare with ``results`` to judge calibration."""
+        return int(self.get("planner.predicted_candidates"))
+
+    @property
+    def planner_corrections(self) -> int:
+        """Session-total gross-misprediction corrections the planner has
+        applied so far (see ``docs/PLANNER.md``)."""
+        return int(self.get("planner.corrections"))
+
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
@@ -185,6 +198,16 @@ class QueryReport:
             lines.append(
                 "  concurrency: batch fell back to serial execution "
                 "(mixed insert-cost fingerprints)"
+            )
+        if "planner.predicted_candidates" in self.counters:
+            calibration = (
+                " (corrected)" if self.get("planner.estimate_corrected") else ""
+            )
+            lines.append(
+                f"  planner: predicted ~{self.predicted_candidates} candidate(s) / "
+                f"~{int(self.get('planner.predicted_entries'))} posting entries, "
+                f"observed {int(self.get('planner.observed_results'))} result(s)"
+                f"{calibration}"
             )
         if self.get("shard.fanout"):
             lines.append(
@@ -235,6 +258,8 @@ class QueryReport:
                 "wal_recoveries": self.wal_recoveries,
                 "batch_fallback": self.batch_fallback,
                 "overlay_hits": self.overlay_hits,
+                "predicted_candidates": self.predicted_candidates,
+                "planner_corrections": self.planner_corrections,
             },
             "counters": dict(self.counters),
             "timings": dict(self.timings),

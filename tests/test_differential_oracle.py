@@ -8,10 +8,22 @@ paper's own generators they must agree on the exact root-cost mapping.
 Every case is keyed by an integer seed and each assertion message names
 the replay call (``generated_case(seed, num_elements=...)``) — shrinking
 a failure is re-running the same seed with a smaller collection.
+
+The planner leg at the bottom lifts the same discipline to the
+cost-based planner: ``method="auto"`` may *choose* either algorithm per
+query, but its answers must be byte-identical to the forced run of the
+chosen method, and cost-equivalent to the forced run of the method it
+rejected (best-n tie-cuts may legitimately pick different equal-cost
+roots across methods, so the cross-method comparison is on cost
+multisets plus per-root true costs — the same semantics
+``test_best_n_prefix_matches_naive`` uses).
 """
+
+import os
 
 import pytest
 
+from repro.core.database import Database
 from repro.engine.evaluator import DirectEvaluator
 from repro.schema.evaluator import SchemaEvaluator
 from repro.transform.naive import evaluate_naive
@@ -129,3 +141,79 @@ def test_numpy_kernel_matches_naive(seed):
             assert schema == naive, case.describe()
     finally:
         set_numpy_kernel(previous)
+
+
+# ---------------------------------------------------------------------------
+# planner leg: method="auto" with statistics vs the forced methods
+# ---------------------------------------------------------------------------
+
+#: 30 memory seeds + 20 stored seeds, 4 generated queries each -> 200
+#: randomized cases; every case checks full retrieval and best-n
+PLANNER_MEMORY_SEEDS = range(30)
+PLANNER_STORED_SEEDS = range(20)
+
+#: the best-n sizes the planner leg exercises (one tiny, one mid)
+PLANNER_NS = (3, None)
+
+
+def _pairs(results):
+    return [(r.root, r.cost) for r in results]
+
+
+def _assert_auto_agrees(database, case):
+    """The planner-leg contract for every generated query of one case.
+
+    The plan choice is free; the answers are not: auto must be
+    byte-identical to the forced run of whichever method it chose
+    (including the planner-picked k schedule — schedule invariance is
+    part of the contract), and cost-equivalent to the forced run of the
+    *other* method, with every returned root carrying its true minimal
+    cost from the full retrieval."""
+    for generated in case.queries:
+        truth = {
+            r.root: r.cost
+            for r in database.query(
+                generated.query, n=None, costs=generated.costs, method="direct"
+            )
+        }
+        for n in PLANNER_NS:
+            auto = database.query(generated.query, n=n, costs=generated.costs)
+            chosen = auto.report.method
+            assert chosen in ("direct", "schema"), case.describe()
+            forced_same = database.query(
+                generated.query, n=n, costs=generated.costs, method=chosen
+            )
+            assert _pairs(auto) == _pairs(forced_same), case.describe()
+            other = "schema" if chosen == "direct" else "direct"
+            forced_other = database.query(
+                generated.query, n=n, costs=generated.costs, method=other
+            )
+            if n is None:
+                assert {r.root: r.cost for r in auto} == truth, case.describe()
+                assert (
+                    {r.root: r.cost for r in forced_other} == truth
+                ), case.describe()
+            else:
+                assert sorted(r.cost for r in auto) == sorted(
+                    r.cost for r in forced_other
+                ), case.describe()
+                for result in list(auto) + list(forced_other):
+                    assert truth[result.root] == result.cost, case.describe()
+
+
+@pytest.mark.parametrize("seed", PLANNER_MEMORY_SEEDS)
+def test_auto_planner_matches_forced_methods(seed):
+    case = generated_case(1200 + seed, num_elements=60)
+    database = Database.from_tree(case.tree)
+    _assert_auto_agrees(database, case)
+
+
+@pytest.mark.parametrize("seed", PLANNER_STORED_SEEDS)
+def test_auto_planner_matches_forced_methods_stored(seed, tmp_path):
+    """The stored leg plans from the *persisted* statistics segment —
+    the same contract must hold when the estimates come off disk."""
+    case = generated_case(1300 + seed, num_elements=60)
+    path = os.path.join(tmp_path, "oracle.apxq")
+    Database.from_tree(case.tree).save(path)
+    database = Database.open(path)
+    _assert_auto_agrees(database, case)

@@ -1,0 +1,237 @@
+"""Statistics round-trip properties.
+
+The planner's contract with the rest of the engine is that
+:class:`~repro.planner.stats.CollectionStats` always describes the
+generation it is stamped with *exactly*: incrementally maintained
+statistics equal a from-scratch :func:`compute_stats` walk after every
+mutation, the persisted segment survives save/open byte-faithfully, and
+merged per-shard statistics equal the unsharded collection's.  Each
+property here pins one leg of that contract (the crash-recovery leg
+lives in ``tools/crashmatrix.py``'s ``planner`` workload).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.persist import StoreOptions
+from repro.errors import StorageError
+from repro.planner.stats import CollectionStats, compute_stats, merge_stats
+from repro.shard import ShardedDatabase
+from repro.storage.kv import FileStore, MemoryStore, Namespace
+from repro.storage.statcodec import (
+    STATS_KEY,
+    STATS_NAMESPACE,
+    decode_stats,
+    encode_stats,
+    load_stats,
+    save_stats,
+)
+from repro.xmltree.model import NodeType
+
+from .strategies import generated_case
+
+DOCS = [
+    "<cd><title>disc one</title><artist>ann</artist></cd>",
+    "<cd><title>disc two</title><artist>bob</artist></cd>",
+    "<cd><title>disc three</title><artist>ann</artist><genre>jazz</genre></cd>",
+]
+NEW_DOC = "<cd><title>piano works</title><genre>classical</genre></cd>"
+
+
+def _recomputed(database, generation=None):
+    state = database._state
+    if generation is None:
+        generation = state.generation
+    return compute_stats(state.tree, state.schema, generation=generation)
+
+
+def _random_doc(rng):
+    labels = ["cd", "dvd", "book"]
+    label = rng.choice(labels)
+    title = " ".join(rng.choice(["alpha", "beta", "gamma", "delta"]) for _ in range(2))
+    return f"<{label}><title>{title}</title><artist>x{rng.randrange(4)}</artist></{label}>"
+
+
+class TestCodec:
+    def test_round_trip_preserves_every_field(self):
+        stats = CollectionStats(
+            generation=3,
+            node_count=120,
+            live_node_count=110,
+            document_count=7,
+            max_depth=5,
+            schema_classes=12,
+            schema_max_fanout=4,
+            depth_histogram={0: 1, 1: 7, 2: 40, 5: 62},
+            struct_sizes={"#root": 1, "cd": 7, "title": 7},
+            text_sizes={"piano": 3, "mozart liszt": 1},
+        )
+        decoded = decode_stats(encode_stats(stats))
+        # generation is deliberately not persisted: the opener re-stamps
+        # the segment to its fresh state's generation (always 0)
+        assert decoded == stats.with_generation(0)
+        assert decoded.with_generation(3) == stats
+
+    def test_round_trip_empty(self):
+        stats = CollectionStats()
+        assert decode_stats(encode_stats(stats)) == stats
+
+    def test_corrupt_payload_raises_storage_error(self):
+        stats = CollectionStats(node_count=5, live_node_count=5)
+        payload = encode_stats(stats)
+        with pytest.raises(StorageError):
+            decode_stats(payload[: len(payload) // 2])
+        with pytest.raises(StorageError):
+            decode_stats(b"\xff\xff\xff\xff" + payload[4:])
+
+    def test_load_returns_none_when_segment_absent(self):
+        assert load_stats(MemoryStore()) is None
+
+    def test_save_load_through_store(self, tmp_path):
+        path = os.path.join(tmp_path, "seg.apxq")
+        stats = CollectionStats(node_count=9, live_node_count=9, document_count=2)
+        with FileStore(path) as store:
+            save_stats(store, stats)
+            store.commit()
+        with FileStore(path, must_exist=True) as store:
+            assert load_stats(store) == stats
+
+
+class TestBuildEquality:
+    def test_build_stats_equal_scratch_walk(self):
+        database = Database.from_documents(DOCS)
+        assert database.collection_stats() == _recomputed(database)
+
+    def test_struct_sizes_match_index_posting_sizes(self):
+        database = Database.from_documents(DOCS)
+        stats = database.collection_stats()
+        indexes = database._state.ensure_node_indexes()
+        for label, size in stats.struct_sizes.items():
+            assert size == len(indexes.fetch(label, NodeType.STRUCT))
+        for word, size in stats.text_sizes.items():
+            assert size == len(indexes.fetch(word, NodeType.TEXT))
+
+    def test_randomized_collections_build_equal_scratch(self):
+        for seed in range(5):
+            case = generated_case(2500 + seed, num_elements=60)
+            database = Database.from_tree(case.tree)
+            assert database.collection_stats() == _recomputed(database)
+
+
+class TestPersistenceEquality:
+    def test_stats_survive_save_open(self, tmp_path):
+        path = os.path.join(tmp_path, "cat.apxq")
+        database = Database.from_documents(DOCS)
+        built = database.collection_stats()
+        database.save(path)
+        reopened = Database.open(path)
+        assert reopened.collection_stats() == built
+        assert reopened.collection_stats() == _recomputed(reopened)
+
+    def test_stale_segment_is_discarded_on_open(self, tmp_path):
+        path = os.path.join(tmp_path, "doctored.apxq")
+        Database.from_documents(DOCS).save(path)
+        wrong = CollectionStats(node_count=1, live_node_count=1, document_count=1)
+        with FileStore(path, must_exist=True) as store:
+            Namespace(store, STATS_NAMESPACE).put(STATS_KEY, encode_stats(wrong))
+            store.commit()
+        reopened = Database.open(path)
+        # node-count mismatch -> recomputed from the tree, not trusted
+        assert reopened.collection_stats() == _recomputed(reopened)
+
+
+class TestMutationEquality:
+    """Incremental maintenance == scratch walk after every mutation op."""
+
+    def _check(self, database):
+        assert database.collection_stats() == _recomputed(database)
+
+    def test_insert_memory(self):
+        database = Database.from_documents(DOCS)
+        database.insert_document(NEW_DOC)
+        self._check(database)
+
+    def test_delete_memory(self):
+        database = Database.from_documents(DOCS)
+        database.delete_document(database.documents()[0])
+        self._check(database)
+
+    def test_replace_memory(self):
+        database = Database.from_documents(DOCS)
+        database.replace_document(database.documents()[1], NEW_DOC)
+        self._check(database)
+
+    def test_mutation_chain_stored(self, tmp_path):
+        path = os.path.join(tmp_path, "mut.apxq")
+        Database.from_documents(DOCS).save(path, durability="wal")
+        database = Database.open(path, options=StoreOptions(durability="wal"))
+        report = database.insert_document(NEW_DOC)
+        self._check(database)
+        database.replace_document(report.root, "<cd><title>swap</title></cd>")
+        self._check(database)
+        database.delete_document(database.documents()[0])
+        self._check(database)
+        # the persisted segment tracked every generation
+        database.close()
+        reopened = Database.open(path)
+        assert reopened.collection_stats() == _recomputed(reopened)
+
+    def test_randomized_mutation_walk(self, tmp_path):
+        rng = random.Random(4121)
+        path = os.path.join(tmp_path, "walk.apxq")
+        Database.from_documents(DOCS).save(path, durability="wal")
+        database = Database.open(path, options=StoreOptions(durability="wal"))
+        for step in range(20):
+            op = rng.choice(["insert", "insert", "delete", "replace"])
+            documents = database.documents()
+            if op == "insert" or len(documents) < 2:
+                database.insert_document(_random_doc(rng))
+            elif op == "delete":
+                database.delete_document(rng.choice(documents))
+            else:
+                database.replace_document(rng.choice(documents), _random_doc(rng))
+            self._check(database)
+        database.close()
+        reopened = Database.open(path)
+        assert reopened.collection_stats() == _recomputed(reopened)
+
+
+class TestShardMerge:
+    def test_merged_shard_stats_equal_unsharded(self, tmp_path):
+        documents = [
+            "<catalog><cd><title>piano etudes</title></cd></catalog>",
+            "<catalog><cd><title>cello suites</title></cd></catalog>",
+            "<library><book><title>piano technique</title></book></library>",
+            "<shop><cd><title>organ works</title></cd></shop>",
+        ]
+        single = Database.from_documents(documents)
+        sharded = ShardedDatabase.from_documents(documents, shards=3)
+        merged = sharded.collection_stats()
+        expected = single.collection_stats()
+        # decision inputs are merge-exact; DataGuide shape is
+        # observability-only (shards build independent schemas)
+        assert merged.struct_sizes == expected.struct_sizes
+        assert merged.text_sizes == expected.text_sizes
+        assert merged.depth_histogram == expected.depth_histogram
+        assert merged.document_count == expected.document_count
+        assert merged.live_node_count == expected.live_node_count
+        assert merged.max_depth == expected.max_depth
+
+    def test_merge_empty_list_is_empty_stats(self):
+        assert merge_stats([]) == CollectionStats()
+
+
+class TestEngineStateIntegration:
+    def test_snapshot_keeps_its_generations_stats(self):
+        database = Database.from_documents(DOCS)
+        before = database.collection_stats()
+        with database.snapshot() as snap:
+            database.insert_document(NEW_DOC)
+            # the pinned snapshot still serves its own generation
+            assert snap._state.ensure_stats() == before
+        after = database.collection_stats()
+        assert after != before
+        assert after == _recomputed(database)

@@ -218,8 +218,10 @@ class TestResultSet:
         assert results[:1] == list(results)[:1]
 
     def test_report_method_costs(self, db):
+        # The planner routes this tiny collection (3 candidate roots,
+        # n=5) to the direct scan -- see TestPlan for the cost model.
         results = db.query('cd[title["piano"]]', n=5, collect="counters")
-        assert results.method == results.report.method == "schema"
+        assert results.method == results.report.method == "direct"
         assert results.costs == [r.cost for r in results]
         assert results.report.results == len(results)
 
@@ -241,7 +243,7 @@ class TestQueryCollect:
         assert results.report.postings_decoded > 0
 
     def test_timings_mode_collects_stage_timings(self, db):
-        results = db.query('cd[title["piano"]]', n=5, collect="timings")
+        results = db.query('cd[title["piano"]]', n=5, method="schema", collect="timings")
         assert results.report.counters
         assert "schema.topk" in results.report.timings
         direct = db.query('cd[title["piano"]]', n=5, method="direct", collect="timings")
@@ -288,18 +290,39 @@ class TestStream:
 
 
 class TestPlan:
-    def test_auto_picks_schema_for_best_n(self, db):
+    def test_auto_picks_direct_when_candidates_fit_in_n(self, db):
+        # The old static rule sent every best-n query to the schema
+        # method; the cost-based planner sees only 3 candidate roots
+        # for n=5 and flips to the direct scan, citing statistics.
         plan = db.plan('cd[title["piano"]]', n=5)
-        assert plan.method == "schema"
+        assert plan.method == "direct"
+        assert "statistics" in plan.reason
         assert plan.requested == "auto"
         assert plan.root_label == "cd"
         assert plan.selectors >= 3
         assert plan.conjunctive_queries == 1
-        assert "schema" in plan.format()
+        assert plan.estimates is not None
+        assert plan.estimates.candidate_roots <= 5
+        assert "candidate roots" in plan.format(verbose=True)
+
+    def test_auto_picks_schema_for_selective_best_n(self):
+        # Enough candidate roots that the best-n driver beats a full
+        # direct scan: the planner keeps the schema method.
+        docs = "".join(
+            f"<cd><title>album {i}</title><artist>band {i}</artist></cd>"
+            for i in range(40)
+        )
+        big = Database.from_xml(f"<catalog>{docs}</catalog>")
+        plan = big.plan('cd[title["album"]]', n=5)
+        assert plan.method == "schema"
+        assert plan.estimates is not None
+        assert plan.estimates.candidate_roots > 5
+        assert plan.estimates.initial_k is not None
 
     def test_auto_picks_direct_for_full_retrieval(self, db):
         plan = db.plan("cd", n=None)
         assert plan.method == "direct"
+        assert "full retrieval" in plan.reason
 
     def test_explicit_method_is_respected(self, db):
         plan = db.plan("cd", n=5, method="direct")
@@ -401,6 +424,19 @@ class TestCli:
     def test_plan_command(self, catalog_file, capsys):
         assert cli_main(["plan", catalog_file, 'cd[title["piano"]]', "-n", "5"]) == 0
         output = capsys.readouterr().out
-        assert "method: schema" in output
+        assert "method: direct" in output
+        assert "statistics" in output
         assert cli_main(["plan", catalog_file, "cd", "-n", "0"]) == 0
         assert "method: direct" in capsys.readouterr().out
+
+    def test_plan_command_verbose_prints_estimates(self, catalog_file, capsys):
+        assert (
+            cli_main(
+                ["plan", catalog_file, 'cd[title["piano"]]', "-n", "5", "--verbose"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "estimates" in output
+        assert "candidate roots" in output
+        assert "schedule" in output
