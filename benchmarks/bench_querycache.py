@@ -1,0 +1,310 @@
+"""Hot-query fast-path benchmark: the two cache tiers, cold and hot.
+
+One experiment over the Figure 7a workload collection, asked three ways
+through the library surface and twice over live TCP:
+
+* **cold** — both tiers disabled: every request pays the full pipeline
+  (parse → expanded closure → planner → evaluation).  This is the
+  pre-cache engine and the regression baseline.
+* **tier1** — the compiled-query cache alone: repeats skip parsing,
+  closure expansion, and planner costing but still evaluate.
+* **tier1+2** — both tiers: repeats of an identical request serve the
+  cached best-n prefix without touching the driver at all.
+
+Two headline numbers fall out:
+
+* ``hot_speedup`` — the best tier-1+2 hot pass vs the best cold pass
+  over the same repeated batch (the acceptance floor is 5x);
+* ``cold_overhead`` — first-ever-pass time with caches on vs caches
+  off, over distinct queries (nothing can hit), measuring what the
+  bookkeeping costs a cold workload (the acceptance ceiling is 2%).
+
+Every configuration's answers are verified identical to the cold run
+before any timing is trusted.  The server leg pushes the same repeated
+query set through a live :class:`~repro.server.QueryServer` over real
+TCP with the result cache off and on, so the hot-path win is measured
+end to end, through framing, admission, and dispatch.
+
+Standalone usage (writes the committed ``BENCH_querycache.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_querycache.py --scale tiny --out BENCH_querycache.json
+
+CI runs ``--quick`` (fewer passes, no JSON) as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+from repro import Database
+from repro.bench.workloads import SCALES, get_workload
+from repro.server import ServeClient, ServerThread
+
+PATTERN = 1  # Figure 7a: the path pattern
+RENAMINGS = 5
+QUERIES_PER_SET = 6
+BATCH_REPEATS = 5
+N = 10
+
+#: (label, compiled_entries, result_entries)
+CONFIGS = (
+    ("cold", 0, 0),
+    ("tier1", 256, 0),
+    ("tier1+2", 256, 128),
+)
+
+SERVER_CLIENTS = 3
+SERVER_ROUNDS = 4
+
+
+def build_workload(scale: str, distinct: int = QUERIES_PER_SET):
+    """The benchmark inputs: the workload tree and the generated query
+    set (as text — the fast path's tier-1 keys on query text)."""
+    workload = get_workload(scale)
+    generated = workload.queries(PATTERN, RENAMINGS, count=distinct)
+    batch = [(g.query.unparse(), g.costs) for g in generated]
+    return workload.tree, batch
+
+
+def _fresh(tree, compiled_entries, result_entries) -> Database:
+    database = Database.from_tree(tree)
+    database.set_query_cache(
+        compiled_entries=compiled_entries, result_entries=result_entries
+    )
+    return database
+
+
+def run_batch(database, batch):
+    return [
+        [(r.cost, r.root) for r in database.query(text, n=N, costs=costs)]
+        for text, costs in batch
+    ]
+
+
+def measure_hot(tree, batch, passes: int) -> list[dict]:
+    """One point per configuration over the repeated batch.
+
+    The first pass populates; ``passes`` further passes repeat the same
+    requests, so tier 1 serves compilations and tier 1+2 serves whole
+    prefixes.  Answers are checked against the cold configuration on
+    every pass."""
+    repeated = batch * BATCH_REPEATS
+    reference = None
+    points = []
+    for label, compiled_entries, result_entries in CONFIGS:
+        database = _fresh(tree, compiled_entries, result_entries)
+        first = run_batch(database, repeated)
+        if reference is None:
+            reference = first
+        assert first == reference, f"{label} diverged on the populating pass"
+        times = []
+        for _ in range(passes):
+            start = time.perf_counter()
+            got = run_batch(database, repeated)
+            times.append(time.perf_counter() - start)
+            assert got == reference, f"{label} diverged on a hot pass"
+        best = min(times)
+        stats = database.query_cache_stats()
+        points.append(
+            {
+                "config": label,
+                "compiled_entries": compiled_entries,
+                "result_entries": result_entries,
+                "queries": len(repeated),
+                "pass_seconds": times,
+                "best_seconds": best,
+                "queries_per_second": len(repeated) / best if best else float("inf"),
+                "result_hits": stats["querycache.result_hits"],
+                "compiled_hits": stats["querycache.compiled_hits"],
+                "identical_to_cold": True,
+            }
+        )
+    return points
+
+
+def measure_cold_overhead(tree, scale: str, repeats: int) -> dict:
+    """First-ever-pass time over distinct queries, caches off vs on.
+
+    Nothing can hit on a first pass, so the delta is pure cache
+    bookkeeping (fingerprinting, entry stores, generation tags).  The
+    minimum over ``repeats`` fresh databases suppresses allocator and
+    scheduler noise."""
+    _, distinct = build_workload(scale, distinct=QUERIES_PER_SET * 2)
+    run_batch(_fresh(tree, 0, 0), distinct)  # untimed warmup
+    timings = {"off": [], "on": []}
+    reference = None
+    for _ in range(repeats):
+        for label, compiled_entries, result_entries in (
+            ("off", 0, 0),
+            ("on", 256, 128),
+        ):
+            database = _fresh(tree, compiled_entries, result_entries)
+            start = time.perf_counter()
+            got = run_batch(database, distinct)
+            timings[label].append(time.perf_counter() - start)
+            if reference is None:
+                reference = got
+            assert got == reference, "cold-pass answers diverged"
+    best_off = min(timings["off"])
+    best_on = min(timings["on"])
+    return {
+        "distinct_queries": len(distinct),
+        "repeats": repeats,
+        "off_seconds": timings["off"],
+        "on_seconds": timings["on"],
+        "best_off_seconds": best_off,
+        "best_on_seconds": best_on,
+        "overhead_ratio": (best_on / best_off) if best_off else 1.0,
+    }
+
+
+def measure_server(tree, batch) -> list[dict]:
+    """The same repeated query set through a live TCP server, result
+    cache off and on (the wire protocol serves the default cost model,
+    so the reference is the default-model answer)."""
+    texts = [text for text, _costs in batch]
+    single = Database.from_tree(tree)
+    reference = [
+        [(r.cost, r.root) for r in single.query(text, n=N)] for text in texts
+    ]
+    points = []
+    for result_cache in (False, True):
+        database = Database.from_tree(tree)
+        if not result_cache:
+            database.set_query_cache(result_entries=0)
+        failures: list = []
+
+        def client_loop(address):
+            try:
+                with ServeClient(*address, timeout=120) as client:
+                    for _ in range(SERVER_ROUNDS):
+                        for index, text in enumerate(texts):
+                            response = client.query(text, n=N)
+                            got = [(r["cost"], r["root"]) for r in response["results"]]
+                            if got != reference[index]:
+                                failures.append((text, got))
+            except Exception as error:  # noqa: BLE001 - surfaced in the assert
+                failures.append(error)
+
+        with ServerThread(database, max_pending=256) as address:
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(target=client_loop, args=(address,))
+                for _ in range(SERVER_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+        requests = SERVER_CLIENTS * SERVER_ROUNDS * len(texts)
+        assert not failures, failures[:3]
+        points.append(
+            {
+                "mode": "server",
+                "result_cache": result_cache,
+                "clients": SERVER_CLIENTS,
+                "requests": requests,
+                "seconds": elapsed,
+                "requests_per_second": requests / elapsed if elapsed else float("inf"),
+            }
+        )
+    return points
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: fewer passes, skip the TCP leg",
+    )
+    args = parser.parse_args(argv)
+
+    passes = 2 if args.quick else 5
+    overhead_repeats = 2 if args.quick else 5
+
+    tree, batch = build_workload(args.scale)
+    hot = measure_hot(tree, batch, passes)
+    overhead = measure_cold_overhead(tree, args.scale, overhead_repeats)
+    server = [] if args.quick else measure_server(tree, batch)
+
+    by_config = {point["config"]: point for point in hot}
+    hot_speedup = (
+        by_config["cold"]["best_seconds"] / by_config["tier1+2"]["best_seconds"]
+        if by_config["tier1+2"]["best_seconds"]
+        else float("inf")
+    )
+    tier1_speedup = (
+        by_config["cold"]["best_seconds"] / by_config["tier1"]["best_seconds"]
+        if by_config["tier1"]["best_seconds"]
+        else float("inf")
+    )
+
+    record = {
+        "workload": {
+            "scale": args.scale,
+            "pattern": PATTERN,
+            "renamings": RENAMINGS,
+            "distinct_queries": len(batch),
+            "batch_repeats": BATCH_REPEATS,
+            "n": N,
+            "passes": passes,
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+        },
+        "library": hot,
+        "cold_overhead": overhead,
+        "server": server,
+        "summary": {
+            "hot_speedup": hot_speedup,
+            "tier1_speedup": tier1_speedup,
+            "cold_overhead_ratio": overhead["overhead_ratio"],
+        },
+    }
+
+    for point in hot:
+        print(
+            f"library {point['config']:<8}: "
+            f"{point['queries_per_second']:9.1f} queries/s "
+            f"(best: {point['best_seconds'] * 1000:.2f} ms, "
+            f"result hits {point['result_hits']})"
+        )
+    print(
+        f"hot speedup (tier1+2 vs cold): {hot_speedup:.1f}x | "
+        f"tier1 alone: {tier1_speedup:.2f}x"
+    )
+    print(
+        f"cold overhead (caches on, first pass): "
+        f"{(overhead['overhead_ratio'] - 1) * 100:+.2f}%"
+    )
+    for point in server:
+        cache = "on " if point["result_cache"] else "off"
+        print(
+            f"server  cache={cache}: {point['requests_per_second']:9.1f} requests/s "
+            f"({point['clients']} clients, {point['requests']} requests)"
+        )
+
+    if args.quick and hot_speedup < 2.0:
+        print(f"warning: hot speedup {hot_speedup:.2f}x below the smoke floor (2x)")
+        return 1
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

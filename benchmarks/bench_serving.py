@@ -14,7 +14,11 @@ One experiment over the Figure 7a workload collection, asked two ways:
 
 Every sharded pass is verified against the single-store answers
 (document-rooted results, canonical (cost, root) order) — the benchmark
-measures scheduling and transport, never correctness drift.
+measures scheduling and transport, never correctness drift.  Each point
+is measured twice, with the best-n result cache off (the re-evaluation
+baseline) and on (the hot-query fast path; the batch repeats its query
+set, so repeats serve from cached prefixes — see
+``benchmarks/bench_querycache.py`` for the dedicated cache benchmark).
 
 Interpreting the numbers: the engine is pure Python, so on a box with
 free cores the shard fan-out can overlap per-shard I/O and decode work,
@@ -86,38 +90,95 @@ def run_library_batch(database: ShardedDatabase, batch):
 
 
 def measure_library(tree, batch, answers) -> list[dict]:
-    """One point per shard count through the library surface."""
+    """One point per (shard count, result-cache setting) through the
+    library surface.  The batch repeats its query set, so with the
+    result cache on the later repeats serve from the best-n prefix
+    cache — the cache-off rows are the honest re-evaluation baseline,
+    and the pair isolates what the hot-query fast path buys the serving
+    layer."""
     points = []
     for shards in SHARD_COUNTS:
-        database = ShardedDatabase.from_tree(tree, shards=shards)
-        times = []
-        for _ in range(PASSES):
-            start = time.perf_counter()
-            got = run_library_batch(database, batch)
-            times.append(time.perf_counter() - start)
-            assert got == answers, f"shards={shards} diverged from single store"
-        best = min(times)
-        points.append(
-            {
-                "mode": "library",
-                "shards": shards,
-                "queries": len(batch),
-                "pass_seconds": times,
-                "best_seconds": best,
-                "queries_per_second": len(batch) / best if best else float("inf"),
-                "identical_to_single_store": True,
-            }
-        )
+        for result_cache in (False, True):
+            database = ShardedDatabase.from_tree(tree, shards=shards)
+            if not result_cache:
+                database.set_query_cache(result_entries=0)
+            times = []
+            for _ in range(PASSES):
+                start = time.perf_counter()
+                got = run_library_batch(database, batch)
+                times.append(time.perf_counter() - start)
+                assert got == answers, f"shards={shards} diverged from single store"
+            best = min(times)
+            points.append(
+                {
+                    "mode": "library",
+                    "shards": shards,
+                    "result_cache": result_cache,
+                    "queries": len(batch),
+                    "pass_seconds": times,
+                    "best_seconds": best,
+                    "queries_per_second": len(batch) / best if best else float("inf"),
+                    "identical_to_single_store": True,
+                }
+            )
+            database.close()
     return points
 
 
-def measure_server(tree, batch) -> list[dict]:
-    """One point per shard count through a live TCP server.
+def _serve_one_point(tree, shards, result_cache, texts, default_answers) -> dict:
+    """One live-TCP measurement: ``SERVER_CLIENTS`` threads each replay
+    the whole batch ``SERVER_ROUNDS`` times against a fresh server."""
+    database = ShardedDatabase.from_tree(tree, shards=shards)
+    if not result_cache:
+        database.set_query_cache(result_entries=0)
+    failures: list = []
 
-    ``SERVER_CLIENTS`` threads each replay the whole batch
-    ``SERVER_ROUNDS`` times; the point records aggregate requests per
-    second.  The wire protocol serves the default cost model (per-query
-    cost models do not travel), so the reference is the single store's
+    def client_loop(address):
+        try:
+            with ServeClient(*address, timeout=120) as client:
+                for _ in range(SERVER_ROUNDS):
+                    for index, text in enumerate(texts):
+                        response = client.query(text, n=N)
+                        got = [
+                            (r["cost"], r["root"]) for r in response["results"]
+                        ]
+                        if got != default_answers[index]:
+                            failures.append((text, got))
+        except Exception as error:  # noqa: BLE001 - surfaced in the assert
+            failures.append(error)
+
+    with ServerThread(database, max_pending=256) as address:
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client_loop, args=(address,))
+            for _ in range(SERVER_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    requests = SERVER_CLIENTS * SERVER_ROUNDS * len(texts)
+    assert not failures, failures[:3]
+    database.close()
+    return {
+        "mode": "server",
+        "shards": shards,
+        "result_cache": result_cache,
+        "clients": SERVER_CLIENTS,
+        "requests": requests,
+        "seconds": elapsed,
+        "requests_per_second": requests / elapsed if elapsed else float("inf"),
+    }
+
+
+def measure_server(tree, batch) -> list[dict]:
+    """One point per (shard count, result-cache setting) through a live
+    TCP server; the repeated rounds make the cache-on rows the hot-path
+    number and the cache-off rows the re-evaluation baseline.
+
+    The wire protocol serves the default cost model (per-query cost
+    models do not travel), so the reference is the single store's
     default-model answer, document-rooted and in canonical order.
     """
     texts = [query.unparse() for query, _costs in batch]
@@ -126,50 +187,11 @@ def measure_server(tree, batch) -> list[dict]:
         sorted((r.cost, r.root) for r in single.query(text, n=None) if r.root != 0)[:N]
         for text in texts
     ]
-    points = []
-    for shards in SHARD_COUNTS:
-        database = ShardedDatabase.from_tree(tree, shards=shards)
-        failures: list = []
-
-        def client_loop(address):
-            try:
-                with ServeClient(*address, timeout=120) as client:
-                    for _ in range(SERVER_ROUNDS):
-                        for index, text in enumerate(texts):
-                            response = client.query(text, n=N)
-                            got = [
-                                (r["cost"], r["root"]) for r in response["results"]
-                            ]
-                            if got != default_answers[index]:
-                                failures.append((text, got))
-            except Exception as error:  # noqa: BLE001 - surfaced in the assert
-                failures.append(error)
-
-        with ServerThread(database, max_pending=256) as address:
-            start = time.perf_counter()
-            threads = [
-                threading.Thread(target=client_loop, args=(address,))
-                for _ in range(SERVER_CLIENTS)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            elapsed = time.perf_counter() - start
-        requests = SERVER_CLIENTS * SERVER_ROUNDS * len(texts)
-        assert not failures, failures[:3]
-        points.append(
-            {
-                "mode": "server",
-                "shards": shards,
-                "clients": SERVER_CLIENTS,
-                "requests": requests,
-                "seconds": elapsed,
-                "requests_per_second": requests / elapsed if elapsed else float("inf"),
-            }
-        )
-        database.close()
-    return points
+    return [
+        _serve_one_point(tree, shards, result_cache, texts, default_answers)
+        for shards in SHARD_COUNTS
+        for result_cache in (False, True)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -232,14 +254,16 @@ def main(argv: "list[str] | None" = None) -> int:
     }
 
     for point in library:
+        cache = "on " if point["result_cache"] else "off"
         print(
-            f"library shards={point['shards']}: "
+            f"library shards={point['shards']} cache={cache}: "
             f"{point['queries_per_second']:8.1f} queries/s "
             f"(best of {PASSES}: {point['best_seconds'] * 1000:.1f} ms)"
         )
     for point in server:
+        cache = "on " if point["result_cache"] else "off"
         print(
-            f"server  shards={point['shards']}: "
+            f"server  shards={point['shards']} cache={cache}: "
             f"{point['requests_per_second']:8.1f} requests/s "
             f"({point['clients']} clients, {point['requests']} requests)"
         )

@@ -129,6 +129,24 @@ class CostModel:
         to skip redundant re-encodings."""
         return (self.default_insert_cost, tuple(sorted(self._insert.items())))
 
+    @property
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot of the *whole* model — insert, delete, and
+        rename tables.  Two models with equal fingerprints produce
+        byte-identical expansions and results for every query, which is
+        what the compiled-query cache keys on (``insert_fingerprint``
+        alone is not enough: delete and rename costs change the expanded
+        query and therefore the answers)."""
+        return (
+            self.default_insert_cost,
+            tuple(sorted(self._insert.items())),
+            tuple(sorted(self._delete.items())),
+            tuple(
+                (key, tuple(sorted(alternatives)))
+                for key, alternatives in sorted(self._rename.items())
+            ),
+        )
+
     # ------------------------------------------------------------------
     # cost-file round trip (the per-query files of Section 8.1)
     # ------------------------------------------------------------------

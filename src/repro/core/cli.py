@@ -43,6 +43,8 @@ def _store_options(args: argparse.Namespace) -> StoreOptions:
         posting_cache_bytes=getattr(args, "posting_cache_bytes", None),
         durability=getattr(args, "durability", "none") or "none",
         wal_checkpoint_bytes=getattr(args, "wal_checkpoint_bytes", None),
+        compiled_cache_entries=getattr(args, "compiled_cache_entries", None),
+        result_cache_entries=getattr(args, "result_cache_entries", None),
     )
 
 
@@ -60,7 +62,13 @@ def _open_database(args: argparse.Namespace):
     for path in sources:
         with open(path, encoding="utf-8") as handle:
             documents.append(handle.read())
-    return Database.from_xml(*documents)
+    database = Database.from_xml(*documents)
+    # the hot-query cache knobs apply to ad-hoc XML sources too
+    database.set_query_cache(
+        getattr(args, "compiled_cache_entries", None),
+        getattr(args, "result_cache_entries", None),
+    )
+    return database
 
 
 def _open_stored(args: argparse.Namespace):
@@ -91,6 +99,20 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="BYTES",
         help="decoded posting cache budget in bytes (0 disables; default 8 MiB)",
+    )
+    parser.add_argument(
+        "--compiled-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compiled-query cache capacity in entries (0 disables; default 256)",
+    )
+    parser.add_argument(
+        "--result-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="best-n result cache capacity in entries (0 disables; default 128)",
     )
     _add_durability_options(parser)
 
@@ -478,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="worker kind for batched execution (see 'query --executor')",
     )
+    _add_cache_options(serve)
     serve.set_defaults(func=_command_serve)
 
     return parser

@@ -51,17 +51,28 @@ from ..engine.evaluator import DirectEvaluator
 from ..errors import EvaluationError
 from ..planner.cost import PlanEstimates, Planner
 from ..planner.stats import CollectionStats, compute_stats
+from ..querycache import (
+    CachedResult,
+    CompiledQuery,
+    CompiledQueryCache,
+    ResultCache,
+)
 from ..schema.dataguide import (
     Schema,
     build_schema,
     update_schema_for_delete,
     update_schema_for_insert,
 )
-from ..schema.evaluator import EvaluationStats, SchemaEvaluator
+from ..schema.evaluator import EvaluationStats, SchemaEvaluator, effective_schedule
 from ..schema.indexes import StoredSecondaryIndex
 from ..storage.kv import MemoryStore, Store
 from ..storage.overlay import SnapshotOverlay, using_overlay
-from ..storage.statcodec import load_stats, save_stats
+from ..storage.statcodec import (
+    load_planner_state,
+    load_stats,
+    save_planner_state,
+    save_stats,
+)
 from ..telemetry import collector as _telemetry
 from ..telemetry.collector import MODE_OFF, MODE_TIMINGS, MODES, Telemetry
 from ..telemetry.report import QueryReport
@@ -442,6 +453,11 @@ class Database:
         )
         self._default_costs = default_costs if default_costs is not None else CostModel()
         self._planner = Planner()
+        # the two-tier hot-query fast path (see repro.querycache):
+        # compiled queries (Tier 1) and generation-tagged best-n result
+        # prefixes (Tier 2); resize or disable via set_query_cache()
+        self._compiled_cache = CompiledQueryCache()
+        self._result_cache = ResultCache()
         self._stored = _stored
         self._frozen_fingerprint = _frozen_fingerprint
         #: the file store behind an opened database (None when in-memory)
@@ -563,6 +579,10 @@ class Database:
             StoredNodeIndexes.build(tree, staging)
             StoredSecondaryIndex.build(schema, staging)
             save_stats(staging, compute_stats(tree, schema, generation=0))
+            if self._planner.corrections:
+                save_planner_state(
+                    staging, self._planner.correction, self._planner.corrections
+                )
             with open_file_store(path, options) as store:
                 store.bulk_load(list(staging.scan()))
                 store.sync()
@@ -579,6 +599,8 @@ class Database:
         wal_checkpoint_bytes: "int | None" = None,
         page_size: "int | None" = None,
         numpy_kernel: "bool | None" = None,
+        compiled_cache_entries: "int | None" = None,
+        result_cache_entries: "int | None" = None,
     ) -> "Database":
         """Open a saved database; posting fetches go to the file store.
 
@@ -616,6 +638,12 @@ class Database:
         With both cache knobs at ``0`` the read path is byte-identical
         to the uncached engine.
 
+        ``compiled_cache_entries`` / ``result_cache_entries`` size the
+        two hot-query caches (compiled queries and generation-tagged
+        best-n result prefixes — see ``docs/PERFORMANCE.md``); ``0``
+        disables a tier, ``None`` keeps the defaults.  Answers are
+        byte-identical either way.
+
         ``numpy_kernel`` flips the process-wide numpy fast path for
         whole-column engine passes (see ``docs/PERFORMANCE.md``):
         ``True`` enables it (inert without numpy installed), ``False``
@@ -636,6 +664,8 @@ class Database:
             durability=durability,
             wal_checkpoint_bytes=wal_checkpoint_bytes,
             page_size=page_size,
+            compiled_cache_entries=compiled_cache_entries,
+            result_cache_entries=result_cache_entries,
         )
         store = open_file_store(path, options, must_exist=True)
         cache_bytes = options.posting_cache_bytes
@@ -676,6 +706,13 @@ class Database:
         database._store_options = options
         database._store_path = path
         database._posting_cache = posting_cache
+        if options.compiled_cache_entries is not None:
+            database._compiled_cache = CompiledQueryCache(options.compiled_cache_entries)
+        if options.result_cache_entries is not None:
+            database._result_cache = ResultCache(options.result_cache_entries)
+        planner_state = load_planner_state(store)
+        if planner_state is not None:
+            database._planner.seed(*planner_state)
         return database
 
     @classmethod
@@ -756,6 +793,9 @@ class Database:
         """
         if self._closed:
             return
+        if self._planner.corrections:
+            # a query-only session still gets to keep what it learned
+            self._persist_planner_state()
         self._closed = True
         cache = self._posting_cache
         if cache is not None:
@@ -941,6 +981,13 @@ class Database:
                     if removed is not None:
                         save_dead_roots(tree, self._store)
                     mutator.update_stats(new_stats)
+                    if self._planner.corrections:
+                        # learned corrections ride the same commit frame
+                        save_planner_state(
+                            self._store,
+                            self._planner.correction,
+                            self._planner.corrections,
+                        )
                     # THE commit point: everything above is one WAL frame.
                     self._store.commit()
                     keys_rewritten = mutator.keys_rewritten
@@ -1086,8 +1133,11 @@ class Database:
         executor: str = "thread",
     ) -> ResultSet:
         self._check_failed()
-        query, resolved_costs = self._resolve(text, costs)
-        chosen, _, estimates = self._plan_choice(state, method, n, query, resolved_costs)
+        compiled, compiled_hit = self._compile(text, costs)
+        query, resolved_costs = compiled.query, compiled.costs
+        chosen, _, estimates = self._plan_choice(
+            state, method, n, query, resolved_costs, compiled=compiled
+        )
         if collect not in MODES:
             raise EvaluationError(f"unknown collect mode {collect!r}; expected one of {MODES}")
         if stats is not None:
@@ -1105,14 +1155,14 @@ class Database:
         )
         start = time.perf_counter()
         if telemetry is None:
-            results = self._evaluate(
-                state, chosen, query, resolved_costs, n, max_cost, stats, jobs,
+            results = self._evaluate_cached(
+                state, compiled, chosen, n, max_cost, stats, jobs,
                 executor, initial_k=schedule[0], delta=schedule[1],
             )
         else:
             with _telemetry.collecting(telemetry):
-                results = self._evaluate(
-                    state, chosen, query, resolved_costs, n, max_cost, stats, jobs,
+                results = self._evaluate_cached(
+                    state, compiled, chosen, n, max_cost, stats, jobs,
                     executor, initial_k=schedule[0], delta=schedule[1],
                 )
         wall_seconds = time.perf_counter() - start
@@ -1125,6 +1175,9 @@ class Database:
             wall_seconds=wall_seconds,
             results=len(results),
         )
+        if collect != MODE_OFF and self._compiled_cache.enabled:
+            name = "querycache.compiled_hits" if compiled_hit else "querycache.compiled_misses"
+            report.counters[name] = report.counters.get(name, 0) + 1
         if estimates is not None:
             corrected = self._planner.observe(estimates, len(results), n)
             _attach_planner_counters(
@@ -1164,14 +1217,14 @@ class Database:
         method for in-memory data), the batch degrades to threads and
         counts ``concurrency.process_fallback``.
 
-        One batch, one insert-cost table: encoding a different insert
+        One pool run, one insert-cost table: encoding a different insert
         table rewrites shared per-node cost arrays on the tree and the
-        schema, so a batch mixing insert fingerprints falls back to
-        serial evaluation (correct, just not parallel — see
-        ``docs/CONCURRENCY.md``).  The fallback is *not* silent: every
-        returned report carries a ``concurrency.batch_fallback = 1``
-        counter (in every ``collect`` mode) so callers can detect the
-        lost parallelism.
+        schema, so a batch mixing insert fingerprints is *grouped* by
+        fingerprint and each group batches on the pool in turn (see
+        ``docs/CONCURRENCY.md``).  Only a query left alone in its group
+        runs serially, and it says so: its report carries a
+        ``concurrency.batch_fallback = 1`` counter (in every ``collect``
+        mode) so callers can detect the lost parallelism.
         """
         if executor not in ("thread", "process"):
             raise EvaluationError(
@@ -1185,29 +1238,66 @@ class Database:
             else:
                 resolved.append(self._resolve(item, costs))
         jobs = resolve_jobs(jobs)
-        fallback = False
-        if jobs > 1 and len({repr(c.insert_fingerprint) for _, c in resolved}) > 1:
-            jobs = 1
-            fallback = True
         if jobs == 1 or len(resolved) < 2:
-            results = [
+            return [
                 self.query(
                     query, n=n, costs=query_costs, method=method,
                     max_cost=max_cost, collect=collect,
                 )
                 for query, query_costs in resolved
             ]
-            if fallback:
-                _telemetry.count("concurrency.batch_fallback")
-                for result in results:
-                    result.report.counters["concurrency.batch_fallback"] = 1
-            return results
-        # Encode the batch's one insert-cost table and build the lazy
-        # evaluators up front, on this thread: the workers' encode calls
-        # then see a matching fingerprint and never write the shared
-        # arrays, and no two workers race to build the same evaluator.
+        groups: dict[str, list[int]] = {}
+        for index, (_, query_costs) in enumerate(resolved):
+            groups.setdefault(repr(query_costs.insert_fingerprint), []).append(index)
+        if len(groups) == 1:
+            return self._query_group(resolved, n, max_cost, method, collect, jobs, executor)
+        # Mixed insert fingerprints: each fingerprint group still batches
+        # on the pool (the shared arrays are re-encoded once per group),
+        # instead of the whole batch degrading to serial.
+        _telemetry.count("concurrency.batch_groups", len(groups))
+        output: "list[ResultSet | None]" = [None] * len(resolved)
+        fallback_counted = False
+        for indices in groups.values():
+            if len(indices) > 1:
+                group_results = self._query_group(
+                    [resolved[i] for i in indices], n, max_cost, method,
+                    collect, jobs, executor,
+                )
+                for index, result in zip(indices, group_results):
+                    output[index] = result
+            else:
+                index = indices[0]
+                query, query_costs = resolved[index]
+                result = self.query(
+                    query, n=n, costs=query_costs, method=method,
+                    max_cost=max_cost, collect=collect,
+                )
+                if not fallback_counted:
+                    _telemetry.count("concurrency.batch_fallback")
+                    fallback_counted = True
+                result.report.counters["concurrency.batch_fallback"] = 1
+                output[index] = result
+        return output
+
+    def _query_group(
+        self,
+        items: "list[tuple[NameSelector, CostModel]]",
+        n: "int | None",
+        max_cost: "float | None",
+        method: str,
+        collect: str,
+        jobs: int,
+        executor: str,
+    ) -> list[ResultSet]:
+        """Serve one uniform-fingerprint batch on a worker pool — the
+        body of :meth:`query_many` once grouping is done.
+
+        The group's one insert-cost table is encoded and the lazy
+        evaluators built up front, on this thread: the workers' encode
+        calls then see a matching fingerprint and never write the shared
+        arrays, and no two workers race to build the same evaluator."""
         state = self._state
-        shared = resolved[0][1]
+        shared = items[0][1]
         state.tree.encode_costs(shared.insert_cost, fingerprint=shared.insert_fingerprint)
         chosen, _ = self._choose_method(method, n)
         if chosen == "direct":
@@ -1235,12 +1325,12 @@ class Database:
                         if isinstance(pool, QueryPool):
                             # process pool unavailable; make_query_pool
                             # already counted the fallback
-                            return pool.map_ordered(_serve, resolved)
-                        items = [
+                            return pool.map_ordered(_serve, items)
+                        payload_items = [
                             (query.unparse(), query_costs, n, max_cost, method, collect)
-                            for query, query_costs in resolved
+                            for query, query_costs in items
                         ]
-                        payloads = pool.map_ordered(_serve_process_query, items)
+                        payloads = pool.map_ordered(_serve_process_query, payload_items)
                 finally:
                     cleanup()
                 tree = state.tree
@@ -1253,7 +1343,7 @@ class Database:
                 ]
             _telemetry.count("concurrency.process_fallback")
         with QueryPool(jobs) as pool:
-            return pool.map_ordered(_serve, resolved)
+            return pool.map_ordered(_serve, items)
 
     def _batch_worker_setup(self):
         """The process-pool worker setup for :meth:`query_many`, plus a
@@ -1377,11 +1467,12 @@ class Database:
         block (predicted candidates, posting bytes, chosen schedule).
         ``costs`` matters: renamings widen the selector closures the
         estimates are computed from."""
-        query, resolved_costs = self._resolve(text, costs)
+        compiled, _ = self._compile(text, costs)
         chosen, reason, estimates = self._plan_choice(
-            self._state, method, n, query, resolved_costs, want_estimates=True
+            self._state, method, n, compiled.query, compiled.costs,
+            want_estimates=True, compiled=compiled,
         )
-        return build_query_plan(query, n, method, chosen, reason, estimates)
+        return build_query_plan(compiled.query, n, method, chosen, reason, estimates)
 
     def count_results(self, text: "str | NameSelector", costs: "CostModel | None" = None) -> int:
         """Total number of approximate results for the query.
@@ -1468,6 +1559,19 @@ class Database:
     # internals
     # ------------------------------------------------------------------
 
+    def _compile(
+        self, text: "str | NameSelector", costs: "CostModel | None"
+    ) -> tuple[CompiledQuery, bool]:
+        """Tier-1 resolution: the compiled (parsed, fingerprinted, and
+        lazily expanded) form of ``(text, costs)`` plus whether the
+        compiled-query cache served it.  The stored database's frozen-
+        fingerprint check runs on *every* call — cached entries are not
+        exempt from it."""
+        resolved = costs if costs is not None else self._default_costs
+        compiled, hit = self._compiled_cache.get(text, resolved)
+        self._check_insert_costs(compiled.costs)
+        return compiled, hit
+
     def _resolve(
         self, text: "str | NameSelector", costs: "CostModel | None"
     ) -> tuple[NameSelector, CostModel]:
@@ -1476,13 +1580,12 @@ class Database:
 
         Every query-shaped entry point — :meth:`query`, :meth:`query_many`,
         :meth:`count_results`, :meth:`stream`, :meth:`explain`,
-        :meth:`plan` — resolves through here, so identical inputs raise
-        identical typed errors regardless of the method called.
+        :meth:`plan` — resolves through here (via the compiled-query
+        cache), so identical inputs raise identical typed errors
+        regardless of the method called.
         """
-        query = parse_query(text) if isinstance(text, str) else text
-        resolved_costs = costs if costs is not None else self._default_costs
-        self._check_insert_costs(resolved_costs)
-        return query, resolved_costs
+        compiled, _ = self._compile(text, costs)
+        return compiled.query, compiled.costs
 
     def _choose_method(self, method: str, n: "int | None") -> tuple[str, str]:
         """Query-independent method resolution — the paper's coarse
@@ -1512,25 +1615,81 @@ class Database:
         query: NameSelector,
         costs: CostModel,
         want_estimates: bool = False,
+        compiled: "CompiledQuery | None" = None,
     ) -> "tuple[str, str, PlanEstimates | None]":
         """The planner-backed method decision for one parsed query.
 
         An explicit method skips estimation unless ``want_estimates``
         asks for the numbers anyway (:meth:`plan` does, so ``plan
-        --verbose`` shows them for every method)."""
+        --verbose`` shows them for every method).  With a ``compiled``
+        query in hand the decision is memoized per (generation, n,
+        method, correction) — re-planning a hot query is a dict hit."""
         if method not in _METHODS:
             raise EvaluationError(f"unknown method {method!r}; expected one of {_METHODS}")
         if method != "auto" and not want_estimates:
             return method, f"explicitly requested method={method!r}", None
-        return self._planner.choose(
+        memo_key = None
+        if compiled is not None:
+            memo_key = (state.generation, n, method, self._planner.correction)
+            decision = compiled.cached_plan(memo_key)
+            if decision is not None:
+                return decision
+        decision = self._planner.choose(
             query, costs, state.ensure_stats(), n, method=method
         )
+        if memo_key is not None:
+            compiled.store_plan(memo_key, decision)
+        return decision
 
     def collection_stats(self) -> CollectionStats:
         """The planner statistics of the current generation (see
         ``docs/PLANNER.md``): per-label/term posting lengths, DataGuide
         shape, document count and depth histogram."""
         return self._state.ensure_stats()
+
+    def query_cache_stats(self) -> dict[str, int]:
+        """Lifetime ``querycache.*`` counters of both hot-query cache
+        tiers (compiled queries and best-n result prefixes); the server
+        merges these into its ``stats`` reply."""
+        merged = self._compiled_cache.stats()
+        merged.update(self._result_cache.stats())
+        return merged
+
+    def set_query_cache(
+        self,
+        compiled_entries: "int | None" = None,
+        result_entries: "int | None" = None,
+    ) -> None:
+        """Resize (or disable, with ``0``) the hot-query caches of this
+        handle.  ``None`` leaves a tier untouched.  Replacing a tier
+        drops its entries and lifetime counters; answers are
+        byte-identical at every setting."""
+        if compiled_entries is not None:
+            self._compiled_cache = CompiledQueryCache(compiled_entries)
+        if result_entries is not None:
+            self._result_cache = ResultCache(result_entries)
+
+    def _persist_planner_state(self) -> None:
+        """Best-effort write of the planner's learned correction so it
+        survives reopen even when no mutation ever commits it (the
+        mutation path persists it inside its own frame; this one runs on
+        ``close``).  A standalone commit is a valid WAL frame; failures
+        are swallowed — losing a correction only costs re-learning it.
+        Deliberately *not* called on the query path: a store write bumps
+        the store generation, which would blanket-invalidate the posting
+        and result caches under a pure read workload."""
+        if self._store is None:
+            return
+        with self._write_lock:
+            if self._failed is not None or self._closed:
+                return
+            try:
+                save_planner_state(
+                    self._store, self._planner.correction, self._planner.corrections
+                )
+                self._store.commit()
+            except Exception:
+                pass
 
     def autotune_kernel(self) -> int:
         """Apply the planner's RMQ-crossover suggestion for this
@@ -1561,16 +1720,123 @@ class Database:
         executor: str = "thread",
         initial_k: "int | None" = None,
         delta: "int | None" = None,
+        expanded=None,
     ) -> list[QueryResult]:
         if chosen == "direct":
-            raw = state.direct_evaluator().evaluate(query, costs, n=n, max_cost=max_cost)
+            raw = state.direct_evaluator().evaluate(
+                query, costs, n=n, max_cost=max_cost, expanded=expanded
+            )
         else:
             raw = state.schema_eval().evaluate(
                 query, costs, n=n, max_cost=max_cost, stats=stats, jobs=jobs,
                 executor=executor, initial_k=initial_k, delta=delta,
+                expanded=expanded,
             )
         with _telemetry.timer("core.materialize"):
             results = [QueryResult(result.root, result.cost, state.tree) for result in raw]
+        _telemetry.count("core.results_materialized", len(results))
+        return results
+
+    def _evaluate_cached(
+        self,
+        state: _EngineState,
+        compiled: CompiledQuery,
+        chosen: str,
+        n: "int | None",
+        max_cost: "float | None",
+        stats: "EvaluationStats | None",
+        jobs: "int | None" = None,
+        executor: str = "thread",
+        initial_k: "int | None" = None,
+        delta: "int | None" = None,
+    ) -> list[QueryResult]:
+        """Tier-2 evaluation: serve a best-``n`` request from the cached
+        result prefix of this (query, costs, method, max_cost) at this
+        generation, resume the schema driver past a shorter prefix, or
+        evaluate cold and cache what came out.
+
+        For the schema method the key also carries the *effective*
+        ``(initial_k, delta)`` schedule: within a cost class the driver
+        emits ties in round order, so two schedules can order the same
+        answer set differently — a cached prefix is byte-identical to a
+        cold run only inside its own schedule class.  The planner's
+        schedule depends on ``n`` and its learned correction, so a hot
+        repeat (same query, same ``n``, unchanged correction) hits, while
+        a request that would have re-run the driver differently misses
+        honestly instead of serving a reordered tie class.  The direct
+        method emits the canonical ``(cost, root)`` sort, so its key is
+        schedule-free and any shorter ``n`` is served from a longer
+        cached answer.
+        """
+        cache = self._result_cache
+        if not cache.enabled or stats is not None:
+            return self._evaluate(
+                state, chosen, compiled.query, compiled.costs, n, max_cost,
+                stats, jobs, executor, initial_k=initial_k, delta=delta,
+                expanded=compiled.expanded(),
+            )
+        if chosen == "schema":
+            key = (compiled.key, chosen, max_cost, effective_schedule(n, initial_k, delta))
+        else:
+            key = (compiled.key, chosen, max_cost)
+        # The invalidation authority is the *store's* write counter, the
+        # same one the posting cache keys on: any write — a routed
+        # mutation, WAL recovery, or an out-of-band put through the store
+        # handle — moves it, and pairing it with the published state
+        # generation keeps a pinned snapshot's reads in their own
+        # generation class.  Snapshotted before evaluation, so a write
+        # landing mid-query stamps the entry with the generation whose
+        # postings the query actually read.
+        if self._store is None:
+            generation: "int | tuple" = state.generation
+        else:
+            generation = (state.generation, self._store.generation)
+        tree = state.tree
+        entry = cache.lookup(key, generation)
+        if entry is not None and entry.serves(n):
+            pairs = entry.pairs if n is None else entry.pairs[:n]
+            with _telemetry.timer("core.materialize"):
+                results = [QueryResult(root, cost, tree) for root, cost in pairs]
+            _telemetry.count("core.results_materialized", len(results))
+            return results
+        if chosen == "schema":
+            resume = entry.state if entry is not None and entry.state is not None else None
+            if resume is not None:
+                cache.note_resume()
+            captured: list = []
+            raw = state.schema_eval().evaluate(
+                compiled.query, compiled.costs, n=n, max_cost=max_cost,
+                jobs=jobs, executor=executor, initial_k=initial_k, delta=delta,
+                expanded=compiled.expanded(), resume=resume,
+                state_sink=captured.append,
+            )
+            prefix = list(entry.pairs) if resume is not None else []
+            pairs = prefix + [(result.root, result.cost) for result in raw]
+            captured_state = captured[0] if captured else None
+            complete = bool(captured_state is not None and captured_state.exhausted)
+            cache.store(
+                key,
+                CachedResult(
+                    generation=generation,
+                    pairs=pairs,
+                    complete=complete,
+                    state=None if complete else captured_state,
+                ),
+            )
+        else:
+            raw = state.direct_evaluator().evaluate(
+                compiled.query, compiled.costs, n=n, max_cost=max_cost,
+                expanded=compiled.expanded(),
+            )
+            pairs = [(result.root, result.cost) for result in raw]
+            complete = n is None or len(pairs) < n
+            cache.store(
+                key,
+                CachedResult(generation=generation, pairs=pairs, complete=complete),
+            )
+        serve = pairs if n is None else pairs[:n]
+        with _telemetry.timer("core.materialize"):
+            results = [QueryResult(root, cost, tree) for root, cost in serve]
         _telemetry.count("core.results_materialized", len(results))
         return results
 

@@ -71,6 +71,10 @@ class StoreOptions:
     wal_checkpoint_bytes: "int | None" = None
     #: page size for newly created files (an existing file dictates its own)
     page_size: "int | None" = None
+    #: compiled-query cache capacity in entries (0 disables; None = default)
+    compiled_cache_entries: "int | None" = None
+    #: best-n result cache capacity in entries (0 disables; None = default)
+    result_cache_entries: "int | None" = None
     #: file-opener replacement for fault injection (testing only)
     opener: "object | None" = None
 

@@ -69,6 +69,7 @@ class DirectEvaluator:
         n: "int | None" = None,
         max_cost: "float | None" = None,
         stats: "DirectStats | None" = None,
+        expanded: "ExpandedQuery | None" = None,
     ) -> list[DirectResult]:
         """Best-``n`` root-cost pairs, sorted by (cost, root).
 
@@ -76,8 +77,10 @@ class DirectEvaluator:
         results costlier than the bound.  Pass a :class:`DirectStats` to
         observe fetches, memo hits, and list-op counts (or activate a
         telemetry collector and read the ``direct.*`` counters).
+        ``expanded`` supplies a prebuilt closure (the compiled-query
+        cache's Tier-1 artifact), skipping parse and expansion.
         """
-        entries, evaluator = self._run_primary(query, costs)
+        entries, evaluator = self._run_primary(query, costs, expanded)
         if n is not None and max_cost is None:
             # Best-n fast path: bounded heap selection instead of the
             # full sort.  ``results_total`` still reports every valid
@@ -100,6 +103,7 @@ class DirectEvaluator:
         costs: "CostModel | None" = None,
         max_cost: "float | None" = None,
         stats: "DirectStats | None" = None,
+        expanded: "ExpandedQuery | None" = None,
     ) -> int:
         """Number of approximate results, without materializing them.
 
@@ -107,7 +111,7 @@ class DirectEvaluator:
         skips the sort and the per-result object construction — all a
         count needs is the number of roots with a valid embedding.
         """
-        entries, evaluator = self._run_primary(query, costs)
+        entries, evaluator = self._run_primary(query, costs, expanded)
         leafcosts = entries.leafcost
         if max_cost is None:
             total = sum(1 for leaf in leafcosts if leaf != INFINITE)
@@ -125,16 +129,21 @@ class DirectEvaluator:
     # ------------------------------------------------------------------
 
     def _run_primary(
-        self, query: "str | NameSelector", costs: "CostModel | None"
+        self,
+        query: "str | NameSelector",
+        costs: "CostModel | None",
+        expanded: "ExpandedQuery | None" = None,
     ) -> tuple[EvalColumns, PrimaryEvaluator]:
         """Shared prelude of :meth:`evaluate` and :meth:`count`: parse,
-        re-encode insert costs, expand, and run algorithm ``primary``."""
-        if isinstance(query, str):
-            query = parse_query(query)
+        re-encode insert costs, expand, and run algorithm ``primary``
+        (parse and expansion are skipped when ``expanded`` is prebuilt)."""
         if costs is None:
             costs = CostModel()
         self._tree.encode_costs(costs.insert_cost, fingerprint=costs.insert_fingerprint)
-        expanded: ExpandedQuery = build_expanded(query, costs)
+        if expanded is None:
+            if isinstance(query, str):
+                query = parse_query(query)
+            expanded = build_expanded(query, costs)
         evaluator = PrimaryEvaluator(self._indexes)
         with _telemetry.timer("direct.primary"):
             entries = evaluator.evaluate(expanded)

@@ -290,6 +290,19 @@ class Planner:
         """The live session correction factor (1.0 = none)."""
         return self._correction
 
+    def seed(self, correction: float, corrections: int) -> None:
+        """Restore feedback persisted by an earlier session (see
+        :func:`repro.storage.statcodec.load_planner_state`): the capped
+        correction factor and its misprediction count re-enter the
+        session as if observed here, so ``confidence="corrected"``
+        survives reopen.  Clamped to the documented bounds; never
+        lowers a correction this session already learned."""
+        with self._lock:
+            restored = min(MAX_CORRECTION, max(1.0, float(correction)))
+            if restored > self._correction:
+                self._correction = restored
+            self.corrections = max(self.corrections, int(corrections))
+
 
 def check_method(method: str, methods: tuple) -> None:
     """Shared method-name validation for every plan entry point."""

@@ -19,10 +19,11 @@ from dataclasses import dataclass, field
 
 from ..approxql.ast import NameSelector
 from ..approxql.costs import CostModel
-from ..approxql.expanded import build_expanded
+from ..approxql.expanded import ExpandedQuery, build_expanded
 from ..approxql.parser import parse_query
 from ..concurrent import QueryPool, make_query_pool, resolve_jobs, worker_context
 from ..errors import EvaluationError
+from ..querycache import DriverState
 from ..telemetry import collector as _telemetry
 from ..xmltree.model import DataTree
 from .dataguide import Schema, build_schema
@@ -34,6 +35,28 @@ from .topk_ops import sort_roots
 
 #: safety valve: k never grows beyond this
 DEFAULT_MAX_K = 1_000_000
+
+#: fallback ``initial_k`` when neither the caller nor ``n`` supplies one
+DEFAULT_INITIAL_K = 16
+
+
+def effective_schedule(
+    n: "int | None",
+    initial_k: "int | None",
+    delta: "int | None",
+) -> "tuple[int, int]":
+    """The ``(k, delta)`` the incremental driver actually starts with
+    for this request — defaults resolved exactly as :meth:`SchemaEvaluator.
+    iter_results` resolves them.  The emitted order of equal-cost results
+    depends on the round boundaries this schedule induces, so the
+    resolved pair is part of a best-n answer's identity (the result
+    cache keys on it; see ``repro.querycache``)."""
+    if initial_k is None:
+        initial_k = n if n is not None else DEFAULT_INITIAL_K
+    k = max(1, initial_k)
+    if delta is None:
+        delta = max(1, k)
+    return k, delta
 
 
 @dataclass(frozen=True)
@@ -126,6 +149,9 @@ class SchemaEvaluator:
         stats: "EvaluationStats | None" = None,
         jobs: "int | None" = None,
         executor: str = "thread",
+        expanded: "ExpandedQuery | None" = None,
+        resume: "DriverState | None" = None,
+        state_sink=None,
     ) -> list[SchemaResult]:
         """Best-``n`` root-cost pairs via the incremental algorithm.
 
@@ -149,6 +175,9 @@ class SchemaEvaluator:
                 stats=stats,
                 jobs=jobs,
                 executor=executor,
+                expanded=expanded,
+                resume=resume,
+                state_sink=state_sink,
             )
         )
         if n is not None:
@@ -168,6 +197,9 @@ class SchemaEvaluator:
         stats: "EvaluationStats | None" = None,
         jobs: "int | None" = None,
         executor: str = "thread",
+        expanded: "ExpandedQuery | None" = None,
+        resume: "DriverState | None" = None,
+        state_sink=None,
     ):
         """Generator form of :meth:`evaluate` — the paper's "results can
         be sent immediately to the user" advantage: second-level queries
@@ -194,6 +226,17 @@ class SchemaEvaluator:
         zero-copy against it — only skeleton payloads and result roots
         cross the pipe.  Falls back to threads when process pools or the
         export are unavailable.
+
+        ``expanded`` supplies a prebuilt closure (the compiled-query
+        cache's Tier-1 artifact), skipping parse and expansion.
+        ``resume`` seeds the driver from a captured
+        :class:`~repro.querycache.DriverState` — the continuation only
+        re-emits results not in the resumed ``found`` map, so it yields
+        exactly the suffix a cold run at a larger ``n`` would append.
+        ``state_sink`` is called with the final :class:`DriverState`
+        when the generator finishes (in-flight skeletons are removed
+        from ``executed`` first, so a resume re-runs any skeleton whose
+        instances were only partially consumed).
         """
         if executor not in ("thread", "process"):
             raise EvaluationError(
@@ -202,22 +245,19 @@ class SchemaEvaluator:
         # captured before the serial SecondaryExecutor below shadows the
         # parameter name
         process_requested = executor == "process"
-        if isinstance(query, str):
+        if isinstance(query, str) and expanded is None:
             query = parse_query(query)
         if costs is None:
             costs = CostModel()
         if self._schema is not None:
             fingerprint = costs.insert_fingerprint
             self._schema.encode_costs(costs.insert_cost, fingerprint=fingerprint)
-        expanded = build_expanded(query, costs)
+        if expanded is None:
+            expanded = build_expanded(query, costs)
 
         if growth not in ("linear", "geometric"):
             raise EvaluationError(f"unknown growth mode {growth!r}")
-        if initial_k is None:
-            initial_k = n if n is not None else 16
-        k = max(1, initial_k)
-        if delta is None:
-            delta = max(1, k)
+        k, delta = effective_schedule(n, initial_k, delta)
         if delta < 1:
             raise EvaluationError(f"delta must be positive, got {delta}")
 
@@ -225,6 +265,19 @@ class SchemaEvaluator:
         executed: set = set()
         found: dict[int, float] = {}
         emitted = 0
+        if resume is not None:
+            k = max(1, resume.k)
+            delta = max(1, resume.delta)
+            executed = set(resume.executed)
+            found = dict(resume.found)
+            emitted = len(found)
+        # signatures added to ``executed`` whose instances are not yet
+        # fully folded into ``found``; subtracted before a state capture
+        pending: set = set()
+        # True when the answer is provably complete (exhaustion, cost
+        # cutoff, or root-class saturation) — False when the driver
+        # merely stopped at ``n``
+        drained = False
 
         # Parallel second-level execution: one pool plus one
         # SecondaryExecutor per worker for the whole evaluation, so each
@@ -253,8 +306,15 @@ class SchemaEvaluator:
             sum(instances_per_class.values()) if instances_per_class is not None else None
         )
         found_per_class: dict[int, int] = {}
+        if resume is not None:
+            found_per_class = dict(resume.found_per_class)
 
         try:
+            if resume is not None and resume.exhausted:
+                drained = True
+                return
+            if n is not None and emitted >= n:
+                return
             while True:
                 evaluator = PrimaryKEvaluator(self._indexes, k)
                 with _telemetry.timer("schema.topk"):
@@ -298,6 +358,7 @@ class SchemaEvaluator:
                             _telemetry.count("schema.saturation_skips")
                             continue
                         batch.append(entry)
+                    pending.update(entry.signature for entry in batch)
                     if pool is None:
                         if process_requested:
                             setup, shared_segment, shared_segment_private = (
@@ -366,10 +427,13 @@ class SchemaEvaluator:
                                 if n is not None and emitted >= n:
                                     return
                                 if total_possible is not None and emitted >= total_possible:
+                                    drained = True
                                     if stats is not None:
                                         stats.exhausted = True
                                     return
+                        pending.discard(entry.signature)
                     if cutoff < len(fresh):
+                        drained = True
                         if stats is not None:
                             stats.exhausted = True
                         return
@@ -380,6 +444,7 @@ class SchemaEvaluator:
                             # here on exceeds the bound, in this round and
                             # in all larger-k rounds that merely extend
                             # the prefix
+                            drained = True
                             if stats is not None:
                                 stats.exhausted = True
                             return
@@ -394,6 +459,7 @@ class SchemaEvaluator:
                             # higher cost
                             _telemetry.count("schema.saturation_skips")
                             continue
+                        pending.add(entry.signature)
                         if stats is not None:
                             stats.second_level_executed += 1
                             stats.executed_skeletons.append(entry.format_skeleton())
@@ -421,11 +487,14 @@ class SchemaEvaluator:
                                 if n is not None and emitted >= n:
                                     return
                                 if total_possible is not None and emitted >= total_possible:
+                                    drained = True
                                     if stats is not None:
                                         stats.exhausted = True
                                     return
+                        pending.discard(entry.signature)
                 exhausted = len(queries) < k and not evaluator.monitor.truncated
                 if exhausted:
+                    drained = True
                     if stats is not None:
                         stats.exhausted = True
                     return
@@ -439,6 +508,20 @@ class SchemaEvaluator:
                 # the larger k
                 _telemetry.count("schema.kdoubling_restarts")
         finally:
+            if state_sink is not None:
+                # in-flight skeletons (executed but not fully folded)
+                # must re-run on resume; ``found`` dedups their replays
+                executed.difference_update(pending)
+                state_sink(
+                    DriverState(
+                        k=k,
+                        delta=delta,
+                        executed=executed,
+                        found=found,
+                        found_per_class=found_per_class,
+                        exhausted=drained,
+                    )
+                )
             if pool is not None:
                 pool.shutdown()
             if shared_segment is not None:

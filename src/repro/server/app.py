@@ -189,12 +189,17 @@ class QueryServer:
         self._server = None
 
     def stats(self) -> dict[str, float]:
-        """Server-lifetime counters (the ``stats`` op's payload)."""
+        """Server-lifetime counters (the ``stats`` op's payload),
+        including the database's hot-query cache family when the served
+        database exposes one."""
         counters = dict(self._counters)
         if self._queue is not None:
             counters["server.queue_size"] = self._queue.qsize()
         counters["server.max_pending"] = self._max_pending
         counters["server.batch_max"] = self._batch_max
+        cache_stats = getattr(self._database, "query_cache_stats", None)
+        if cache_stats is not None:
+            counters.update(cache_stats())
         return counters
 
     def _count(self, name: str, value: float = 1) -> None:

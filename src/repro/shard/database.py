@@ -84,6 +84,7 @@ from ..core.database import (
 )
 from ..planner.cost import PlanEstimates, Planner, check_method
 from ..planner.stats import CollectionStats, merge_stats
+from ..querycache import CachedResult, CompiledQuery, CompiledQueryCache, ResultCache, compile_query
 from ..core.explain import Explanation
 from ..core.persist import StoreOptions
 from ..core.results import QueryResult, ResultSet, ResultStream
@@ -220,6 +221,11 @@ class ShardedDatabase:
         self._closed = False
         self._generation = 0
         self._planner = Planner()
+        # hot-query fast path over the merge: compiled queries plus
+        # merged best-n prefixes, invalidated by the generation vector
+        # (see _generation_vector)
+        self._compiled_cache = CompiledQueryCache()
+        self._result_cache = ResultCache()
         # merged planner statistics, keyed by generation (mutations bump
         # the generation, so a stale merge is never served)
         self._stats_cache: "tuple[int, CollectionStats] | None" = None
@@ -387,12 +393,23 @@ class ShardedDatabase:
             for shard in shards:
                 shard.close()
             raise
-        return cls(
+        database = cls(
             shards,
             manifest,
             default_costs=shards[0]._default_costs,
             directory=directory,
         )
+        # the cache knobs size the merge-level caches too (each shard's
+        # own caches were already sized by Database.open above)
+        merged = (options or StoreOptions()).merged(
+            compiled_cache_entries=open_keywords.get("compiled_cache_entries"),
+            result_cache_entries=open_keywords.get("result_cache_entries"),
+        )
+        if merged.compiled_cache_entries is not None:
+            database._compiled_cache = CompiledQueryCache(merged.compiled_cache_entries)
+        if merged.result_cache_entries is not None:
+            database._result_cache = ResultCache(merged.result_cache_entries)
+        return database
 
     # ------------------------------------------------------------------
     # inspection
@@ -515,27 +532,86 @@ class ShardedDatabase:
         parallelism comes from the fan-out itself).
         """
         self._check_open()
-        chosen, _, estimates = self._choose_method(method, n, text, costs)
+        compiled, compiled_hit = self._compile(text, costs)
+        chosen, _, estimates = self._choose_method(
+            method, n, compiled.query, compiled.costs, compiled=compiled
+        )
         if collect not in MODES:
             raise EvaluationError(
                 f"unknown collect mode {collect!r}; expected one of {MODES}"
             )
-        query_text = text if isinstance(text, str) else text.unparse()
+        query_text = compiled.text
         jobs = resolve_jobs(jobs)
         started = time.perf_counter()
         maps = self._maps
+        cache = self._result_cache
+        key = (compiled.key, chosen, max_cost)
+        generation = self._generation_vector()
+        entry = cache.lookup(key, generation) if cache.enabled else None
+        if entry is not None and entry.serves(n):
+            pairs = entry.pairs if n is None else entry.pairs[:n]
+            results = [
+                ShardResult(
+                    global_root, cost, self._shards[shard].tree, local_root, shard
+                )
+                for global_root, cost, shard, local_root in pairs
+            ]
+            report = QueryReport(
+                query=query_text,
+                method=chosen,
+                collect=collect,
+                n=n,
+                wall_seconds=time.perf_counter() - started,
+                results=len(results),
+                counters=(
+                    {}
+                    if collect == "off"
+                    else {
+                        "querycache.result_hits": 1,
+                        "querycache.compiled_hits" if compiled_hit
+                        else "querycache.compiled_misses": 1,
+                    }
+                ),
+                timings={},
+            )
+            if estimates is not None:
+                corrected = self._planner.observe(estimates, len(results), n)
+                _attach_planner_counters(
+                    report, estimates, len(results), corrected, self._planner
+                )
+            _telemetry.count("shard.queries")
+            return ResultSet(results, report)
         if chosen == "schema" and n is not None:
             results, shard_reports = self._scatter_best_n(
-                text, n, costs, max_cost, collect, jobs, maps
+                compiled.query, n, compiled.costs, max_cost, collect, jobs, maps
             )
         else:
             results, shard_reports = self._scatter_full(
-                text, n, costs, chosen, max_cost, collect, jobs, maps
+                compiled.query, n, compiled.costs, chosen, max_cost, collect, jobs, maps
+            )
+        if cache.enabled:
+            # the merge is serve-only cached (no round state to resume
+            # at this level); a bigger n recomputes and overwrites
+            cache.store(
+                key,
+                CachedResult(
+                    generation=generation,
+                    pairs=[(r.root, r.cost, r.shard, r.local_root) for r in results],
+                    complete=n is None or len(results) < n,
+                ),
             )
         wall = time.perf_counter() - started
         report = self._merged_report(
             query_text, chosen, collect, n, wall, results, shard_reports, jobs
         )
+        if collect != "off" and cache.enabled:
+            report.counters["querycache.result_misses"] = 1
+        if collect != "off" and self._compiled_cache.enabled:
+            name = (
+                "querycache.compiled_hits" if compiled_hit
+                else "querycache.compiled_misses"
+            )
+            report.counters[name] = report.counters.get(name, 0) + 1
         if estimates is not None:
             # per-shard reports carry no planner family (shards ran with
             # an explicit method), so the merged counters are this
@@ -703,6 +779,12 @@ class ShardedDatabase:
         timings: "dict[str, float]" = {}
         for shard_report in shard_reports:
             for name, value in shard_report.counters.items():
+                if name.startswith("querycache."):
+                    # a shard's own cache activity must not read as the
+                    # merge-level verdict (result_cache_hit on this
+                    # report means "no scatter ran"); keep it visible
+                    # under a shard-scoped name instead
+                    name = "querycache.shard_" + name[len("querycache."):]
                 counters[name] = counters.get(name, 0) + value
             for name, value in shard_report.timings.items():
                 timings[name] = timings.get(name, 0.0) + value
@@ -845,13 +927,12 @@ class ShardedDatabase:
         returns (the shared planner sees the same posting lengths either
         way)."""
         self._check_open()
-        query = parse_query(text) if isinstance(text, str) else text
         check_method(method, _METHODS)
-        resolved = costs if costs is not None else self._default_costs
+        compiled, _ = self._compile(text, costs)
         chosen, reason, estimates = self._planner.choose(
-            query, resolved, self.collection_stats(), n, method=method
+            compiled.query, compiled.costs, self.collection_stats(), n, method=method
         )
-        return build_query_plan(query, n, method, chosen, reason, estimates)
+        return build_query_plan(compiled.query, n, method, chosen, reason, estimates)
 
     def query_many(
         self,
@@ -1071,18 +1152,68 @@ class ShardedDatabase:
         self._stats_cache = (generation, merged)
         return merged
 
+    def _compile(
+        self, text: "str | NameSelector", costs: "CostModel | None"
+    ) -> "tuple[CompiledQuery, bool]":
+        """Tier 1 at the merge level: text + resolved costs to a
+        :class:`~repro.querycache.CompiledQuery` through this instance's
+        own compiled cache (each shard additionally caches through its
+        own — a fanned-out selector skips the per-shard parse anyway)."""
+        resolved = costs if costs is not None else self._default_costs
+        return self._compiled_cache.get(text, resolved)
+
+    def _generation_vector(self) -> tuple:
+        """The result cache's invalidation key: the routing generation
+        plus every shard's (published state, store write counter) pair.
+        Each component is monotone, so the tuple orders lexicographically
+        the way the generation protocol expects — any routed mutation,
+        per-shard WAL recovery, or out-of-band shard-store write moves
+        the vector and strands older entries."""
+        parts = [self._generation]
+        for shard in self._shards:
+            parts.append(shard.generation)
+            store = shard._store
+            parts.append(0 if store is None else store.generation)
+        return tuple(parts)
+
+    def query_cache_stats(self) -> dict[str, int]:
+        """Lifetime ``querycache.*`` counters of the merge-level caches
+        (the per-shard databases keep their own; see
+        :meth:`Database.query_cache_stats`)."""
+        merged = self._compiled_cache.stats()
+        merged.update(self._result_cache.stats())
+        return merged
+
+    def set_query_cache(
+        self,
+        compiled_entries: "int | None" = None,
+        result_entries: "int | None" = None,
+    ) -> None:
+        """Resize (or disable, with ``0``) the merge-level hot-query
+        caches, and every shard's, in one call.  ``None`` leaves a tier
+        untouched; answers are byte-identical at every setting."""
+        if compiled_entries is not None:
+            self._compiled_cache = CompiledQueryCache(compiled_entries)
+        if result_entries is not None:
+            self._result_cache = ResultCache(result_entries)
+        for shard in self._shards:
+            shard.set_query_cache(compiled_entries, result_entries)
+
     def _choose_method(
         self,
         method: str,
         n: "int | None",
         text: "str | NameSelector | None" = None,
         costs: "CostModel | None" = None,
+        compiled: "CompiledQuery | None" = None,
     ) -> "tuple[str, str, PlanEstimates | None]":
         """Delegates to the shared cost-based planner over the merged
         statistics — the same :class:`~repro.planner.cost.Planner`
         decision the single-store database makes, so sharded and
         unsharded plans agree on identical data.  (This replaces the
-        drifted static duplicate of core's pre-planner rule.)"""
+        drifted static duplicate of core's pre-planner rule.)  With a
+        ``compiled`` query in hand the decision is memoized per
+        (generation, n, method, correction) on the compiled entry."""
         check_method(method, _METHODS)
         if text is None:
             # no parsed query in hand: core's coarse pre-planner fallback
@@ -1092,8 +1223,17 @@ class ShardedDatabase:
             return chosen, "auto: coarse rule (no query context)", None
         if method != "auto":
             return method, f"explicitly requested method={method!r}", None
+        memo_key = None
+        if compiled is not None:
+            memo_key = (self._generation, n, method, self._planner.correction)
+            cached = compiled.cached_plan(memo_key)
+            if cached is not None:
+                return cached
         query = parse_query(text) if isinstance(text, str) else text
         resolved = costs if costs is not None else self._default_costs
-        return self._planner.choose(
+        decision = self._planner.choose(
             query, resolved, self.collection_stats(), n, method=method
         )
+        if memo_key is not None:
+            compiled.store_plan(memo_key, decision)
+        return decision

@@ -42,8 +42,11 @@ from .varint import (
 
 STATS_NAMESPACE = b"stats"
 STATS_KEY = b"stats"
+PLANNER_KEY = b"planner"
+PLANNER_STATE_VERSION = 1
 _SEPARATOR = "\x00"
 _U32 = "<I"
+_F64 = "<d"
 
 
 def encode_stats(stats: CollectionStats) -> bytes:
@@ -129,11 +132,65 @@ def load_stats(store: Store) -> "CollectionStats | None":
         return None
 
 
+def encode_planner_state(correction: float, corrections: int) -> bytes:
+    """Serialize the planner's session feedback (the capped correction
+    factor plus how many gross mispredictions produced it)."""
+    out = bytearray(struct.pack(_U32, PLANNER_STATE_VERSION))
+    out += struct.pack(_F64, float(correction))
+    encode_uvarint(int(corrections), out)
+    return bytes(out)
+
+
+def decode_planner_state(data: bytes) -> tuple[float, int]:
+    """Inverse of :func:`encode_planner_state`."""
+    try:
+        (version,) = struct.unpack_from(_U32, data, 0)
+        if version != PLANNER_STATE_VERSION:
+            raise StorageError(f"unsupported planner segment version {version}")
+        offset = struct.calcsize(_U32)
+        (correction,) = struct.unpack_from(_F64, data, offset)
+        offset += struct.calcsize(_F64)
+        corrections, _ = decode_uvarint(data, offset)
+    except (struct.error, IndexError) as error:
+        raise StorageError(f"corrupt planner segment ({error})") from error
+    if not correction >= 1.0:
+        raise StorageError(f"corrupt planner segment (correction {correction!r})")
+    return correction, corrections
+
+
+def save_planner_state(store: Store, correction: float, corrections: int) -> None:
+    """Write the planner segment (the caller owns the commit boundary).
+    Lives beside the stats segment in the ``stats`` namespace so the
+    session's learned corrections survive reopen."""
+    Namespace(store, STATS_NAMESPACE).put(
+        PLANNER_KEY, encode_planner_state(correction, corrections)
+    )
+
+
+def load_planner_state(store: Store) -> "tuple[float, int] | None":
+    """Read the planner segment; ``None`` when the store predates it or
+    the blob is corrupt (corrections are an optimization, never worth
+    failing an open over)."""
+    try:
+        payload = Namespace(store, STATS_NAMESPACE).get(PLANNER_KEY)
+    except KeyNotFoundError:
+        return None
+    try:
+        return decode_planner_state(payload)
+    except StorageError:
+        return None
+
+
 __all__ = [
+    "PLANNER_KEY",
     "STATS_KEY",
     "STATS_NAMESPACE",
+    "decode_planner_state",
     "decode_stats",
+    "encode_planner_state",
     "encode_stats",
+    "load_planner_state",
     "load_stats",
+    "save_planner_state",
     "save_stats",
 ]

@@ -152,6 +152,25 @@ class QueryReport:
         return bool(self.get("concurrency.batch_fallback"))
 
     @property
+    def compiled_cache_hit(self) -> bool:
+        """True when the hot-query compiled cache served this query's
+        parsed AST, expanded closure, and plan memo (tier 1)."""
+        return bool(self.get("querycache.compiled_hits"))
+
+    @property
+    def result_cache_hit(self) -> bool:
+        """True when the best-n result cache served this query's answer
+        prefix without re-running the driver (tier 2)."""
+        return bool(self.get("querycache.result_hits"))
+
+    @property
+    def resumed_rounds(self) -> int:
+        """Times a shorter cached prefix was extended by resuming the
+        incremental driver from its saved round state instead of
+        restarting at ``initial_k``."""
+        return int(self.get("querycache.resumed_rounds"))
+
+    @property
     def overlay_hits(self) -> int:
         """Index fetches answered from a snapshot overlay — postings a
         concurrent writer overwrote after this reader pinned its
@@ -199,6 +218,15 @@ class QueryReport:
                 "  concurrency: batch fell back to serial execution "
                 "(mixed insert-cost fingerprints)"
             )
+        if self.compiled_cache_hit or self.result_cache_hit:
+            parts = []
+            if self.compiled_cache_hit:
+                parts.append("compiled query")
+            if self.result_cache_hit:
+                parts.append("result prefix")
+            elif self.resumed_rounds:
+                parts.append("resumed driver rounds")
+            lines.append("  querycache: served from " + " + ".join(parts))
         if "planner.predicted_candidates" in self.counters:
             calibration = (
                 " (corrected)" if self.get("planner.estimate_corrected") else ""
@@ -257,6 +285,9 @@ class QueryReport:
                 "wal_frames_written": self.wal_frames_written,
                 "wal_recoveries": self.wal_recoveries,
                 "batch_fallback": self.batch_fallback,
+                "compiled_cache_hit": self.compiled_cache_hit,
+                "result_cache_hit": self.result_cache_hit,
+                "resumed_rounds": self.resumed_rounds,
                 "overlay_hits": self.overlay_hits,
                 "predicted_candidates": self.predicted_candidates,
                 "planner_corrections": self.planner_corrections,

@@ -126,6 +126,9 @@ class TestQueryJobs:
             ]
 
     def test_parallel_report_has_same_work_counters(self, database):
+        # the result cache would serve the repeat from tier 2; this test
+        # is about the parallel driver doing the serial driver's work
+        database.set_query_cache(result_entries=0)
         serial = database.query(QUERIES[0], n=5, method="schema", collect="counters")
         parallel = database.query(
             QUERIES[0], n=5, method="schema", collect="counters", jobs=4

@@ -263,6 +263,8 @@ class TestQueryExecutorProcess:
 
     def test_memory_database_identical_to_serial(self):
         database = Database.from_xml(MANY_CLASSES)
+        # disable tier 2 so the repeat actually exercises the process pool
+        database.set_query_cache(result_entries=0)
         serial = database.query('item[name]', n=None, method="schema")
         parallel = database.query(
             'item[name]', n=None, method="schema", jobs=2, executor="process",
@@ -280,6 +282,8 @@ class TestQueryExecutorProcess:
         Database.from_xml(MANY_CLASSES).save(path)
         database = Database.open(path)
         try:
+            # disable tier 2: the repeats must reach the segment registry
+            database.set_query_cache(result_entries=0)
             serial = database.query('item[name]', n=None, method="schema")
             first = database.query(
                 'item[name]', n=None, method="schema", jobs=2, executor="process",
@@ -301,6 +305,9 @@ class TestQueryExecutorProcess:
 
     def test_process_report_has_same_work_counters(self):
         database = Database.from_xml(MANY_CLASSES)
+        # the result cache would serve the repeat from tier 2; this test
+        # is about the process pool doing the serial driver's work
+        database.set_query_cache(result_entries=0)
         serial = database.query(
             'item[name]', n=None, method="schema", collect="counters"
         )

@@ -217,3 +217,111 @@ def test_auto_planner_matches_forced_methods_stored(seed, tmp_path):
     Database.from_tree(case.tree).save(path)
     database = Database.open(path)
     _assert_auto_agrees(database, case)
+
+
+# ---------------------------------------------------------------------------
+# querycache leg: the hot-query fast path vs a cache-disabled twin
+# ---------------------------------------------------------------------------
+
+CACHE_MEMORY_SEEDS = range(10)
+CACHE_STORED_SEEDS = range(4)
+CACHE_SHARDED_SEEDS = range(4)
+
+#: revisit earlier n after larger ones so prefix serving and the
+#: generation protocol both fire
+CACHE_NS = (1, 3, None, 2)
+
+#: a mutation interleaved mid-case moves the generation and must evict
+MUTATION_DOC = "<cd><title>interleaved</title><artist>mutation</artist></cd>"
+
+
+def _assert_cached_matches_cold(hot, cold, case, jobs=None):
+    """The fast-path contract: every answer the caching database serves
+    — cold, tier-1, tier-2 prefix, or resumed — is byte-identical to the
+    cache-disabled twin's answer to the same request, before and after
+    an interleaved mutation on both."""
+    def sweep():
+        from repro.approxql.parser import parse_query
+        from repro.errors import QuerySyntaxError
+
+        for generated in case.queries:
+            # submit text where it round-trips (the tier-1 path); the
+            # occasional generated query that does not reparse goes
+            # through the AST bypass instead
+            text = generated.query.unparse()
+            try:
+                parse_query(text)
+            except QuerySyntaxError:
+                text = generated.query
+            for n in CACHE_NS:
+                for method in ("schema", "direct", "auto"):
+                    served = hot.query(
+                        text, n=n, costs=generated.costs, method=method, jobs=jobs
+                    )
+                    cold_run = cold.query(
+                        text, n=n, costs=generated.costs, method=method, jobs=jobs
+                    )
+                    assert _pairs(served) == _pairs(cold_run), (
+                        n, method, case.describe()
+                    )
+
+    sweep()  # first pass populates, second pass serves hot
+    sweep()
+    hot.insert_document(MUTATION_DOC)
+    cold.insert_document(MUTATION_DOC)
+    sweep()
+
+
+@pytest.mark.parametrize("seed", CACHE_MEMORY_SEEDS)
+def test_cached_answers_match_cold_memory(seed):
+    case = generated_case(1400 + seed, num_elements=60)
+    hot = Database.from_tree(case.tree)
+    cold = Database.from_tree(case.tree)
+    cold.set_query_cache(compiled_entries=0, result_entries=0)
+    _assert_cached_matches_cold(hot, cold, case)
+
+
+@pytest.mark.parametrize("seed", CACHE_STORED_SEEDS)
+def test_cached_answers_match_cold_stored(seed, tmp_path):
+    """The stored leg tags entries with the composite (state, store)
+    generation — the same contract must hold when mutations move the
+    store's write counter."""
+    case = generated_case(1500 + seed, num_elements=60)
+    hot_path = os.path.join(tmp_path, "hot.apxq")
+    cold_path = os.path.join(tmp_path, "cold.apxq")
+    Database.from_tree(case.tree).save(hot_path)
+    Database.from_tree(case.tree).save(cold_path)
+    hot = Database.open(hot_path)
+    cold = Database.open(cold_path)
+    cold.set_query_cache(compiled_entries=0, result_entries=0)
+    _assert_cached_matches_cold(hot, cold, case)
+    hot.close()
+    cold.close()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_cached_answers_match_cold_parallel(seed):
+    """Worker-pooled second-level execution under the fast path: the
+    cached and resumed answers must match the cache-disabled twin with
+    the same ``jobs``."""
+    case = generated_case(1600 + seed, num_elements=60)
+    hot = Database.from_tree(case.tree)
+    cold = Database.from_tree(case.tree)
+    cold.set_query_cache(compiled_entries=0, result_entries=0)
+    _assert_cached_matches_cold(hot, cold, case, jobs=2)
+
+
+@pytest.mark.parametrize("seed", CACHE_SHARDED_SEEDS)
+def test_cached_answers_match_cold_sharded(seed):
+    """The merge-level cache composes per-shard generation vectors; its
+    served prefixes must match a cache-disabled sharded twin (which also
+    has every shard-level cache off)."""
+    from repro.shard import ShardedDatabase
+
+    case = generated_case(1700 + seed, num_elements=60)
+    hot = ShardedDatabase.from_tree(case.tree, shards=3)
+    cold = ShardedDatabase.from_tree(case.tree, shards=3)
+    cold.set_query_cache(compiled_entries=0, result_entries=0)
+    _assert_cached_matches_cold(hot, cold, case)
+    hot.close()
+    cold.close()

@@ -1,0 +1,576 @@
+"""The hot-query fast path: compiled-query and best-n result caches.
+
+Contract under test (see ``repro.querycache``): answers served from
+either cache tier are byte-identical to what a cache-disabled evaluation
+with the same parameters would produce, at every generation.  Tier 1
+(compiled queries) is keyed by ``(query text, cost fingerprint)``; tier
+2 (result prefixes) follows the ``PostingCache`` generation protocol —
+mutations and WAL recovery evict, pinned snapshots miss without
+evicting, and the schema method's key carries the effective
+``(initial_k, delta)`` schedule because tie order within a cost class is
+a round-boundary artifact.  Randomized cached-vs-cold parity is in
+``test_differential_oracle.py``; these tests pin the mechanics.
+"""
+
+import os
+
+import pytest
+
+from repro.approxql.costs import CostModel
+from repro.core.database import Database
+from repro.core.persist import StoreOptions
+from repro.querycache import (
+    CachedResult,
+    CompiledQueryCache,
+    DriverState,
+    ResultCache,
+    compile_query,
+)
+from repro.schema.evaluator import effective_schedule
+from repro.shard import ShardedDatabase
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.storage.kv import Namespace
+from repro.storage.statcodec import (
+    decode_planner_state,
+    encode_planner_state,
+    load_planner_state,
+    save_planner_state,
+)
+
+DOCS = [
+    "<cd><title>piano works</title><artist>ann</artist></cd>",
+    "<cd><title>piano etudes</title><artist>bob</artist></cd>",
+    "<cd><title>cello suites</title><artist>ann</artist></cd>",
+    "<cd><title>organ mass</title><artist>cae</artist></cd>",
+]
+NEW_DOC = "<cd><title>piano trio</title><artist>dee</artist></cd>"
+
+CATALOG = """
+<catalog>
+  <cd><title>piano concerto</title><composer>rachmaninov</composer></cd>
+  <cd><title>cello sonata</title><composer>chopin</composer></cd>
+</catalog>
+"""
+
+LIBRARY = """
+<library>
+  <book><title>piano technique</title><author>neuhaus</author></book>
+  <book><title>on conducting</title><author>wagner</author></book>
+</library>
+"""
+
+
+def _pairs(result_set):
+    return [(r.root, r.cost) for r in result_set]
+
+
+@pytest.fixture
+def memory_db():
+    return Database.from_documents(DOCS)
+
+
+@pytest.fixture
+def stored_db(tmp_path):
+    path = os.path.join(tmp_path, "cat.apxq")
+    Database.from_documents(DOCS).save(path, durability="wal")
+    return Database.open(path, options=StoreOptions(durability="wal"))
+
+
+# ----------------------------------------------------------------------
+# tier 1: the compiled-query cache
+# ----------------------------------------------------------------------
+
+
+class TestCompiledQueryCache:
+    def test_hit_returns_same_compilation(self):
+        cache = CompiledQueryCache(4)
+        first, hit1 = cache.get("cd[title]", None)
+        second, hit2 = cache.get("cd[title]", None)
+        assert (hit1, hit2) == (False, True)
+        assert second is first
+        assert cache.stats()["querycache.compiled_hits"] == 1
+        assert cache.stats()["querycache.compiled_misses"] == 1
+
+    def test_cost_fingerprint_separates_entries(self):
+        from repro.xmltree.model import NodeType
+
+        cache = CompiledQueryCache(8)
+        renamed = CostModel()
+        renamed.add_renaming("cd", "dvd", NodeType.STRUCT, 0.5)
+        plain, _ = cache.get("cd[title]", None)
+        custom, hit = cache.get("cd[title]", renamed)
+        assert not hit
+        assert custom is not plain
+        assert custom.fingerprint != plain.fingerprint
+
+    def test_cached_model_survives_caller_mutation(self):
+        from repro.xmltree.model import NodeType
+
+        cache = CompiledQueryCache(4)
+        model = CostModel()
+        compiled, _ = cache.get("cd[title]", model)
+        model.add_renaming("cd", "dvd", NodeType.STRUCT, 0.25)
+        # the entry keeps a defensive copy keyed by the old fingerprint
+        assert compiled.costs.rename_cost("cd", "dvd", NodeType.STRUCT) != 0.25
+        again, hit = cache.get("cd[title]", CostModel())
+        assert hit and again is compiled
+
+    def test_ast_input_bypasses(self):
+        cache = CompiledQueryCache(4)
+        parsed = compile_query("cd[title]", None).query
+        compiled, hit = cache.get(parsed, None)
+        assert not hit
+        assert len(cache) == 0
+        assert compiled.text == parsed.unparse()
+
+    def test_zero_capacity_disables(self):
+        cache = CompiledQueryCache(0)
+        assert not cache.enabled
+        a, hit_a = cache.get("cd", None)
+        b, hit_b = cache.get("cd", None)
+        assert not hit_a and not hit_b
+        assert a is not b
+
+    def test_lru_eviction(self):
+        cache = CompiledQueryCache(2)
+        cache.get("a", None)
+        cache.get("b", None)
+        cache.get("a", None)  # refresh a
+        cache.get("c", None)  # evicts b
+        assert cache.stats()["querycache.compiled_evictions"] == 1
+        _, hit_a = cache.get("a", None)
+        _, hit_b = cache.get("b", None)
+        assert hit_a and not hit_b
+
+    def test_expanded_closure_built_once(self):
+        compiled = compile_query("cd[title]", None)
+        assert not compiled.expansion_cached
+        first = compiled.expanded()
+        assert compiled.expanded() is first
+
+
+# ----------------------------------------------------------------------
+# tier 2: the result cache's generation protocol
+# ----------------------------------------------------------------------
+
+
+class TestResultCacheProtocol:
+    def _entry(self, generation, pairs, complete=True):
+        return CachedResult(generation=generation, pairs=pairs, complete=complete)
+
+    def test_same_generation_hits(self):
+        cache = ResultCache(4)
+        cache.store(("k",), self._entry(3, [(1, 1.0)]))
+        assert cache.lookup(("k",), 3) is not None
+        assert cache.stats()["querycache.result_hits"] == 1
+
+    def test_newer_reader_evicts_stale_entry(self):
+        cache = ResultCache(4)
+        cache.store(("k",), self._entry(3, [(1, 1.0)]))
+        assert cache.lookup(("k",), 4) is None
+        assert cache.stats()["querycache.result_invalidations"] == 1
+        assert len(cache) == 0
+
+    def test_pinned_snapshot_misses_without_evicting(self):
+        cache = ResultCache(4)
+        cache.store(("k",), self._entry(5, [(1, 1.0)]))
+        # a reader pinned at an older generation must not see the newer
+        # answer, and must not evict it for current readers either
+        assert cache.lookup(("k",), 4) is None
+        assert len(cache) == 1
+        assert cache.lookup(("k",), 5) is not None
+
+    def test_generation_vectors_order_componentwise(self):
+        cache = ResultCache(4)
+        cache.store(("k",), self._entry((1, 0, 2), [(1, 1.0)]))
+        assert cache.lookup(("k",), (1, 0, 2)) is not None
+        assert cache.lookup(("k",), (1, 1, 2)) is None  # stale: evicted
+        assert len(cache) == 0
+
+    def test_serves_prefix_or_complete(self):
+        partial = self._entry(0, [(1, 1.0), (2, 2.0)], complete=False)
+        assert partial.serves(2) and partial.serves(1)
+        assert not partial.serves(3) and not partial.serves(None)
+        full = self._entry(0, [(1, 1.0)], complete=True)
+        assert full.serves(None) and full.serves(50)
+
+    def test_store_keeps_stronger_incumbent(self):
+        cache = ResultCache(4)
+        strong = self._entry(1, [(1, 1.0), (2, 2.0)], complete=False)
+        cache.store(("k",), strong)
+        cache.store(("k",), self._entry(1, [(1, 1.0)], complete=False))
+        assert cache.lookup(("k",), 1) is strong
+        longer = self._entry(1, [(1, 1.0), (2, 2.0), (3, 3.0)], complete=False)
+        cache.store(("k",), longer)
+        assert cache.lookup(("k",), 1) is longer
+
+    def test_lru_eviction_and_bytes_gauge(self):
+        cache = ResultCache(2)
+        cache.store(("a",), self._entry(0, [(1, 1.0)]))
+        cache.store(("b",), self._entry(0, [(2, 2.0)]))
+        cache.store(("c",), self._entry(0, [(3, 3.0)]))
+        assert len(cache) == 2
+        assert cache.stats()["querycache.result_evictions"] == 1
+        assert cache.approximate_bytes > 0
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.store(("k",), self._entry(0, [(1, 1.0)]))
+        assert cache.lookup(("k",), 0) is None
+        assert len(cache) == 0
+
+
+def test_effective_schedule_matches_driver_defaults():
+    assert effective_schedule(5, None, None) == (5, 5)
+    assert effective_schedule(None, None, None) == (16, 16)
+    assert effective_schedule(3, 8, None) == (8, 8)
+    assert effective_schedule(3, 8, 2) == (8, 2)
+    assert effective_schedule(0, None, None) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# the core fast path
+# ----------------------------------------------------------------------
+
+
+class TestDatabaseFastPath:
+    def test_repeat_query_is_a_result_hit(self, memory_db):
+        first = memory_db.query("cd[title]", n=3, collect="counters")
+        second = memory_db.query("cd[title]", n=3, collect="counters")
+        assert _pairs(second) == _pairs(first)
+        assert not first.report.result_cache_hit
+        assert second.report.result_cache_hit
+        assert second.report.compiled_cache_hit
+        # the served answer re-ran no driver work
+        assert second.report.get("schema.second_level_executed", 0) == 0
+
+    def test_answers_match_disabled_cache_twin(self):
+        hot = Database.from_documents(DOCS)
+        cold = Database.from_documents(DOCS)
+        cold.set_query_cache(compiled_entries=0, result_entries=0)
+        for method in ("schema", "direct", "auto"):
+            for n in (1, 2, 3, None, 2):
+                a = hot.query('cd[title["piano"]]', n=n, method=method)
+                b = cold.query('cd[title["piano"]]', n=n, method=method)
+                assert _pairs(a) == _pairs(b), (method, n)
+
+    def test_direct_prefix_serves_shorter_n(self, memory_db):
+        memory_db.query("cd[title]", n=4, method="direct")
+        shorter = memory_db.query("cd[title]", n=2, method="direct", collect="counters")
+        assert shorter.report.result_cache_hit
+        cold = Database.from_documents(DOCS)
+        cold.set_query_cache(result_entries=0)
+        assert _pairs(shorter) == _pairs(
+            cold.query("cd[title]", n=2, method="direct")
+        )
+
+    def test_schema_schedule_is_part_of_the_key(self, memory_db):
+        """A different ``n`` under the default schedule is a different
+        round structure — it must miss, not serve a reordered tie
+        class."""
+        memory_db.query("cd[title]", n=4, method="schema")
+        shorter = memory_db.query("cd[title]", n=2, method="schema", collect="counters")
+        assert not shorter.report.result_cache_hit
+        again = memory_db.query("cd[title]", n=2, method="schema", collect="counters")
+        assert again.report.result_cache_hit
+        assert _pairs(again) == _pairs(shorter)
+
+    def test_schema_resume_extends_same_schedule(self, memory_db):
+        """With the schedule held fixed, a larger ``n`` resumes the
+        captured driver state and the combined answer matches a cold
+        run."""
+        state = memory_db._state
+        compiled, _ = memory_db._compile("cd[title]", None)
+        short = memory_db._evaluate_cached(
+            state, compiled, "schema", 2, None, None, initial_k=2, delta=2
+        )
+        assert len(short) == 2
+        longer = memory_db._evaluate_cached(
+            state, compiled, "schema", 4, None, None, initial_k=2, delta=2
+        )
+        assert memory_db._result_cache.resumes == 1
+        cold = memory_db._evaluate(
+            state, "schema", compiled.query, compiled.costs, 4, None, None,
+            initial_k=2, delta=2,
+        )
+        assert [(r.root, r.cost) for r in longer] == [(r.root, r.cost) for r in cold]
+
+    def test_mutation_invalidates(self, memory_db):
+        before = memory_db.query("cd[title]", n=None)
+        memory_db.insert_document(NEW_DOC)
+        after = memory_db.query("cd[title]", n=None, collect="counters")
+        assert not after.report.result_cache_hit
+        assert len(after) == len(before) + 1
+        assert memory_db.query_cache_stats()["querycache.result_invalidations"] >= 1
+
+    def test_out_of_band_store_write_evicts(self, tmp_path):
+        """The invalidation authority is the store's write counter: a
+        posting rewritten through the raw store handle — no routed
+        mutation, no state-generation bump — must still evict."""
+        from repro.storage.postings import encode_node_postings
+        from repro.xmltree.indexes import STRUCT_NAMESPACE
+
+        path = os.path.join(tmp_path, "oob.apxq")
+        Database.from_xml("<lib><cd><title>piano</title></cd></lib>").save(path)
+        loaded = Database.open(path)
+        assert len(loaded.query('cd[title["piano"]]', n=None, method="direct")) == 1
+        Namespace(loaded._store, STRUCT_NAMESPACE).put(b"cd", encode_node_postings([]))
+        assert len(loaded.query('cd[title["piano"]]', n=None, method="direct")) == 0
+        loaded.close()
+
+    def test_snapshot_is_isolated_both_ways(self, memory_db):
+        pinned = _pairs(memory_db.query("cd[title]", n=None))
+        with memory_db.snapshot() as snap:
+            memory_db.insert_document(NEW_DOC)
+            memory_db.query("cd[title]", n=None)  # warm the new generation
+            # the pinned reader neither sees the post-mutation answer nor
+            # evicts the current generation's entry
+            assert _pairs(snap.query("cd[title]", n=None)) == pinned
+            current = memory_db.query("cd[title]", n=None, collect="counters")
+            assert current.report.result_cache_hit
+            assert len(current) == len(pinned) + 1
+
+    def test_stats_hook_bypasses_but_stays_correct(self, memory_db):
+        from repro.schema.evaluator import EvaluationStats
+
+        baseline = _pairs(memory_db.query("cd[title]", n=2, method="schema"))
+        stats = EvaluationStats()
+        with pytest.deprecated_call():
+            probed = memory_db.query("cd[title]", n=2, method="schema", stats=stats)
+        assert _pairs(probed) == baseline
+        assert stats.rounds >= 1  # the probe really drove the evaluator
+
+    def test_query_cache_stats_and_resize(self, memory_db):
+        memory_db.query("cd[title]", n=2)
+        memory_db.query("cd[title]", n=2)
+        stats = memory_db.query_cache_stats()
+        assert stats["querycache.compiled_entries"] == 1
+        assert stats["querycache.result_hits"] >= 1
+        memory_db.set_query_cache(compiled_entries=0, result_entries=0)
+        assert memory_db.query_cache_stats()["querycache.result_entries"] == 0
+        # disabled caches still answer correctly
+        assert len(memory_db.query("cd[title]", n=2)) == 2
+
+    def test_open_knobs_reach_the_caches(self, tmp_path):
+        path = os.path.join(tmp_path, "knobs.apxq")
+        Database.from_documents(DOCS).save(path)
+        loaded = Database.open(
+            path,
+            options=StoreOptions(compiled_cache_entries=7, result_cache_entries=0),
+        )
+        assert loaded._compiled_cache.max_entries == 7
+        assert not loaded._result_cache.enabled
+        loaded.close()
+
+
+# ----------------------------------------------------------------------
+# query_many grouping (mixed insert fingerprints)
+# ----------------------------------------------------------------------
+
+
+class TestQueryManyGrouping:
+    def test_mixed_batch_groups_by_fingerprint(self):
+        database = Database.from_documents(DOCS)
+        heavy = CostModel(default_insert_cost=9)
+        batch = [
+            ("cd[title]", None),
+            ("cd[artist]", None),
+            ('cd[title["piano"]]', heavy),
+            ("artist", None),
+        ]
+        parallel = database.query_many(batch, n=3, jobs=2, collect="counters")
+        serial = [
+            database.query(text, n=3, costs=costs, collect="counters")
+            for text, costs in batch
+        ]
+        for got, want in zip(parallel, serial):
+            assert _pairs(got) == _pairs(want)
+        # the lone heavy-cost query is the only serial fallback; the
+        # default-cost group of three still batches
+        fallbacks = [bool(r.report.batch_fallback) for r in parallel]
+        assert fallbacks == [False, False, True, False]
+
+    def test_uniform_batch_has_no_fallback(self):
+        database = Database.from_documents(DOCS)
+        results = database.query_many(
+            ["cd[title]", "cd[artist]"], n=2, jobs=2, collect="counters"
+        )
+        assert all(not r.report.batch_fallback for r in results)
+
+
+# ----------------------------------------------------------------------
+# planner-state persistence (the b"stats" segment)
+# ----------------------------------------------------------------------
+
+
+class TestPlannerPersistence:
+    def test_codec_round_trip(self):
+        payload = encode_planner_state(2.5, 7)
+        assert decode_planner_state(payload) == (2.5, 7)
+
+    def test_codec_rejects_bad_correction(self):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            decode_planner_state(encode_planner_state(1.0, 1)[:5])
+
+    def test_segment_round_trip(self, stored_db):
+        save_planner_state(stored_db._store, 3.25, 4)
+        stored_db._store.commit()
+        assert load_planner_state(stored_db._store) == (3.25, 4)
+
+    def test_corrections_survive_close_and_reopen(self, stored_db, tmp_path):
+        """A query-only session persists what it learned on close —
+        no mutation ever commits it."""
+        stored_db._planner.seed(2.0, 3)
+        stored_db.close()
+        reopened = Database.open(os.path.join(tmp_path, "cat.apxq"))
+        assert reopened._planner.correction == 2.0
+        assert reopened._planner.corrections == 3
+        reopened.close()
+
+    def test_corrections_ride_the_mutation_frame(self, stored_db, tmp_path):
+        stored_db._planner.seed(1.5, 2)
+        stored_db.insert_document(NEW_DOC)
+        # persisted by the mutation commit, before any close
+        assert load_planner_state(stored_db._store) == (1.5, 2)
+        stored_db.close()
+        reopened = Database.open(os.path.join(tmp_path, "cat.apxq"))
+        assert reopened._planner.corrections == 2
+        reopened.close()
+
+    def test_save_carries_planner_state(self, memory_db, tmp_path):
+        memory_db._planner.seed(4.0, 5)
+        path = os.path.join(tmp_path, "learned.apxq")
+        memory_db.save(path)
+        reopened = Database.open(path)
+        assert reopened._planner.correction == 4.0
+        reopened.close()
+
+    def test_query_path_never_writes_the_store(self, stored_db):
+        """A pure read workload must not bump the store generation (a
+        write would blanket-invalidate the posting and result caches)."""
+        stored_db._planner.seed(2.0, 1)
+        generation = stored_db._store.generation
+        for _ in range(3):
+            stored_db.query("cd[title]", n=2)
+        assert stored_db._store.generation == generation
+
+
+# ----------------------------------------------------------------------
+# crash recovery
+# ----------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_recovery_lands_on_an_evicted_cache(self, tmp_path):
+        """WAL recovery sets the store generation to 1 — the sentinel
+        that marks every generation-tagged cache entry from before the
+        crash stale — and the reopened fast path works on the recovered
+        data."""
+        path = os.path.join(tmp_path, "crash.apxq")
+        Database.from_documents(DOCS).save(path, durability="wal")
+
+        injector = FaultInjector(kill_after_ops=1_000_000)
+        database = Database.open(
+            path,
+            options=StoreOptions(
+                durability="wal", wal_checkpoint_bytes=1 << 30,
+                opener=injector.opener(),
+            ),
+        )
+        database.query("cd[title]", n=2)
+        database.insert_document(NEW_DOC)
+        injector.kill_after_ops = 0  # every further file op crashes
+        with pytest.raises(SimulatedCrash):
+            database.close()
+
+        recovered = Database.open(path, options=StoreOptions(durability="wal"))
+        assert recovered._store.generation == 1
+        first = recovered.query("cd[title]", n=None, collect="counters")
+        assert not first.report.result_cache_hit
+        assert len(first) == len(DOCS) + 1  # the pre-crash insert replayed
+        second = recovered.query("cd[title]", n=None, collect="counters")
+        assert second.report.result_cache_hit
+        assert _pairs(second) == _pairs(first)
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# the sharded tier
+# ----------------------------------------------------------------------
+
+
+class TestShardedFastPath:
+    def test_repeat_query_hits_at_the_merge_level(self):
+        database = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+        first = database.query("title", n=3, collect="counters")
+        second = database.query("title", n=3, collect="counters")
+        assert _pairs(second) == _pairs(first)
+        assert second.report.result_cache_hit
+        assert second.report.get("shard.fanout", 0) == 0  # no scatter ran
+        # served results still carry shard provenance and real XML
+        assert all(r.shard is not None for r in second)
+        assert all(r.xml() for r in second)
+        database.close()
+
+    def test_prefix_serves_shorter_n(self):
+        database = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+        database.query("title", n=4)
+        shorter = database.query("title", n=2, collect="counters")
+        assert shorter.report.result_cache_hit
+        cold = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+        cold.set_query_cache(result_entries=0)
+        assert _pairs(shorter) == _pairs(cold.query("title", n=2))
+        database.close()
+        cold.close()
+
+    def test_mutation_moves_the_generation_vector(self):
+        database = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+        before = database.query("title", n=None)
+        database.insert_document("<catalog><cd><title>nocturnes</title></cd></catalog>")
+        after = database.query("title", n=None, collect="counters")
+        assert not after.report.result_cache_hit
+        assert len(after) == len(before) + 1
+        database.close()
+
+    def test_set_query_cache_cascades_to_shards(self):
+        database = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+        database.set_query_cache(compiled_entries=5, result_entries=0)
+        assert not database._result_cache.enabled
+        for shard in database._shards:
+            assert shard._compiled_cache.max_entries == 5
+            assert not shard._result_cache.enabled
+        assert len(database.query("title", n=2)) == 2
+        database.close()
+
+    def test_stats_aggregate(self):
+        database = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+        database.query("title", n=2)
+        database.query("title", n=2)
+        stats = database.query_cache_stats()
+        assert stats["querycache.result_hits"] >= 1
+        assert stats["querycache.compiled_hits"] >= 1
+        database.close()
+
+
+# ----------------------------------------------------------------------
+# the server surface
+# ----------------------------------------------------------------------
+
+
+def test_server_stats_expose_querycache_counters():
+    from repro.server import ServeClient, ServerThread
+
+    database = ShardedDatabase.from_documents([CATALOG, LIBRARY], shards=2)
+    with ServerThread(database) as (host, port):
+        with ServeClient(host, port) as client:
+            first = client.query("title", n=2)
+            second = client.query("title", n=2)
+            assert [r["root"] for r in second["results"]] == [
+                r["root"] for r in first["results"]
+            ]
+            counters = client.stats()
+            assert counters["querycache.result_hits"] >= 1
+            assert counters["querycache.compiled_entries"] >= 1
+    database.close()
